@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices called out in DESIGN.md §6.
+
+1. Local kernel choice (heap vs hash vs dense vs hybrid).
+2. Partitioner choice (none vs random vs METIS-like vs RCM).
+3. Compacted Ã vs multiplying against uncompacted fetched blocks.
+4. Cost-model sensitivity: the algorithm ordering of Fig 9 must not depend on
+   the exact machine constants (Perlmutter-like vs laptop-like).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table, seconds
+from repro.apps.squaring import run_squaring
+from repro.core import SparsityAware1D
+from repro.matrices import load_dataset
+from repro.runtime import LAPTOP, PERLMUTTER, SimulatedCluster
+from repro.sparse import local_spgemm
+
+from common import BLOCK_SPLIT, SCALE, header
+
+
+def test_ablation_local_kernels(benchmark):
+    def _run():
+        A = load_dataset("queen", scale=max(0.1, SCALE / 2))
+        rows = []
+        for kernel in ("hybrid", "dense", "hash", "heap"):
+            t0 = time.perf_counter()
+            C = local_spgemm(A, A, kernel=kernel)
+            rows.append(
+                {
+                    "kernel": kernel,
+                    "wall time": seconds(time.perf_counter() - t0),
+                    "output nnz": C.nnz,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Ablation: local SpGEMM kernel choice (queen squaring, single process)")
+    print(format_table(rows))
+    nnz = {row["kernel"]: row["output nnz"] for row in rows}
+    assert len(set(nnz.values())) == 1  # all kernels agree on the result
+
+
+def test_ablation_partitioners(benchmark):
+    def _run():
+        A = load_dataset("eukarya", scale=max(0.1, SCALE / 2))
+        rows = []
+        volumes = {}
+        for strategy in ("none", "random", "metis", "rcm"):
+            run = run_squaring(
+                A, algorithm="1d", strategy=strategy, nprocs=8,
+                block_split=BLOCK_SPLIT, seed=0,
+            )
+            volumes[strategy] = run.result.communication_volume
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "volume (B)": run.result.communication_volume,
+                    "time": seconds(run.spgemm_time),
+                    "CV/memA": f"{run.cv_over_mema:.3f}",
+                }
+            )
+        return rows, volumes
+
+    rows, volumes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Ablation: ordering / partitioner choice (eukarya squaring, 1D, P=8)")
+    print(format_table(rows))
+    assert volumes["metis"] < volumes["none"]
+    assert volumes["metis"] < volumes["random"]
+
+
+def test_ablation_compaction(benchmark):
+    def _run():
+        A = load_dataset("hv15r", scale=SCALE)
+        rows = []
+        results = {}
+        for compact in (True, False):
+            cluster = SimulatedCluster(8)
+            res = SparsityAware1D(block_split=BLOCK_SPLIT, compact=compact).multiply(
+                A, A, cluster
+            )
+            results[compact] = res
+            rows.append(
+                {
+                    "compacted A~": "yes" if compact else "no",
+                    "time": seconds(res.elapsed_time),
+                    "other time": seconds(res.other_time),
+                    "output nnz": res.C.nnz,
+                }
+            )
+        return rows, results
+
+    rows, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Ablation: compacted A~ vs uncompacted fetched blocks (hv15r, 1D, P=8)")
+    print(format_table(rows))
+    assert results[True].C.nnz == results[False].C.nnz
+
+
+def test_ablation_costmodel_sensitivity(benchmark):
+    def _run():
+        A = load_dataset("queen", scale=SCALE)
+        orderings = {}
+        for label, model in (("perlmutter", PERLMUTTER), ("laptop", LAPTOP)):
+            times = {}
+            for algorithm, strategy in (("1d", "none"), ("2d", "random")):
+                run = run_squaring(
+                    A, algorithm=algorithm, strategy=strategy, nprocs=16,
+                    cost_model=model, block_split=BLOCK_SPLIT,
+                )
+                times[algorithm] = run.spgemm_time
+            orderings[label] = min(times, key=times.get)
+        return orderings
+
+    orderings = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Ablation: cost-model sensitivity of the 1D-vs-2D ordering (queen, P=16)")
+    print(format_table([{"machine model": k, "fastest algorithm": v} for k, v in orderings.items()]))
+    # The winner must not depend on the machine constants.
+    assert orderings["perlmutter"] == orderings["laptop"] == "1d"

@@ -1,0 +1,45 @@
+"""Figure 7 — MPI × OpenMP configuration sweep at a fixed core budget.
+
+Given c cores, the paper varies processes p and threads t with c = p·t and
+finds that intermediate configurations (p between 64 and 256 at their scale)
+win: too few processes waste the cores on serial per-process work, too many
+make communication dominate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import config_sweep, format_table
+from repro.matrices import load_dataset
+
+from common import BLOCK_SPLIT, SCALE, header
+
+TOTAL_CORES = 256
+
+
+def _run():
+    A = load_dataset("hv15r", scale=SCALE)
+    return config_sweep(
+        A,
+        total_cores=TOTAL_CORES,
+        algorithm="1d",
+        strategy="none",
+        block_split=BLOCK_SPLIT,
+        min_processes=1,
+    )
+
+
+def test_fig7_mpi_omp_configurations(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header(f"Figure 7: MPI x OpenMP configurations at {TOTAL_CORES} cores (hv15r, 1D)")
+    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    print(format_table(display))
+    times = {row["processes"]: row["_time"] for row in rows}
+    best_p = min(times, key=times.get)
+    print(f"best process count: {best_p} (paper: intermediate configurations, 64-256)")
+    # The extreme all-threads configuration (1 process) must not be the best:
+    # per-process serial work stops scaling with threads (Amdahl).
+    assert best_p != 1
+    # Communication grows with the process count at fixed total work.
+    comm = {row["processes"]: float(row["comm (s)"]) for row in rows}
+    procs_sorted = sorted(comm)
+    assert comm[procs_sorted[0]] <= comm[procs_sorted[-1]]

@@ -1,0 +1,72 @@
+"""Figure 9 — strong scaling of squaring: 1D vs 2D vs 3D on four datasets.
+
+For every dataset the harness prints one row per (algorithm, process count)
+with modelled time, time including permutation, volume and messages — the
+series Fig 9 plots.  The paper's protocol is followed: no permutation for the
+sparsity-aware 1D algorithm, random permutation for 2D/3D (reported with and
+without its cost), best layer count for 3D.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, strong_scaling_sweep
+from repro.matrices import load_dataset
+
+from common import BLOCK_SPLIT, PROCESS_COUNTS, SCALE, SCALING_DATASETS, header
+
+ALGORITHMS = (
+    ("1d", "none"),
+    ("2d", "random"),
+    ("3d", "random"),
+)
+
+
+def _sweep(dataset: str):
+    A = load_dataset(dataset, scale=SCALE)
+    rows = []
+    winners = {}
+    for algorithm, strategy in ALGORITHMS:
+        points = strong_scaling_sweep(
+            A,
+            algorithm=algorithm,
+            strategy=strategy,
+            process_counts=PROCESS_COUNTS,
+            dataset=dataset,
+            block_split=BLOCK_SPLIT,
+        )
+        for point in points:
+            rows.append(point.as_row())
+            winners.setdefault(point.nprocs, []).append(
+                (point.elapsed_time, point.communication_volume, point.algorithm)
+            )
+    return rows, winners
+
+
+@pytest.mark.parametrize("dataset", SCALING_DATASETS)
+def test_fig9_squaring_strong_scaling(benchmark, dataset):
+    rows, winners = benchmark.pedantic(_sweep, args=(dataset,), rounds=1, iterations=1)
+    header(f"Figure 9: strong scaling of squaring on {dataset}")
+    print(format_table(rows))
+    # The robust, size-independent part of the paper's claim: on clustered
+    # inputs the 1D algorithm moves the least data at every process count.
+    # The modelled-time ordering (paper: 1D up to an order of magnitude
+    # faster on hv15r/queen) holds for the larger-scale runs
+    # (REPRO_BENCH_SCALE >= 1); at the default reduced scale small fixed
+    # latency terms can flip individual points, so time winners are reported
+    # but only the volume ordering is asserted (see EXPERIMENTS.md).
+    time_wins = 0
+    for nprocs, entries in sorted(winners.items()):
+        best_time, _, best_algo = min(entries)
+        least_volume_algo = min(entries, key=lambda e: e[1])[2]
+        print(
+            f"P={nprocs}: fastest = {best_algo} ({best_time:.6f} s), "
+            f"least volume = {least_volume_algo}"
+        )
+        if best_algo == "1d-sparsity-aware":
+            time_wins += 1
+        assert least_volume_algo == "1d-sparsity-aware", (
+            f"{dataset} at P={nprocs}: expected the 1D algorithm to move the least data"
+        )
+    print(f"1D fastest at {time_wins}/{len(winners)} process counts (modelled time)")

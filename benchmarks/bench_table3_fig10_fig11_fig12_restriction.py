@@ -1,0 +1,147 @@
+"""Table III and Figures 10–12 — the AMG restriction-operator experiments.
+
+* Table III: dimensions/nnz of the MIS-2 restriction operators (one nonzero
+  per row).
+* Figure 10: permutation comparison on RᵀA (queen), per-rank breakdown.
+* Figure 11: strong scaling of RᵀA across datasets and algorithms.
+* Figure 12: sparsity-aware 1D vs outer-product 1D on (RᵀA)·R.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import breakdown_table, format_table, seconds
+from repro.apps.amg import build_restriction, left_multiplication, right_multiplication
+from repro.matrices import load_dataset
+from repro.partition import apply_symmetric_permutation, random_symmetric_permutation
+
+from common import PROCESS_COUNTS, SCALE, SCALING_DATASETS, header
+
+
+def _restrictions():
+    out = {}
+    for name in SCALING_DATASETS:
+        A = load_dataset(name, scale=SCALE)
+        out[name] = (A, build_restriction(A, seed=0))
+    return out
+
+
+def test_table3_restriction_stats(benchmark):
+    data = benchmark.pedantic(_restrictions, rounds=1, iterations=1)
+    header("Table III: restriction operator statistics (MIS-2 aggregation)")
+    rows = []
+    for name, (A, rest) in data.items():
+        rows.append(
+            {
+                "dataset": name,
+                "nrows(R)": rest.R.nrows,
+                "ncols(R)": rest.R.ncols,
+                "nnz(R)": rest.R.nnz,
+                "coarsening factor": f"{rest.n_fine / rest.n_coarse:.1f}x",
+            }
+        )
+        assert rest.R.nnz == rest.R.nrows  # exactly one nonzero per row
+    print(format_table(rows))
+
+
+def test_fig10_rta_permutation_comparison(benchmark):
+    def _run():
+        A = load_dataset("queen", scale=SCALE)
+        rest = build_restriction(A, seed=0)
+        natural = left_multiplication(rest.R, A, algorithm="1d", nprocs=16)
+        perm = random_symmetric_permutation(A.nrows, seed=1)
+        A_perm = apply_symmetric_permutation(A, perm)
+        R_perm = rest.R.permute(row_perm=perm)
+        randomised = left_multiplication(R_perm, A_perm, algorithm="1d", nprocs=16)
+        return natural, randomised
+
+    natural, randomised = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 10: RtA on queen — original ordering vs random permutation (P=16)")
+    print(breakdown_table(natural, title="original ordering"))
+    print()
+    print(breakdown_table(randomised, title="random permutation"))
+    print(
+        f"\ncomm time: original {seconds(natural.comm_time)} vs "
+        f"random {seconds(randomised.comm_time)}"
+    )
+    assert natural.comm_time < randomised.comm_time
+
+
+def test_fig11_rta_strong_scaling(benchmark):
+    """Fig 11 has two parts: (a) scaling of the 1D algorithm's RᵀA across the
+    four datasets, (b) on queen, the full restriction product RᵀA + (RᵀA)R
+    compared across SpGEMM variants — the comparison the paper's text calls
+    out ("1D SpGEMM variant is better than all other 2D, 3D algorithms")."""
+
+    def _run():
+        scaling_rows = []
+        for name in SCALING_DATASETS:
+            A = load_dataset(name, scale=SCALE)
+            rest = build_restriction(A, seed=0)
+            for nprocs in PROCESS_COUNTS:
+                res = left_multiplication(rest.R, A, algorithm="1d", nprocs=nprocs)
+                scaling_rows.append(
+                    {
+                        "dataset": name,
+                        "P": nprocs,
+                        "time": seconds(res.elapsed_time),
+                        "comm": seconds(res.comm_time),
+                        "other": seconds(res.other_time),
+                        "volume (B)": res.communication_volume,
+                    }
+                )
+        # Variant comparison on queen: total RtA + (RtA)R per variant.
+        Q = load_dataset("queen", scale=SCALE)
+        rest_q = build_restriction(Q, seed=0)
+        comparison_rows = []
+        totals = {}
+        for label, left_algo, right_algo in (
+            ("1d (+outer-product)", "1d", "outer-product"),
+            ("2d", "2d", "2d"),
+            ("3d", "3d", "3d"),
+        ):
+            left = left_multiplication(rest_q.R, Q, algorithm=left_algo, nprocs=16)
+            right = right_multiplication(left.C, rest_q.R, algorithm=right_algo, nprocs=16)
+            total = left.elapsed_time + right.elapsed_time
+            totals[label] = total
+            comparison_rows.append(
+                {
+                    "variant": label,
+                    "RtA": seconds(left.elapsed_time),
+                    "(RtA)R": seconds(right.elapsed_time),
+                    "total": seconds(total),
+                }
+            )
+        return scaling_rows, comparison_rows, totals
+
+    scaling_rows, comparison_rows, totals = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 11a: strong scaling of RtA with the sparsity-aware 1D algorithm")
+    print(format_table(scaling_rows))
+    header("Figure 11b: restriction product variants on queen (P=16, RtA + (RtA)R)")
+    print(format_table(comparison_rows))
+    assert totals["1d (+outer-product)"] == min(totals.values())
+
+
+def test_fig12_outer_product_vs_1d_on_right_multiplication(benchmark):
+    def _run():
+        A = load_dataset("queen", scale=SCALE)
+        rest = build_restriction(A, seed=0)
+        rta = left_multiplication(rest.R, A, algorithm="1d", nprocs=16)
+        rows = []
+        times = {}
+        for algorithm in ("outer-product", "1d"):
+            res = right_multiplication(rta.C, rest.R, algorithm=algorithm, nprocs=16)
+            times[algorithm] = res.elapsed_time
+            rows.append(
+                {
+                    "algorithm": res.algorithm,
+                    "time": seconds(res.elapsed_time),
+                    "volume (B)": res.communication_volume,
+                    "messages": res.message_count,
+                }
+            )
+        return rows, times
+
+    rows, times = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 12: (RtA)R — outer-product 1D vs sparsity-aware 1D (queen, P=16)")
+    print(format_table(rows))
+    assert times["outer-product"] < times["1d"]

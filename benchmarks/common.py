@@ -1,0 +1,40 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper: it
+builds the scaled-down synthetic analogue of the paper's input, runs the same
+algorithms the figure compares, and prints the rows/series the paper reports
+(modelled time, communication volume, message counts, per-rank breakdowns).
+``pytest-benchmark`` additionally times the harness body so regressions in
+the reproduction itself are visible.
+
+Scale knobs: ``SCALE`` multiplies every dataset size, ``PROCESS_COUNTS`` is
+the strong-scaling sweep.  Both are intentionally modest so the full harness
+finishes in a few minutes of pure Python; increase them (e.g. ``SCALE=1.0``,
+``PROCESS_COUNTS=(16, 64, 256)``) for tighter-shaped curves.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: global dataset scale multiplier (1.0 ≈ a few thousand rows per dataset)
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: process counts used by the strong-scaling figures
+PROCESS_COUNTS = tuple(
+    int(p) for p in os.environ.get("REPRO_BENCH_PROCS", "4,16,64").split(",")
+)
+
+#: block-fetch split parameter used where the paper uses K=2048
+BLOCK_SPLIT = int(os.environ.get("REPRO_BENCH_BLOCK_SPLIT", "32"))
+
+#: datasets used by the squaring / RtA strong-scaling figures (Fig 9 / Fig 11)
+SCALING_DATASETS = ("queen", "stokes", "hv15r", "nlpkkt")
+
+
+def header(title: str) -> None:
+    """Print a figure/table banner."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+A plain ``setup.py`` is kept alongside ``pyproject.toml`` so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package (needed for PEP 517 editable installs) may not be available — pip
+falls back to the legacy ``setup.py develop`` path in that case.
+"""
+
+from setuptools import setup
+
+setup()

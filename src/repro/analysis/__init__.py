@@ -1,0 +1,26 @@
+"""Reporting helpers: per-rank breakdowns, parameter sweeps, text tables."""
+
+from .breakdown import RankBreakdown, breakdown_chart, breakdown_table, per_rank_breakdown
+from .reporting import format_bar_chart, format_grid, format_table, mebibytes, seconds
+from .sweep import (
+    ScalingPoint,
+    config_sweep,
+    mpi_omp_configurations,
+    strong_scaling_sweep,
+)
+
+__all__ = [
+    "RankBreakdown",
+    "breakdown_chart",
+    "breakdown_table",
+    "per_rank_breakdown",
+    "format_bar_chart",
+    "format_grid",
+    "format_table",
+    "mebibytes",
+    "seconds",
+    "ScalingPoint",
+    "config_sweep",
+    "mpi_omp_configurations",
+    "strong_scaling_sweep",
+]

@@ -1,0 +1,83 @@
+"""Per-rank time breakdowns (the paper's Figs 4, 8, 10 style reports).
+
+The paper presents per-MPI-process stacked bars of communication /
+computation / other time to expose load imbalance.  These helpers extract
+that data from a :class:`~repro.runtime.PhaseLedger` (or an
+:class:`~repro.core.SpGEMMResult`) into plain rows and render them as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.base import SpGEMMResult
+from ..runtime import CATEGORIES, PhaseLedger
+from .reporting import format_bar_chart, format_table, seconds
+
+__all__ = ["RankBreakdown", "per_rank_breakdown", "breakdown_table", "breakdown_chart"]
+
+
+@dataclass
+class RankBreakdown:
+    """Per-rank times for one run."""
+
+    rank: int
+    comm: float
+    comp: float
+    other: float
+    bytes_received: int
+    rdma_gets: int
+
+    @property
+    def total(self) -> float:
+        return self.comm + self.comp + self.other
+
+
+def per_rank_breakdown(source) -> List[RankBreakdown]:
+    """Extract per-rank breakdowns from a ledger or an SpGEMM result."""
+    ledger: PhaseLedger = source.ledger if isinstance(source, SpGEMMResult) else source
+    out = []
+    for st in ledger.per_rank_totals():
+        out.append(
+            RankBreakdown(
+                rank=st.rank,
+                comm=st.time["comm"],
+                comp=st.time["comp"],
+                other=st.time["other"],
+                bytes_received=st.bytes_received,
+                rdma_gets=st.rdma_gets,
+            )
+        )
+    return out
+
+
+def breakdown_table(source, *, title: str = "per-rank time breakdown") -> str:
+    """Aligned table of per-rank comm/comp/other times."""
+    rows = []
+    for rb in per_rank_breakdown(source):
+        rows.append(
+            {
+                "rank": rb.rank,
+                "comm": seconds(rb.comm),
+                "comp": seconds(rb.comp),
+                "other": seconds(rb.other),
+                "total": seconds(rb.total),
+                "recv bytes": rb.bytes_received,
+                "rdma gets": rb.rdma_gets,
+            }
+        )
+    return format_table(rows, title=title)
+
+
+def breakdown_chart(source, *, title: str = "per-rank total time") -> str:
+    """Text bar chart of per-rank total times (visualises load imbalance)."""
+    breakdowns = per_rank_breakdown(source)
+    return format_bar_chart(
+        [f"rank {rb.rank}" for rb in breakdowns],
+        [rb.total for rb in breakdowns],
+        title=title,
+        unit=" s",
+    )

@@ -1,0 +1,105 @@
+"""Plain-text tables for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports.  matplotlib is deliberately not used (offline environment,
+and text output diffs cleanly); the helpers here format aligned tables and
+simple text bar charts from lists of dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_bar_chart", "format_grid", "seconds", "mebibytes"]
+
+
+def seconds(value: float) -> str:
+    """Human-readable seconds with ms/µs downscaling."""
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f} ms"
+    return f"{value * 1e6:.1f} µs"
+
+
+def mebibytes(nbytes: float) -> str:
+    """Human-readable byte counts."""
+    nbytes = float(nbytes)
+    if nbytes >= 1 << 30:
+        return f"{nbytes / (1 << 30):.2f} GiB"
+    if nbytes >= 1 << 20:
+        return f"{nbytes / (1 << 20):.2f} MiB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes / (1 << 10):.2f} KiB"
+    return f"{nbytes:.0f} B"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Format a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    str_rows = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(sr[i]) for sr in str_rows)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for sr in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(sr, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal text bar chart (used for per-rank breakdowns and volume plots)."""
+    values = [float(v) for v in values]
+    vmax = max(values) if values else 0.0
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max((len(str(l)) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar_len = 0 if vmax == 0 else int(round(width * value / vmax))
+        lines.append(
+            f"{str(label).ljust(label_w)} | {'#' * bar_len}{' ' * (width - bar_len)} "
+            f"{value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_grid(grid: np.ndarray, *, title: Optional[str] = None, shades: str = " .:-=+*#%@") -> str:
+    """Render a 2-D density grid as ASCII art (the text-mode spy plot of Figs 2-3)."""
+    grid = np.asarray(grid, dtype=np.float64)
+    lines = []
+    if title:
+        lines.append(title)
+    vmax = grid.max() if grid.size else 0.0
+    nlevels = len(shades) - 1
+    for row in grid:
+        if vmax == 0:
+            lines.append(" " * len(row))
+            continue
+        # log scaling makes sparse off-diagonal mass visible
+        scaled = np.log1p(row) / np.log1p(vmax)
+        chars = [shades[int(round(s * nlevels))] for s in scaled]
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Parameter sweeps used by the strong-scaling and configuration figures.
+
+The paper's evaluation is a family of sweeps: over process counts (Figs 8, 9,
+11), over MPI×OpenMP configurations at fixed core counts (Fig 7), over
+block-fetch split counts (Fig 6), and over 3D layer counts (implicit in
+"we explored all possible layer parameters").  This module wraps those loops
+so the benchmark scripts stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..apps.squaring import SquaringRun, run_squaring
+from ..runtime import CostModel, PERLMUTTER
+
+__all__ = [
+    "ScalingPoint",
+    "strong_scaling_sweep",
+    "mpi_omp_configurations",
+    "config_sweep",
+]
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a strong-scaling curve."""
+
+    nprocs: int
+    algorithm: str
+    strategy: str
+    elapsed_time: float
+    elapsed_with_permutation: float
+    communication_volume: int
+    messages: int
+    load_imbalance: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "P": self.nprocs,
+            "algorithm": self.algorithm,
+            "strategy": self.strategy,
+            "time (s)": f"{self.elapsed_time:.6f}",
+            "time+perm (s)": f"{self.elapsed_with_permutation:.6f}",
+            "volume (B)": self.communication_volume,
+            "messages": self.messages,
+            "imbalance": f"{self.load_imbalance:.2f}",
+        }
+
+
+def strong_scaling_sweep(
+    A,
+    *,
+    algorithm: str,
+    strategy: str,
+    process_counts: Sequence[int],
+    cost_model: CostModel = PERLMUTTER,
+    dataset: str = "matrix",
+    block_split: int = 2048,
+    seed: int = 0,
+) -> List[ScalingPoint]:
+    """Run the squaring benchmark across a list of process counts."""
+    points = []
+    for nprocs in process_counts:
+        run = run_squaring(
+            A,
+            algorithm=algorithm,
+            strategy=strategy,
+            nprocs=nprocs,
+            cost_model=cost_model,
+            dataset=dataset,
+            block_split=block_split,
+            seed=seed,
+        )
+        points.append(
+            ScalingPoint(
+                nprocs=nprocs,
+                algorithm=run.algorithm,
+                strategy=strategy,
+                elapsed_time=run.spgemm_time,
+                elapsed_with_permutation=run.total_time_with_permutation,
+                communication_volume=run.result.communication_volume,
+                messages=run.result.message_count,
+                load_imbalance=run.result.load_imbalance,
+            )
+        )
+    return points
+
+
+def mpi_omp_configurations(total_cores: int) -> List[Dict[str, int]]:
+    """All (processes, threads) splits of a fixed core count, perfect-square processes.
+
+    Mirrors Fig 7's protocol: given ``c`` cores, vary processes ``p`` and
+    threads ``t`` with ``c = p·t``; CombBLAS tradition restricts ``p`` to
+    perfect squares.
+    """
+    configs = []
+    p = 1
+    while p <= total_cores:
+        if total_cores % p == 0:
+            root = int(round(np.sqrt(p)))
+            if root * root == p:
+                configs.append({"processes": p, "threads": total_cores // p})
+        p += 1
+    return configs
+
+
+def config_sweep(
+    A,
+    *,
+    total_cores: int,
+    algorithm: str = "1d",
+    strategy: str = "none",
+    cost_model: CostModel = PERLMUTTER,
+    dataset: str = "matrix",
+    block_split: int = 2048,
+    min_processes: int = 4,
+) -> List[Dict[str, object]]:
+    """Fig 7 sweep: fixed core budget, varying the MPI×OpenMP split."""
+    rows = []
+    for config in mpi_omp_configurations(total_cores):
+        p, t = config["processes"], config["threads"]
+        if p < min_processes:
+            continue
+        model = cost_model.with_threads(t)
+        run = run_squaring(
+            A,
+            algorithm=algorithm,
+            strategy=strategy,
+            nprocs=p,
+            cost_model=model,
+            dataset=dataset,
+            block_split=block_split,
+        )
+        rows.append(
+            {
+                "processes": p,
+                "threads": t,
+                "cores": p * t,
+                "time (s)": f"{run.spgemm_time:.6f}",
+                "comm (s)": f"{run.result.comm_time:.6f}",
+                "comp (s)": f"{run.result.comp_time:.6f}",
+                "other (s)": f"{run.result.other_time:.6f}",
+                "_time": run.spgemm_time,
+            }
+        )
+    return rows

@@ -1,0 +1,13 @@
+"""The paper's benchmark applications: squaring, AMG Galerkin product, betweenness centrality."""
+
+from . import amg, bc
+from .squaring import PERMUTATION_STRATEGIES, SquaringRun, prepare_ordering, run_squaring
+
+__all__ = [
+    "amg",
+    "bc",
+    "PERMUTATION_STRATEGIES",
+    "SquaringRun",
+    "prepare_ordering",
+    "run_squaring",
+]

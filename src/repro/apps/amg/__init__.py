@@ -1,0 +1,21 @@
+"""Algebraic-multigrid application: MIS-2 coarsening, restriction operators, Galerkin product."""
+
+from .mis2 import mis2, verify_mis2
+from .restriction import RestrictionOperator, build_restriction
+from .galerkin import (
+    GalerkinResult,
+    galerkin_product,
+    left_multiplication,
+    right_multiplication,
+)
+
+__all__ = [
+    "mis2",
+    "verify_mis2",
+    "RestrictionOperator",
+    "build_restriction",
+    "GalerkinResult",
+    "galerkin_product",
+    "left_multiplication",
+    "right_multiplication",
+]

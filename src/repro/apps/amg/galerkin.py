@@ -1,0 +1,112 @@
+"""The Galerkin triple product RᵀAR (§II-C-2, §IV-B of the paper).
+
+AMG coarse-grid construction computes ``A_coarse = Rᵀ A R`` with two
+SpGEMMs:
+
+* the **left multiplication** ``Rᵀ·A`` — the paper evaluates the
+  sparsity-aware 1D algorithm (and the 2D/3D baselines) on it (Figs 10, 11);
+* the **right multiplication** ``(RᵀA)·R`` — the paper uses the
+  outer-product 1D algorithm here, citing Ballard, Siefert & Hu (2016) that
+  outer-product is the best 1D formulation for this shape (Fig 12).
+
+:func:`galerkin_product` runs both steps, each on its own simulated cluster,
+and returns the coarse operator plus the two :class:`SpGEMMResult` ledgers so
+the harness can report the phases separately (the paper notes RᵀA dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core import SpGEMMResult, make_algorithm
+from ...runtime import CostModel, PERLMUTTER, SimulatedCluster
+from ...sparse import CSCMatrix, as_csc
+from ...sparse.ops import transpose
+from .restriction import RestrictionOperator, build_restriction
+
+__all__ = ["GalerkinResult", "galerkin_product", "left_multiplication", "right_multiplication"]
+
+
+@dataclass
+class GalerkinResult:
+    """Outcome of the full Galerkin product."""
+
+    #: the coarse-grid operator Rᵀ A R
+    coarse: CSCMatrix
+    #: result (with ledger) of the left multiplication RᵀA
+    left: SpGEMMResult
+    #: result (with ledger) of the right multiplication (RᵀA)R
+    right: SpGEMMResult
+    restriction: RestrictionOperator
+
+    @property
+    def total_time(self) -> float:
+        """Modelled time of both SpGEMMs (the quantity summed in Fig 11's comparison)."""
+        return self.left.elapsed_time + self.right.elapsed_time
+
+
+def left_multiplication(
+    R,
+    A,
+    *,
+    algorithm: str = "1d",
+    nprocs: int = 16,
+    cost_model: CostModel = PERLMUTTER,
+    **algo_kwargs,
+) -> SpGEMMResult:
+    """Compute ``Rᵀ·A`` with the chosen distributed algorithm."""
+    R = as_csc(R)
+    A = as_csc(A)
+    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="RtA")
+    algo = make_algorithm(algorithm, **algo_kwargs)
+    return algo.multiply(transpose(R), A, cluster)
+
+
+def right_multiplication(
+    RtA,
+    R,
+    *,
+    algorithm: str = "outer-product",
+    nprocs: int = 16,
+    cost_model: CostModel = PERLMUTTER,
+    **algo_kwargs,
+) -> SpGEMMResult:
+    """Compute ``(RᵀA)·R``; defaults to the outer-product 1D algorithm."""
+    RtA = as_csc(RtA)
+    R = as_csc(R)
+    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="RtAR")
+    algo = make_algorithm(algorithm, **algo_kwargs)
+    return algo.multiply(RtA, R, cluster)
+
+
+def galerkin_product(
+    A,
+    *,
+    restriction: Optional[RestrictionOperator] = None,
+    left_algorithm: str = "1d",
+    right_algorithm: str = "outer-product",
+    nprocs: int = 16,
+    cost_model: CostModel = PERLMUTTER,
+    seed: int = 0,
+) -> GalerkinResult:
+    """Full Galerkin product ``Rᵀ A R`` with separate ledgers for each SpGEMM.
+
+    The restriction operator defaults to the MIS-2 aggregation of ``A``
+    (:func:`repro.apps.amg.build_restriction`), matching how the paper's
+    Table III operators were produced.
+    """
+    A = as_csc(A)
+    if restriction is None:
+        restriction = build_restriction(A, seed=seed)
+    R = restriction.R
+
+    left = left_multiplication(
+        R, A, algorithm=left_algorithm, nprocs=nprocs, cost_model=cost_model
+    )
+    right = right_multiplication(
+        left.C, R, algorithm=right_algorithm, nprocs=nprocs, cost_model=cost_model
+    )
+    return GalerkinResult(
+        coarse=right.C, left=left, right=right, restriction=restriction
+    )

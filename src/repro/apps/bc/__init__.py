@@ -1,0 +1,19 @@
+"""Betweenness-centrality application: batched approximate Brandes on SpGEMM."""
+
+from .frontier import (
+    dense_to_frontier,
+    frontier_to_dense,
+    mask_visited,
+    source_selection_matrix,
+)
+from .brandes import BCIterationRecord, BCResult, batched_betweenness_centrality
+
+__all__ = [
+    "dense_to_frontier",
+    "frontier_to_dense",
+    "mask_visited",
+    "source_selection_matrix",
+    "BCIterationRecord",
+    "BCResult",
+    "batched_betweenness_centrality",
+]

@@ -1,0 +1,76 @@
+"""Frontier utilities for the batched multi-source BFS of betweenness centrality.
+
+The batched Brandes algorithm works on ``n × b`` sparse "frontier" matrices:
+column ``j`` holds the current BFS frontier (with path counts) of source
+``j`` of the batch.  These helpers build the initial source selection matrix,
+apply visited-masks, and convert between the sparse frontier and the dense
+per-batch accumulators (``σ`` path counts and ``δ`` dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ...sparse import CSCMatrix
+
+__all__ = [
+    "source_selection_matrix",
+    "mask_visited",
+    "frontier_to_dense",
+    "dense_to_frontier",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+def source_selection_matrix(n: int, sources: Sequence[int]) -> CSCMatrix:
+    """The ``n × b`` selection matrix with a 1 at ``(sources[j], j)``."""
+    sources = np.asarray(list(sources), dtype=_INDEX_DTYPE)
+    if sources.size and (sources.min() < 0 or sources.max() >= n):
+        raise IndexError("source vertex id out of range")
+    b = sources.shape[0]
+    return CSCMatrix.from_coo(
+        n,
+        b,
+        rows=sources,
+        cols=np.arange(b, dtype=_INDEX_DTYPE),
+        vals=np.ones(b, dtype=np.float64),
+        sum_duplicates=False,
+    )
+
+
+def mask_visited(frontier: CSCMatrix, visited: np.ndarray) -> CSCMatrix:
+    """Drop frontier entries at positions already visited.
+
+    ``visited`` is a dense boolean ``n × b`` array; the returned frontier
+    keeps only entries ``(v, j)`` with ``visited[v, j] == False`` — the
+    "and not yet discovered" filter of BFS.
+    """
+    rows, cols, vals = frontier.to_coo()
+    if rows.size == 0:
+        return frontier
+    keep = ~visited[rows, cols]
+    return CSCMatrix.from_coo(
+        frontier.nrows, frontier.ncols, rows[keep], cols[keep], vals[keep],
+        sum_duplicates=False,
+    )
+
+
+def frontier_to_dense(frontier: CSCMatrix) -> np.ndarray:
+    """Dense ``n × b`` array of the frontier values (path counts)."""
+    return frontier.to_dense()
+
+
+def dense_to_frontier(values: np.ndarray, pattern: CSCMatrix) -> CSCMatrix:
+    """Sparse matrix with ``pattern``'s nonzero positions and values from ``values``."""
+    rows, cols, _ = pattern.to_coo()
+    return CSCMatrix.from_coo(
+        pattern.nrows,
+        pattern.ncols,
+        rows,
+        cols,
+        values[rows, cols],
+        sum_duplicates=False,
+    )

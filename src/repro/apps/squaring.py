@@ -1,0 +1,185 @@
+"""Squaring (A·A) — the paper's first benchmark application (§II-C-1, §IV-A).
+
+Squaring a sparse matrix powers Markov clustering (MCL/HipMCL) and several
+graph algorithms; its irregular access pattern and output growth make it the
+canonical SpGEMM stress test.  The driver here adds what the experiments in
+the paper need around the raw algorithms:
+
+* **permutation strategy selection** — "none" (keep the original ordering,
+  the paper's choice for clustered inputs), "random" (the 2D/3D default),
+  "metis" (the METIS-like partitioner with flops weights), and "rcm"
+  (a band-reducing ordering, used by the ablation benchmark);
+* time/volume breakdown per strategy and per algorithm, with the permutation
+  cost reported separately so "with/without permutation time" series can be
+  produced exactly as in Figs 9 and 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import SpGEMMResult, make_algorithm
+from ..core.estimator import estimate_communication
+from ..distribution import block_bounds_from_sizes
+from ..partition import (
+    Ordering,
+    apply_ordering,
+    apply_symmetric_permutation,
+    identity_ordering,
+    ordering_from_partition,
+    partition_matrix,
+    random_symmetric_permutation,
+    rcm_ordering,
+)
+from ..runtime import CostModel, PERLMUTTER, SimulatedCluster
+from ..sparse import CSCMatrix, as_csc
+
+__all__ = ["SquaringRun", "prepare_ordering", "run_squaring", "PERMUTATION_STRATEGIES"]
+
+PERMUTATION_STRATEGIES = ("none", "random", "metis", "rcm")
+
+
+@dataclass
+class SquaringRun:
+    """Result of one squaring experiment (one bar/line of Figs 4, 5, 9)."""
+
+    dataset: str
+    algorithm: str
+    strategy: str
+    nprocs: int
+    result: SpGEMMResult
+    #: seconds spent computing the permutation / partition (0 for "none")
+    permutation_seconds: float
+    #: bytes the permutation-induced redistribution would move
+    permutation_bytes: int
+    #: CV/memA ratio of the (permuted) input at this process count
+    cv_over_mema: float
+
+    @property
+    def spgemm_time(self) -> float:
+        """Modelled SpGEMM kernel time (what Fig 9's 'kernel only' series shows)."""
+        return self.result.elapsed_time
+
+    @property
+    def total_time_with_permutation(self) -> float:
+        """Kernel time plus the (amortised-once) permutation cost."""
+        return self.result.elapsed_time + self.permutation_seconds
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "comm": self.result.comm_time,
+            "comp": self.result.comp_time,
+            "other": self.result.other_time,
+        }
+
+
+def prepare_ordering(
+    A,
+    strategy: str,
+    nprocs: int,
+    *,
+    seed: int = 0,
+) -> Tuple[CSCMatrix, Ordering, float]:
+    """Apply a permutation strategy to ``A`` and return (A', ordering, seconds).
+
+    The returned ordering carries the per-process block sizes so the 1D
+    distribution follows partition boundaries (non-uniform blocks) when a
+    partitioner was used.
+    """
+    A = as_csc(A)
+    if strategy not in PERMUTATION_STRATEGIES:
+        raise ValueError(
+            f"unknown permutation strategy {strategy!r}; expected one of {PERMUTATION_STRATEGIES}"
+        )
+    t0 = time.perf_counter()
+    if strategy == "none":
+        ordering = identity_ordering(A.ncols, nprocs)
+        permuted = A
+    elif strategy == "random":
+        perm = random_symmetric_permutation(A.ncols, seed=seed)
+        ordering = Ordering(
+            perm=perm,
+            block_sizes=identity_ordering(A.ncols, nprocs).block_sizes,
+            name="random",
+        )
+        permuted = apply_symmetric_permutation(A, perm)
+    elif strategy == "metis":
+        partition = partition_matrix(A, nprocs, seed=seed)
+        ordering = ordering_from_partition(partition)
+        permuted = apply_ordering(A, ordering)
+    else:  # "rcm"
+        ordering = rcm_ordering(A, nprocs)
+        permuted = apply_ordering(A, ordering)
+    seconds = time.perf_counter() - t0
+    return permuted, ordering, seconds
+
+
+def run_squaring(
+    A,
+    *,
+    algorithm: str = "1d",
+    strategy: str = "none",
+    nprocs: int = 16,
+    cost_model: CostModel = PERLMUTTER,
+    dataset: str = "matrix",
+    block_split: int = 2048,
+    seed: int = 0,
+    layers: Optional[int] = None,
+    verify_against: Optional[CSCMatrix] = None,
+) -> SquaringRun:
+    """Square ``A`` with the chosen algorithm and permutation strategy.
+
+    For the 2D/3D baselines the permutation models the CombBLAS protocol
+    (random permutation for load balance); the redistribution bytes it would
+    move are recorded in ``permutation_bytes``.  The 1D algorithms honour the
+    partition-derived block bounds so each process's columns follow the
+    partitioner's parts.
+    """
+    A = as_csc(A)
+    permuted, ordering, perm_seconds = prepare_ordering(A, strategy, nprocs, seed=seed)
+
+    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
+    algo_kwargs = {}
+    if algorithm.startswith("1d") or algorithm == "outer-product":
+        if algorithm in ("1d", "1d-sparsity-aware"):
+            algo_kwargs["block_split"] = block_split
+    if algorithm in ("3d", "3d-split") and layers is not None:
+        algo_kwargs["layers"] = layers
+    algo = make_algorithm(algorithm, **algo_kwargs)
+
+    multiply_kwargs = {}
+    if algorithm in ("1d", "1d-sparsity-aware"):
+        bounds = block_bounds_from_sizes(ordering.block_sizes)
+        multiply_kwargs = {"a_bounds": bounds, "b_bounds": bounds}
+
+    result = algo.multiply(permuted, permuted, cluster, **multiply_kwargs)
+
+    if verify_against is not None:
+        # Undo the permutation on the output for comparison: C' = P C Pᵀ.
+        restored = apply_symmetric_permutation(
+            result.C, np.argsort(ordering.perm, kind="stable")
+        ) if strategy != "none" else result.C
+        if not restored.allclose(verify_against, rtol=1e-8, atol=1e-10):
+            raise AssertionError("squaring result does not match the reference product")
+
+    # Permutation-induced data movement (paper's "including permutation" series).
+    from ..distribution import estimate_redistribution_bytes
+
+    perm_bytes = 0 if strategy == "none" else estimate_redistribution_bytes(A, nprocs)
+    perm_time_modelled = perm_seconds + cost_model.beta * perm_bytes
+
+    est = estimate_communication(permuted, nprocs=nprocs, block_split=block_split)
+    return SquaringRun(
+        dataset=dataset,
+        algorithm=result.algorithm,
+        strategy=strategy,
+        nprocs=nprocs,
+        result=result,
+        permutation_seconds=perm_time_modelled,
+        permutation_bytes=perm_bytes,
+        cv_over_mema=est.cv_over_mema,
+    )

@@ -1,0 +1,224 @@
+"""Command-line interface: run the paper's experiments from the shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro square   --dataset hv15r --algorithm 1d --nprocs 16
+    python -m repro estimate --dataset eukarya --nprocs 16
+    python -m repro galerkin --dataset queen --nprocs 16
+    python -m repro bc       --dataset eukarya --nprocs 8 --sources 32
+    python -m repro datasets
+
+Every subcommand accepts either one of the built-in Table II analogues
+(``--dataset`` + ``--scale``) or a MatrixMarket file (``--matrix path.mtx``),
+so the same harness runs on the paper's real inputs when they are available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis import breakdown_table, format_table, mebibytes, seconds
+from .apps.amg import galerkin_product
+from .apps.bc import batched_betweenness_centrality
+from .apps.squaring import PERMUTATION_STRATEGIES, run_squaring
+from .core import available_algorithms, should_partition
+from .matrices import dataset_names, load_dataset, matrix_stats, read_matrix_market
+from .runtime import PERLMUTTER
+from .sparse import CSCMatrix
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_input(args) -> CSCMatrix:
+    if getattr(args, "matrix", None):
+        return read_matrix_market(args.matrix)
+    return load_dataset(args.dataset, scale=args.scale)
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="hv15r", choices=dataset_names(),
+        help="built-in synthetic analogue of a Table II matrix",
+    )
+    parser.add_argument(
+        "--matrix", default=None,
+        help="path to a MatrixMarket file (overrides --dataset)",
+    )
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    parser.add_argument("--nprocs", type=int, default=16, help="simulated process count")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparsity-aware distributed-memory SpGEMM (SC 2024) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_square = sub.add_parser("square", help="squaring benchmark (Figs 4, 5, 9)")
+    _add_input_arguments(p_square)
+    p_square.add_argument(
+        "--algorithm", default="1d", choices=sorted({"1d", "2d", "3d", "outer-product",
+                                                     "1d-naive-block-row",
+                                                     "1d-improved-block-row"}),
+    )
+    p_square.add_argument("--strategy", default="none", choices=PERMUTATION_STRATEGIES)
+    p_square.add_argument("--block-split", type=int, default=2048,
+                          help="Algorithm 2's K (max RDMA messages per remote rank)")
+    p_square.add_argument("--breakdown", action="store_true",
+                          help="print the per-rank comm/comp/other breakdown")
+
+    p_est = sub.add_parser("estimate", help="CV/memA partitioning criterion (§V-A)")
+    _add_input_arguments(p_est)
+    p_est.add_argument("--threshold", type=float, default=0.30)
+
+    p_gal = sub.add_parser("galerkin", help="AMG Galerkin product RᵀAR (Figs 10-12)")
+    _add_input_arguments(p_gal)
+
+    p_bc = sub.add_parser("bc", help="batched betweenness centrality (Figs 13-14)")
+    _add_input_arguments(p_bc)
+    p_bc.add_argument("--sources", type=int, default=32, help="number of sampled sources")
+    p_bc.add_argument("--batch-size", type=int, default=16)
+    p_bc.add_argument("--algorithm", default="1d")
+
+    sub.add_parser("datasets", help="list the built-in dataset analogues")
+    sub.add_parser("algorithms", help="list the available distributed algorithms")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+def _cmd_square(args) -> int:
+    A = _load_input(args)
+    run = run_squaring(
+        A,
+        algorithm=args.algorithm,
+        strategy=args.strategy,
+        nprocs=args.nprocs,
+        block_split=args.block_split,
+        cost_model=PERLMUTTER,
+        dataset=args.dataset,
+    )
+    rows = [
+        {
+            "algorithm": run.algorithm,
+            "strategy": run.strategy,
+            "P": run.nprocs,
+            "kernel time": seconds(run.spgemm_time),
+            "kernel+perm": seconds(run.total_time_with_permutation),
+            "comm volume": mebibytes(run.result.communication_volume),
+            "messages": run.result.message_count,
+            "CV/memA": f"{run.cv_over_mema:.3f}",
+        }
+    ]
+    print(format_table(rows, title="squaring"))
+    if args.breakdown:
+        print()
+        print(breakdown_table(run.result))
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    A = _load_input(args)
+    decision, ratio = should_partition(A, nprocs=args.nprocs, threshold=args.threshold)
+    stats = matrix_stats(A, args.dataset)
+    print(format_table([stats.as_row()], title="input"))
+    print(
+        f"\nCV/memA at P={args.nprocs}: {ratio:.3f} "
+        f"-> {'apply' if decision else 'skip'} graph partitioning "
+        f"(threshold {args.threshold:.0%})"
+    )
+    return 0
+
+
+def _cmd_galerkin(args) -> int:
+    A = _load_input(args)
+    g = galerkin_product(A, nprocs=args.nprocs)
+    rows = [
+        {
+            "step": "RtA (1D)",
+            "time": seconds(g.left.elapsed_time),
+            "volume": mebibytes(g.left.communication_volume),
+        },
+        {
+            "step": "(RtA)R (outer-product)",
+            "time": seconds(g.right.elapsed_time),
+            "volume": mebibytes(g.right.communication_volume),
+        },
+    ]
+    print(format_table(rows, title="Galerkin product"))
+    print(
+        f"\nR: {g.restriction.R.nrows} x {g.restriction.R.ncols} "
+        f"({g.restriction.R.nnz} nnz); coarse operator: "
+        f"{g.coarse.nrows} x {g.coarse.ncols} ({g.coarse.nnz} nnz)"
+    )
+    return 0
+
+
+def _cmd_bc(args) -> int:
+    A = _load_input(args)
+    result = batched_betweenness_centrality(
+        A,
+        num_sources=args.sources,
+        batch_size=args.batch_size,
+        algorithm=args.algorithm,
+        nprocs=args.nprocs,
+        seed=0,
+    )
+    print(
+        f"forward search: {seconds(result.forward_time)}   "
+        f"backward sweep: {seconds(result.backward_time)}   "
+        f"iterations: {len(result.iterations)}"
+    )
+    import numpy as np
+
+    top = np.argsort(result.scores)[::-1][:10]
+    rows = [{"vertex": int(v), "score": f"{result.scores[v]:.2f}"} for v in top]
+    print(format_table(rows, title="top-10 vertices by approximate BC"))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from .matrices import DATASETS
+
+    rows = [
+        {
+            "name": spec.name,
+            "paper matrix": spec.paper_name,
+            "paper rows": spec.paper_nrows,
+            "paper nnz": spec.paper_nnz,
+            "best strategy": spec.paper_best_strategy,
+        }
+        for spec in DATASETS.values()
+    ]
+    print(format_table(rows, title="built-in dataset analogues (Table II)"))
+    return 0
+
+
+def _cmd_algorithms(_args) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+_COMMANDS = {
+    "square": _cmd_square,
+    "estimate": _cmd_estimate,
+    "galerkin": _cmd_galerkin,
+    "bc": _cmd_bc,
+    "datasets": _cmd_datasets,
+    "algorithms": _cmd_algorithms,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's distributed SpGEMM algorithms and baselines."""
+
+from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .block_fetch import BlockFetchPlan, plan_block_fetch, split_into_groups
+from .block_row import ImprovedBlockRow1D, NaiveBlockRow1D
+from .estimator import (
+    BYTES_PER_ENTRY,
+    CommunicationEstimate,
+    estimate_communication,
+    should_partition,
+)
+from .outer_product import OuterProduct1D, outer_product_spgemm_1d
+from .registry import ALGORITHM_FACTORIES, available_algorithms, make_algorithm
+from .spgemm_1d import SparsityAware1D, sparsity_aware_spgemm_1d
+from .spgemm_2d import SparseSUMMA2D
+from .spgemm_3d import SplitSpGEMM3D
+
+__all__ = [
+    "DistributedSpGEMMAlgorithm",
+    "SpGEMMResult",
+    "BlockFetchPlan",
+    "plan_block_fetch",
+    "split_into_groups",
+    "NaiveBlockRow1D",
+    "ImprovedBlockRow1D",
+    "CommunicationEstimate",
+    "estimate_communication",
+    "should_partition",
+    "BYTES_PER_ENTRY",
+    "OuterProduct1D",
+    "outer_product_spgemm_1d",
+    "SparsityAware1D",
+    "sparsity_aware_spgemm_1d",
+    "SparseSUMMA2D",
+    "SplitSpGEMM3D",
+    "ALGORITHM_FACTORIES",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,92 @@
+"""Common interface and result records for the distributed SpGEMM algorithms.
+
+Every algorithm in :mod:`repro.core` implements the same callable contract:
+it takes the global operands (plus a :class:`~repro.runtime.SimulatedCluster`
+describing the machine) and returns a :class:`SpGEMMResult` holding the
+distributed/global output and the per-phase cost ledger recorded while the
+algorithm ran.  The benchmark harness only ever talks to this interface, so
+1D / 2D / 3D / outer-product variants are interchangeable — the same property
+the paper gets from implementing everything inside CombBLAS.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..runtime import PhaseLedger, SimulatedCluster
+from ..sparse import CSCMatrix
+
+__all__ = ["SpGEMMResult", "DistributedSpGEMMAlgorithm"]
+
+
+@dataclass
+class SpGEMMResult:
+    """Output of one distributed SpGEMM execution."""
+
+    #: the global product (reassembled from the distributed output)
+    C: CSCMatrix
+    #: the cost ledger recorded during the run
+    ledger: PhaseLedger
+    #: the algorithm name ("1d-sparsity-aware", "2d-summa", ...)
+    algorithm: str
+    #: number of simulated processes
+    nprocs: int
+    #: free-form extras (block counts, layers, CV/memA ratio, ...)
+    info: Dict[str, float] = field(default_factory=dict)
+
+    # Convenience accessors used throughout the harness -----------------
+    @property
+    def elapsed_time(self) -> float:
+        """Modelled elapsed seconds (Σ over phases of the slowest rank)."""
+        return self.ledger.elapsed_time()
+
+    @property
+    def comm_time(self) -> float:
+        return self.ledger.elapsed_time_by_category()["comm"]
+
+    @property
+    def comp_time(self) -> float:
+        return self.ledger.elapsed_time_by_category()["comp"]
+
+    @property
+    def other_time(self) -> float:
+        return self.ledger.elapsed_time_by_category()["other"]
+
+    @property
+    def communication_volume(self) -> int:
+        """Total bytes received across all ranks and phases."""
+        return self.ledger.total_bytes()
+
+    @property
+    def message_count(self) -> int:
+        return self.ledger.total_messages()
+
+    @property
+    def rdma_gets(self) -> int:
+        return self.ledger.total_rdma_gets()
+
+    @property
+    def load_imbalance(self) -> float:
+        return self.ledger.load_imbalance()
+
+
+class DistributedSpGEMMAlgorithm(abc.ABC):
+    """Abstract base class for distributed SpGEMM algorithms."""
+
+    #: short identifier used by the registry and the reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def multiply(
+        self,
+        A,
+        B,
+        cluster: SimulatedCluster,
+        **kwargs,
+    ) -> SpGEMMResult:
+        """Compute ``C = A·B`` on the given simulated cluster."""
+
+    def __call__(self, A, B, cluster: SimulatedCluster, **kwargs) -> SpGEMMResult:
+        return self.multiply(A, B, cluster, **kwargs)

@@ -1,0 +1,58 @@
+"""Algorithm registry: look up distributed SpGEMM algorithms by name.
+
+The benchmark harness, the applications and the examples all select
+algorithms by the short names used throughout the paper's figures
+("1D", "2D", "3D", …); this registry is the single mapping from those names
+to constructors so sweeps can be written as plain loops over strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import DistributedSpGEMMAlgorithm
+from .block_row import ImprovedBlockRow1D, NaiveBlockRow1D
+from .outer_product import OuterProduct1D
+from .spgemm_1d import SparsityAware1D
+from .spgemm_2d import SparseSUMMA2D
+from .spgemm_3d import SplitSpGEMM3D
+
+__all__ = ["make_algorithm", "available_algorithms", "ALGORITHM_FACTORIES"]
+
+ALGORITHM_FACTORIES: Dict[str, Callable[..., DistributedSpGEMMAlgorithm]] = {
+    # the paper's contribution
+    "1d": SparsityAware1D,
+    "1d-sparsity-aware": SparsityAware1D,
+    # companion algorithm for (RtA)R
+    "1d-outer-product": OuterProduct1D,
+    "outer-product": OuterProduct1D,
+    # CombBLAS baselines
+    "2d": SparseSUMMA2D,
+    "2d-summa": SparseSUMMA2D,
+    "3d": SplitSpGEMM3D,
+    "3d-split": SplitSpGEMM3D,
+    # Ballard et al. block-row references
+    "1d-naive-block-row": NaiveBlockRow1D,
+    "1d-improved-block-row": ImprovedBlockRow1D,
+}
+
+
+def make_algorithm(name: str, **kwargs) -> DistributedSpGEMMAlgorithm:
+    """Instantiate an algorithm by (case-insensitive) name.
+
+    Keyword arguments are forwarded to the constructor, e.g.
+    ``make_algorithm("1d", block_split=512)`` or
+    ``make_algorithm("3d", layers=4)``.
+    """
+    key = name.lower()
+    if key not in ALGORITHM_FACTORIES:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {sorted(set(ALGORITHM_FACTORIES))}"
+        )
+    return ALGORITHM_FACTORIES[key](**kwargs)
+
+
+def available_algorithms() -> List[str]:
+    """Canonical algorithm names (deduplicated aliases)."""
+    return sorted({cls().name if callable(cls) else str(cls) for cls in
+                   {v for v in ALGORITHM_FACTORIES.values()}}, key=str)

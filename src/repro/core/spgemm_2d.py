@@ -1,0 +1,121 @@
+"""2D Sparse SUMMA baseline (Buluç & Gilbert), the CombBLAS 2D algorithm.
+
+Processes form a √P × √P grid; every matrix is block-distributed over the
+grid.  The multiplication runs in √P stages: at stage ``s`` the owners of the
+``A(i, s)`` blocks broadcast them along their process *row* and the owners of
+``B(s, j)`` broadcast along their process *column*; every process then
+accumulates ``C(i, j) += A(i, s) · B(s, j)`` locally.
+
+The paper's experimental protocol applies a random symmetric permutation to
+the inputs before running 2D SUMMA (load balancing); that is handled by the
+caller (:mod:`repro.apps.squaring` et al.) so this class stays a pure
+algorithm.  Communication is two-sided broadcast — charged with packing on
+both sides — which is exactly the cost structure the 1D RDMA design avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..distribution import DistributedBlocks2D, ProcessGrid2D
+from ..runtime import SimulatedCluster
+from ..sparse import CSCMatrix, add_matrices, as_csc, local_spgemm
+from ..sparse.flops import per_column_flops
+from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+
+__all__ = ["SparseSUMMA2D"]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class SparseSUMMA2D(DistributedSpGEMMAlgorithm):
+    """2D sparse SUMMA on a √P × √P process grid."""
+
+    kernel: str = "hybrid"
+    name: str = field(default="2d-summa", init=False)
+
+    def multiply(self, A, B, cluster: SimulatedCluster, **kwargs) -> SpGEMMResult:
+        A = as_csc(A)
+        B = as_csc(B)
+        if A.ncols != B.nrows:
+            raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+        P = cluster.nprocs
+        grid = ProcessGrid2D.square(P)
+
+        dist_a = DistributedBlocks2D.from_global(A, grid)
+        dist_b = DistributedBlocks2D.from_global(B, grid)
+
+        # Per-process accumulated partial results for its C block.
+        partials: Dict[tuple, List[CSCMatrix]] = {
+            (i, j): [] for i in range(grid.prows) for j in range(grid.pcols)
+        }
+
+        stages = grid.pcols  # square grid: pcols == prows
+        for s in range(stages):
+            with cluster.phase(f"stage-{s}"):
+                # Broadcast A(i, s) along process row i.
+                for i in range(grid.prows):
+                    a_block = dist_a.block(i, s)
+                    root = grid.rank_of(i, s)
+                    cluster.comm.bcast(a_block, root=root, ranks=grid.row_ranks(i))
+                # Broadcast B(s, j) along process column j.
+                for j in range(grid.pcols):
+                    b_block = dist_b.block(s, j)
+                    root = grid.rank_of(s, j)
+                    cluster.comm.bcast(b_block, root=root, ranks=grid.col_ranks(j))
+                # Local multiply-accumulate on every process.
+                for i in range(grid.prows):
+                    a_block = dist_a.block(i, s)
+                    for j in range(grid.pcols):
+                        rank = grid.rank_of(i, j)
+                        b_block = dist_b.block(s, j)
+                        if a_block.nnz == 0 or b_block.nnz == 0:
+                            continue
+                        flops = int(per_column_flops(a_block, b_block).sum())
+                        with cluster.measured(rank, "comp"):
+                            partial = local_spgemm(a_block, b_block, kernel=self.kernel)
+                        cluster.charge_compute(rank, flops)
+                        partials[(i, j)].append(partial)
+                        cluster.charge_memory(
+                            rank,
+                            dist_a.block(i, j).memory_bytes()
+                            + dist_b.block(i, j).memory_bytes()
+                            + a_block.memory_bytes()
+                            + b_block.memory_bytes()
+                            + sum(p.memory_bytes() for p in partials[(i, j)]),
+                        )
+
+        # Final local merge of the per-stage partials into each C block.
+        c_blocks: Dict[tuple, CSCMatrix] = {}
+        with cluster.phase("merge"):
+            for i in range(grid.prows):
+                rs, re = dist_a.row_bounds[i]
+                for j in range(grid.pcols):
+                    cs, ce = dist_b.col_bounds[j]
+                    rank = grid.rank_of(i, j)
+                    pieces = partials[(i, j)]
+                    if pieces:
+                        with cluster.measured(rank, "comp"):
+                            merged = add_matrices(pieces)
+                        cluster.charge_compute(rank, sum(p.nnz for p in pieces))
+                    else:
+                        merged = CSCMatrix.empty(re - rs, ce - cs)
+                    c_blocks[(i, j)] = merged
+
+        dist_c = DistributedBlocks2D(
+            nrows=A.nrows,
+            ncols=B.ncols,
+            grid=grid,
+            row_bounds=dist_a.row_bounds,
+            col_bounds=dist_b.col_bounds,
+            blocks=c_blocks,
+        )
+        C = dist_c.to_global()
+        info = {"grid": float(grid.prows), "output_nnz": float(C.nnz)}
+        return SpGEMMResult(
+            C=C, ledger=cluster.ledger, algorithm=self.name, nprocs=P, info=info
+        )

@@ -1,0 +1,25 @@
+"""Distributed matrix layouts: 1D column (the paper's), 2D SUMMA, 3D split."""
+
+from .dist1d import DistributedColumns1D, DistributedRows1D, block_bounds_from_sizes
+from .dist2d import DistributedBlocks2D, ProcessGrid2D, square_grid_dims
+from .dist3d import LayerSplit3D, ProcessGrid3D, valid_layer_counts
+from .redistribute import (
+    columns_to_rows_1d,
+    estimate_redistribution_bytes,
+    rows_to_columns_1d,
+)
+
+__all__ = [
+    "DistributedColumns1D",
+    "DistributedRows1D",
+    "block_bounds_from_sizes",
+    "DistributedBlocks2D",
+    "ProcessGrid2D",
+    "square_grid_dims",
+    "LayerSplit3D",
+    "ProcessGrid3D",
+    "valid_layer_counts",
+    "columns_to_rows_1d",
+    "rows_to_columns_1d",
+    "estimate_redistribution_bytes",
+]

@@ -1,0 +1,252 @@
+"""1D column distribution — the layout of the paper's algorithm.
+
+``A (m×k)``, ``B (k×n)`` and ``C (m×n)`` are each split along the *column*
+dimension over ``P`` processes: process ``p_i`` owns contiguous column slices
+``A_i (m×k_i)``, ``B_i (k×n_i)`` and after the multiply ``C_i (m×n_i)``, with
+``Σ k_i = k`` and ``Σ n_i = n`` (Table I / Algorithm 1 of the paper).
+
+The column blocks need not be equal: when a graph partitioner is used, the
+matrix is first symmetrically permuted so each part is contiguous and the
+block boundaries follow the part sizes (see
+:mod:`repro.partition.ordering`).
+
+The same class also models a 1D *row* distribution (used by the
+outer-product algorithm to redistribute ``B`` by row blocks) via
+:class:`DistributedRows1D`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sparse import CSCMatrix, as_csc, stack_columns
+from ..sparse.ops import column_blocks, extract_rows
+
+__all__ = ["DistributedColumns1D", "DistributedRows1D", "block_bounds_from_sizes"]
+
+_INDEX_DTYPE = np.int64
+
+
+def block_bounds_from_sizes(sizes: Sequence[int]) -> List[Tuple[int, int]]:
+    """Convert per-part sizes into contiguous ``[start, stop)`` bounds."""
+    bounds = []
+    start = 0
+    for s in sizes:
+        if s < 0:
+            raise ValueError("block sizes must be non-negative")
+        bounds.append((start, start + int(s)))
+        start += int(s)
+    return bounds
+
+
+@dataclass
+class DistributedColumns1D:
+    """A sparse matrix distributed by contiguous column blocks over P ranks."""
+
+    nrows: int
+    ncols: int
+    nprocs: int
+    #: per-rank ``[start, stop)`` global column bounds
+    bounds: List[Tuple[int, int]]
+    #: per-rank local matrices, ``locals_[i].shape == (nrows, stop_i - start_i)``
+    locals_: List[CSCMatrix]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        A,
+        nprocs: int,
+        *,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> "DistributedColumns1D":
+        """Distribute a global matrix into ``nprocs`` contiguous column blocks.
+
+        ``bounds`` overrides the default equal split (used when block sizes
+        come from a partitioner).  Bounds must cover ``0..ncols`` contiguously.
+        """
+        A = as_csc(A)
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        if bounds is None:
+            bounds = column_blocks(A.ncols, nprocs)
+        bounds = [(int(s), int(e)) for s, e in bounds]
+        if len(bounds) != nprocs:
+            raise ValueError("bounds must have one entry per process")
+        expected = 0
+        for s, e in bounds:
+            if s != expected or e < s:
+                raise ValueError("bounds must be contiguous and non-overlapping")
+            expected = e
+        if expected != A.ncols:
+            raise ValueError("bounds must cover all columns")
+        locals_ = [A.extract_column_range(s, e) for s, e in bounds]
+        return cls(
+            nrows=A.nrows, ncols=A.ncols, nprocs=nprocs, bounds=list(bounds), locals_=locals_
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return sum(m.nnz for m in self.locals_)
+
+    def local(self, rank: int) -> CSCMatrix:
+        """The column slice owned by ``rank``."""
+        return self.locals_[rank]
+
+    def column_bounds(self, rank: int) -> Tuple[int, int]:
+        """Global ``[start, stop)`` column range owned by ``rank``."""
+        return self.bounds[rank]
+
+    def owner_of_column(self, j: int) -> int:
+        """Rank owning global column ``j``."""
+        if not 0 <= j < self.ncols:
+            raise IndexError(f"column {j} out of range")
+        starts = np.array([s for s, _ in self.bounds], dtype=_INDEX_DTYPE)
+        return int(np.searchsorted(starts, j, side="right") - 1)
+
+    def global_column_ids(self, rank: int) -> np.ndarray:
+        """Global column indices owned by ``rank`` (contiguous range)."""
+        s, e = self.bounds[rank]
+        return np.arange(s, e, dtype=_INDEX_DTYPE)
+
+    def local_nnz_per_rank(self) -> np.ndarray:
+        return np.array([m.nnz for m in self.locals_], dtype=_INDEX_DTYPE)
+
+    def memory_bytes_per_rank(self) -> np.ndarray:
+        return np.array([m.memory_bytes() for m in self.locals_], dtype=_INDEX_DTYPE)
+
+    def to_global(self) -> CSCMatrix:
+        """Reassemble the global matrix (inverse of :meth:`from_global`)."""
+        return stack_columns(self.locals_, nrows=self.nrows)
+
+    # ------------------------------------------------------------------
+    # Per-rank metadata used by Algorithm 1
+    # ------------------------------------------------------------------
+    def nonzero_column_ids(self) -> np.ndarray:
+        """Global ids of non-empty columns across all ranks (the paper's ``D`` vector)."""
+        parts = []
+        for rank in range(self.nprocs):
+            s, _ = self.bounds[rank]
+            local_nzc = self.locals_[rank].nonzero_columns()
+            if local_nzc.size:
+                parts.append(local_nzc + s)
+        if not parts:
+            return np.zeros(0, dtype=_INDEX_DTYPE)
+        return np.concatenate(parts)
+
+    def column_nnz_global(self) -> np.ndarray:
+        """Per-global-column nnz counts (length ``ncols``)."""
+        out = np.zeros(self.ncols, dtype=_INDEX_DTYPE)
+        for rank in range(self.nprocs):
+            s, e = self.bounds[rank]
+            out[s:e] = self.locals_[rank].column_nnz()
+        return out
+
+    def nonzero_rows_mask(self, rank: int) -> np.ndarray:
+        """Dense boolean ``H_i`` of length ``nrows`` for rank ``rank``'s local slice.
+
+        Algorithm 1 line 4 computes this on ``B_i``: rows of the *global*
+        inner dimension that appear in the local columns.
+        """
+        return self.locals_[rank].nonzero_rows_mask()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DistributedColumns1D(shape={self.shape}, nprocs={self.nprocs}, nnz={self.nnz})"
+        )
+
+
+@dataclass
+class DistributedRows1D:
+    """A sparse matrix distributed by contiguous row blocks over P ranks.
+
+    Used by the outer-product 1D algorithm (Algorithm 3), whose first step
+    redistributes ``B`` so that process ``p_i`` owns the ``i``-th *row* block.
+    """
+
+    nrows: int
+    ncols: int
+    nprocs: int
+    bounds: List[Tuple[int, int]]
+    locals_: List[CSCMatrix]
+
+    @classmethod
+    def from_global(
+        cls,
+        A,
+        nprocs: int,
+        *,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> "DistributedRows1D":
+        A = as_csc(A)
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        if bounds is None:
+            bounds = column_blocks(A.nrows, nprocs)  # same splitting rule, on rows
+        bounds = [(int(s), int(e)) for s, e in bounds]
+        if len(bounds) != nprocs:
+            raise ValueError("bounds must have one entry per process")
+        expected = 0
+        for s, e in bounds:
+            if s != expected or e < s:
+                raise ValueError("bounds must be contiguous and non-overlapping")
+            expected = e
+        if expected != A.nrows:
+            raise ValueError("bounds must cover all rows")
+        locals_ = [extract_rows(A, range(s, e)) for s, e in bounds]
+        return cls(
+            nrows=A.nrows, ncols=A.ncols, nprocs=nprocs, bounds=list(bounds), locals_=locals_
+        )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return sum(m.nnz for m in self.locals_)
+
+    def local(self, rank: int) -> CSCMatrix:
+        return self.locals_[rank]
+
+    def row_bounds(self, rank: int) -> Tuple[int, int]:
+        return self.bounds[rank]
+
+    def owner_of_row(self, i: int) -> int:
+        if not 0 <= i < self.nrows:
+            raise IndexError(f"row {i} out of range")
+        starts = np.array([s for s, _ in self.bounds], dtype=_INDEX_DTYPE)
+        return int(np.searchsorted(starts, i, side="right") - 1)
+
+    def to_global(self) -> CSCMatrix:
+        rows_parts = []
+        cols_parts = []
+        vals_parts = []
+        for rank in range(self.nprocs):
+            s, _ = self.bounds[rank]
+            local = self.locals_[rank]
+            r, c, v = local.to_coo()
+            rows_parts.append(r + s)
+            cols_parts.append(c)
+            vals_parts.append(v)
+        if not rows_parts:
+            return CSCMatrix.empty(self.nrows, self.ncols)
+        return CSCMatrix.from_coo(
+            self.nrows,
+            self.ncols,
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+            sum_duplicates=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DistributedRows1D(shape={self.shape}, nprocs={self.nprocs}, nnz={self.nnz})"

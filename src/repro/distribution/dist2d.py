@@ -1,0 +1,169 @@
+"""2D block distribution over a √P × √P process grid (Sparse SUMMA layout).
+
+CombBLAS's 2D sparse SUMMA (Buluç & Gilbert 2008) arranges ``P`` processes in
+a square grid; process ``(i, j)`` owns the ``(i, j)`` block of every matrix.
+Stage ``s`` of the SUMMA loop broadcasts ``A(i, s)`` along process row ``i``
+and ``B(s, j)`` along process column ``j``, and every process accumulates
+``C(i, j) += A(i, s)·B(s, j)``.
+
+The distribution object here only holds the blocks and the grid geometry; the
+stage loop and its communication accounting live in
+:mod:`repro.core.spgemm_2d`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sparse import CSCMatrix, as_csc
+from ..sparse.ops import column_blocks, row_blocks
+
+__all__ = ["ProcessGrid2D", "DistributedBlocks2D", "square_grid_dims"]
+
+_INDEX_DTYPE = np.int64
+
+
+def square_grid_dims(nprocs: int) -> Tuple[int, int]:
+    """Return the √P × √P grid dimensions; P must be a perfect square.
+
+    The paper follows "the tradition of CombBLAS that the number of MPI
+    processes is a perfect square".
+    """
+    root = int(round(math.sqrt(nprocs)))
+    if root * root != nprocs:
+        raise ValueError(f"2D/3D layouts require a perfect-square process count, got {nprocs}")
+    return root, root
+
+
+@dataclass(frozen=True)
+class ProcessGrid2D:
+    """A rectangular process grid with row-major rank numbering."""
+
+    prows: int
+    pcols: int
+
+    @classmethod
+    def square(cls, nprocs: int) -> "ProcessGrid2D":
+        pr, pc = square_grid_dims(nprocs)
+        return cls(prows=pr, pcols=pc)
+
+    @property
+    def nprocs(self) -> int:
+        return self.prows * self.pcols
+
+    def rank_of(self, i: int, j: int) -> int:
+        if not (0 <= i < self.prows and 0 <= j < self.pcols):
+            raise IndexError(f"grid coordinate ({i}, {j}) outside {self.prows}x{self.pcols}")
+        return i * self.pcols + j
+
+    def coords_of(self, rank: int) -> Tuple[int, int]:
+        if not 0 <= rank < self.nprocs:
+            raise IndexError(f"rank {rank} outside grid")
+        return divmod(rank, self.pcols)
+
+    def row_ranks(self, i: int) -> List[int]:
+        """Ranks in process row ``i`` (the A-broadcast group of SUMMA)."""
+        return [self.rank_of(i, j) for j in range(self.pcols)]
+
+    def col_ranks(self, j: int) -> List[int]:
+        """Ranks in process column ``j`` (the B-broadcast group of SUMMA)."""
+        return [self.rank_of(i, j) for i in range(self.prows)]
+
+
+@dataclass
+class DistributedBlocks2D:
+    """A matrix split into a ``prows × pcols`` grid of blocks."""
+
+    nrows: int
+    ncols: int
+    grid: ProcessGrid2D
+    row_bounds: List[Tuple[int, int]]
+    col_bounds: List[Tuple[int, int]]
+    #: blocks[(i, j)] is the (i, j) sub-matrix
+    blocks: Dict[Tuple[int, int], CSCMatrix]
+
+    @classmethod
+    def from_global(cls, A, grid: ProcessGrid2D) -> "DistributedBlocks2D":
+        A = as_csc(A)
+        rb = row_blocks(A.nrows, grid.prows)
+        cb = column_blocks(A.ncols, grid.pcols)
+        blocks: Dict[Tuple[int, int], CSCMatrix] = {}
+        # Slice columns once per grid column, then carve rows out of each slice.
+        for j, (cs, ce) in enumerate(cb):
+            col_slice = A.extract_column_range(cs, ce)
+            rows_of_entries, cols_of_entries, vals = col_slice.to_coo()
+            for i, (rs, re) in enumerate(rb):
+                keep = (rows_of_entries >= rs) & (rows_of_entries < re)
+                blocks[(i, j)] = CSCMatrix.from_coo(
+                    re - rs,
+                    ce - cs,
+                    rows_of_entries[keep] - rs,
+                    cols_of_entries[keep],
+                    vals[keep],
+                    sum_duplicates=False,
+                )
+        return cls(
+            nrows=A.nrows,
+            ncols=A.ncols,
+            grid=grid,
+            row_bounds=rb,
+            col_bounds=cb,
+            blocks=blocks,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return sum(b.nnz for b in self.blocks.values())
+
+    def block(self, i: int, j: int) -> CSCMatrix:
+        return self.blocks[(i, j)]
+
+    def block_shape(self, i: int, j: int) -> Tuple[int, int]:
+        rs, re = self.row_bounds[i]
+        cs, ce = self.col_bounds[j]
+        return (re - rs, ce - cs)
+
+    def to_global(self) -> CSCMatrix:
+        rows_parts = []
+        cols_parts = []
+        vals_parts = []
+        for (i, j), blk in self.blocks.items():
+            if blk.nnz == 0:
+                continue
+            rs, _ = self.row_bounds[i]
+            cs, _ = self.col_bounds[j]
+            r, c, v = blk.to_coo()
+            rows_parts.append(r + rs)
+            cols_parts.append(c + cs)
+            vals_parts.append(v)
+        if not rows_parts:
+            return CSCMatrix.empty(self.nrows, self.ncols)
+        return CSCMatrix.from_coo(
+            self.nrows,
+            self.ncols,
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+            sum_duplicates=True,
+        )
+
+    def nnz_per_rank(self) -> np.ndarray:
+        out = np.zeros(self.grid.nprocs, dtype=_INDEX_DTYPE)
+        for (i, j), blk in self.blocks.items():
+            out[self.grid.rank_of(i, j)] = blk.nnz
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DistributedBlocks2D(shape={self.shape}, grid={self.grid.prows}x"
+            f"{self.grid.pcols}, nnz={self.nnz})"
+        )

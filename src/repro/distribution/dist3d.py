@@ -1,0 +1,128 @@
+"""3D (split) distribution over a √(P/c) × √(P/c) × c process grid.
+
+The Split-3D-SpGEMM algorithm (Azad et al. 2016, the CombBLAS baseline the
+paper compares against) adds a third grid dimension of ``c`` *layers*.  The
+inner dimension of the multiplication is split across layers: layer ``l``
+owns the column slice ``A(:, K_l)`` and the row slice ``B(K_l, :)`` (each
+distributed 2D within the layer), computes a *partial* ``C^(l)`` with a 2D
+SUMMA restricted to the layer, and the partial results are summed across
+layers with an AllToAll along the fiber dimension followed by a local merge.
+
+This module provides the grid geometry and the layer-splitting of the
+operands; the stage loop lives in :mod:`repro.core.spgemm_3d`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..sparse import CSCMatrix, as_csc
+from ..sparse.ops import column_blocks, extract_rows
+from .dist2d import DistributedBlocks2D, ProcessGrid2D
+
+__all__ = ["ProcessGrid3D", "LayerSplit3D", "valid_layer_counts"]
+
+
+def valid_layer_counts(nprocs: int) -> List[int]:
+    """Layer counts ``c`` such that ``P/c`` is a perfect square (the paper sweeps these)."""
+    out = []
+    for c in range(1, nprocs + 1):
+        if nprocs % c:
+            continue
+        per_layer = nprocs // c
+        root = int(round(math.sqrt(per_layer)))
+        if root * root == per_layer:
+            out.append(c)
+    return out
+
+
+@dataclass(frozen=True)
+class ProcessGrid3D:
+    """A √(P/c) × √(P/c) × c grid; ranks numbered layer-major."""
+
+    prows: int
+    pcols: int
+    layers: int
+
+    @classmethod
+    def from_nprocs(cls, nprocs: int, layers: int) -> "ProcessGrid3D":
+        if layers <= 0 or nprocs % layers:
+            raise ValueError(f"layer count {layers} does not divide {nprocs}")
+        per_layer = nprocs // layers
+        root = int(round(math.sqrt(per_layer)))
+        if root * root != per_layer:
+            raise ValueError(
+                f"P/c = {per_layer} is not a perfect square (P={nprocs}, c={layers})"
+            )
+        return cls(prows=root, pcols=root, layers=layers)
+
+    @property
+    def nprocs(self) -> int:
+        return self.prows * self.pcols * self.layers
+
+    @property
+    def layer_grid(self) -> ProcessGrid2D:
+        """The 2D grid used inside each layer."""
+        return ProcessGrid2D(prows=self.prows, pcols=self.pcols)
+
+    def rank_of(self, i: int, j: int, l: int) -> int:
+        if not (0 <= i < self.prows and 0 <= j < self.pcols and 0 <= l < self.layers):
+            raise IndexError(f"grid coordinate ({i}, {j}, {l}) outside grid")
+        return l * (self.prows * self.pcols) + i * self.pcols + j
+
+    def coords_of(self, rank: int) -> Tuple[int, int, int]:
+        if not 0 <= rank < self.nprocs:
+            raise IndexError(f"rank {rank} outside grid")
+        per_layer = self.prows * self.pcols
+        l, rem = divmod(rank, per_layer)
+        i, j = divmod(rem, self.pcols)
+        return i, j, l
+
+    def fiber_ranks(self, i: int, j: int) -> List[int]:
+        """Ranks sharing grid position (i, j) across all layers (the AllToAll group)."""
+        return [self.rank_of(i, j, l) for l in range(self.layers)]
+
+
+@dataclass
+class LayerSplit3D:
+    """Operands of ``C = A·B`` split across layers along the inner dimension.
+
+    ``a_layers[l]`` holds the 2D-distributed column slice ``A(:, K_l)`` and
+    ``b_layers[l]`` the 2D-distributed row slice ``B(K_l, :)`` for layer ``l``.
+    """
+
+    grid: ProcessGrid3D
+    inner_bounds: List[Tuple[int, int]]
+    a_layers: List[DistributedBlocks2D]
+    b_layers: List[DistributedBlocks2D]
+
+    @classmethod
+    def from_global(cls, A, B, grid: ProcessGrid3D) -> "LayerSplit3D":
+        A = as_csc(A)
+        B = as_csc(B)
+        if A.ncols != B.nrows:
+            raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+        inner_bounds = column_blocks(A.ncols, grid.layers)
+        a_layers = []
+        b_layers = []
+        layer_grid = grid.layer_grid
+        for (ks, ke) in inner_bounds:
+            a_slice = A.extract_column_range(ks, ke)
+            b_slice = extract_rows(B, range(ks, ke))
+            a_layers.append(DistributedBlocks2D.from_global(a_slice, layer_grid))
+            b_layers.append(DistributedBlocks2D.from_global(b_slice, layer_grid))
+        return cls(grid=grid, inner_bounds=inner_bounds, a_layers=a_layers, b_layers=b_layers)
+
+    @property
+    def nnz(self) -> int:
+        return sum(d.nnz for d in self.a_layers) + sum(d.nnz for d in self.b_layers)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"LayerSplit3D(grid={self.grid.prows}x{self.grid.pcols}x{self.grid.layers}, "
+            f"layers={len(self.a_layers)})"
+        )

@@ -1,0 +1,117 @@
+"""Redistribution between layouts, with communication accounting.
+
+Two conversions are needed by the algorithms and the applications:
+
+* column-1D → row-1D (and back): the outer-product algorithm's first step
+  "redistribute B so that p_i owns the i-th row block" (Algorithm 3 line 1);
+* 1D → 2D / 3D: the baselines expect block distributions, and the paper's
+  strong-scaling comparisons include (or exclude) this "permutation +
+  redistribution" cost explicitly.
+
+Each function takes an optional :class:`~repro.runtime.SimulatedCluster`; when
+given, the data movement is routed through the cluster's communicator so the
+bytes/messages show up in the ledger (phase ``"redistribute"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..runtime import SimulatedCluster
+from ..sparse import CSCMatrix, as_csc
+from .dist1d import DistributedColumns1D, DistributedRows1D
+
+__all__ = [
+    "columns_to_rows_1d",
+    "rows_to_columns_1d",
+    "estimate_redistribution_bytes",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+def _entry_bytes(mat: CSCMatrix) -> int:
+    """Wire bytes per stored entry: row id (8) + value (8); column ids travel as ranges."""
+    return 16
+
+
+def columns_to_rows_1d(
+    dist: DistributedColumns1D,
+    *,
+    cluster: Optional[SimulatedCluster] = None,
+    row_bounds: Optional[List[Tuple[int, int]]] = None,
+) -> DistributedRows1D:
+    """Convert a column-1D distribution to a row-1D distribution.
+
+    Every rank splits its local column slice by destination row block and the
+    pieces are exchanged with an all-to-all.  With ``cluster`` given, each
+    piece is charged as one message of ``16·nnz`` bytes from its source to its
+    destination rank.
+    """
+    target = DistributedRows1D.from_global(
+        dist.to_global(), dist.nprocs, bounds=row_bounds
+    )
+    if cluster is not None:
+        if cluster.nprocs != dist.nprocs:
+            raise ValueError("cluster size must match distribution size")
+        with cluster.phase("redistribute"):
+            buffers: Dict[int, Dict[int, object]] = {r: {} for r in range(dist.nprocs)}
+            for src in range(dist.nprocs):
+                local = dist.local(src)
+                rows_of_entries, _, _ = local.to_coo()
+                for dst in range(dist.nprocs):
+                    rs, re = target.row_bounds(dst)
+                    count = int(np.count_nonzero((rows_of_entries >= rs) & (rows_of_entries < re)))
+                    if count and src != dst:
+                        # Payload is modelled by its size only.
+                        buffers[src][dst] = np.zeros(count * 2, dtype=np.float64)
+            cluster.comm.alltoallv(buffers)
+            for rank in range(dist.nprocs):
+                cluster.charge_other_bytes(rank, target.local(rank).memory_bytes())
+    return target
+
+
+def rows_to_columns_1d(
+    dist: DistributedRows1D,
+    *,
+    cluster: Optional[SimulatedCluster] = None,
+    col_bounds: Optional[List[Tuple[int, int]]] = None,
+) -> DistributedColumns1D:
+    """Convert a row-1D distribution to a column-1D distribution (same accounting)."""
+    target = DistributedColumns1D.from_global(
+        dist.to_global(), dist.nprocs, bounds=col_bounds
+    )
+    if cluster is not None:
+        if cluster.nprocs != dist.nprocs:
+            raise ValueError("cluster size must match distribution size")
+        with cluster.phase("redistribute"):
+            buffers: Dict[int, Dict[int, object]] = {r: {} for r in range(dist.nprocs)}
+            for src in range(dist.nprocs):
+                local = dist.local(src)
+                _, cols_of_entries, _ = local.to_coo()
+                for dst in range(dist.nprocs):
+                    cs, ce = target.column_bounds(dst)
+                    count = int(np.count_nonzero((cols_of_entries >= cs) & (cols_of_entries < ce)))
+                    if count and src != dst:
+                        buffers[src][dst] = np.zeros(count * 2, dtype=np.float64)
+            cluster.comm.alltoallv(buffers)
+            for rank in range(dist.nprocs):
+                cluster.charge_other_bytes(rank, target.local(rank).memory_bytes())
+    return target
+
+
+def estimate_redistribution_bytes(A, nprocs: int) -> int:
+    """Bytes a full redistribution of ``A`` across ``nprocs`` ranks would move.
+
+    Used to account for the cost of applying a random permutation /
+    repartitioning before the 2D and 3D baselines (the "with permutation"
+    series of Figs 9 and 11): in expectation a fraction ``(P-1)/P`` of the
+    entries change owner.
+    """
+    A = as_csc(A)
+    if nprocs <= 1:
+        return 0
+    moved_entries = A.nnz * (nprocs - 1) / nprocs
+    return int(moved_entries * 16)

@@ -1,0 +1,35 @@
+"""Synthetic matrix generators, the Table II dataset suite, statistics and I/O."""
+
+from . import generators
+from .io import read_matrix_market, write_matrix_market
+from .stats import MatrixStats, bandwidth_profile, matrix_stats, spy_histogram
+from .suite import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    eukarya_like,
+    hv15r_like,
+    load_dataset,
+    nlpkkt_like,
+    queen_like,
+    stokes_like,
+)
+
+__all__ = [
+    "generators",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixStats",
+    "matrix_stats",
+    "spy_histogram",
+    "bandwidth_profile",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "queen_like",
+    "stokes_like",
+    "eukarya_like",
+    "hv15r_like",
+    "nlpkkt_like",
+]

@@ -1,0 +1,319 @@
+"""Synthetic sparse-matrix generators.
+
+The paper benchmarks on five SuiteSparse matrices with 283M–448M nonzeros
+(Table II), which are neither shipped with this reproduction nor practical
+to multiply in pure Python.  These generators produce *structurally
+analogous* matrices at configurable (laptop) scale; the mapping to the
+paper's datasets lives in :mod:`repro.matrices.suite`.
+
+The generators cover the structural regimes the paper's analysis depends on:
+
+* **banded / block-banded** (queen, nlpkkt): nonzeros clustered near the
+  diagonal → the natural ordering already minimises 1D communication;
+* **clustered block structure** (hv15r): dense-ish diagonal blocks from a
+  CFD mesh decomposition, mildly unsymmetric;
+* **saddle-point / KKT block form** (stokes, nlpkkt): a 2×2 or 3×3 block
+  matrix with banded diagonal blocks and sparse coupling blocks;
+* **community graphs with no usable ordering** (eukarya): an RMAT/random
+  community graph whose natural labelling scatters nonzeros everywhere —
+  the case where only graph partitioning helps;
+* **Erdős–Rényi** uniform random matrices — the worst case for 1D
+  algorithms identified by Ballard et al. and echoed in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse import CSCMatrix
+
+__all__ = [
+    "erdos_renyi",
+    "banded",
+    "block_diagonal_clustered",
+    "kkt_block",
+    "saddle_point",
+    "rmat_graph",
+    "community_graph",
+    "restriction_like",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+def _dedupe_coo(
+    n_rows: int, n_cols: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> CSCMatrix:
+    return CSCMatrix.from_coo(n_rows, n_cols, rows, cols, vals, sum_duplicates=True)
+
+
+def erdos_renyi(
+    n: int,
+    avg_degree: float,
+    *,
+    symmetric: bool = True,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """Erdős–Rényi random matrix with ``avg_degree`` expected nonzeros per column."""
+    rng = np.random.default_rng(seed)
+    nnz_target = int(n * avg_degree)
+    rows = rng.integers(0, n, size=nnz_target, dtype=_INDEX_DTYPE)
+    cols = rng.integers(0, n, size=nnz_target, dtype=_INDEX_DTYPE)
+    vals = rng.random(nnz_target) + 0.1
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    return _dedupe_coo(n, n, rows, cols, vals)
+
+
+def banded(
+    n: int,
+    bandwidth: int,
+    *,
+    fill: float = 0.4,
+    symmetric: bool = True,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """Random matrix whose nonzeros lie within ``bandwidth`` of the diagonal.
+
+    ``fill`` is the expected fraction of in-band positions that are nonzero.
+    Models stiffness-matrix-like inputs (queen_4147) where a mesh numbering
+    keeps couplings local.
+    """
+    rng = np.random.default_rng(seed)
+    per_col = max(1, int(bandwidth * fill))
+    cols = np.repeat(np.arange(n, dtype=_INDEX_DTYPE), per_col)
+    offsets = rng.integers(-bandwidth, bandwidth + 1, size=cols.shape[0], dtype=_INDEX_DTYPE)
+    rows = np.clip(cols + offsets, 0, n - 1)
+    vals = rng.random(cols.shape[0]) + 0.1
+    # Always keep the diagonal so the matrix is structurally non-singular-ish.
+    diag = np.arange(n, dtype=_INDEX_DTYPE)
+    rows = np.concatenate([rows, diag])
+    cols = np.concatenate([cols, diag])
+    vals = np.concatenate([vals, np.full(n, float(bandwidth))])
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    return _dedupe_coo(n, n, rows, cols, vals)
+
+
+def block_diagonal_clustered(
+    n: int,
+    nblocks: int,
+    *,
+    intra_density: float = 0.05,
+    inter_density: float = 0.0005,
+    symmetric: bool = False,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """Strongly clustered block structure (the hv15r-like CFD regime).
+
+    ``nblocks`` diagonal blocks are filled with density ``intra_density``;
+    a small number of couplings between neighbouring blocks are added with
+    density ``inter_density``.
+    """
+    rng = np.random.default_rng(seed)
+    bounds = np.linspace(0, n, nblocks + 1).astype(_INDEX_DTYPE)
+    rows_parts = []
+    cols_parts = []
+    for b in range(nblocks):
+        lo, hi = int(bounds[b]), int(bounds[b + 1])
+        size = hi - lo
+        if size <= 0:
+            continue
+        count = max(size, int(size * size * intra_density))
+        rows_parts.append(rng.integers(lo, hi, size=count, dtype=_INDEX_DTYPE))
+        cols_parts.append(rng.integers(lo, hi, size=count, dtype=_INDEX_DTYPE))
+        # neighbour coupling to the next block
+        if b + 1 < nblocks:
+            nlo, nhi = int(bounds[b + 1]), int(bounds[b + 2])
+            ncount = max(1, int(size * (nhi - nlo) * inter_density))
+            rows_parts.append(rng.integers(lo, hi, size=ncount, dtype=_INDEX_DTYPE))
+            cols_parts.append(rng.integers(nlo, nhi, size=ncount, dtype=_INDEX_DTYPE))
+    diag = np.arange(n, dtype=_INDEX_DTYPE)
+    rows = np.concatenate(rows_parts + [diag])
+    cols = np.concatenate(cols_parts + [diag])
+    vals = rng.random(rows.shape[0]) + 0.1
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    return _dedupe_coo(n, n, rows, cols, vals)
+
+
+def kkt_block(
+    n_primal: int,
+    n_dual: int,
+    *,
+    bandwidth: int = 40,
+    coupling_per_row: int = 3,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """Symmetric KKT / saddle-point system [[H, Jᵀ], [J, 0]] (nlpkkt-like).
+
+    ``H`` is a banded SPD-looking block of size ``n_primal``; ``J`` couples
+    each dual variable to a handful of nearby primal variables.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_primal + n_dual
+    H = banded(n_primal, bandwidth, symmetric=True, seed=seed)
+    h_rows, h_cols, h_vals = H.to_coo()
+    # J block: n_dual × n_primal, each row has `coupling_per_row` entries
+    # clustered around (row / n_dual) * n_primal to preserve locality.
+    j_rows = np.repeat(np.arange(n_dual, dtype=_INDEX_DTYPE), coupling_per_row)
+    centers = (j_rows * (n_primal / max(1, n_dual))).astype(_INDEX_DTYPE)
+    spread = rng.integers(-bandwidth, bandwidth + 1, size=j_rows.shape[0], dtype=_INDEX_DTYPE)
+    j_cols = np.clip(centers + spread, 0, n_primal - 1)
+    j_vals = rng.random(j_rows.shape[0]) + 0.1
+    rows = np.concatenate([h_rows, j_rows + n_primal, j_cols])
+    cols = np.concatenate([h_cols, j_cols, j_rows + n_primal])
+    vals = np.concatenate([h_vals, j_vals, j_vals])
+    return _dedupe_coo(n, n, rows, cols, vals)
+
+
+def saddle_point(
+    n_velocity: int,
+    n_pressure: int,
+    *,
+    bandwidth: int = 30,
+    coupling_per_row: int = 4,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """Unsymmetric Stokes-like saddle-point matrix [[A, B], [C, 0]].
+
+    ``A`` (velocity block) is banded but unsymmetric; the off-diagonal
+    coupling blocks ``B`` and ``C`` are *not* transposes of each other, making
+    the overall matrix unsymmetric (like the stokes dataset in Table II).
+    """
+    rng = np.random.default_rng(seed)
+    n = n_velocity + n_pressure
+    A = banded(n_velocity, bandwidth, symmetric=False, seed=seed)
+    a_rows, a_cols, a_vals = A.to_coo()
+
+    def coupling(nr, nc, per_row, rng):
+        rows = np.repeat(np.arange(nr, dtype=_INDEX_DTYPE), per_row)
+        centers = (rows * (nc / max(1, nr))).astype(_INDEX_DTYPE)
+        spread = rng.integers(-bandwidth, bandwidth + 1, size=rows.shape[0], dtype=_INDEX_DTYPE)
+        cols = np.clip(centers + spread, 0, nc - 1)
+        vals = rng.random(rows.shape[0]) + 0.1
+        return rows, cols, vals
+
+    b_rows, b_cols, b_vals = coupling(n_velocity, n_pressure, coupling_per_row, rng)
+    c_rows, c_cols, c_vals = coupling(n_pressure, n_velocity, coupling_per_row, rng)
+    rows = np.concatenate([a_rows, b_rows, c_rows + n_velocity])
+    cols = np.concatenate([a_cols, b_cols + n_velocity, c_cols])
+    vals = np.concatenate([a_vals, b_vals, c_vals])
+    return _dedupe_coo(n, n, rows, cols, vals)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    symmetric: bool = True,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """R-MAT (Graph500-style) power-law graph with ``2**scale`` vertices.
+
+    Heavy-tailed degree distribution and no exploitable vertex ordering —
+    the regime where the paper's eukarya dataset lives.
+    """
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    nedges = n * edge_factor
+    rows = np.zeros(nedges, dtype=_INDEX_DTYPE)
+    cols = np.zeros(nedges, dtype=_INDEX_DTYPE)
+    # Vectorised RMAT: draw one quadrant decision per bit level for all edges.
+    d = 1.0 - (a + b + c)
+    for level in range(scale):
+        r = rng.random(nedges)
+        # quadrant: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)
+        quad = np.select(
+            [r < a, r < a + b, r < a + b + c], [0, 1, 2], default=3
+        )
+        bit = 1 << (scale - 1 - level)
+        rows += np.where((quad == 2) | (quad == 3), bit, 0)
+        cols += np.where((quad == 1) | (quad == 3), bit, 0)
+    vals = rng.random(nedges) + 0.1
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    return _dedupe_coo(n, n, rows, cols, vals)
+
+
+def community_graph(
+    n: int,
+    ncommunities: int,
+    avg_degree: float,
+    *,
+    mixing: float = 0.3,
+    shuffle: bool = True,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """Planted-partition community graph, optionally with shuffled labels.
+
+    With ``shuffle=True`` (default) the vertex ids are randomly permuted, so
+    the community structure exists but is *hidden* from the natural ordering
+    — a graph partitioner can recover it, mere block-splitting cannot.  This
+    is the eukarya-like regime: METIS permutation helps, natural order does
+    not.  ``mixing`` is the fraction of edges that cross communities.
+    """
+    rng = np.random.default_rng(seed)
+    communities = rng.integers(0, ncommunities, size=n, dtype=_INDEX_DTYPE)
+    # Sort so community blocks are contiguous before optional shuffling.
+    communities.sort()
+    nedges = int(n * avg_degree / 2)
+    src = rng.integers(0, n, size=nedges, dtype=_INDEX_DTYPE)
+    # Intra-community edges: pick a partner within the same community block.
+    comm_of = communities
+    same = rng.random(nedges) >= mixing
+    # For intra edges choose a random vertex of the same community via
+    # rejection-free trick: offsets within community blocks.
+    block_start = np.searchsorted(communities, np.arange(ncommunities))
+    block_end = np.searchsorted(communities, np.arange(ncommunities), side="right")
+    sizes = np.maximum(block_end - block_start, 1)
+    partner_intra = (
+        block_start[comm_of[src]]
+        + (rng.random(nedges) * sizes[comm_of[src]]).astype(_INDEX_DTYPE)
+    )
+    partner_inter = rng.integers(0, n, size=nedges, dtype=_INDEX_DTYPE)
+    dst = np.where(same, partner_intra, partner_inter)
+    vals = rng.random(nedges) + 0.1
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    vals = np.concatenate([vals, vals])
+    if shuffle:
+        relabel = rng.permutation(n).astype(_INDEX_DTYPE)
+        rows = relabel[rows]
+        cols = relabel[cols]
+    return _dedupe_coo(n, n, rows, cols, vals)
+
+
+def restriction_like(
+    n_fine: int,
+    n_coarse: int,
+    *,
+    clustered: bool = True,
+    seed: Optional[int] = None,
+) -> CSCMatrix:
+    """Aggregation-style restriction operator R: n_fine × n_coarse, one nnz per row.
+
+    Matches Table III's structure ("Each row of the restriction operator
+    matrices has exactly one non-zero element").  With ``clustered=True`` the
+    aggregates are contiguous ranges of fine vertices (what MIS-2 aggregation
+    produces on a well-ordered mesh); otherwise assignments are random.
+    """
+    rng = np.random.default_rng(seed)
+    if n_coarse <= 0 or n_fine <= 0 or n_coarse > n_fine:
+        raise ValueError("need 0 < n_coarse <= n_fine")
+    rows = np.arange(n_fine, dtype=_INDEX_DTYPE)
+    if clustered:
+        cols = (rows * n_coarse // n_fine).astype(_INDEX_DTYPE)
+    else:
+        cols = rng.integers(0, n_coarse, size=n_fine, dtype=_INDEX_DTYPE)
+    vals = np.ones(n_fine, dtype=np.float64)
+    return CSCMatrix.from_coo(n_fine, n_coarse, rows, cols, vals, sum_duplicates=False)

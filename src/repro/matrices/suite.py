@@ -1,0 +1,186 @@
+"""The synthetic dataset suite: laptop-scale analogues of Table II / Table III.
+
+Paper's inputs (Table II) and what each analogue preserves:
+
+================  ==========================  ==================================
+Paper matrix      Structural class            Analogue (this module)
+================  ==========================  ==================================
+queen_4147        3D stiffness matrix;        ``queen_like`` — symmetric banded
+                  symmetric, clustered        matrix with moderate bandwidth
+stokes            saddle-point (CFD);         ``stokes_like`` — unsymmetric
+                  unsymmetric, clustered      2×2 block saddle-point matrix
+eukarya           protein-similarity network; ``eukarya_like`` — shuffled
+                  symmetric, NO usable        community graph (structure exists
+                  natural ordering            but is hidden from the ordering)
+hv15r             CFD Navier-Stokes;          ``hv15r_like`` — unsymmetric
+                  unsymmetric, strongly       block-diagonal-clustered matrix
+                  clustered
+nlpkkt200         KKT optimisation system;    ``nlpkkt_like`` — symmetric KKT
+                  symmetric, block/banded     block matrix
+================  ==========================  ==================================
+
+The restriction operators of Table III (one nonzero per row, far fewer
+columns than rows) are generated per dataset by MIS-2 aggregation
+(:mod:`repro.apps.amg`) or, for direct harness use, by
+:func:`repro.matrices.generators.restriction_like`.
+
+Every generator takes a ``scale`` knob so tests use tiny instances and the
+benchmark harness uses larger ones; the default ``scale=1.0`` targets a few
+thousand rows / tens of thousands of nonzeros, which keeps the full benchmark
+suite in the minutes range in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sparse import CSCMatrix
+from . import generators as gen
+
+__all__ = [
+    "DatasetSpec",
+    "queen_like",
+    "stokes_like",
+    "eukarya_like",
+    "hv15r_like",
+    "nlpkkt_like",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata tying a synthetic analogue back to the paper's dataset."""
+
+    name: str
+    paper_name: str
+    paper_nrows: int
+    paper_nnz: int
+    symmetric: bool
+    #: is the natural ordering already clustered (paper: no permutation best)?
+    naturally_clustered: bool
+    #: which permutation strategy the paper found best for this input
+    paper_best_strategy: str
+    generator: Callable[..., CSCMatrix]
+
+
+def queen_like(scale: float = 1.0, seed: int = 11) -> CSCMatrix:
+    """queen_4147 analogue: symmetric, banded/clustered stiffness-like matrix."""
+    n = max(200, int(4000 * scale))
+    return gen.banded(n, bandwidth=max(8, int(0.01 * n)), fill=0.5, symmetric=True, seed=seed)
+
+
+def stokes_like(scale: float = 1.0, seed: int = 12) -> CSCMatrix:
+    """stokes analogue: unsymmetric saddle-point matrix with clustered blocks."""
+    n_velocity = max(300, int(3000 * scale))
+    n_pressure = max(60, int(n_velocity // 10))
+    return gen.saddle_point(
+        n_velocity, n_pressure, bandwidth=max(8, int(0.01 * n_velocity)), seed=seed
+    )
+
+
+def eukarya_like(scale: float = 1.0, seed: int = 13) -> CSCMatrix:
+    """eukarya analogue: community graph with randomly shuffled vertex labels.
+
+    The natural ordering has no exploitable locality (CV/memA ≈ 1), but a
+    graph partitioner can recover the hidden communities — reproducing the
+    paper's finding that eukarya needs METIS partitioning.
+    """
+    n = max(400, int(3000 * scale))
+    ncomm = max(8, int(n / 150))
+    return gen.community_graph(
+        n, ncommunities=ncomm, avg_degree=24, mixing=0.05, shuffle=True, seed=seed
+    )
+
+
+def hv15r_like(scale: float = 1.0, seed: int = 14) -> CSCMatrix:
+    """hv15r analogue: unsymmetric, strongly clustered CFD-like matrix."""
+    n = max(300, int(2000 * scale))
+    # Fine-grained clusters (≈40 vertices each) so that the clustering is
+    # visible at every process count the benchmarks use (up to P=64).
+    nblocks = max(16, int(n / 50))
+    return gen.block_diagonal_clustered(
+        n, nblocks=nblocks, intra_density=0.35, inter_density=0.002, symmetric=False, seed=seed
+    )
+
+
+def nlpkkt_like(scale: float = 1.0, seed: int = 15) -> CSCMatrix:
+    """nlpkkt200 analogue: symmetric KKT block system with banded H block."""
+    n_primal = max(300, int(3200 * scale))
+    n_dual = max(60, n_primal // 5)
+    return gen.kkt_block(
+        n_primal, n_dual, bandwidth=max(8, int(0.008 * n_primal)), seed=seed
+    )
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "queen": DatasetSpec(
+        name="queen",
+        paper_name="queen_4147",
+        paper_nrows=4_147_110,
+        paper_nnz=330_000_000,
+        symmetric=True,
+        naturally_clustered=True,
+        paper_best_strategy="none",
+        generator=queen_like,
+    ),
+    "stokes": DatasetSpec(
+        name="stokes",
+        paper_name="stokes",
+        paper_nrows=11_449_533,
+        paper_nnz=350_000_000,
+        symmetric=False,
+        naturally_clustered=True,
+        paper_best_strategy="none",
+        generator=stokes_like,
+    ),
+    "eukarya": DatasetSpec(
+        name="eukarya",
+        paper_name="eukarya",
+        paper_nrows=3_000_000,
+        paper_nnz=360_000_000,
+        symmetric=True,
+        naturally_clustered=False,
+        paper_best_strategy="metis",
+        generator=eukarya_like,
+    ),
+    "hv15r": DatasetSpec(
+        name="hv15r",
+        paper_name="hv15r",
+        paper_nrows=2_017_169,
+        paper_nnz=283_000_000,
+        symmetric=False,
+        naturally_clustered=True,
+        paper_best_strategy="none",
+        generator=hv15r_like,
+    ),
+    "nlpkkt": DatasetSpec(
+        name="nlpkkt",
+        paper_name="nlpkkt200",
+        paper_nrows=16_240_000,
+        paper_nnz=448_000_000,
+        symmetric=True,
+        naturally_clustered=True,
+        paper_best_strategy="none",
+        generator=nlpkkt_like,
+    ),
+}
+
+
+def dataset_names() -> List[str]:
+    """Names of the five Table II analogues."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, *, scale: float = 1.0, seed: Optional[int] = None) -> CSCMatrix:
+    """Generate the named analogue at the requested scale."""
+    if name not in DATASETS:
+        raise ValueError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    spec = DATASETS[name]
+    kwargs = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return spec.generator(**kwargs)

@@ -1,0 +1,141 @@
+"""Graph coarsening by heavy-edge matching (the METIS coarsening phase).
+
+Multilevel partitioners repeatedly collapse a maximal matching of the graph:
+each matched pair (preferring the heaviest incident edge) becomes one vertex
+of the next-coarser graph, with vertex weights summed and parallel edges
+merged.  Coarsening stops when the graph is small enough for the initial
+partitioner or when matching stops making progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .graph import AdjacencyGraph
+
+__all__ = ["CoarseningLevel", "heavy_edge_matching", "coarsen_graph", "coarsen_to_size"]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class CoarseningLevel:
+    """One level of the coarsening hierarchy.
+
+    ``fine_to_coarse[v]`` maps a fine vertex to its coarse vertex, so a
+    partition of the coarse graph is projected back by simple indexing.
+    """
+
+    fine_graph: AdjacencyGraph
+    coarse_graph: AdjacencyGraph
+    fine_to_coarse: np.ndarray
+
+
+def heavy_edge_matching(graph: AdjacencyGraph, seed: int = 0) -> np.ndarray:
+    """Compute a maximal matching preferring heavy edges.
+
+    Vertices are visited in random order; an unmatched vertex is matched to
+    its unmatched neighbour with the heaviest connecting edge (ties broken by
+    lower vertex weight to keep coarse weights balanced).  Returns ``match``
+    with ``match[v] == u`` and ``match[u] == v`` for matched pairs and
+    ``match[v] == v`` for unmatched vertices.
+    """
+    n = graph.nvertices
+    rng = np.random.default_rng(seed)
+    visit_order = rng.permutation(n)
+    match = np.full(n, -1, dtype=_INDEX_DTYPE)
+    for v in visit_order:
+        if match[v] != -1:
+            continue
+        neigh, wgt = graph.neighbours(int(v))
+        best_u = -1
+        best_w = -1
+        for u, w in zip(neigh, wgt):
+            if match[u] != -1 or u == v:
+                continue
+            if w > best_w or (w == best_w and best_u != -1 and graph.vwgt[u] < graph.vwgt[best_u]):
+                best_u, best_w = int(u), int(w)
+        if best_u >= 0:
+            match[v] = best_u
+            match[best_u] = v
+        else:
+            match[v] = v
+    # Any vertex never visited as unmatched neighbour stays self-matched.
+    unmatched = match == -1
+    match[unmatched] = np.nonzero(unmatched)[0]
+    return match
+
+
+def coarsen_graph(graph: AdjacencyGraph, seed: int = 0) -> CoarseningLevel:
+    """Collapse a heavy-edge matching into a coarser graph."""
+    n = graph.nvertices
+    match = heavy_edge_matching(graph, seed=seed)
+    # Assign coarse ids: the lower-indexed endpoint of each pair gets the id.
+    fine_to_coarse = np.full(n, -1, dtype=_INDEX_DTYPE)
+    next_id = 0
+    for v in range(n):
+        if fine_to_coarse[v] != -1:
+            continue
+        u = int(match[v])
+        fine_to_coarse[v] = next_id
+        fine_to_coarse[u] = next_id
+        next_id += 1
+    n_coarse = next_id
+
+    # Coarse vertex weights.
+    coarse_vwgt = np.zeros(n_coarse, dtype=_INDEX_DTYPE)
+    np.add.at(coarse_vwgt, fine_to_coarse, graph.vwgt)
+
+    # Coarse edges: project endpoints, drop self-loops, merge duplicates.
+    src = np.repeat(np.arange(n, dtype=_INDEX_DTYPE), np.diff(graph.xadj))
+    csrc = fine_to_coarse[src]
+    cdst = fine_to_coarse[graph.adjncy]
+    w = graph.adjwgt
+    keep = csrc != cdst
+    csrc, cdst, w = csrc[keep], cdst[keep], w[keep]
+    if csrc.size:
+        order = np.lexsort((cdst, csrc))
+        csrc, cdst, w = csrc[order], cdst[order], w[order]
+        new_run = np.empty(csrc.shape[0], dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (csrc[1:] != csrc[:-1]) | (cdst[1:] != cdst[:-1])
+        group_ids = np.cumsum(new_run) - 1
+        merged_w = np.zeros(int(group_ids[-1]) + 1, dtype=_INDEX_DTYPE)
+        np.add.at(merged_w, group_ids, w)
+        csrc = csrc[new_run]
+        cdst = cdst[new_run]
+        w = merged_w
+    xadj = np.zeros(n_coarse + 1, dtype=_INDEX_DTYPE)
+    counts = np.bincount(csrc, minlength=n_coarse) if csrc.size else np.zeros(n_coarse, dtype=_INDEX_DTYPE)
+    xadj[1:] = np.cumsum(counts)
+    coarse = AdjacencyGraph(xadj=xadj, adjncy=cdst, adjwgt=w, vwgt=coarse_vwgt)
+    return CoarseningLevel(fine_graph=graph, coarse_graph=coarse, fine_to_coarse=fine_to_coarse)
+
+
+def coarsen_to_size(
+    graph: AdjacencyGraph,
+    target_vertices: int,
+    *,
+    max_levels: int = 30,
+    seed: int = 0,
+) -> List[CoarseningLevel]:
+    """Repeatedly coarsen until ``target_vertices`` is reached or progress stalls.
+
+    Returns the hierarchy finest-first; an empty list means the input graph
+    was already small enough.
+    """
+    levels: List[CoarseningLevel] = []
+    current = graph
+    for level in range(max_levels):
+        if current.nvertices <= target_vertices:
+            break
+        step = coarsen_graph(current, seed=seed + level)
+        # Stop if coarsening is no longer shrinking the graph meaningfully.
+        if step.coarse_graph.nvertices > 0.95 * current.nvertices:
+            break
+        levels.append(step)
+        current = step.coarse_graph
+    return levels

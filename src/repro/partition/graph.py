@@ -1,0 +1,128 @@
+"""Lightweight undirected-graph representation used by the partitioner.
+
+The multilevel partitioner works on a CSR-like adjacency structure with
+integer vertex weights and integer edge weights, which is exactly the input
+format METIS consumes.  Construction from a sparse matrix takes the pattern
+of ``A`` (symmetrised if necessary) and drops the diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse import as_csc
+from ..sparse.ops import symmetrize_pattern
+
+__all__ = ["AdjacencyGraph"]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class AdjacencyGraph:
+    """Undirected graph in CSR adjacency form.
+
+    ``xadj``/``adjncy`` follow METIS naming: the neighbours of vertex ``v``
+    are ``adjncy[xadj[v]:xadj[v+1]]`` with edge weights ``adjwgt`` aligned to
+    ``adjncy``.  ``vwgt`` holds vertex weights.
+    """
+
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    adjwgt: np.ndarray
+    vwgt: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.xadj = np.asarray(self.xadj, dtype=_INDEX_DTYPE)
+        self.adjncy = np.asarray(self.adjncy, dtype=_INDEX_DTYPE)
+        self.adjwgt = np.asarray(self.adjwgt, dtype=_INDEX_DTYPE)
+        self.vwgt = np.asarray(self.vwgt, dtype=_INDEX_DTYPE)
+        if self.xadj.ndim != 1 or self.xadj[0] != 0:
+            raise ValueError("xadj must be a 1-D prefix array starting at 0")
+        if self.adjncy.shape != self.adjwgt.shape:
+            raise ValueError("adjncy and adjwgt must align")
+        if self.xadj[-1] != self.adjncy.shape[0]:
+            raise ValueError("xadj must end at len(adjncy)")
+        if self.vwgt.shape[0] != self.nvertices:
+            raise ValueError("vwgt must have one entry per vertex")
+
+    # ------------------------------------------------------------------
+    @property
+    def nvertices(self) -> int:
+        return int(self.xadj.shape[0] - 1)
+
+    @property
+    def nedges(self) -> int:
+        """Number of undirected edges (each stored twice in adjncy)."""
+        return int(self.adjncy.shape[0] // 2)
+
+    def neighbours(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.xadj[v], self.xadj[v + 1]
+        return self.adjncy[lo:hi], self.adjwgt[lo:hi]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def total_vertex_weight(self) -> int:
+        return int(self.vwgt.sum())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(
+        cls,
+        A,
+        *,
+        vertex_weights: Optional[np.ndarray] = None,
+        symmetrize: bool = True,
+    ) -> "AdjacencyGraph":
+        """Build the adjacency graph of a square sparse matrix.
+
+        Edge weights are 1 per structural nonzero (values are ignored, as in
+        METIS usage for fill-reducing/partitioning orderings); self-loops are
+        dropped.  Unsymmetric matrices are symmetrised first.
+        """
+        A = as_csc(A)
+        if A.nrows != A.ncols:
+            raise ValueError("graph construction requires a square matrix")
+        pattern = symmetrize_pattern(A) if symmetrize else A
+        rows, cols, _ = pattern.to_coo()
+        off_diag = rows != cols
+        rows = rows[off_diag]
+        cols = cols[off_diag]
+        n = A.nrows
+        order = np.lexsort((cols, rows))
+        rows = rows[order]
+        cols = cols[order]
+        # Deduplicate parallel edges.
+        if rows.size:
+            keep = np.empty(rows.shape[0], dtype=bool)
+            keep[0] = True
+            keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            rows = rows[keep]
+            cols = cols[keep]
+        xadj = np.zeros(n + 1, dtype=_INDEX_DTYPE)
+        counts = np.bincount(rows, minlength=n)
+        xadj[1:] = np.cumsum(counts)
+        adjncy = cols
+        adjwgt = np.ones(cols.shape[0], dtype=_INDEX_DTYPE)
+        if vertex_weights is None:
+            vwgt = np.ones(n, dtype=_INDEX_DTYPE)
+        else:
+            vwgt = np.asarray(vertex_weights, dtype=_INDEX_DTYPE)
+            if vwgt.shape[0] != n:
+                raise ValueError("vertex_weights must have one entry per vertex")
+            vwgt = np.maximum(vwgt, 1)  # METIS requires positive weights
+        return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt)
+
+    def edge_cut(self, parts: np.ndarray) -> int:
+        """Total weight of edges whose endpoints lie in different parts."""
+        parts = np.asarray(parts, dtype=_INDEX_DTYPE)
+        if parts.shape[0] != self.nvertices:
+            raise ValueError("parts must have one entry per vertex")
+        src = np.repeat(np.arange(self.nvertices, dtype=_INDEX_DTYPE), np.diff(self.xadj))
+        cut_mask = parts[src] != parts[self.adjncy]
+        # Each undirected edge is stored twice, so halve the sum.
+        return int(self.adjwgt[cut_mask].sum() // 2)

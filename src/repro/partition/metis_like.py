@@ -1,0 +1,229 @@
+"""Multilevel k-way graph partitioner (the METIS/ParMETIS substitute).
+
+METIS is not available offline, so this module implements the same
+three-phase multilevel scheme METIS describes (Karypis & Kumar 1995/1996):
+
+1. **Coarsening** — heavy-edge matching collapses the graph until it is small
+   (:mod:`repro.partition.coarsen`).
+2. **Initial partitioning** — greedy region growing on the coarsest graph:
+   ``k`` seeds are chosen far apart (BFS-peeling), parts grow by repeatedly
+   absorbing the boundary vertex most connected to them while respecting the
+   weight budget.
+3. **Uncoarsening + refinement** — the partition is projected level by level
+   back to the original graph, running greedy KL/FM boundary refinement at
+   every level (:mod:`repro.partition.refine`).
+
+Vertex weights (the paper's ``nnz(col)²`` flops estimate) are honoured by all
+three phases.  The output is a part id per vertex, the edge cut, and the
+achieved balance — matching the information METIS returns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .coarsen import coarsen_to_size
+from .graph import AdjacencyGraph
+from .refine import greedy_kway_refine, is_balanced, partition_weights
+from .weights import squaring_vertex_weights
+from ..sparse import as_csc
+
+__all__ = ["PartitionResult", "partition_graph", "partition_matrix"]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of a k-way partitioning run."""
+
+    #: part id per vertex (0 .. nparts-1)
+    parts: np.ndarray
+    nparts: int
+    #: total weight of cut edges
+    edge_cut: int
+    #: max/mean per-part weight ratio (1.0 = perfect)
+    balance: float
+    #: seconds spent partitioning (the paper reports e.g. 3.9 s for eukarya)
+    seconds: float = 0.0
+
+    def part_sizes(self) -> np.ndarray:
+        return np.bincount(self.parts, minlength=self.nparts).astype(_INDEX_DTYPE)
+
+
+# ----------------------------------------------------------------------
+# Initial partitioning on the coarsest graph
+# ----------------------------------------------------------------------
+
+def _bfs_farthest(graph: AdjacencyGraph, start: int) -> int:
+    """Vertex farthest (in hops) from ``start`` within its connected component."""
+    n = graph.nvertices
+    dist = np.full(n, -1, dtype=_INDEX_DTYPE)
+    dist[start] = 0
+    queue = deque([start])
+    last = start
+    while queue:
+        v = queue.popleft()
+        last = v
+        neigh, _ = graph.neighbours(v)
+        for u in neigh:
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(int(u))
+    return int(last)
+
+
+def _greedy_region_growing(
+    graph: AdjacencyGraph, nparts: int, seed: int = 0
+) -> np.ndarray:
+    """Grow ``nparts`` regions from spread-out seeds, respecting weight budgets."""
+    n = graph.nvertices
+    rng = np.random.default_rng(seed)
+    parts = np.full(n, -1, dtype=_INDEX_DTYPE)
+    if nparts >= n:
+        # Degenerate: one vertex per part (extra parts stay empty).
+        parts[:] = np.arange(n, dtype=_INDEX_DTYPE) % max(1, nparts)
+        return parts
+
+    target = graph.total_vertex_weight() / nparts
+    # Pick seeds: first random, subsequent by BFS-peeling from previous seeds.
+    seeds = [int(rng.integers(n))]
+    while len(seeds) < nparts:
+        far = _bfs_farthest(graph, seeds[-1])
+        if far in seeds:
+            remaining = np.setdiff1d(np.arange(n), np.array(seeds))
+            if remaining.size == 0:
+                break
+            far = int(rng.choice(remaining))
+        seeds.append(far)
+
+    part_w = np.zeros(nparts, dtype=np.float64)
+    frontiers: list[deque] = [deque() for _ in range(nparts)]
+    for p, s in enumerate(seeds):
+        if parts[s] == -1:
+            parts[s] = p
+            part_w[p] += graph.vwgt[s]
+            frontiers[p].append(s)
+
+    # Round-robin growth: each part absorbs unassigned neighbours until its
+    # budget is full; leftover vertices are swept up at the end.
+    active = True
+    while active:
+        active = False
+        for p in range(nparts):
+            if part_w[p] >= target:
+                continue
+            frontier = frontiers[p]
+            grown = False
+            while frontier and not grown:
+                v = frontier.popleft()
+                neigh, _ = graph.neighbours(int(v))
+                for u in neigh:
+                    if parts[u] == -1:
+                        parts[u] = p
+                        part_w[p] += graph.vwgt[u]
+                        frontier.append(int(u))
+                        grown = True
+                        active = True
+                        if part_w[p] >= target:
+                            break
+                if grown:
+                    frontier.appendleft(v)  # keep expanding from it next round
+                    break
+
+    # Assign any unreached vertices (disconnected components) to the lightest part.
+    for v in np.nonzero(parts == -1)[0]:
+        p = int(np.argmin(part_w))
+        parts[v] = p
+        part_w[p] += graph.vwgt[v]
+    return parts
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+def partition_graph(
+    graph: AdjacencyGraph,
+    nparts: int,
+    *,
+    imbalance: float = 0.05,
+    seed: int = 0,
+    coarsen_target_per_part: int = 30,
+    refine_passes: int = 8,
+) -> PartitionResult:
+    """Partition an adjacency graph into ``nparts`` weight-balanced parts."""
+    import time as _time
+
+    if nparts <= 0:
+        raise ValueError("nparts must be positive")
+    t0 = _time.perf_counter()
+    n = graph.nvertices
+    if nparts == 1 or n == 0:
+        parts = np.zeros(n, dtype=_INDEX_DTYPE)
+        return PartitionResult(
+            parts=parts,
+            nparts=nparts,
+            edge_cut=0,
+            balance=1.0,
+            seconds=_time.perf_counter() - t0,
+        )
+
+    target_size = max(nparts * coarsen_target_per_part, 64)
+    hierarchy = coarsen_to_size(graph, target_size, seed=seed)
+    coarsest = hierarchy[-1].coarse_graph if hierarchy else graph
+
+    parts = _greedy_region_growing(coarsest, nparts, seed=seed)
+    parts = greedy_kway_refine(
+        coarsest, parts, nparts, imbalance=imbalance, max_passes=refine_passes, seed=seed
+    )
+
+    # Uncoarsen: project and refine at every level, finest last.
+    for level in reversed(hierarchy):
+        parts = parts[level.fine_to_coarse]
+        parts = greedy_kway_refine(
+            level.fine_graph,
+            parts,
+            nparts,
+            imbalance=imbalance,
+            max_passes=refine_passes,
+            seed=seed,
+        )
+
+    w = partition_weights(graph, parts, nparts)
+    mean_w = w.mean() if nparts else 0.0
+    balance = float(w.max() / mean_w) if mean_w > 0 else 1.0
+    return PartitionResult(
+        parts=parts,
+        nparts=nparts,
+        edge_cut=graph.edge_cut(parts),
+        balance=balance,
+        seconds=_time.perf_counter() - t0,
+    )
+
+
+def partition_matrix(
+    A,
+    nparts: int,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    use_flops_weights: bool = True,
+    imbalance: float = 0.05,
+    seed: int = 0,
+) -> PartitionResult:
+    """Partition the graph of a square sparse matrix into ``nparts`` parts.
+
+    By default vertices are weighted with the paper's flops estimate
+    (``nnz(col)²``, :func:`repro.partition.weights.squaring_vertex_weights`);
+    pass ``use_flops_weights=False`` for unit weights or supply explicit
+    ``vertex_weights``.
+    """
+    A = as_csc(A)
+    if vertex_weights is None and use_flops_weights:
+        vertex_weights = squaring_vertex_weights(A)
+    graph = AdjacencyGraph.from_matrix(A, vertex_weights=vertex_weights)
+    return partition_graph(graph, nparts, imbalance=imbalance, seed=seed)

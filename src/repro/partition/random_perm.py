@@ -1,0 +1,53 @@
+"""Random symmetric permutation.
+
+The standard load-balancing preprocessing of sparsity-oblivious 2D/3D
+SpGEMM: relabel the vertices uniformly at random, i.e. compute
+``P·C·Pᵀ = (P·A·Pᵀ)(P·B·Pᵀ)`` for a random permutation matrix ``P``
+(paper §II-B-1).  The paper's point is that this *destroys* the clustering
+a sparsity-aware 1D algorithm exploits — random permutation is therefore the
+worst choice for Algorithm 1 but (often) the right choice for 2D/3D SUMMA.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse import CSCMatrix, as_csc
+
+__all__ = ["random_symmetric_permutation", "apply_symmetric_permutation", "invert_permutation"]
+
+
+def random_symmetric_permutation(n: int, seed: Optional[int] = None) -> np.ndarray:
+    """Return a random permutation vector ``perm`` of length ``n``.
+
+    ``perm[new_index] = old_index``: the matrix row/column that lands at
+    position ``new_index`` after the relabelling.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``inv[old_index] = new_index``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inv
+
+
+def apply_symmetric_permutation(A, perm: np.ndarray) -> CSCMatrix:
+    """Apply the same permutation to rows and columns: ``P·A·Pᵀ``.
+
+    ``perm[new] = old`` as produced by :func:`random_symmetric_permutation`
+    or by the partition-based orderings in :mod:`repro.partition.ordering`.
+    Requires a square matrix (the relabelling view of a graph).
+    """
+    A = as_csc(A)
+    if A.nrows != A.ncols:
+        raise ValueError("symmetric permutation requires a square matrix")
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape[0] != A.nrows:
+        raise ValueError("permutation length must equal the matrix dimension")
+    return A.permute(row_perm=perm, col_perm=perm)

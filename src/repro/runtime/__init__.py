@@ -1,0 +1,30 @@
+"""Simulated distributed-memory runtime (the "MPI + RDMA" substrate).
+
+The paper runs on MPI with one-sided RDMA on NERSC Perlmutter; this package
+provides the equivalent substrate for an offline, single-node reproduction:
+simulated ranks, collectives, passive-target windows, and an α–β–γ cost
+model that converts the recorded communication/computation events into
+modelled time.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .costmodel import CostModel, LAPTOP, PERLMUTTER, ZERO_COST
+from .stats import CATEGORIES, PhaseLedger, RankStats
+from .window import RdmaWindow, WindowEpoch, WindowError
+from .communicator import Communicator
+from .simulator import MemoryLimitExceeded, SimulatedCluster
+
+__all__ = [
+    "CostModel",
+    "PERLMUTTER",
+    "LAPTOP",
+    "ZERO_COST",
+    "CATEGORIES",
+    "PhaseLedger",
+    "RankStats",
+    "RdmaWindow",
+    "WindowEpoch",
+    "WindowError",
+    "Communicator",
+    "SimulatedCluster",
+    "MemoryLimitExceeded",
+]

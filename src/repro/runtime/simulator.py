@@ -1,0 +1,184 @@
+"""The simulated distributed-memory cluster.
+
+:class:`SimulatedCluster` stands in for ``MPI_COMM_WORLD`` + the physical
+machine: it knows the number of ranks, the machine cost model, and it owns
+the :class:`~repro.runtime.stats.PhaseLedger` into which every communication
+primitive and every explicitly-charged local computation records its cost.
+
+Why a simulator instead of mpi4py
+---------------------------------
+The evaluation of the paper is about distributed-memory behaviour at 16-1024
+processes on a Slingshot network.  This environment has neither an MPI
+implementation nor multiple nodes, so launching real ranks would neither be
+possible nor informative.  Instead the distributed algorithms in
+:mod:`repro.core` are written in an explicit SPMD style — *for each rank i:
+do what rank i would do* — against this cluster object.  All data that
+"moves" does so through :class:`~repro.runtime.window.RdmaWindow` or
+:class:`~repro.runtime.communicator.Communicator`, so the communication
+volume, message counts and modelled times reported by the benchmark harness
+are exactly those of the real algorithm at that process count.
+
+Determinism: given the same inputs and parameters, every simulated run
+produces bit-identical ledgers, which makes the benchmark harness and the
+property-based tests reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .communicator import Communicator
+from .costmodel import CostModel, PERLMUTTER
+from .stats import PhaseLedger, RankStats
+from .window import RdmaWindow
+
+__all__ = ["SimulatedCluster", "MemoryLimitExceeded"]
+
+
+class MemoryLimitExceeded(MemoryError):
+    """Raised when a rank's modelled memory exceeds the cost model's capacity.
+
+    Used to reproduce out-of-memory behaviour such as the 2D algorithm
+    failing the hv15r backward sweep in Fig. 14.
+    """
+
+    def __init__(self, rank: int, needed: int, capacity: int):
+        super().__init__(
+            f"rank {rank} needs {needed} bytes but capacity is {capacity} bytes"
+        )
+        self.rank = rank
+        self.needed = needed
+        self.capacity = capacity
+
+
+@dataclass
+class SimulatedCluster:
+    """A P-rank simulated distributed-memory machine.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of simulated MPI processes.
+    cost_model:
+        The α–β–γ machine model; defaults to the Perlmutter-like preset.
+    name:
+        Optional label carried into reports.
+    """
+
+    nprocs: int
+    cost_model: CostModel = PERLMUTTER
+    name: str = "sim"
+    ledger: PhaseLedger = field(init=False)
+    _current_phase: str = field(default="default", init=False)
+
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        self.ledger = PhaseLedger(nprocs=self.nprocs)
+        self.comm = Communicator(self)
+
+    # ------------------------------------------------------------------
+    # Ranks and phases
+    # ------------------------------------------------------------------
+    def ranks(self) -> range:
+        """Iterate over rank ids (used by the SPMD-style algorithm loops)."""
+        return range(self.nprocs)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Enter a named bulk-synchronous phase; costs recorded inside go to it."""
+        previous = self._current_phase
+        self._current_phase = name
+        self.ledger.phase(name)  # materialise even if nothing gets charged
+        try:
+            yield
+        finally:
+            self._current_phase = previous
+
+    @property
+    def current_phase(self) -> str:
+        return self._current_phase
+
+    def stats(self, rank: int) -> RankStats:
+        """Per-rank stats record of the *current* phase."""
+        if not 0 <= rank < self.nprocs:
+            raise IndexError(f"rank {rank} outside 0..{self.nprocs - 1}")
+        return self.ledger.rank(self._current_phase, rank)
+
+    # ------------------------------------------------------------------
+    # Charging local work
+    # ------------------------------------------------------------------
+    def charge_compute(self, rank: int, flops: int) -> None:
+        """Charge ``flops`` sparse flops of local computation to ``rank``."""
+        st = self.stats(rank)
+        st.flops += int(flops)
+        st.charge_time("comp", self.cost_model.compute_cost(int(flops)))
+
+    def charge_other_bytes(self, rank: int, nbytes: int) -> None:
+        """Charge auxiliary data-structure work proportional to ``nbytes`` to ``rank``."""
+        self.stats(rank).charge_time("other", self.cost_model.pack_cost(int(nbytes)))
+
+    def charge_memory(self, rank: int, nbytes: int) -> None:
+        """Record a rank's modelled memory high-water mark; raise if over capacity."""
+        st = self.stats(rank)
+        st.note_memory(int(nbytes))
+        cap = self.cost_model.memory_capacity_bytes
+        if cap and nbytes > cap:
+            raise MemoryLimitExceeded(rank, int(nbytes), cap)
+
+    @contextmanager
+    def measured(self, rank: int, category: str) -> Iterator[None]:
+        """Measure real wall-clock of the enclosed block into ``rank``'s stats.
+
+        The modelled time is what the figures use; measured time is kept
+        alongside it so tests can assert the local kernels really ran.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats(rank).charge_measured(category, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def create_window(self, exposed: Dict[int, Dict[str, np.ndarray]]) -> RdmaWindow:
+        """Create an RDMA window over per-rank exposed arrays (``MPI_Win_create``)."""
+        return RdmaWindow(cluster=self, exposed=exposed)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def elapsed_time(self) -> float:
+        """Modelled elapsed seconds accumulated so far (Σ over phases of slowest rank)."""
+        return self.ledger.elapsed_time()
+
+    def reset(self) -> None:
+        """Clear all recorded phases (fresh ledger, same machine)."""
+        self.ledger = PhaseLedger(nprocs=self.nprocs)
+        self._current_phase = "default"
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports."""
+        by_cat = self.ledger.elapsed_time_by_category()
+        return {
+            "nprocs": float(self.nprocs),
+            "elapsed_time": self.ledger.elapsed_time(),
+            "comm_time": by_cat["comm"],
+            "comp_time": by_cat["comp"],
+            "other_time": by_cat["other"],
+            "total_bytes": float(self.ledger.total_bytes()),
+            "total_messages": float(self.ledger.total_messages()),
+            "total_rdma_gets": float(self.ledger.total_rdma_gets()),
+            "total_flops": float(self.ledger.total_flops()),
+            "load_imbalance": self.ledger.load_imbalance(),
+            "max_peak_memory": float(self.ledger.max_peak_memory()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedCluster(nprocs={self.nprocs}, name={self.name!r})"

@@ -1,0 +1,226 @@
+"""Per-rank accounting of communication, computation and "other" work.
+
+The paper's breakdown figures (Figs 4, 8, 10) report, for every MPI process,
+three categories:
+
+* **communication** — RDMA requests fetching remote ``A`` data (or, for the
+  baselines, the SUMMA broadcasts / AllToAll exchanges),
+* **computation** — the local SpGEMM,
+* **other** — creation/deletion of auxiliary arrays and data structures
+  (building the local DCSC object, exchanging the nonzero-column metadata of
+  ``A_i``, packing the compacted Ã …).
+
+:class:`RankStats` mirrors those categories and additionally counts messages,
+bytes and flops so communication-volume figures (Figs 5, 6) come from the
+same objects.  :class:`PhaseLedger` groups the per-rank numbers into named
+bulk-synchronous phases so elapsed time can be modelled as
+``Σ_phases max_ranks(phase time)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["RankStats", "PhaseLedger", "CATEGORIES"]
+
+CATEGORIES = ("comm", "comp", "other")
+
+
+@dataclass
+class RankStats:
+    """Event counters and modelled times for one simulated rank."""
+
+    rank: int
+    #: modelled seconds by category ("comm" / "comp" / "other")
+    time: Dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+    #: measured wall-clock seconds by category (real Python work that ran)
+    measured: Dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+    #: number of point-to-point / one-sided messages this rank originated
+    messages_sent: int = 0
+    #: number of RDMA Get operations this rank issued
+    rdma_gets: int = 0
+    #: bytes this rank sent (origin side of sends; target side of Gets)
+    bytes_sent: int = 0
+    #: bytes this rank received (fetched via Gets or received via sends)
+    bytes_received: int = 0
+    #: sparse flops executed by this rank's local kernels
+    flops: int = 0
+    #: peak modelled memory in bytes (local inputs + fetched data + output)
+    peak_memory_bytes: int = 0
+
+    def charge_time(self, category: str, seconds: float) -> None:
+        if category not in self.time:
+            raise KeyError(f"unknown time category {category!r}")
+        self.time[category] += float(seconds)
+
+    def charge_measured(self, category: str, seconds: float) -> None:
+        if category not in self.measured:
+            raise KeyError(f"unknown time category {category!r}")
+        self.measured[category] += float(seconds)
+
+    def note_memory(self, nbytes: int) -> None:
+        self.peak_memory_bytes = max(self.peak_memory_bytes, int(nbytes))
+
+    @property
+    def total_time(self) -> float:
+        """Total modelled time across categories."""
+        return float(sum(self.time.values()))
+
+    @property
+    def comm_time(self) -> float:
+        return self.time["comm"]
+
+    @property
+    def comp_time(self) -> float:
+        return self.time["comp"]
+
+    @property
+    def other_time(self) -> float:
+        return self.time["other"]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by the reporting helpers."""
+        out: Dict[str, float] = {f"time_{k}": v for k, v in self.time.items()}
+        out.update({f"measured_{k}": v for k, v in self.measured.items()})
+        out.update(
+            {
+                "messages_sent": float(self.messages_sent),
+                "rdma_gets": float(self.rdma_gets),
+                "bytes_sent": float(self.bytes_sent),
+                "bytes_received": float(self.bytes_received),
+                "flops": float(self.flops),
+                "peak_memory_bytes": float(self.peak_memory_bytes),
+            }
+        )
+        return out
+
+
+@dataclass
+class PhaseLedger:
+    """Collection of per-rank stats grouped into named BSP phases.
+
+    A *phase* is a stretch of the algorithm delimited by (implicit) global
+    synchronisation: metadata exchange, remote fetch, local multiply, result
+    redistribution, …  Elapsed modelled time is the sum over phases of the
+    slowest rank in that phase, which is how a bulk-synchronous SPMD code
+    actually behaves.
+    """
+
+    nprocs: int
+    #: phase name -> list of RankStats (index = rank)
+    phases: Dict[str, List[RankStats]] = field(default_factory=dict)
+    #: insertion order of phases
+    phase_order: List[str] = field(default_factory=list)
+
+    def phase(self, name: str) -> List[RankStats]:
+        """Return (creating if needed) the per-rank stats of phase ``name``."""
+        if name not in self.phases:
+            self.phases[name] = [RankStats(rank=r) for r in range(self.nprocs)]
+            self.phase_order.append(name)
+        return self.phases[name]
+
+    def rank(self, phase: str, rank: int) -> RankStats:
+        return self.phase(phase)[rank]
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def per_rank_totals(self) -> List[RankStats]:
+        """Sum every phase into one RankStats per rank (for breakdown plots)."""
+        totals = [RankStats(rank=r) for r in range(self.nprocs)]
+        for stats_list in self.phases.values():
+            for r, st in enumerate(stats_list):
+                for cat in CATEGORIES:
+                    totals[r].time[cat] += st.time[cat]
+                    totals[r].measured[cat] += st.measured[cat]
+                totals[r].messages_sent += st.messages_sent
+                totals[r].rdma_gets += st.rdma_gets
+                totals[r].bytes_sent += st.bytes_sent
+                totals[r].bytes_received += st.bytes_received
+                totals[r].flops += st.flops
+                totals[r].peak_memory_bytes = max(
+                    totals[r].peak_memory_bytes, st.peak_memory_bytes
+                )
+        return totals
+
+    def elapsed_time(self) -> float:
+        """Modelled elapsed time: Σ over phases of the slowest rank in that phase."""
+        total = 0.0
+        for name in self.phase_order:
+            stats_list = self.phases[name]
+            total += max((st.total_time for st in stats_list), default=0.0)
+        return total
+
+    def elapsed_time_by_category(self) -> Dict[str, float]:
+        """Per-category elapsed time using the same Σ-max convention.
+
+        The per-category maxima are taken on the same critical rank that
+        maximises the phase total, so the categories sum to
+        :meth:`elapsed_time` exactly.
+        """
+        out = {c: 0.0 for c in CATEGORIES}
+        for name in self.phase_order:
+            stats_list = self.phases[name]
+            if not stats_list:
+                continue
+            critical = max(stats_list, key=lambda st: st.total_time)
+            for c in CATEGORIES:
+                out[c] += critical.time[c]
+        return out
+
+    def total_bytes(self) -> int:
+        """Total communication volume (bytes received across all ranks/phases)."""
+        return sum(
+            st.bytes_received for stats_list in self.phases.values() for st in stats_list
+        )
+
+    def total_messages(self) -> int:
+        """Total message count (sends + Gets) across all ranks/phases."""
+        return sum(
+            st.messages_sent + st.rdma_gets
+            for stats_list in self.phases.values()
+            for st in stats_list
+        )
+
+    def total_rdma_gets(self) -> int:
+        return sum(
+            st.rdma_gets for stats_list in self.phases.values() for st in stats_list
+        )
+
+    def total_flops(self) -> int:
+        return sum(st.flops for stats_list in self.phases.values() for st in stats_list)
+
+    def max_peak_memory(self) -> int:
+        return max(
+            (st.peak_memory_bytes for stats_list in self.phases.values() for st in stats_list),
+            default=0,
+        )
+
+    def load_imbalance(self) -> float:
+        """max/mean ratio of per-rank total modelled time (1.0 = perfectly balanced)."""
+        totals = [st.total_time for st in self.per_rank_totals()]
+        mean = float(np.mean(totals)) if totals else 0.0
+        if mean == 0.0:
+            return 1.0
+        return float(np.max(totals)) / mean
+
+    def merge(self, other: "PhaseLedger", *, prefix: str = "") -> None:
+        """Append another ledger's phases to this one (phase names optionally prefixed)."""
+        if other.nprocs != self.nprocs:
+            raise ValueError("cannot merge ledgers with different process counts")
+        for name in other.phase_order:
+            target = self.phase(prefix + name)
+            for r, st in enumerate(other.phases[name]):
+                tgt = target[r]
+                for cat in CATEGORIES:
+                    tgt.time[cat] += st.time[cat]
+                    tgt.measured[cat] += st.measured[cat]
+                tgt.messages_sent += st.messages_sent
+                tgt.rdma_gets += st.rdma_gets
+                tgt.bytes_sent += st.bytes_sent
+                tgt.bytes_received += st.bytes_received
+                tgt.flops += st.flops
+                tgt.peak_memory_bytes = max(tgt.peak_memory_bytes, st.peak_memory_bytes)

@@ -1,0 +1,225 @@
+"""Double Compressed Sparse Column (DCSC) container.
+
+DCSC (Buluç & Gilbert, "On the Representation and Multiplication of
+Hypersparse Matrices", IPDPS 2008) stores only the *non-empty* columns of a
+sparse matrix.  After a 1D or 2D decomposition the local submatrices become
+hypersparse — ``nnz`` can be far smaller than the column dimension — and a
+plain CSC ``indptr`` of length ``ncols + 1`` would dominate the memory
+footprint.  The paper uses CombBLAS's DCSC for all local submatrices.
+
+Layout
+------
+``jc``      — sorted array of the ``nzc`` non-empty column indices.
+``cp``      — ``nzc + 1`` prefix-sum array; entries of the column ``jc[t]``
+              occupy ``ir[cp[t]:cp[t+1]]`` / ``num[cp[t]:cp[t+1]]``.
+``ir``      — row indices, sorted within each column.
+``num``     — numeric values.
+
+The original DCSC also carries an ``aux`` array accelerating column lookup;
+here :meth:`DCSCMatrix.column_lookup` performs a binary search over ``jc``
+which has the same asymptotic role and is adequate at our scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from .csc import CSCMatrix
+
+__all__ = ["DCSCMatrix"]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class DCSCMatrix:
+    """A double-compressed sparse column matrix (stores only non-empty columns)."""
+
+    nrows: int
+    ncols: int
+    jc: np.ndarray
+    cp: np.ndarray
+    ir: np.ndarray
+    num: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.nrows = int(self.nrows)
+        self.ncols = int(self.ncols)
+        self.jc = np.asarray(self.jc, dtype=_INDEX_DTYPE)
+        self.cp = np.asarray(self.cp, dtype=_INDEX_DTYPE)
+        self.ir = np.asarray(self.ir, dtype=_INDEX_DTYPE)
+        self.num = np.asarray(self.num)
+        if self.cp.shape[0] != self.jc.shape[0] + 1:
+            raise ValueError("cp must have length nzc + 1")
+        if self.ir.shape[0] != self.num.shape[0]:
+            raise ValueError("ir and num must have equal length")
+        if self.cp.size and (self.cp[0] != 0 or self.cp[-1] != self.ir.shape[0]):
+            raise ValueError("cp must start at 0 and end at nnz")
+        if self.jc.size:
+            if np.any(np.diff(self.jc) <= 0):
+                raise ValueError("jc must be strictly increasing")
+            if self.jc[0] < 0 or self.jc[-1] >= self.ncols:
+                raise ValueError("column index out of range")
+            if np.any(np.diff(self.cp) <= 0):
+                raise ValueError("every column listed in jc must be non-empty")
+        if self.ir.size and (self.ir.min() < 0 or self.ir.max() >= self.nrows):
+            raise ValueError("row index out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, nrows: int, ncols: int, dtype=np.float64) -> "DCSCMatrix":
+        return cls(
+            nrows=nrows,
+            ncols=ncols,
+            jc=np.zeros(0, dtype=_INDEX_DTYPE),
+            cp=np.zeros(1, dtype=_INDEX_DTYPE),
+            ir=np.zeros(0, dtype=_INDEX_DTYPE),
+            num=np.zeros(0, dtype=dtype),
+        )
+
+    @classmethod
+    def from_csc(cls, csc: CSCMatrix) -> "DCSCMatrix":
+        """Compress a CSC matrix by dropping its empty columns from the index."""
+        col_counts = np.diff(csc.indptr)
+        jc = np.nonzero(col_counts > 0)[0].astype(_INDEX_DTYPE)
+        cp = np.zeros(jc.shape[0] + 1, dtype=_INDEX_DTYPE)
+        cp[1:] = np.cumsum(col_counts[jc])
+        return cls(
+            nrows=csc.nrows,
+            ncols=csc.ncols,
+            jc=jc,
+            cp=cp,
+            ir=csc.indices.copy(),
+            num=csc.data.copy(),
+        )
+
+    @classmethod
+    def from_coo(cls, nrows: int, ncols: int, rows: Iterable[int],
+                 cols: Iterable[int], vals: Iterable[float]) -> "DCSCMatrix":
+        return cls.from_csc(CSCMatrix.from_coo(nrows, ncols, rows, cols, vals))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.ir.shape[0])
+
+    @property
+    def nzc(self) -> int:
+        """Number of non-empty columns (the defining quantity of DCSC)."""
+        return int(self.jc.shape[0])
+
+    @property
+    def dtype(self):
+        return self.num.dtype
+
+    def memory_bytes(self) -> int:
+        """Memory footprint — note the absence of an O(ncols) array."""
+        return int(self.jc.nbytes + self.cp.nbytes + self.ir.nbytes + self.num.nbytes)
+
+    def column_nnz_compressed(self) -> np.ndarray:
+        """Entry counts for the non-empty columns only (aligned with ``jc``)."""
+        return np.diff(self.cp)
+
+    def nonzero_rows_mask(self) -> np.ndarray:
+        mask = np.zeros(self.nrows, dtype=bool)
+        mask[self.ir] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def column_lookup(self, j: int) -> int:
+        """Return the position of column ``j`` in ``jc`` or -1 if it is empty."""
+        pos = int(np.searchsorted(self.jc, j))
+        if pos < self.jc.shape[0] and self.jc[pos] == j:
+            return pos
+        return -1
+
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(row_indices, values)`` of logical column ``j`` (may be empty)."""
+        if not 0 <= j < self.ncols:
+            raise IndexError(f"column index {j} out of range for {self.shape}")
+        pos = self.column_lookup(j)
+        if pos < 0:
+            return (np.zeros(0, dtype=_INDEX_DTYPE), np.zeros(0, dtype=self.num.dtype))
+        lo, hi = self.cp[pos], self.cp[pos + 1]
+        return self.ir[lo:hi], self.num[lo:hi]
+
+    def to_csc(self) -> CSCMatrix:
+        indptr = np.zeros(self.ncols + 1, dtype=_INDEX_DTYPE)
+        counts = np.zeros(self.ncols, dtype=_INDEX_DTYPE)
+        counts[self.jc] = np.diff(self.cp)
+        indptr[1:] = np.cumsum(counts)
+        return CSCMatrix(
+            nrows=self.nrows,
+            ncols=self.ncols,
+            indptr=indptr,
+            indices=self.ir.copy(),
+            data=self.num.copy(),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_csc().to_dense()
+
+    def copy(self) -> "DCSCMatrix":
+        return DCSCMatrix(
+            nrows=self.nrows,
+            ncols=self.ncols,
+            jc=self.jc.copy(),
+            cp=self.cp.copy(),
+            ir=self.ir.copy(),
+            num=self.num.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Structural transforms
+    # ------------------------------------------------------------------
+    def extract_columns(self, columns: Iterable[int]) -> "DCSCMatrix":
+        """Extract a set of logical columns as a compacted DCSC matrix.
+
+        Columns absent from ``jc`` simply contribute nothing; the result's
+        column dimension equals ``len(columns)`` with columns renumbered in
+        the requested order (mirrors :meth:`CSCMatrix.extract_columns`).
+        """
+        columns = np.asarray(list(columns), dtype=_INDEX_DTYPE)
+        rows_out = []
+        cols_out = []
+        vals_out = []
+        for new_j, j in enumerate(columns):
+            ir, num = self.column(int(j))
+            if ir.size:
+                rows_out.append(ir)
+                cols_out.append(np.full(ir.shape[0], new_j, dtype=_INDEX_DTYPE))
+                vals_out.append(num)
+        if not rows_out:
+            return DCSCMatrix.empty(self.nrows, int(columns.size), dtype=self.num.dtype)
+        return DCSCMatrix.from_coo(
+            self.nrows,
+            int(columns.size),
+            np.concatenate(rows_out),
+            np.concatenate(cols_out),
+            np.concatenate(vals_out),
+        )
+
+    def allclose(self, other, rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        other_dense = other.to_dense() if hasattr(other, "to_dense") else np.asarray(other)
+        if self.shape != other_dense.shape:
+            return False
+        return np.allclose(self.to_dense(), other_dense, rtol=rtol, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DCSCMatrix(shape={self.shape}, nnz={self.nnz}, nzc={self.nzc}, "
+            f"dtype={self.num.dtype})"
+        )

@@ -1,0 +1,131 @@
+"""Merging partial sparse results.
+
+Two merge primitives are needed by the distributed algorithms:
+
+* :func:`add_matrices` — elementwise sum of several same-shaped sparse
+  matrices.  The outer-product 1D algorithm (Algorithm 3) and the 3D split
+  algorithm both produce, on each process, *partial* results for the same
+  output block that must be summed.
+* :func:`kway_merge_columns` — merge column fragments (each covering a
+  disjoint set of global columns) into one matrix.  Used when reassembling a
+  1D-distributed output from per-process slices, and by the redistribution
+  utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .csc import CSCMatrix
+from .conversion import as_csc
+
+__all__ = ["add_matrices", "kway_merge_columns", "stack_columns"]
+
+_INDEX_DTYPE = np.int64
+
+
+def add_matrices(matrices: Iterable) -> CSCMatrix:
+    """Elementwise sum of same-shaped sparse matrices.
+
+    Duplicate entries across inputs are accumulated; the result keeps any
+    explicit zeros produced by cancellation (CombBLAS semantics).
+    """
+    mats: List[CSCMatrix] = [as_csc(m) for m in matrices]
+    if not mats:
+        raise ValueError("add_matrices requires at least one matrix")
+    shape = mats[0].shape
+    for m in mats[1:]:
+        if m.shape != shape:
+            raise ValueError(f"shape mismatch in add_matrices: {m.shape} vs {shape}")
+    if len(mats) == 1:
+        return mats[0].copy()
+    rows = np.concatenate([m.indices for m in mats])
+    cols = np.concatenate(
+        [
+            np.repeat(np.arange(m.ncols, dtype=_INDEX_DTYPE), np.diff(m.indptr))
+            for m in mats
+        ]
+    )
+    vals = np.concatenate([m.data for m in mats])
+    return CSCMatrix.from_coo(shape[0], shape[1], rows, cols, vals, sum_duplicates=True)
+
+
+def stack_columns(matrices: Sequence, *, nrows: int | None = None) -> CSCMatrix:
+    """Horizontally concatenate matrices (same row dimension) in order.
+
+    The inverse of slicing a 1D column-distributed matrix into per-process
+    pieces: ``stack_columns([C_0, ..., C_{P-1}])`` rebuilds the global C.
+    """
+    mats: List[CSCMatrix] = [as_csc(m) for m in matrices]
+    if not mats:
+        raise ValueError("stack_columns requires at least one matrix")
+    if nrows is None:
+        nrows = mats[0].nrows
+    for m in mats:
+        if m.nrows != nrows:
+            raise ValueError("all matrices must share the row dimension")
+    total_cols = sum(m.ncols for m in mats)
+    indptr = np.zeros(total_cols + 1, dtype=_INDEX_DTYPE)
+    indices_parts: List[np.ndarray] = []
+    data_parts: List[np.ndarray] = []
+    col_offset = 0
+    nnz_offset = 0
+    for m in mats:
+        indptr[col_offset + 1 : col_offset + m.ncols + 1] = m.indptr[1:] + nnz_offset
+        indices_parts.append(m.indices)
+        data_parts.append(m.data)
+        col_offset += m.ncols
+        nnz_offset += m.nnz
+    indices = (
+        np.concatenate(indices_parts) if indices_parts else np.zeros(0, dtype=_INDEX_DTYPE)
+    )
+    data = (
+        np.concatenate(data_parts) if data_parts else np.zeros(0, dtype=np.float64)
+    )
+    return CSCMatrix(
+        nrows=nrows, ncols=total_cols, indptr=indptr, indices=indices, data=data
+    )
+
+
+def kway_merge_columns(
+    fragments: Sequence[Tuple[np.ndarray, CSCMatrix]],
+    nrows: int,
+    ncols: int,
+) -> CSCMatrix:
+    """Merge column fragments into an ``nrows × ncols`` matrix.
+
+    Each fragment is ``(global_column_ids, matrix)`` where ``matrix`` has one
+    column per listed global column.  Overlapping columns are summed (needed
+    when partial outer-product results for the same column arrive from
+    several processes).
+    """
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    vals_parts: List[np.ndarray] = []
+    for global_cols, mat in fragments:
+        mat = as_csc(mat)
+        global_cols = np.asarray(global_cols, dtype=_INDEX_DTYPE)
+        if global_cols.shape[0] != mat.ncols:
+            raise ValueError("fragment column id list does not match matrix width")
+        if mat.nrows != nrows:
+            raise ValueError("fragment row dimension mismatch")
+        if mat.nnz == 0:
+            continue
+        local_cols = np.repeat(
+            np.arange(mat.ncols, dtype=_INDEX_DTYPE), np.diff(mat.indptr)
+        )
+        rows_parts.append(mat.indices)
+        cols_parts.append(global_cols[local_cols])
+        vals_parts.append(mat.data)
+    if not rows_parts:
+        return CSCMatrix.empty(nrows, ncols)
+    return CSCMatrix.from_coo(
+        nrows,
+        ncols,
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+        sum_duplicates=True,
+    )

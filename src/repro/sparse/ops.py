@@ -1,0 +1,242 @@
+"""Structural and elementwise operations on local sparse matrices.
+
+These are the supporting operations the applications need around SpGEMM:
+transpose (for ``RᵀA``), row/column extraction (for 1D slicing and frontier
+selection in betweenness centrality), elementwise products/masks (for the BC
+backward sweep), diagonal extraction and scaling, and symmetrisation (for
+feeding the graph partitioner).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from .csc import CSCMatrix
+from .conversion import as_csc
+
+__all__ = [
+    "transpose",
+    "extract_rows",
+    "extract_columns",
+    "elementwise_multiply",
+    "elementwise_mask",
+    "scale_columns",
+    "scale_rows",
+    "diagonal",
+    "symmetrize_pattern",
+    "spmv",
+    "spmm_dense",
+    "column_blocks",
+    "row_blocks",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+def transpose(A) -> CSCMatrix:
+    """Return Aᵀ as a new CSC matrix."""
+    return as_csc(A).transpose()
+
+
+def extract_columns(A, columns: Iterable[int]) -> CSCMatrix:
+    """Columns of ``A`` selected by ``columns`` (renumbered, order preserved)."""
+    return as_csc(A).extract_columns(columns)
+
+
+def extract_rows(A, rows: Iterable[int]) -> CSCMatrix:
+    """Rows of ``A`` selected by ``rows`` (renumbered, order preserved)."""
+    A = as_csc(A)
+    rows = np.asarray(list(rows), dtype=_INDEX_DTYPE)
+    if rows.size and (rows.min() < 0 or rows.max() >= A.nrows):
+        raise IndexError("row index out of range")
+    # Map old row id -> new row id (or -1 if dropped).
+    mapping = np.full(A.nrows, -1, dtype=_INDEX_DTYPE)
+    mapping[rows] = np.arange(rows.size, dtype=_INDEX_DTYPE)
+    r, c, v = A.to_coo()
+    keep = mapping[r] >= 0
+    return CSCMatrix.from_coo(
+        int(rows.size), A.ncols, mapping[r[keep]], c[keep], v[keep], sum_duplicates=False
+    )
+
+
+def elementwise_multiply(A, B) -> CSCMatrix:
+    """Hadamard (elementwise) product of two same-shaped sparse matrices."""
+    A = as_csc(A)
+    B = as_csc(B)
+    if A.shape != B.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
+    # Intersect patterns column by column using sorted-row merges via np.intersect1d.
+    rows_out = []
+    cols_out = []
+    vals_out = []
+    for j in range(A.ncols):
+        ar, av = A.column(j)
+        br, bv = B.column(j)
+        if ar.size == 0 or br.size == 0:
+            continue
+        common, ai, bi = np.intersect1d(ar, br, assume_unique=False, return_indices=True)
+        if common.size == 0:
+            continue
+        rows_out.append(common)
+        cols_out.append(np.full(common.size, j, dtype=_INDEX_DTYPE))
+        vals_out.append(av[ai] * bv[bi])
+    if not rows_out:
+        return CSCMatrix.empty(A.nrows, A.ncols, dtype=np.result_type(A.dtype, B.dtype))
+    return CSCMatrix.from_coo(
+        A.nrows,
+        A.ncols,
+        np.concatenate(rows_out),
+        np.concatenate(cols_out),
+        np.concatenate(vals_out),
+        sum_duplicates=False,
+    )
+
+
+def elementwise_mask(A, mask, *, complement: bool = False) -> CSCMatrix:
+    """Keep entries of ``A`` where ``mask`` has (or, with ``complement``, lacks) an entry.
+
+    This is the "masked" SpGEMM post-filter used by the betweenness
+    centrality forward search: newly discovered vertices are those reached by
+    the frontier expansion *and not yet visited*, i.e. masked by the
+    complement of the visited pattern.
+    """
+    A = as_csc(A)
+    mask = as_csc(mask)
+    if A.shape != mask.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {mask.shape}")
+    rows_out = []
+    cols_out = []
+    vals_out = []
+    for j in range(A.ncols):
+        ar, av = A.column(j)
+        if ar.size == 0:
+            continue
+        mr, _ = mask.column(j)
+        keep = np.isin(ar, mr, invert=complement)
+        if not np.any(keep):
+            continue
+        rows_out.append(ar[keep])
+        cols_out.append(np.full(int(keep.sum()), j, dtype=_INDEX_DTYPE))
+        vals_out.append(av[keep])
+    if not rows_out:
+        return CSCMatrix.empty(A.nrows, A.ncols, dtype=A.dtype)
+    return CSCMatrix.from_coo(
+        A.nrows,
+        A.ncols,
+        np.concatenate(rows_out),
+        np.concatenate(cols_out),
+        np.concatenate(vals_out),
+        sum_duplicates=False,
+    )
+
+
+def scale_columns(A, scales: np.ndarray) -> CSCMatrix:
+    """Multiply column ``j`` of ``A`` by ``scales[j]``."""
+    A = as_csc(A)
+    scales = np.asarray(scales)
+    if scales.shape[0] != A.ncols:
+        raise ValueError("scales length must equal ncols")
+    col_of_entry = np.repeat(np.arange(A.ncols, dtype=_INDEX_DTYPE), np.diff(A.indptr))
+    return CSCMatrix(
+        nrows=A.nrows,
+        ncols=A.ncols,
+        indptr=A.indptr.copy(),
+        indices=A.indices.copy(),
+        data=A.data * scales[col_of_entry],
+    )
+
+
+def scale_rows(A, scales: np.ndarray) -> CSCMatrix:
+    """Multiply row ``i`` of ``A`` by ``scales[i]``."""
+    A = as_csc(A)
+    scales = np.asarray(scales)
+    if scales.shape[0] != A.nrows:
+        raise ValueError("scales length must equal nrows")
+    return CSCMatrix(
+        nrows=A.nrows,
+        ncols=A.ncols,
+        indptr=A.indptr.copy(),
+        indices=A.indices.copy(),
+        data=A.data * scales[A.indices],
+    )
+
+
+def diagonal(A) -> np.ndarray:
+    """Main diagonal of ``A`` as a dense vector."""
+    A = as_csc(A)
+    n = min(A.nrows, A.ncols)
+    out = np.zeros(n, dtype=A.dtype)
+    for j in range(n):
+        rows, vals = A.column(j)
+        hit = np.searchsorted(rows, j)
+        if hit < rows.shape[0] and rows[hit] == j:
+            out[j] = vals[hit]
+    return out
+
+
+def symmetrize_pattern(A) -> CSCMatrix:
+    """Return a matrix with the symmetric pattern ``A ∪ Aᵀ`` (values summed).
+
+    METIS requires an undirected graph; unsymmetric inputs (hv15r, stokes)
+    are symmetrised before partitioning, exactly as a METIS user would.
+    """
+    A = as_csc(A)
+    if A.nrows != A.ncols:
+        raise ValueError("symmetrize_pattern requires a square matrix")
+    r, c, v = A.to_coo()
+    rows = np.concatenate([r, c])
+    cols = np.concatenate([c, r])
+    vals = np.concatenate([v, v])
+    sym = CSCMatrix.from_coo(A.nrows, A.ncols, rows, cols, vals, sum_duplicates=True)
+    return sym
+
+
+def spmv(A, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix–dense vector product ``A @ x`` (column-major accumulation)."""
+    A = as_csc(A)
+    x = np.asarray(x)
+    if x.shape[0] != A.ncols:
+        raise ValueError("vector length must equal ncols")
+    out = np.zeros(A.nrows, dtype=np.result_type(A.dtype, x.dtype))
+    col_of_entry = np.repeat(np.arange(A.ncols, dtype=_INDEX_DTYPE), np.diff(A.indptr))
+    np.add.at(out, A.indices, A.data * x[col_of_entry])
+    return out
+
+
+def spmm_dense(A, X: np.ndarray) -> np.ndarray:
+    """Sparse matrix–dense matrix product ``A @ X``."""
+    A = as_csc(A)
+    X = np.asarray(X)
+    if X.ndim != 2 or X.shape[0] != A.ncols:
+        raise ValueError("dense operand must be 2-D with matching inner dimension")
+    out = np.zeros((A.nrows, X.shape[1]), dtype=np.result_type(A.dtype, X.dtype))
+    col_of_entry = np.repeat(np.arange(A.ncols, dtype=_INDEX_DTYPE), np.diff(A.indptr))
+    np.add.at(out, A.indices, A.data[:, None] * X[col_of_entry])
+    return out
+
+
+def column_blocks(ncols: int, nblocks: int) -> list[Tuple[int, int]]:
+    """Split ``range(ncols)`` into ``nblocks`` contiguous ``[start, stop)`` ranges.
+
+    Matches the block decomposition used both by the 1D column distribution
+    and by the block-fetch strategy: the first ``ncols % nblocks`` blocks get
+    one extra column.
+    """
+    if nblocks <= 0:
+        raise ValueError("nblocks must be positive")
+    base = ncols // nblocks
+    extra = ncols % nblocks
+    blocks = []
+    start = 0
+    for b in range(nblocks):
+        width = base + (1 if b < extra else 0)
+        blocks.append((start, start + width))
+        start += width
+    return blocks
+
+
+def row_blocks(nrows: int, nblocks: int) -> list[Tuple[int, int]]:
+    """Row-wise analogue of :func:`column_blocks`."""
+    return column_blocks(nrows, nblocks)

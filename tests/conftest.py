@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deterministic (fixed seeds) so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import load_dataset
+from repro.runtime import CostModel, SimulatedCluster, ZERO_COST
+from repro.sparse import CSCMatrix, as_csc
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def _random_sparse(n_rows, n_cols, density, seed, symmetric=False):
+    mat = sp.random(n_rows, n_cols, density=density, random_state=seed, format="csc")
+    if symmetric:
+        mat = mat + mat.T
+    return as_csc(mat)
+
+
+@pytest.fixture
+def small_square() -> CSCMatrix:
+    """A 60×60 unsymmetric random sparse matrix."""
+    return _random_sparse(60, 60, 0.08, seed=1)
+
+
+@pytest.fixture
+def small_symmetric() -> CSCMatrix:
+    """A 80×80 symmetric random sparse matrix."""
+    return _random_sparse(80, 80, 0.05, seed=2, symmetric=True)
+
+
+@pytest.fixture
+def small_rect() -> CSCMatrix:
+    """A 50×70 rectangular random sparse matrix."""
+    return _random_sparse(50, 70, 0.08, seed=3)
+
+
+@pytest.fixture
+def tiny_dense_pair():
+    """A pair of tiny matrices with a known dense product."""
+    A = np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0],
+            [0.0, 3.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 4.0],
+            [5.0, 0.0, 6.0, 0.0],
+        ]
+    )
+    B = np.array(
+        [
+            [0.0, 1.0, 0.0, 0.0],
+            [2.0, 0.0, 0.0, 3.0],
+            [0.0, 0.0, 4.0, 0.0],
+            [0.0, 5.0, 0.0, 6.0],
+        ]
+    )
+    return CSCMatrix.from_dense(A), CSCMatrix.from_dense(B), A @ B
+
+
+@pytest.fixture
+def hv15r_tiny() -> CSCMatrix:
+    """A very small hv15r-like clustered matrix (fast for algorithm tests)."""
+    return load_dataset("hv15r", scale=0.05)
+
+
+@pytest.fixture
+def eukarya_tiny() -> CSCMatrix:
+    """A very small eukarya-like shuffled community graph."""
+    return load_dataset("eukarya", scale=0.05)
+
+
+@pytest.fixture
+def cluster4() -> SimulatedCluster:
+    return SimulatedCluster(4)
+
+
+@pytest.fixture
+def cluster4_free() -> SimulatedCluster:
+    """A 4-rank cluster whose cost model charges nothing (pure correctness runs)."""
+    return SimulatedCluster(4, cost_model=ZERO_COST)
+
+
+@pytest.fixture
+def cluster9() -> SimulatedCluster:
+    return SimulatedCluster(9)
+
+
+def assert_sparse_equal(actual, expected, *, atol=1e-10, rtol=1e-8, msg=""):
+    """Dense comparison helper shared by many tests."""
+    a = actual.to_dense() if hasattr(actual, "to_dense") else np.asarray(actual)
+    e = expected.to_dense() if hasattr(expected, "to_dense") else np.asarray(expected)
+    np.testing.assert_allclose(a, e, atol=atol, rtol=rtol, err_msg=msg)

@@ -1,0 +1,148 @@
+"""Tests for the AMG application: MIS-2, restriction operators, Galerkin product."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.amg import (
+    build_restriction,
+    galerkin_product,
+    left_multiplication,
+    mis2,
+    right_multiplication,
+    verify_mis2,
+)
+from repro.matrices import load_dataset
+from repro.matrices.generators import banded
+from repro.sparse import CSCMatrix, local_spgemm
+from repro.sparse.ops import transpose
+
+from conftest import assert_sparse_equal
+
+
+class TestMIS2:
+    def test_mis2_is_valid_on_banded(self):
+        A = banded(150, 5, symmetric=True, seed=1)
+        members = mis2(A, seed=0)
+        assert members.size > 0
+        assert verify_mis2(A, members)
+
+    def test_mis2_is_valid_on_random_symmetric(self, small_symmetric):
+        members = mis2(small_symmetric, seed=1)
+        assert verify_mis2(small_symmetric, members)
+
+    def test_mis2_deterministic_for_seed(self, small_symmetric):
+        np.testing.assert_array_equal(
+            mis2(small_symmetric, seed=3), mis2(small_symmetric, seed=3)
+        )
+
+    def test_mis2_requires_square(self, small_rect):
+        with pytest.raises(ValueError):
+            mis2(small_rect)
+
+    def test_mis2_much_smaller_than_graph(self):
+        A = banded(300, 8, symmetric=True, seed=2)
+        members = mis2(A, seed=0)
+        assert members.size < A.nrows / 2
+
+    def test_verify_rejects_adjacent_pair(self):
+        # Two adjacent vertices can never both be in a distance-2 MIS.
+        A = CSCMatrix.from_dense(
+            np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        )
+        assert not verify_mis2(A, np.array([0, 1]))
+
+    def test_verify_rejects_non_maximal(self):
+        # Empty set is independent but not maximal on a non-empty graph.
+        A = CSCMatrix.from_dense(
+            np.array([[0, 1], [1, 0]], dtype=float)
+        )
+        assert not verify_mis2(A, np.array([], dtype=np.int64))
+
+
+class TestRestriction:
+    def test_one_nonzero_per_row(self):
+        """Table III: every row of the restriction operator has exactly one entry."""
+        A = load_dataset("queen", scale=0.08)
+        rest = build_restriction(A, seed=0)
+        assert rest.R.nnz == rest.R.nrows
+        np.testing.assert_array_equal(rest.R.row_nnz(), np.ones(rest.R.nrows))
+
+    def test_far_fewer_columns_than_rows(self):
+        A = load_dataset("queen", scale=0.08)
+        rest = build_restriction(A, seed=0)
+        assert rest.n_coarse < rest.n_fine / 2
+
+    def test_every_vertex_assigned_to_valid_aggregate(self, small_symmetric):
+        rest = build_restriction(small_symmetric, seed=0)
+        assert rest.aggregates.min() >= 0
+        assert rest.aggregates.max() < rest.n_coarse
+
+    def test_roots_belong_to_their_own_aggregate(self, small_symmetric):
+        rest = build_restriction(small_symmetric, seed=0)
+        for agg_id, root in enumerate(rest.roots):
+            assert rest.aggregates[root] == agg_id
+
+    def test_column_sums_equal_aggregate_sizes(self, small_symmetric):
+        rest = build_restriction(small_symmetric, seed=0)
+        sizes = np.bincount(rest.aggregates, minlength=rest.n_coarse)
+        np.testing.assert_array_equal(rest.R.column_nnz(), sizes)
+
+    def test_isolated_vertices_become_singletons(self):
+        # A graph with an isolated vertex: it must still get an aggregate.
+        dense = np.zeros((5, 5))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[2, 3] = dense[3, 2] = 1.0
+        A = CSCMatrix.from_dense(dense)
+        rest = build_restriction(A, seed=0)
+        assert rest.R.nnz == 5
+        assert rest.aggregates[4] >= 0
+
+
+class TestGalerkin:
+    def test_galerkin_matches_reference_triple_product(self):
+        A = load_dataset("queen", scale=0.06)
+        g = galerkin_product(A, nprocs=4)
+        Rt = transpose(g.restriction.R)
+        expected = local_spgemm(local_spgemm(Rt, A), g.restriction.R)
+        assert_sparse_equal(g.coarse, expected, atol=1e-8)
+
+    def test_coarse_operator_is_square_and_smaller(self):
+        A = load_dataset("queen", scale=0.06)
+        g = galerkin_product(A, nprocs=4)
+        assert g.coarse.nrows == g.coarse.ncols == g.restriction.n_coarse
+        assert g.coarse.nrows < A.nrows
+
+    def test_symmetric_input_gives_symmetric_coarse_operator(self):
+        A = banded(200, 6, symmetric=True, seed=4)
+        g = galerkin_product(A, nprocs=4)
+        dense = g.coarse.to_dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-9)
+
+    def test_left_and_right_ledgers_are_separate(self):
+        A = load_dataset("queen", scale=0.06)
+        g = galerkin_product(A, nprocs=4)
+        assert g.left.elapsed_time >= 0
+        assert g.right.elapsed_time >= 0
+        assert g.total_time == pytest.approx(g.left.elapsed_time + g.right.elapsed_time)
+
+    def test_left_multiplication_algorithm_choices_agree(self):
+        A = banded(150, 6, symmetric=True, seed=5)
+        rest = build_restriction(A, seed=0)
+        left_1d = left_multiplication(rest.R, A, algorithm="1d", nprocs=4)
+        left_2d = left_multiplication(rest.R, A, algorithm="2d", nprocs=4)
+        assert_sparse_equal(left_1d.C, left_2d.C, atol=1e-9)
+
+    def test_right_multiplication_outer_product_matches_1d(self):
+        A = banded(150, 6, symmetric=True, seed=6)
+        rest = build_restriction(A, seed=0)
+        rta = left_multiplication(rest.R, A, algorithm="1d", nprocs=4)
+        right_op = right_multiplication(rta.C, rest.R, algorithm="outer-product", nprocs=4)
+        right_1d = right_multiplication(rta.C, rest.R, algorithm="1d", nprocs=4)
+        assert_sparse_equal(right_op.C, right_1d.C, atol=1e-9)
+
+    def test_precomputed_restriction_is_respected(self, small_symmetric):
+        rest = build_restriction(small_symmetric, seed=0)
+        g = galerkin_product(small_symmetric, restriction=rest, nprocs=2)
+        assert g.restriction is rest

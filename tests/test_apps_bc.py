@@ -1,0 +1,154 @@
+"""Tests for the betweenness-centrality application (batched Brandes on SpGEMM)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.bc import (
+    batched_betweenness_centrality,
+    mask_visited,
+    source_selection_matrix,
+)
+from repro.sparse import CSCMatrix, as_csc
+
+
+def _graph_and_adjacency(n=35, p=0.12, seed=5, directed=False):
+    if directed:
+        G = nx.gnp_random_graph(n, p, seed=seed, directed=True)
+    else:
+        G = nx.erdos_renyi_graph(n, p, seed=seed)
+    adj = nx.to_scipy_sparse_array(G, format="csc", dtype=float, nodelist=range(n))
+    return G, as_csc(adj.tocsc())
+
+
+class TestFrontierHelpers:
+    def test_source_selection_matrix(self):
+        F = source_selection_matrix(6, [2, 4, 0])
+        assert F.shape == (6, 3)
+        dense = F.to_dense()
+        assert dense[2, 0] == 1 and dense[4, 1] == 1 and dense[0, 2] == 1
+        assert dense.sum() == 3
+
+    def test_source_selection_out_of_range(self):
+        with pytest.raises(IndexError):
+            source_selection_matrix(4, [5])
+
+    def test_mask_visited_removes_entries(self):
+        F = CSCMatrix.from_coo(4, 2, [0, 1, 2], [0, 0, 1], [1.0, 2.0, 3.0])
+        visited = np.zeros((4, 2), dtype=bool)
+        visited[1, 0] = True
+        masked = mask_visited(F, visited)
+        assert masked.nnz == 2
+        assert masked.to_dense()[1, 0] == 0
+
+    def test_mask_visited_empty_frontier(self):
+        F = CSCMatrix.empty(3, 2)
+        visited = np.zeros((3, 2), dtype=bool)
+        assert mask_visited(F, visited).nnz == 0
+
+
+class TestBCCorrectness:
+    def test_exact_bc_matches_networkx_undirected(self):
+        G, A = _graph_and_adjacency(seed=7)
+        result = batched_betweenness_centrality(
+            A, sources=range(A.nrows), batch_size=12, algorithm="local"
+        )
+        expected = nx.betweenness_centrality(G, normalized=False)
+        np.testing.assert_allclose(
+            result.scores, [expected[i] for i in range(A.nrows)], atol=1e-8
+        )
+
+    def test_exact_bc_matches_networkx_directed(self):
+        G, A = _graph_and_adjacency(seed=11, directed=True)
+        result = batched_betweenness_centrality(
+            A, sources=range(A.nrows), batch_size=10, algorithm="local", directed=True
+        )
+        expected = nx.betweenness_centrality(G, normalized=False)
+        np.testing.assert_allclose(
+            result.scores, [expected[i] for i in range(A.nrows)], atol=1e-8
+        )
+
+    def test_path_graph_center_has_highest_score(self):
+        G = nx.path_graph(7)
+        A = as_csc(nx.to_scipy_sparse_array(G, format="csc", dtype=float))
+        result = batched_betweenness_centrality(A, sources=range(7), algorithm="local")
+        assert np.argmax(result.scores) == 3
+
+    def test_star_graph_hub_dominates(self):
+        G = nx.star_graph(8)
+        A = as_csc(nx.to_scipy_sparse_array(G, format="csc", dtype=float))
+        result = batched_betweenness_centrality(A, sources=range(9), algorithm="local")
+        assert np.argmax(result.scores) == 0
+        assert result.scores[1:].max() == pytest.approx(0.0)
+
+    def test_batching_does_not_change_scores(self):
+        _, A = _graph_and_adjacency(seed=13)
+        full = batched_betweenness_centrality(
+            A, sources=range(A.nrows), batch_size=A.nrows, algorithm="local"
+        )
+        batched = batched_betweenness_centrality(
+            A, sources=range(A.nrows), batch_size=7, algorithm="local"
+        )
+        np.testing.assert_allclose(batched.scores, full.scores, atol=1e-9)
+
+    def test_sampled_sources_give_partial_scores(self):
+        _, A = _graph_and_adjacency(seed=17)
+        approx = batched_betweenness_centrality(
+            A, num_sources=10, batch_size=5, algorithm="local", seed=3
+        )
+        assert approx.scores.shape == (A.nrows,)
+        assert (approx.scores >= 0).all()
+
+    def test_requires_square(self, small_rect):
+        with pytest.raises(ValueError):
+            batched_betweenness_centrality(small_rect, num_sources=2)
+
+    def test_requires_sources_or_count(self, small_symmetric):
+        with pytest.raises(ValueError):
+            batched_betweenness_centrality(small_symmetric)
+
+
+class TestBCDistributed:
+    def test_distributed_scores_match_local(self):
+        _, A = _graph_and_adjacency(n=30, seed=19)
+        local = batched_betweenness_centrality(
+            A, sources=range(12), batch_size=6, algorithm="local"
+        )
+        distributed = batched_betweenness_centrality(
+            A, sources=range(12), batch_size=6, algorithm="1d", nprocs=4
+        )
+        np.testing.assert_allclose(distributed.scores, local.scores, atol=1e-8)
+
+    def test_distributed_records_iteration_telemetry(self):
+        _, A = _graph_and_adjacency(n=30, seed=23)
+        result = batched_betweenness_centrality(
+            A, sources=range(8), batch_size=8, algorithm="1d", nprocs=4
+        )
+        assert result.iterations
+        forward = [r for r in result.iterations if r.phase == "forward"]
+        backward = [r for r in result.iterations if r.phase == "backward"]
+        assert forward and backward
+        assert all(r.modelled_time > 0 for r in forward)
+        assert result.total_time == pytest.approx(
+            result.forward_time + result.backward_time
+        )
+
+    def test_local_mode_has_zero_modelled_time(self):
+        _, A = _graph_and_adjacency(n=25, seed=29)
+        result = batched_betweenness_centrality(
+            A, sources=range(5), algorithm="local"
+        )
+        assert result.forward_time == 0.0
+        assert all(r.communication_volume == 0 for r in result.iterations)
+
+    def test_2d_algorithm_also_correct(self):
+        _, A = _graph_and_adjacency(n=24, seed=31)
+        local = batched_betweenness_centrality(
+            A, sources=range(8), batch_size=8, algorithm="local"
+        )
+        dist2d = batched_betweenness_centrality(
+            A, sources=range(8), batch_size=8, algorithm="2d", nprocs=4
+        )
+        np.testing.assert_allclose(dist2d.scores, local.scores, atol=1e-8)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.matrices import write_matrix_market
+from repro.matrices.generators import banded
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_square_defaults(self):
+        args = build_parser().parse_args(["square"])
+        assert args.command == "square"
+        assert args.algorithm == "1d"
+        assert args.strategy == "none"
+        assert args.nprocs == 16
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["square", "--dataset", "unknown42"])
+
+    def test_bc_arguments(self):
+        args = build_parser().parse_args(
+            ["bc", "--dataset", "eukarya", "--sources", "8", "--batch-size", "4"]
+        )
+        assert args.sources == 8
+        assert args.batch_size == 4
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("queen", "eukarya", "hv15r"):
+            assert name in out
+
+    def test_algorithms_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "1d-sparsity-aware" in out
+        assert "2d-summa" in out
+
+    def test_square_runs(self, capsys):
+        code = main(
+            ["square", "--dataset", "hv15r", "--scale", "0.1", "--nprocs", "4",
+             "--block-split", "16", "--breakdown"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "squaring" in out
+        assert "CV/memA" in out
+        assert "rank" in out  # breakdown table requested
+
+    def test_estimate_runs(self, capsys):
+        assert main(["estimate", "--dataset", "eukarya", "--scale", "0.05", "--nprocs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "CV/memA" in out
+        assert "partition" in out
+
+    def test_galerkin_runs(self, capsys):
+        assert main(["galerkin", "--dataset", "queen", "--scale", "0.05", "--nprocs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "RtA" in out and "coarse operator" in out
+
+    def test_bc_runs(self, capsys):
+        assert main(
+            ["bc", "--dataset", "hv15r", "--scale", "0.05", "--nprocs", "4",
+             "--sources", "4", "--batch-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "forward search" in out
+        assert "top-10" in out
+
+    def test_matrix_market_input(self, tmp_path, capsys):
+        path = tmp_path / "input.mtx"
+        write_matrix_market(path, banded(60, 4, symmetric=True, seed=1))
+        assert main(["square", "--matrix", str(path), "--nprocs", "2"]) == 0
+        assert "squaring" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Unit tests for the block-fetch strategy (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import plan_block_fetch, split_into_groups
+
+
+class TestSplitIntoGroups:
+    def test_even_split(self):
+        groups = split_into_groups(10, 5)
+        assert groups == [(0, 2), (2, 4), (4, 6), (6, 8), (8, 10)]
+
+    def test_uneven_split_front_loads_extra(self):
+        groups = split_into_groups(10, 3)
+        assert groups == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_groups_than_columns(self):
+        groups = split_into_groups(3, 10)
+        assert groups == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_columns(self):
+        assert split_into_groups(0, 4) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            split_into_groups(5, 0)
+
+    def test_groups_cover_everything_exactly_once(self):
+        for n, k in [(17, 4), (100, 7), (5, 5), (1, 3)]:
+            groups = split_into_groups(n, k)
+            covered = np.concatenate([np.arange(s, e) for s, e in groups])
+            np.testing.assert_array_equal(covered, np.arange(n))
+
+
+class TestPlanBlockFetch:
+    def test_paper_example(self):
+        """The worked example of Fig. 1: H0 = [1,0,1,1,0,1,0,0], p1 owns cols 4-7.
+
+        p1's nonzero columns are 4..7 split into K=2 groups {4,5} and {6,7};
+        H0(4:7) = [0,1,0,0] hits column 5, so only the first group is fetched
+        even though column 4 is not needed.
+        """
+        remote_cols = np.array([4, 5, 6, 7])
+        hit = np.array([1, 0, 1, 1, 0, 1, 0, 0], dtype=bool)
+        plan = plan_block_fetch(remote_cols, hit, K=2)
+        assert plan.M == 1
+        assert plan.intervals == [(0, 2)]
+        np.testing.assert_array_equal(plan.required_positions, [1])  # column 5
+        assert plan.fetched_columns == 2
+        assert plan.wasted_columns == 1
+
+    def test_messages_bounded_by_k(self):
+        rng = np.random.default_rng(0)
+        remote_cols = np.arange(1000)
+        hit = rng.random(1000) < 0.5
+        for K in (1, 4, 16, 64):
+            plan = plan_block_fetch(remote_cols, hit, K=K)
+            assert plan.M <= K
+
+    def test_per_column_fetch_when_k_large(self):
+        remote_cols = np.array([2, 5, 9])
+        hit = np.zeros(10, dtype=bool)
+        hit[[5, 9]] = True
+        plan = plan_block_fetch(remote_cols, hit, K=1000)
+        assert plan.M == 2          # one message per needed column
+        assert plan.wasted_columns == 0
+
+    def test_whole_matrix_fetch_when_k_is_one(self):
+        remote_cols = np.arange(10)
+        hit = np.zeros(10, dtype=bool)
+        hit[3] = True
+        plan = plan_block_fetch(remote_cols, hit, K=1)
+        assert plan.M == 1
+        assert plan.fetched_columns == 10
+        assert plan.wasted_columns == 9
+
+    def test_no_hits_no_messages(self):
+        plan = plan_block_fetch(np.arange(10), np.zeros(10, dtype=bool), K=4)
+        assert plan.M == 0
+        assert plan.fetched_columns == 0
+
+    def test_all_hits_fetch_everything(self):
+        plan = plan_block_fetch(np.arange(12), np.ones(12, dtype=bool), K=4)
+        assert plan.M == 4
+        assert plan.fetched_columns == 12
+        assert plan.wasted_columns == 0
+
+    def test_empty_remote_columns(self):
+        plan = plan_block_fetch(np.zeros(0, dtype=np.int64), np.ones(5, dtype=bool), K=4)
+        assert plan.M == 0
+
+    def test_covered_always_superset_of_required(self):
+        rng = np.random.default_rng(1)
+        for trial in range(20):
+            ncols = int(rng.integers(1, 60))
+            remote = np.sort(rng.choice(200, size=ncols, replace=False))
+            hit = rng.random(200) < 0.3
+            plan = plan_block_fetch(remote, hit, K=int(rng.integers(1, 10)))
+            assert np.all(np.isin(plan.required_positions, plan.covered_positions))
+
+    def test_hit_mask_too_short_raises(self):
+        with pytest.raises(ValueError):
+            plan_block_fetch(np.array([10]), np.zeros(5, dtype=bool), K=2)
+
+    def test_smaller_k_means_fewer_messages_more_waste(self):
+        rng = np.random.default_rng(2)
+        remote = np.arange(500)
+        hit = rng.random(500) < 0.2
+        plan_small_k = plan_block_fetch(remote, hit, K=4)
+        plan_large_k = plan_block_fetch(remote, hit, K=400)
+        assert plan_small_k.M <= plan_large_k.M
+        assert plan_small_k.fetched_columns >= plan_large_k.fetched_columns

@@ -1,0 +1,89 @@
+"""Tests for the symbolic communication estimator and the CV/memA criterion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BYTES_PER_ENTRY,
+    SparsityAware1D,
+    estimate_communication,
+    should_partition,
+)
+from repro.matrices.generators import banded, community_graph
+from repro.partition import (
+    apply_ordering,
+    ordering_from_partition,
+    partition_matrix,
+)
+from repro.runtime import SimulatedCluster
+from repro.sparse import as_csc
+
+
+class TestEstimator:
+    def test_estimate_matches_actual_fetch_volume(self):
+        """The symbolic estimate must equal the bytes the real algorithm fetches."""
+        A = banded(300, 12, symmetric=True, seed=1)
+        est = estimate_communication(A, nprocs=4, block_split=64)
+        cluster = SimulatedCluster(4)
+        result = SparsityAware1D(block_split=64).multiply(A, A, cluster)
+        assert est.total_bytes == int(result.info["fetch_bytes"])
+
+    def test_estimate_message_counts_match(self):
+        A = banded(300, 12, symmetric=True, seed=2)
+        est = estimate_communication(A, nprocs=4, block_split=16)
+        cluster = SimulatedCluster(4)
+        result = SparsityAware1D(block_split=16).multiply(A, A, cluster)
+        # Two windows are read per planned interval (row ids + values).
+        assert result.rdma_gets == 2 * est.total_messages
+
+    def test_banded_matrix_needs_little_communication(self):
+        A = banded(400, 8, symmetric=True, seed=3)
+        est = estimate_communication(A, nprocs=8)
+        assert est.cv_over_mema < 0.3
+
+    def test_scattered_matrix_needs_nearly_all_of_a(self):
+        A = community_graph(400, 8, 16, mixing=0.05, shuffle=True, seed=4)
+        est = estimate_communication(A, nprocs=8)
+        assert est.cv_over_mema > 0.5
+
+    def test_partitioning_reduces_the_ratio(self):
+        A = community_graph(400, 8, 16, mixing=0.05, shuffle=True, seed=5)
+        before = estimate_communication(A, nprocs=8).cv_over_mema
+        ordering = ordering_from_partition(partition_matrix(A, 8, seed=0))
+        permuted = apply_ordering(A, ordering)
+        from repro.distribution import block_bounds_from_sizes
+
+        bounds = block_bounds_from_sizes(ordering.block_sizes)
+        after = estimate_communication(
+            permuted, nprocs=8, a_bounds=bounds, b_bounds=bounds
+        ).cv_over_mema
+        assert after < before
+
+    def test_mem_a_bytes(self, small_symmetric):
+        est = estimate_communication(small_symmetric, nprocs=4)
+        assert est.mem_a_bytes == small_symmetric.nnz * BYTES_PER_ENTRY
+
+    def test_single_process_no_communication(self, small_symmetric):
+        est = estimate_communication(small_symmetric, nprocs=1)
+        assert est.total_bytes == 0
+        assert est.cv_over_mema == 0.0
+
+    def test_dimension_mismatch(self, small_square, small_rect):
+        with pytest.raises(ValueError):
+            estimate_communication(small_rect, small_square, nprocs=2)
+
+    def test_should_partition_clustered_vs_scattered(self):
+        clustered = banded(400, 8, symmetric=True, seed=6)
+        scattered = community_graph(400, 8, 16, mixing=0.05, shuffle=True, seed=7)
+        decision_clustered, ratio_clustered = should_partition(clustered, nprocs=8)
+        decision_scattered, ratio_scattered = should_partition(scattered, nprocs=8)
+        assert not decision_clustered
+        assert decision_scattered
+        assert ratio_clustered < ratio_scattered
+
+    def test_should_partition_threshold(self):
+        A = banded(200, 10, symmetric=True, seed=8)
+        decision, ratio = should_partition(A, nprocs=4, threshold=0.0)
+        assert decision == (ratio >= 0.0)

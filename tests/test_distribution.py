@@ -1,0 +1,275 @@
+"""Unit tests for the 1D / 2D / 3D distributions and redistribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.distribution import (
+    DistributedBlocks2D,
+    DistributedColumns1D,
+    DistributedRows1D,
+    LayerSplit3D,
+    ProcessGrid2D,
+    ProcessGrid3D,
+    block_bounds_from_sizes,
+    columns_to_rows_1d,
+    estimate_redistribution_bytes,
+    rows_to_columns_1d,
+    square_grid_dims,
+    valid_layer_counts,
+)
+from repro.runtime import SimulatedCluster
+from repro.sparse import CSCMatrix, as_csc
+
+from conftest import assert_sparse_equal
+
+
+def _random(m, n, density, seed):
+    return as_csc(sp.random(m, n, density=density, random_state=seed, format="csc"))
+
+
+# ----------------------------------------------------------------------
+# 1D column distribution
+# ----------------------------------------------------------------------
+class TestColumns1D:
+    def test_roundtrip_even_split(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 4)
+        assert_sparse_equal(d.to_global(), small_square)
+
+    def test_roundtrip_uneven_split(self, small_square):
+        # 60 columns over 7 processes: first 4 get 9 columns, rest get 8.
+        d = DistributedColumns1D.from_global(small_square, 7)
+        sizes = [e - s for s, e in d.bounds]
+        assert sum(sizes) == small_square.ncols
+        assert max(sizes) - min(sizes) <= 1
+        assert_sparse_equal(d.to_global(), small_square)
+
+    def test_custom_bounds(self, small_square):
+        bounds = block_bounds_from_sizes([10, 30, 20])
+        d = DistributedColumns1D.from_global(small_square, 3, bounds=bounds)
+        assert d.column_bounds(1) == (10, 40)
+        assert d.local(1).ncols == 30
+        assert_sparse_equal(d.to_global(), small_square)
+
+    def test_bounds_must_cover_all_columns(self, small_square):
+        with pytest.raises(ValueError):
+            DistributedColumns1D.from_global(
+                small_square, 2, bounds=[(0, 10), (10, 50)]
+            )
+
+    def test_bounds_must_be_contiguous(self, small_square):
+        with pytest.raises(ValueError):
+            DistributedColumns1D.from_global(
+                small_square, 2, bounds=[(0, 10), (20, 60)]
+            )
+
+    def test_nprocs_must_be_positive(self, small_square):
+        with pytest.raises(ValueError):
+            DistributedColumns1D.from_global(small_square, 0)
+
+    def test_owner_of_column(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 4)
+        for rank in range(4):
+            s, e = d.column_bounds(rank)
+            assert d.owner_of_column(s) == rank
+            assert d.owner_of_column(e - 1) == rank
+
+    def test_owner_of_column_out_of_range(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 4)
+        with pytest.raises(IndexError):
+            d.owner_of_column(small_square.ncols)
+
+    def test_nnz_conserved(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 5)
+        assert d.nnz == small_square.nnz
+        assert d.local_nnz_per_rank().sum() == small_square.nnz
+
+    def test_global_column_ids(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 3)
+        ids = np.concatenate([d.global_column_ids(r) for r in range(3)])
+        np.testing.assert_array_equal(ids, np.arange(small_square.ncols))
+
+    def test_nonzero_column_ids_match_global(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 4)
+        np.testing.assert_array_equal(
+            np.sort(d.nonzero_column_ids()), small_square.nonzero_columns()
+        )
+
+    def test_column_nnz_global(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 4)
+        np.testing.assert_array_equal(d.column_nnz_global(), small_square.column_nnz())
+
+    def test_nonzero_rows_mask_per_rank(self, small_square):
+        d = DistributedColumns1D.from_global(small_square, 4)
+        combined = np.zeros(small_square.nrows, dtype=bool)
+        for r in range(4):
+            combined |= d.nonzero_rows_mask(r)
+        np.testing.assert_array_equal(combined, small_square.nonzero_rows_mask())
+
+    def test_more_procs_than_columns(self):
+        tiny = _random(5, 3, 0.5, seed=1)
+        d = DistributedColumns1D.from_global(tiny, 5)
+        assert_sparse_equal(d.to_global(), tiny)
+        assert sum(m.ncols for m in d.locals_) == 3
+
+
+# ----------------------------------------------------------------------
+# 1D row distribution
+# ----------------------------------------------------------------------
+class TestRows1D:
+    def test_roundtrip(self, small_rect):
+        d = DistributedRows1D.from_global(small_rect, 4)
+        assert_sparse_equal(d.to_global(), small_rect)
+
+    def test_owner_of_row(self, small_rect):
+        d = DistributedRows1D.from_global(small_rect, 4)
+        for rank in range(4):
+            s, e = d.row_bounds(rank)
+            assert d.owner_of_row(s) == rank
+
+    def test_local_shapes(self, small_rect):
+        d = DistributedRows1D.from_global(small_rect, 3)
+        assert sum(m.nrows for m in d.locals_) == small_rect.nrows
+        for m in d.locals_:
+            assert m.ncols == small_rect.ncols
+
+    def test_custom_bounds_validation(self, small_rect):
+        with pytest.raises(ValueError):
+            DistributedRows1D.from_global(small_rect, 2, bounds=[(0, 10), (15, 50)])
+
+    def test_nnz_conserved(self, small_rect):
+        d = DistributedRows1D.from_global(small_rect, 6)
+        assert d.nnz == small_rect.nnz
+
+
+# ----------------------------------------------------------------------
+# 2D block distribution
+# ----------------------------------------------------------------------
+class TestBlocks2D:
+    def test_square_grid_dims(self):
+        assert square_grid_dims(16) == (4, 4)
+        with pytest.raises(ValueError):
+            square_grid_dims(6)
+
+    def test_grid_rank_coords_roundtrip(self):
+        grid = ProcessGrid2D.square(9)
+        for rank in range(9):
+            i, j = grid.coords_of(rank)
+            assert grid.rank_of(i, j) == rank
+
+    def test_grid_row_col_ranks(self):
+        grid = ProcessGrid2D.square(4)
+        assert grid.row_ranks(0) == [0, 1]
+        assert grid.col_ranks(1) == [1, 3]
+
+    def test_grid_bad_coords(self):
+        grid = ProcessGrid2D.square(4)
+        with pytest.raises(IndexError):
+            grid.rank_of(2, 0)
+        with pytest.raises(IndexError):
+            grid.coords_of(4)
+
+    def test_roundtrip(self, small_square):
+        d = DistributedBlocks2D.from_global(small_square, ProcessGrid2D.square(4))
+        assert_sparse_equal(d.to_global(), small_square)
+
+    def test_roundtrip_rectangular(self, small_rect):
+        d = DistributedBlocks2D.from_global(small_rect, ProcessGrid2D(prows=2, pcols=3))
+        assert_sparse_equal(d.to_global(), small_rect)
+
+    def test_block_shapes_tile_matrix(self, small_square):
+        grid = ProcessGrid2D.square(9)
+        d = DistributedBlocks2D.from_global(small_square, grid)
+        total_rows = sum(d.block_shape(i, 0)[0] for i in range(3))
+        total_cols = sum(d.block_shape(0, j)[1] for j in range(3))
+        assert total_rows == small_square.nrows
+        assert total_cols == small_square.ncols
+
+    def test_nnz_conserved(self, small_square):
+        d = DistributedBlocks2D.from_global(small_square, ProcessGrid2D.square(4))
+        assert d.nnz == small_square.nnz
+        assert d.nnz_per_rank().sum() == small_square.nnz
+
+
+# ----------------------------------------------------------------------
+# 3D layer split
+# ----------------------------------------------------------------------
+class Test3D:
+    def test_valid_layer_counts(self):
+        counts = valid_layer_counts(16)
+        assert 1 in counts and 4 in counts and 16 in counts
+        assert 3 not in counts  # 16/3 not integer
+
+    def test_grid_from_nprocs(self):
+        grid = ProcessGrid3D.from_nprocs(8, 2)
+        assert (grid.prows, grid.pcols, grid.layers) == (2, 2, 2)
+        assert grid.nprocs == 8
+
+    def test_grid_invalid_layers(self):
+        with pytest.raises(ValueError):
+            ProcessGrid3D.from_nprocs(8, 3)
+        with pytest.raises(ValueError):
+            ProcessGrid3D.from_nprocs(8, 4)  # 8/4=2 not a perfect square
+
+    def test_rank_coords_roundtrip(self):
+        grid = ProcessGrid3D.from_nprocs(8, 2)
+        for rank in range(8):
+            i, j, l = grid.coords_of(rank)
+            assert grid.rank_of(i, j, l) == rank
+
+    def test_fiber_ranks(self):
+        grid = ProcessGrid3D.from_nprocs(8, 2)
+        fibers = grid.fiber_ranks(0, 0)
+        assert len(fibers) == 2
+        assert len(set(fibers)) == 2
+
+    def test_layer_split_covers_inner_dimension(self, small_square):
+        grid = ProcessGrid3D.from_nprocs(8, 2)
+        split = LayerSplit3D.from_global(small_square, small_square, grid)
+        covered = sum(e - s for s, e in split.inner_bounds)
+        assert covered == small_square.ncols
+        # Layer slices reassemble the operands.
+        total_a_nnz = sum(d.nnz for d in split.a_layers)
+        total_b_nnz = sum(d.nnz for d in split.b_layers)
+        assert total_a_nnz == small_square.nnz
+        assert total_b_nnz == small_square.nnz
+
+    def test_layer_split_dimension_mismatch(self, small_square, small_rect):
+        grid = ProcessGrid3D.from_nprocs(4, 1)
+        with pytest.raises(ValueError):
+            LayerSplit3D.from_global(small_rect, small_square, grid)
+
+
+# ----------------------------------------------------------------------
+# Redistribution
+# ----------------------------------------------------------------------
+class TestRedistribute:
+    def test_columns_to_rows_preserves_matrix(self, small_square):
+        cols = DistributedColumns1D.from_global(small_square, 4)
+        rows = columns_to_rows_1d(cols)
+        assert_sparse_equal(rows.to_global(), small_square)
+
+    def test_rows_to_columns_preserves_matrix(self, small_square):
+        rows = DistributedRows1D.from_global(small_square, 4)
+        cols = rows_to_columns_1d(rows)
+        assert_sparse_equal(cols.to_global(), small_square)
+
+    def test_redistribution_charges_cluster(self, small_square):
+        cols = DistributedColumns1D.from_global(small_square, 4)
+        cluster = SimulatedCluster(4)
+        columns_to_rows_1d(cols, cluster=cluster)
+        assert cluster.ledger.total_bytes() > 0
+        assert "redistribute" in cluster.ledger.phase_order
+
+    def test_redistribution_cluster_size_mismatch(self, small_square):
+        cols = DistributedColumns1D.from_global(small_square, 4)
+        with pytest.raises(ValueError):
+            columns_to_rows_1d(cols, cluster=SimulatedCluster(3))
+
+    def test_estimate_redistribution_bytes(self, small_square):
+        assert estimate_redistribution_bytes(small_square, 1) == 0
+        est4 = estimate_redistribution_bytes(small_square, 4)
+        est16 = estimate_redistribution_bytes(small_square, 16)
+        assert 0 < est4 < est16 <= small_square.nnz * 16

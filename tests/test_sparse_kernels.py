@@ -1,0 +1,389 @@
+"""Unit tests for local SpGEMM kernels, flops estimation, merge and ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    CSCMatrix,
+    SpGEMMKernelStats,
+    add_matrices,
+    as_csc,
+    kway_merge_columns,
+    local_spgemm,
+    per_column_flops,
+    spgemm_dense_accumulator,
+    spgemm_flops,
+    spgemm_hash,
+    spgemm_heap,
+    spgemm_hybrid,
+    stack_columns,
+    to_scipy,
+    estimate_output_nnz_upper_bound,
+)
+from repro.sparse import ops
+
+from conftest import assert_sparse_equal
+
+KERNEL_FUNCS = {
+    "heap": spgemm_heap,
+    "hash": spgemm_hash,
+    "dense": spgemm_dense_accumulator,
+    "hybrid": spgemm_hybrid,
+}
+
+
+def _random(m, n, density, seed, symmetric=False):
+    mat = sp.random(m, n, density=density, random_state=seed, format="csc")
+    if symmetric:
+        mat = mat + mat.T
+    return as_csc(mat)
+
+
+# ----------------------------------------------------------------------
+# Kernel correctness
+# ----------------------------------------------------------------------
+class TestKernelCorrectness:
+    @pytest.mark.parametrize("kernel", list(KERNEL_FUNCS))
+    def test_tiny_known_product(self, kernel, tiny_dense_pair):
+        A, B, expected = tiny_dense_pair
+        C = KERNEL_FUNCS[kernel](A, B)
+        np.testing.assert_allclose(C.to_dense(), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", list(KERNEL_FUNCS))
+    def test_random_square_matches_scipy(self, kernel):
+        A = _random(70, 70, 0.06, seed=10)
+        B = _random(70, 70, 0.06, seed=11)
+        expected = (to_scipy(A) @ to_scipy(B)).toarray()
+        C = KERNEL_FUNCS[kernel](A, B)
+        np.testing.assert_allclose(C.to_dense(), expected, atol=1e-10)
+
+    @pytest.mark.parametrize("kernel", list(KERNEL_FUNCS))
+    def test_rectangular_matches_scipy(self, kernel):
+        A = _random(40, 60, 0.08, seed=20)
+        B = _random(60, 30, 0.08, seed=21)
+        expected = (to_scipy(A) @ to_scipy(B)).toarray()
+        C = KERNEL_FUNCS[kernel](A, B)
+        assert C.shape == (40, 30)
+        np.testing.assert_allclose(C.to_dense(), expected, atol=1e-10)
+
+    @pytest.mark.parametrize("kernel", list(KERNEL_FUNCS))
+    def test_empty_operand_gives_empty_result(self, kernel):
+        A = CSCMatrix.empty(10, 8)
+        B = _random(8, 6, 0.2, seed=5)
+        C = KERNEL_FUNCS[kernel](A, B)
+        assert C.shape == (10, 6)
+        assert not C.to_dense().any()
+
+    @pytest.mark.parametrize("kernel", list(KERNEL_FUNCS))
+    def test_identity_is_neutral(self, kernel):
+        A = _random(25, 25, 0.15, seed=7)
+        I = CSCMatrix.identity(25)
+        assert_sparse_equal(KERNEL_FUNCS[kernel](A, I), A)
+        assert_sparse_equal(KERNEL_FUNCS[kernel](I, A), A)
+
+    @pytest.mark.parametrize("kernel", list(KERNEL_FUNCS))
+    def test_dimension_mismatch_raises(self, kernel):
+        A = _random(5, 6, 0.2, seed=1)
+        B = _random(7, 5, 0.2, seed=2)
+        with pytest.raises(ValueError):
+            KERNEL_FUNCS[kernel](A, B)
+
+    def test_kernels_agree_with_each_other(self):
+        A = _random(50, 50, 0.07, seed=30, symmetric=True)
+        results = [KERNEL_FUNCS[k](A, A).to_dense() for k in KERNEL_FUNCS]
+        for r in results[1:]:
+            np.testing.assert_allclose(r, results[0], atol=1e-10)
+
+    def test_local_spgemm_dispatch(self):
+        A = _random(20, 20, 0.2, seed=40)
+        for kernel in KERNEL_FUNCS:
+            assert_sparse_equal(
+                local_spgemm(A, A, kernel=kernel), KERNEL_FUNCS[kernel](A, A)
+            )
+
+    def test_local_spgemm_unknown_kernel(self):
+        A = _random(5, 5, 0.3, seed=1)
+        with pytest.raises(ValueError):
+            local_spgemm(A, A, kernel="bogus")
+
+    def test_accepts_scipy_inputs(self):
+        A = sp.random(15, 15, density=0.2, random_state=3, format="csr")
+        C = local_spgemm(A, A)
+        np.testing.assert_allclose(C.to_dense(), (A @ A).toarray(), atol=1e-10)
+
+    def test_hybrid_reference_cross_check(self):
+        A = _random(30, 30, 0.15, seed=9)
+        C = spgemm_hybrid(A, A, reference_columns=10)
+        np.testing.assert_allclose(
+            C.to_dense(), (to_scipy(A) @ to_scipy(A)).toarray(), atol=1e-10
+        )
+
+    def test_numerical_cancellation_preserved(self):
+        # (1)(1) + (-1)(1) = 0: the entry may be stored explicitly but the
+        # numerical result must be zero.
+        A = CSCMatrix.from_coo(2, 2, [0, 0], [0, 1], [1.0, -1.0])
+        B = CSCMatrix.from_coo(2, 1, [0, 1], [0, 0], [1.0, 1.0])
+        for kernel in KERNEL_FUNCS:
+            C = KERNEL_FUNCS[kernel](A, B)
+            assert C.to_dense()[0, 0] == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# Kernel statistics
+# ----------------------------------------------------------------------
+class TestKernelStats:
+    def test_stats_flops_match_estimate(self):
+        A = _random(40, 40, 0.1, seed=50)
+        stats = SpGEMMKernelStats()
+        local_spgemm(A, A, kernel="hybrid", stats=stats)
+        assert stats.flops == spgemm_flops(A, A)
+
+    def test_stats_output_nnz(self):
+        A = _random(40, 40, 0.1, seed=51)
+        stats = SpGEMMKernelStats()
+        C = local_spgemm(A, A, kernel="dense", stats=stats)
+        assert stats.output_nnz == C.nnz
+
+    def test_stats_column_routing_sums_to_ncols(self):
+        A = _random(40, 40, 0.1, seed=52)
+        stats = SpGEMMKernelStats()
+        local_spgemm(A, A, kernel="hybrid", stats=stats)
+        assert (
+            stats.columns_heap + stats.columns_hash + stats.columns_dense == A.ncols
+        )
+
+    def test_compression_ratio_at_least_one(self):
+        A = _random(40, 40, 0.1, seed=53)
+        stats = SpGEMMKernelStats()
+        local_spgemm(A, A, kernel="hybrid", stats=stats)
+        assert stats.compression_ratio >= 1.0
+
+    def test_stats_merge(self):
+        a = SpGEMMKernelStats(flops=10, output_nnz=5, columns_heap=1)
+        b = SpGEMMKernelStats(flops=20, output_nnz=7, columns_hash=2)
+        merged = a.merge(b)
+        assert merged.flops == 30
+        assert merged.output_nnz == 12
+        assert merged.columns_heap == 1 and merged.columns_hash == 2
+
+    def test_empty_product_compression_ratio(self):
+        stats = SpGEMMKernelStats()
+        assert stats.compression_ratio == 1.0
+
+
+# ----------------------------------------------------------------------
+# Flops estimation
+# ----------------------------------------------------------------------
+class TestFlops:
+    def test_flops_formula_against_bruteforce(self):
+        A = _random(30, 25, 0.15, seed=60)
+        B = _random(25, 35, 0.15, seed=61)
+        # Brute force: for every k, multiply column/row counts.
+        a_cols = A.column_nnz()
+        b_rows = B.row_nnz()
+        assert spgemm_flops(A, B) == int(np.dot(a_cols, b_rows))
+
+    def test_per_column_flops_sum_equals_total(self):
+        A = _random(30, 25, 0.15, seed=62)
+        B = _random(25, 35, 0.15, seed=63)
+        assert int(per_column_flops(A, B).sum()) == spgemm_flops(A, B)
+
+    def test_flops_zero_for_empty(self):
+        A = CSCMatrix.empty(10, 10)
+        assert spgemm_flops(A, A) == 0
+
+    def test_flops_squaring_symmetric_equals_sum_of_squares(self, small_symmetric):
+        col = small_symmetric.column_nnz().astype(np.int64)
+        assert spgemm_flops(small_symmetric, small_symmetric) == int((col * col).sum())
+
+    def test_flops_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            spgemm_flops(CSCMatrix.empty(3, 4), CSCMatrix.empty(5, 3))
+
+    def test_output_nnz_upper_bound(self):
+        A = _random(30, 30, 0.1, seed=64)
+        C = local_spgemm(A, A)
+        assert C.nnz <= estimate_output_nnz_upper_bound(A, A)
+
+
+# ----------------------------------------------------------------------
+# Merge helpers
+# ----------------------------------------------------------------------
+class TestMerge:
+    def test_add_matrices_two(self):
+        A = _random(20, 20, 0.1, seed=70)
+        B = _random(20, 20, 0.1, seed=71)
+        assert_sparse_equal(add_matrices([A, B]), A.to_dense() + B.to_dense())
+
+    def test_add_matrices_many(self):
+        mats = [_random(15, 15, 0.1, seed=72 + i) for i in range(5)]
+        expected = sum(m.to_dense() for m in mats)
+        assert_sparse_equal(add_matrices(mats), expected)
+
+    def test_add_matrices_single_copy(self):
+        A = _random(10, 10, 0.2, seed=80)
+        out = add_matrices([A])
+        assert out is not A
+        assert_sparse_equal(out, A)
+
+    def test_add_matrices_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            add_matrices([])
+
+    def test_add_matrices_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            add_matrices([CSCMatrix.empty(2, 2), CSCMatrix.empty(3, 3)])
+
+    def test_stack_columns_roundtrip(self, small_square):
+        parts = [
+            small_square.extract_column_range(0, 20),
+            small_square.extract_column_range(20, 45),
+            small_square.extract_column_range(45, 60),
+        ]
+        assert_sparse_equal(stack_columns(parts), small_square)
+
+    def test_stack_columns_row_mismatch(self):
+        with pytest.raises(ValueError):
+            stack_columns([CSCMatrix.empty(2, 2), CSCMatrix.empty(3, 2)])
+
+    def test_kway_merge_columns_disjoint(self, small_square):
+        left = small_square.extract_columns(range(0, 30))
+        right = small_square.extract_columns(range(30, 60))
+        merged = kway_merge_columns(
+            [(np.arange(0, 30), left), (np.arange(30, 60), right)], 60, 60
+        )
+        assert_sparse_equal(merged, small_square)
+
+    def test_kway_merge_columns_overlapping_sums(self):
+        frag = CSCMatrix.from_coo(3, 1, [0], [0], [2.0])
+        merged = kway_merge_columns(
+            [(np.array([1]), frag), (np.array([1]), frag)], 3, 3
+        )
+        assert merged.to_dense()[0, 1] == pytest.approx(4.0)
+
+    def test_kway_merge_bad_fragment(self):
+        frag = CSCMatrix.empty(3, 2)
+        with pytest.raises(ValueError):
+            kway_merge_columns([(np.array([0]), frag)], 3, 4)
+
+
+# ----------------------------------------------------------------------
+# Structural / elementwise ops
+# ----------------------------------------------------------------------
+class TestOps:
+    def test_transpose(self, small_rect):
+        assert_sparse_equal(ops.transpose(small_rect), small_rect.to_dense().T)
+
+    def test_extract_rows(self, small_square):
+        rows = [3, 1, 10]
+        sub = ops.extract_rows(small_square, rows)
+        np.testing.assert_allclose(
+            sub.to_dense(), small_square.to_dense()[rows, :]
+        )
+
+    def test_extract_rows_out_of_range(self, small_square):
+        with pytest.raises(IndexError):
+            ops.extract_rows(small_square, [small_square.nrows])
+
+    def test_extract_columns(self, small_square):
+        cols = [0, 5]
+        np.testing.assert_allclose(
+            ops.extract_columns(small_square, cols).to_dense(),
+            small_square.to_dense()[:, cols],
+        )
+
+    def test_elementwise_multiply(self):
+        A = _random(20, 20, 0.2, seed=90)
+        B = _random(20, 20, 0.2, seed=91)
+        expected = A.to_dense() * B.to_dense()
+        assert_sparse_equal(ops.elementwise_multiply(A, B), expected)
+
+    def test_elementwise_multiply_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.elementwise_multiply(CSCMatrix.empty(2, 2), CSCMatrix.empty(2, 3))
+
+    def test_elementwise_mask_keep(self):
+        A = _random(20, 20, 0.3, seed=92)
+        M = _random(20, 20, 0.3, seed=93)
+        masked = ops.elementwise_mask(A, M)
+        dense = A.to_dense().copy()
+        dense[M.to_dense() == 0] = 0
+        assert_sparse_equal(masked, dense)
+
+    def test_elementwise_mask_complement(self):
+        A = _random(20, 20, 0.3, seed=94)
+        M = _random(20, 20, 0.3, seed=95)
+        masked = ops.elementwise_mask(A, M, complement=True)
+        dense = A.to_dense().copy()
+        dense[M.to_dense() != 0] = 0
+        assert_sparse_equal(masked, dense)
+
+    def test_scale_columns(self, small_square, rng):
+        scales = rng.random(small_square.ncols)
+        assert_sparse_equal(
+            ops.scale_columns(small_square, scales),
+            small_square.to_dense() * scales[None, :],
+        )
+
+    def test_scale_rows(self, small_square, rng):
+        scales = rng.random(small_square.nrows)
+        assert_sparse_equal(
+            ops.scale_rows(small_square, scales),
+            small_square.to_dense() * scales[:, None],
+        )
+
+    def test_scale_wrong_length(self, small_square):
+        with pytest.raises(ValueError):
+            ops.scale_columns(small_square, np.ones(3))
+        with pytest.raises(ValueError):
+            ops.scale_rows(small_square, np.ones(3))
+
+    def test_diagonal(self, small_square):
+        np.testing.assert_allclose(
+            ops.diagonal(small_square), np.diag(small_square.to_dense())
+        )
+
+    def test_symmetrize_pattern(self, small_square):
+        sym = ops.symmetrize_pattern(small_square)
+        dense = sym.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_symmetrize_requires_square(self, small_rect):
+        with pytest.raises(ValueError):
+            ops.symmetrize_pattern(small_rect)
+
+    def test_spmv(self, small_square, rng):
+        x = rng.random(small_square.ncols)
+        np.testing.assert_allclose(
+            ops.spmv(small_square, x), small_square.to_dense() @ x, atol=1e-10
+        )
+
+    def test_spmv_wrong_length(self, small_square):
+        with pytest.raises(ValueError):
+            ops.spmv(small_square, np.ones(3))
+
+    def test_spmm_dense(self, small_square, rng):
+        X = rng.random((small_square.ncols, 4))
+        np.testing.assert_allclose(
+            ops.spmm_dense(small_square, X), small_square.to_dense() @ X, atol=1e-10
+        )
+
+    def test_column_blocks_cover_all(self):
+        blocks = ops.column_blocks(10, 3)
+        assert blocks == [(0, 4), (4, 7), (7, 10)]
+        assert blocks[0][0] == 0 and blocks[-1][1] == 10
+
+    def test_column_blocks_more_blocks_than_columns(self):
+        blocks = ops.column_blocks(2, 5)
+        assert len(blocks) == 5
+        assert sum(e - s for s, e in blocks) == 2
+
+    def test_column_blocks_invalid(self):
+        with pytest.raises(ValueError):
+            ops.column_blocks(10, 0)
+
+    def test_row_blocks_same_rule(self):
+        assert ops.row_blocks(10, 3) == ops.column_blocks(10, 3)
