@@ -10,7 +10,7 @@ from repro.analysis import format_table, mebibytes
 from repro.apps.squaring import run_squaring
 from repro.matrices import load_dataset
 
-from common import BLOCK_SPLIT, SCALE, header
+from common import BLOCK_SPLIT, SCALE, assert_conserved, header
 
 NPROCS = 16
 
@@ -29,6 +29,7 @@ def _run():
                 matrix, algorithm="1d", strategy=strategy, nprocs=NPROCS,
                 block_split=BLOCK_SPLIT, dataset=dataset, seed=0,
             )
+            assert_conserved(run)
             volumes[(dataset, strategy)] = run.result.communication_volume
             rows.append(
                 {

@@ -38,3 +38,13 @@ def header(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+def assert_conserved(run) -> None:
+    """Fail the benchmark if the run's ledger violates byte conservation.
+
+    The benchmarks regenerate the paper's communication-volume figures, so an
+    unbalanced ledger (bytes sent ≠ bytes received in some phase) would mean
+    the plotted numbers are bookkeeping artefacts.
+    """
+    run.result.ledger.assert_conserved()

@@ -61,8 +61,15 @@ def strong_scaling_sweep(
     dataset: str = "matrix",
     block_split: int = 2048,
     seed: int = 0,
+    verify_conservation: bool = True,
 ) -> List[ScalingPoint]:
-    """Run the squaring benchmark across a list of process counts."""
+    """Run the squaring benchmark across a list of process counts.
+
+    With ``verify_conservation`` (the default) every point's ledger is
+    checked for the byte-balance invariant — the sweeps *are* the paper's
+    communication-volume figures, so an unbalanced ledger must fail loudly
+    rather than silently skew a curve.
+    """
     points = []
     for nprocs in process_counts:
         run = run_squaring(
@@ -75,6 +82,8 @@ def strong_scaling_sweep(
             block_split=block_split,
             seed=seed,
         )
+        if verify_conservation:
+            run.result.ledger.assert_conserved()
         points.append(
             ScalingPoint(
                 nprocs=nprocs,

@@ -1,7 +1,12 @@
 """The paper's distributed SpGEMM algorithms and baselines."""
 
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
-from .block_fetch import BlockFetchPlan, plan_block_fetch, split_into_groups
+from .block_fetch import (
+    BlockFetchPlan,
+    plan_block_fetch,
+    plan_block_fetch_all,
+    split_into_groups,
+)
 from .block_row import ImprovedBlockRow1D, NaiveBlockRow1D
 from .estimator import (
     BYTES_PER_ENTRY,
@@ -20,6 +25,7 @@ __all__ = [
     "SpGEMMResult",
     "BlockFetchPlan",
     "plan_block_fetch",
+    "plan_block_fetch_all",
     "split_into_groups",
     "NaiveBlockRow1D",
     "ImprovedBlockRow1D",

@@ -18,11 +18,16 @@ column ids (``D̃ = H ∩ D``) and the hit vector ``H``, it returns the list of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["BlockFetchPlan", "plan_block_fetch", "split_into_groups"]
+__all__ = [
+    "BlockFetchPlan",
+    "plan_block_fetch",
+    "plan_block_fetch_all",
+    "split_into_groups",
+]
 
 _INDEX_DTYPE = np.int64
 
@@ -62,6 +67,22 @@ class BlockFetchPlan:
         return int(self.covered_positions.size - self.required_positions.size)
 
 
+def _group_bounds(ncolumns: int, K: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised group boundaries: ``(starts, stops)`` arrays over positions."""
+    if K <= 0:
+        raise ValueError("K must be positive")
+    if ncolumns <= 0:
+        empty = np.zeros(0, dtype=_INDEX_DTYPE)
+        return empty, empty
+    groups = min(K, ncolumns)
+    base = ncolumns // groups
+    extra = ncolumns % groups
+    js = np.arange(groups, dtype=_INDEX_DTYPE)
+    starts = js * base + np.minimum(js, extra)
+    widths = base + (js < extra)
+    return starts, starts + widths
+
+
 def split_into_groups(ncolumns: int, K: int) -> List[Tuple[int, int]]:
     """Split ``ncolumns`` ordered positions into at most ``K`` contiguous groups.
 
@@ -69,20 +90,8 @@ def split_into_groups(ncolumns: int, K: int) -> List[Tuple[int, int]]:
     groups"): the first ``ncolumns % K`` groups get one extra element.  When
     ``K >= ncolumns`` each column forms its own group (per-column fetching).
     """
-    if K <= 0:
-        raise ValueError("K must be positive")
-    if ncolumns <= 0:
-        return []
-    groups = min(K, ncolumns)
-    base = ncolumns // groups
-    extra = ncolumns % groups
-    out = []
-    start = 0
-    for g in range(groups):
-        width = base + (1 if g < extra else 0)
-        out.append((start, start + width))
-        start += width
-    return out
+    starts, stops = _group_bounds(ncolumns, K)
+    return [(int(s), int(e)) for s, e in zip(starts, stops)]
 
 
 def plan_block_fetch(
@@ -116,24 +125,24 @@ def plan_block_fetch(
     ncols = int(remote_nonzero_columns.shape[0])
     if ncols and remote_nonzero_columns.max() >= hit_mask.shape[0]:
         raise ValueError("hit mask shorter than the largest remote column id")
-    required = (
-        np.nonzero(hit_mask[remote_nonzero_columns])[0]
-        if ncols
-        else np.zeros(0, dtype=_INDEX_DTYPE)
-    )
+    if ncols == 0:
+        empty = np.zeros(0, dtype=_INDEX_DTYPE)
+        return BlockFetchPlan(
+            intervals=[], required_positions=empty, covered_positions=empty, K=K
+        )
 
-    intervals: List[Tuple[int, int]] = []
-    covered_parts: List[np.ndarray] = []
-    for (start, stop) in split_into_groups(ncols, K):
-        group_cols = remote_nonzero_columns[start:stop]
-        # "choose" becomes true as soon as any column in the group is hit.
-        if np.any(hit_mask[group_cols]):
-            intervals.append((start, stop))
-            covered_parts.append(np.arange(start, stop, dtype=_INDEX_DTYPE))
+    hits = hit_mask[remote_nonzero_columns]
+    required = np.nonzero(hits)[0].astype(_INDEX_DTYPE)
 
-    covered = (
-        np.concatenate(covered_parts) if covered_parts else np.zeros(0, dtype=_INDEX_DTYPE)
-    )
+    # "choose" becomes true as soon as any column in the group is hit: one
+    # reduceat over the per-column hit flags replaces the per-group loop.
+    starts, stops = _group_bounds(ncols, K)
+    group_hits = np.add.reduceat(hits.astype(np.int64), starts) > 0
+    sel_starts = starts[group_hits]
+    sel_stops = stops[group_hits]
+    intervals = [(int(s), int(e)) for s, e in zip(sel_starts, sel_stops)]
+    covered = _expand_ranges(sel_starts, sel_stops)
+
     plan = BlockFetchPlan(
         intervals=intervals,
         required_positions=required,
@@ -141,7 +150,111 @@ def plan_block_fetch(
         K=K,
     )
     # Invariant from Algorithm 2: the union of planned intervals must cover
-    # every required column.
-    if required.size and not np.all(np.isin(required, covered)):
+    # every required column.  Intervals partition [0, ncols), so covering all
+    # required positions is equivalent to covering every hit group — which the
+    # reduceat selection guarantees; keep the cheap cardinality check.
+    if required.size and covered.size < required.size:
         raise AssertionError("block fetch plan does not cover all required columns")
     return plan
+
+
+def _expand_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenate ``[start, stop)`` position ranges into one index array."""
+    lengths = (stops - starts).astype(_INDEX_DTYPE)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=_INDEX_DTYPE)
+    offsets = np.repeat(starts, lengths)
+    within = np.arange(total, dtype=_INDEX_DTYPE)
+    seg_start = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return offsets + (within - seg_start)
+
+
+def plan_block_fetch_all(
+    remote_columns_per_target: Sequence[np.ndarray],
+    hit_mask: np.ndarray,
+    K: int,
+) -> List[Optional[BlockFetchPlan]]:
+    """Plan the fetches from *all* remote processes in one vectorised pass.
+
+    Concatenates every target's nonzero-column list, evaluates the group "any
+    column hit" predicate with a single ``np.add.reduceat`` over the combined
+    hit counts, and splits the result back into one :class:`BlockFetchPlan`
+    per target.  Targets with no nonzero columns yield ``None``.  Produces
+    plans identical to calling :func:`plan_block_fetch` per target — this is
+    the O(1)-numpy-calls path the 1D algorithm and the symbolic estimator use
+    so planning stays cheap at P = 1024.
+    """
+    if K <= 0:
+        raise ValueError("K must be positive")
+    hit_mask = np.asarray(hit_mask, dtype=bool)
+    ntargets = len(remote_columns_per_target)
+    ncols_per_target = np.fromiter(
+        (np.asarray(c).shape[0] for c in remote_columns_per_target),
+        dtype=_INDEX_DTYPE,
+        count=ntargets,
+    )
+    plans: List[Optional[BlockFetchPlan]] = [None] * ntargets
+    nonempty = np.nonzero(ncols_per_target)[0]
+    if nonempty.size == 0:
+        return plans
+
+    sizes = ncols_per_target[nonempty]
+    all_cols = np.concatenate(
+        [np.asarray(remote_columns_per_target[t], dtype=_INDEX_DTYPE) for t in nonempty]
+    )
+    if all_cols.size and all_cols.max() >= hit_mask.shape[0]:
+        raise ValueError("hit mask shorter than the largest remote column id")
+    all_hits = hit_mask[all_cols]
+
+    # Group boundaries of *every* target at once, shifted into the
+    # concatenated index space: target with n columns gets min(K, n) groups,
+    # the first n % groups of them one element wider (same arithmetic as
+    # :func:`split_into_groups`, evaluated for all targets in one shot).
+    col_offsets = np.zeros(nonempty.size, dtype=_INDEX_DTYPE)
+    col_offsets[1:] = np.cumsum(sizes)[:-1]
+    groups_per_target = np.minimum(K, sizes)
+    group_offsets = np.zeros(nonempty.size + 1, dtype=_INDEX_DTYPE)
+    np.cumsum(groups_per_target, out=group_offsets[1:])
+    total_groups = int(group_offsets[-1])
+    owner = np.repeat(np.arange(nonempty.size, dtype=_INDEX_DTYPE), groups_per_target)
+    js = np.arange(total_groups, dtype=_INDEX_DTYPE) - group_offsets[owner]
+    base = (sizes // groups_per_target)[owner]
+    extra = (sizes % groups_per_target)[owner]
+    rel_starts = js * base + np.minimum(js, extra)
+    g_starts = rel_starts + col_offsets[owner]
+    g_widths = base + (js < extra)
+
+    # One reduceat over every group of every target at once ("choose" a group
+    # as soon as any of its columns is hit, Algorithm 2 lines 3-11).
+    group_hit = np.add.reduceat(all_hits.astype(np.int8), g_starts) > 0
+    hit_groups_per_target = np.add.reduceat(
+        group_hit.astype(np.int64), group_offsets[:-1]
+    )
+    required_all = np.nonzero(all_hits)[0].astype(_INDEX_DTYPE)
+    req_bounds = np.searchsorted(required_all, col_offsets)
+
+    empty = np.zeros(0, dtype=_INDEX_DTYPE)
+    # Targets whose groups are all cold share one empty plan (no hit group
+    # implies no required column), so the common P≫hits case allocates
+    # nothing per target.
+    cold_plan = BlockFetchPlan(
+        intervals=[], required_positions=empty, covered_positions=empty, K=K
+    )
+    for pos in np.nonzero(hit_groups_per_target == 0)[0]:
+        plans[nonempty[pos]] = cold_plan
+    for pos in np.nonzero(hit_groups_per_target)[0]:
+        lo, hi = int(group_offsets[pos]), int(group_offsets[pos + 1])
+        sel = group_hit[lo:hi]
+        base_off = int(col_offsets[pos])
+        sel_starts = rel_starts[lo:hi][sel]
+        sel_stops = sel_starts + g_widths[lo:hi][sel]
+        req_lo = int(req_bounds[pos])
+        req_hi = int(req_bounds[pos + 1]) if pos + 1 < req_bounds.size else required_all.size
+        plans[nonempty[pos]] = BlockFetchPlan(
+            intervals=[(int(s), int(e)) for s, e in zip(sel_starts, sel_stops)],
+            required_positions=required_all[req_lo:req_hi] - base_off,
+            covered_positions=_expand_ranges(sel_starts, sel_stops),
+            K=K,
+        )
+    return plans

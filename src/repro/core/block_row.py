@@ -64,11 +64,15 @@ class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
 
         # Ring exchange: in step s, rank r receives the block originally owned
         # by rank (r + s) mod P.  Every block of B therefore visits every rank.
+        # All P·(P−1) sends of the ring are charged in one batched call.
         with cluster.phase("ring-exchange"):
-            for step in range(1, P):
-                for rank in range(P):
-                    src = (rank + step) % P
-                    cluster.comm.send(dist_b.local(src), src=src, dst=rank)
+            block_sizes = np.array(
+                [dist_b.local(r).memory_bytes() for r in range(P)], dtype=np.int64
+            )
+            steps = np.arange(1, P, dtype=np.int64)
+            dsts = np.repeat(np.arange(P, dtype=np.int64), P - 1)
+            srcs = (dsts + np.tile(steps, P)) % P
+            cluster.comm.send_many(srcs, dsts, block_sizes[srcs])
 
         c_locals: List[CSCMatrix] = []
         with cluster.phase("multiply"):

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..distribution import DistributedColumns1D
 from ..sparse import as_csc
-from .block_fetch import plan_block_fetch
+from .block_fetch import plan_block_fetch_all
 
 __all__ = [
     "CommunicationEstimate",
@@ -35,7 +35,11 @@ __all__ = [
     "BYTES_PER_ENTRY",
 ]
 
-#: wire size of one sparse entry: 8-byte row id + 8-byte value
+#: wire size of one sparse entry: 8-byte row id + 8-byte value.  This is the
+#: canonical byte definition for both CV (what the RDMA windows move) and
+#: memA (``nnz(A) · BYTES_PER_ENTRY``) — the executed algorithm
+#: (:mod:`repro.core.spgemm_1d`) reports its CV/memA with the same constant,
+#: so predicted and measured ratios are directly comparable.
 BYTES_PER_ENTRY = 16
 
 
@@ -112,11 +116,11 @@ def estimate_communication(
     per_rank_messages = np.zeros(nprocs, dtype=np.int64)
     for rank in range(nprocs):
         hit = dist_b.local(rank).nonzero_rows_mask()
+        # One vectorised Algorithm-2 planning pass over all P targets.
+        plans = plan_block_fetch_all(rank_cols, hit, block_split)
         for target in range(nprocs):
-            if target == rank or rank_cols[target].size == 0:
-                continue
-            plan = plan_block_fetch(rank_cols[target], hit, block_split)
-            if plan.M == 0:
+            plan = plans[target]
+            if target == rank or plan is None or plan.M == 0:
                 continue
             # Bytes follow the *fetched* (block-covered) columns, matching
             # what the RDMA calls would actually move.

@@ -37,7 +37,8 @@ from ..runtime import SimulatedCluster
 from ..sparse import CSCMatrix, as_csc, local_spgemm, stack_columns, SpGEMMKernelStats
 from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
-from .block_fetch import plan_block_fetch
+from .block_fetch import plan_block_fetch_all
+from .estimator import BYTES_PER_ENTRY
 
 __all__ = ["SparsityAware1D", "sparsity_aware_spgemm_1d"]
 
@@ -107,7 +108,6 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                 # The exposed windows hold the *compressed* row-id/value arrays
                 # (empty columns occupy no space), so interval offsets follow
                 # the prefix array directly.
-                order = np.argsort(nz_local, kind="stable")  # already sorted; keep explicit
                 exposed[rank] = {
                     "rowids": local_a.indices.astype(_INDEX_DTYPE, copy=True),
                     "values": local_a.data.astype(np.float64, copy=True),
@@ -135,24 +135,37 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                     local_b = dist_b.local(rank)
                     # H_i: nonzero rows of B_i over the global inner dimension.
                     hit = local_b.nonzero_rows_mask()
+                    # One vectorised planning pass over all P targets
+                    # (Algorithm 2 for every remote process at once).
+                    plans = plan_block_fetch_all(
+                        rank_nonzero_cols, hit, self.block_split
+                    )
                     for target in range(P):
+                        plan = plans[target]
+                        if plan is None:
+                            continue
                         remote_cols = rank_nonzero_cols[target]
                         prefix = rank_col_prefix[target]
-                        if remote_cols.size == 0:
-                            continue
-                        plan = plan_block_fetch(remote_cols, hit, self.block_split)
                         total_required_cols += int(plan.required_positions.size)
                         total_fetched_cols += plan.fetched_columns
                         if plan.M == 0:
                             continue
+                        covered = plan.covered_positions
                         if target == rank:
-                            # Local columns need no RDMA; the local A_i is at hand.
-                            needed = remote_cols[plan.required_positions]
+                            # Local columns need no RDMA; the local A_i is at
+                            # hand.  The compaction ablation (compact=False)
+                            # keeps every column of the selected blocks, just
+                            # like the remote path.
+                            if self.compact:
+                                positions = plan.required_positions
+                            else:
+                                positions = covered
+                            take = remote_cols[positions]
                             local_a = dist_a.local(rank)
                             start_col, _ = dist_a.column_bounds(rank)
-                            sub = local_a.extract_columns(needed - start_col)
+                            sub = local_a.extract_columns(take - start_col)
                             r, c, v = sub.to_coo()
-                            fetched_for_rank[rank].append((needed[c], r, v))
+                            fetched_for_rank[rank].append((take[c], r, v))
                             continue
                         # Translate column-position intervals into exposed-array
                         # ranges using the remote prefix sums (no communication:
@@ -164,20 +177,12 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                         values = window.get_concat(rank, target, "values", data_ranges)
                         # Reconstruct which global column each fetched entry
                         # belongs to, then keep only the required ones for Ã.
-                        col_ids_parts = []
-                        for (s, e) in plan.intervals:
-                            counts = np.diff(prefix[s : e + 1])
-                            col_ids_parts.append(
-                                np.repeat(remote_cols[s:e], counts)
-                            )
-                        col_ids = (
-                            np.concatenate(col_ids_parts)
-                            if col_ids_parts
-                            else np.zeros(0, dtype=_INDEX_DTYPE)
-                        )
+                        per_col_nnz = np.diff(prefix)[covered]
+                        col_ids = np.repeat(remote_cols[covered], per_col_nnz)
                         if self.compact:
-                            needed_cols = remote_cols[plan.required_positions]
-                            keep = np.isin(col_ids, needed_cols)
+                            keep = np.repeat(
+                                np.isin(covered, plan.required_positions), per_col_nnz
+                            )
                             col_ids, rowids, values = (
                                 col_ids[keep],
                                 rowids[keep],
@@ -234,9 +239,14 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
         # caller (no communication — Algorithm 1 needs none for the output).
         C = stack_columns(c_locals, nrows=dist_a.nrows)
 
+        # memA uses the same wire-byte definition as the symbolic estimator
+        # (``nnz(A) · BYTES_PER_ENTRY``: 8-byte row id + 8-byte value per
+        # stored entry — exactly what the rowid/value windows expose), so the
+        # executed CV/memA ratio is directly comparable to the predicted one
+        # and to the paper's ≈30% partitioning threshold.
         a_total_bytes = sum(
-            dist_a.local(rank).memory_bytes() for rank in range(P)
-        )
+            dist_a.local(rank).nnz for rank in range(P)
+        ) * BYTES_PER_ENTRY
         # Bytes moved by the RDMA fetches of A only (what Fig 5 plots); the
         # ledger's total additionally includes the metadata allgather.
         fetch_bytes = sum(

@@ -57,16 +57,19 @@ class SparseSUMMA2D(DistributedSpGEMMAlgorithm):
         stages = grid.pcols  # square grid: pcols == prows
         for s in range(stages):
             with cluster.phase(f"stage-{s}"):
-                # Broadcast A(i, s) along process row i.
-                for i in range(grid.prows):
-                    a_block = dist_a.block(i, s)
-                    root = grid.rank_of(i, s)
-                    cluster.comm.bcast(a_block, root=root, ranks=grid.row_ranks(i))
-                # Broadcast B(s, j) along process column j.
-                for j in range(grid.pcols):
-                    b_block = dist_b.block(s, j)
-                    root = grid.rank_of(s, j)
-                    cluster.comm.bcast(b_block, root=root, ranks=grid.col_ranks(j))
+                # Batch the stage's 2·√P broadcasts — A(i, s) along every
+                # process row, B(s, j) along every process column — into one
+                # accounting call.
+                cluster.comm.bcast_many(
+                    [
+                        (dist_a.block(i, s), grid.rank_of(i, s), grid.row_ranks(i))
+                        for i in range(grid.prows)
+                    ]
+                    + [
+                        (dist_b.block(s, j), grid.rank_of(s, j), grid.col_ranks(j))
+                        for j in range(grid.pcols)
+                    ]
+                )
                 # Local multiply-accumulate on every process.
                 for i in range(grid.prows):
                     a_block = dist_a.block(i, s)

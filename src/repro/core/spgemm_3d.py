@@ -69,16 +69,26 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
             dist_b = split.b_layers[l]
             for s in range(stages):
                 with cluster.phase(f"layer{l}-stage{s}"):
-                    for i in range(grid.prows):
-                        a_block = dist_a.block(i, s)
-                        root = grid.rank_of(i, s, l)
-                        row_group = [grid.rank_of(i, j, l) for j in range(grid.pcols)]
-                        cluster.comm.bcast(a_block, root=root, ranks=row_group)
-                    for j in range(grid.pcols):
-                        b_block = dist_b.block(s, j)
-                        root = grid.rank_of(s, j, l)
-                        col_group = [grid.rank_of(i, j, l) for i in range(grid.prows)]
-                        cluster.comm.bcast(b_block, root=root, ranks=col_group)
+                    # Batch the layer-stage's row and column broadcasts into
+                    # one accounting call.
+                    cluster.comm.bcast_many(
+                        [
+                            (
+                                dist_a.block(i, s),
+                                grid.rank_of(i, s, l),
+                                [grid.rank_of(i, j, l) for j in range(grid.pcols)],
+                            )
+                            for i in range(grid.prows)
+                        ]
+                        + [
+                            (
+                                dist_b.block(s, j),
+                                grid.rank_of(s, j, l),
+                                [grid.rank_of(i, j, l) for i in range(grid.prows)],
+                            )
+                            for j in range(grid.pcols)
+                        ]
+                    )
                     for i in range(grid.prows):
                         a_block = dist_a.block(i, s)
                         for j in range(grid.pcols):

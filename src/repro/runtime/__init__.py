@@ -10,7 +10,7 @@ modelled time.  See DESIGN.md §2 for the substitution rationale.
 from .costmodel import CostModel, LAPTOP, PERLMUTTER, ZERO_COST
 from .stats import CATEGORIES, PhaseLedger, RankStats
 from .window import RdmaWindow, WindowEpoch, WindowError
-from .communicator import Communicator
+from .communicator import Communicator, binomial_send_counts
 from .simulator import MemoryLimitExceeded, SimulatedCluster
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "WindowEpoch",
     "WindowError",
     "Communicator",
+    "binomial_send_counts",
     "SimulatedCluster",
     "MemoryLimitExceeded",
 ]

@@ -10,14 +10,25 @@ phase of the owning cluster.
 
 Collective cost conventions (standard implementations):
 
-* ``bcast`` of ``b`` bytes to ``g`` ranks — binomial tree:
-  ``ceil(log2 g)`` rounds; every non-root rank receives ``b`` bytes once, and
-  each rank that forwards pays the corresponding sends.
+* ``bcast`` of ``b`` bytes to ``g`` ranks — binomial tree: exactly ``g − 1``
+  messages of ``b`` bytes move in ``ceil(log2 g)`` rounds.  Rank at tree
+  position ``j`` (relative to the root) receives once and forwards to
+  ``j + 2^k`` for every round ``k`` with ``2^k > j`` and ``j + 2^k < g``;
+  summed over the group, sent bytes equal received bytes.
 * ``allgather`` of per-rank ``b_i`` bytes over ``g`` ranks — ring/bruck:
   each rank receives ``Σ b_i − b_own`` bytes in ``g − 1`` messages.
+* ``gather`` — binomial tree towards the root: each non-root sends exactly
+  one message carrying its whole accumulated subtree.
 * ``alltoallv`` — pairwise exchange: each rank sends its per-destination
   buffers directly, paying one message per non-empty destination.
-* ``reduce``/``allreduce`` — binomial tree (+ broadcast for allreduce).
+* ``reduce``/``allreduce`` — binomial tree reduce (one up-message per
+  non-root) followed by a binomial-tree broadcast.
+
+Every collective conserves bytes by construction — the total charged as sent
+across the group equals the total charged as received — and when
+``check_conservation`` is enabled (the default; disable with the environment
+variable ``REPRO_CHECK_CONSERVATION=0``) each call also asserts that balance,
+so bookkeeping regressions fail loudly at the call site.
 
 All collectives also charge the two-sided pack cost on both sides, which is
 exactly the overhead the paper's RDMA design avoids.
@@ -26,11 +37,14 @@ exactly the overhead the paper's RDMA design avoids.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Communicator"]
+__all__ = ["Communicator", "binomial_send_counts"]
+
+_INDEX_DTYPE = np.int64
 
 
 def _nbytes(obj) -> int:
@@ -53,6 +67,42 @@ def _nbytes(obj) -> int:
     return 64
 
 
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+#: cache of per-group-size binomial tree shapes (send counts per tree position)
+_BINOMIAL_CACHE: Dict[int, np.ndarray] = {}
+
+
+def binomial_send_counts(g: int) -> np.ndarray:
+    """Messages sent by each *tree position* of a ``g``-rank binomial broadcast.
+
+    Position 0 is the root.  Position ``j`` forwards to ``j + 2^k`` for every
+    round ``k`` with ``2^k > j`` and ``j + 2^k < g``; the returned counts
+    therefore sum to exactly ``g − 1`` (each non-root position receives the
+    payload once, from ``j − 2^floor(log2 j)``).
+    """
+    if g <= 0:
+        raise ValueError("group size must be positive")
+    cached = _BINOMIAL_CACHE.get(g)
+    if cached is not None:
+        return cached
+    if g == 1:
+        counts = np.zeros(1, dtype=_INDEX_DTYPE)
+    else:
+        rounds = int(math.ceil(math.log2(g)))
+        ks = (2 ** np.arange(rounds, dtype=_INDEX_DTYPE))[None, :]
+        js = np.arange(g, dtype=_INDEX_DTYPE)[:, None]
+        counts = np.sum((ks > js) & (js + ks < g), axis=1).astype(_INDEX_DTYPE)
+    counts.setflags(write=False)
+    _BINOMIAL_CACHE[g] = counts
+    return counts
+
+
 class Communicator:
     """Two-sided/collective operations over all ranks of a simulated cluster.
 
@@ -61,8 +111,12 @@ class Communicator:
     many messages, bytes, and seconds.
     """
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster, check_conservation: Optional[bool] = None) -> None:
         self.cluster = cluster
+        if check_conservation is None:
+            check_conservation = _env_flag("REPRO_CHECK_CONSERVATION", True)
+        #: assert per-call group conservation (bytes sent == bytes received)
+        self.check_conservation = bool(check_conservation)
 
     # ------------------------------------------------------------------
     @property
@@ -75,6 +129,40 @@ class Communicator:
     def _stats(self, rank: int):
         return self.cluster.stats(rank)
 
+    def _charge_group(
+        self,
+        ranks: np.ndarray,
+        *,
+        messages: np.ndarray,
+        bytes_sent: np.ndarray,
+        bytes_received: np.ndarray,
+        comm_seconds: np.ndarray,
+        other_seconds: Optional[np.ndarray] = None,
+        collective: str = "collective",
+    ) -> None:
+        """Apply per-rank charge arrays for one collective, checking conservation.
+
+        The arrays are aligned with ``ranks``; the conservation invariant is
+        checked on the arrays *before* they touch the ledger, so a violation
+        points at the exact collective call that produced it.
+        """
+        if self.check_conservation:
+            sent = int(np.sum(bytes_sent))
+            received = int(np.sum(bytes_received))
+            if sent != received:
+                raise AssertionError(
+                    f"{collective} violates conservation: group sent {sent} bytes "
+                    f"but received {received} bytes"
+                )
+        for idx, rank in enumerate(ranks):
+            self._stats(int(rank)).charge_bulk(
+                messages=int(messages[idx]),
+                bytes_sent=int(bytes_sent[idx]),
+                bytes_received=int(bytes_received[idx]),
+                comm_seconds=float(comm_seconds[idx]),
+                other_seconds=0.0 if other_seconds is None else float(other_seconds[idx]),
+            )
+
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
@@ -86,52 +174,163 @@ class Communicator:
         model = self._model()
         s = self._stats(src)
         d = self._stats(dst)
-        s.messages_sent += 1
-        s.bytes_sent += nbytes
-        d.bytes_received += nbytes
         cost = model.message_cost(nbytes)
-        s.charge_time("comm", cost)
-        d.charge_time("comm", cost)
+        pack = model.pack_cost(nbytes)
         # Two-sided transfers pack on the sender and unpack on the receiver.
-        s.charge_time("other", model.pack_cost(nbytes))
-        d.charge_time("other", model.pack_cost(nbytes))
+        s.charge_bulk(
+            messages=1, bytes_sent=nbytes, comm_seconds=cost, other_seconds=pack
+        )
+        d.charge_bulk(bytes_received=nbytes, comm_seconds=cost, other_seconds=pack)
         return payload
+
+    def send_many(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        sizes: Sequence[int],
+    ) -> None:
+        """Charge a whole batch of point-to-point sends in O(P) numpy work.
+
+        ``srcs``/``dsts``/``sizes`` are aligned arrays, one entry per message;
+        self-sends (``src == dst``) cost nothing, matching :meth:`send`.  The
+        caller keeps moving the payloads by reference — this is the accounting
+        path the naive block-row ring exchange uses so its P·(P−1) messages
+        cost a handful of numpy calls instead of a Python loop pair.
+        """
+        srcs = np.asarray(srcs, dtype=_INDEX_DTYPE)
+        dsts = np.asarray(dsts, dtype=_INDEX_DTYPE)
+        sizes = np.asarray(sizes, dtype=_INDEX_DTYPE)
+        if not (srcs.shape == dsts.shape == sizes.shape):
+            raise ValueError("send_many arrays must be aligned")
+        remote = srcs != dsts
+        if not np.any(remote):
+            return
+        srcs, dsts, sizes = srcs[remote], dsts[remote], sizes[remote]
+        model = self._model()
+        costs = model.alpha + model.beta * sizes
+        packs = model.pack_per_byte * sizes.astype(np.float64)
+        ledger = self.cluster.ledger
+        phase = self.cluster.current_phase
+        ledger.charge_bulk(
+            phase,
+            srcs,
+            messages=1,
+            bytes_sent=sizes,
+            comm_seconds=costs,
+            other_seconds=packs,
+        )
+        ledger.charge_bulk(
+            phase,
+            dsts,
+            bytes_received=sizes,
+            comm_seconds=costs,
+            other_seconds=packs,
+        )
 
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
+    def _bcast_charges(
+        self, nbytes: int, root: int, ranks: List[int]
+    ) -> Tuple[np.ndarray, ...]:
+        """Per-rank (messages, sent, received, comm, other) of one broadcast."""
+        g = len(ranks)
+        model = self._model()
+        ranks_arr = np.asarray(ranks, dtype=_INDEX_DTYPE)
+        # Tree positions are assigned relative to the root's position in the
+        # group list (the standard relative-rank rotation).
+        root_pos = ranks.index(root)
+        send_counts = binomial_send_counts(g)[(np.arange(g) - root_pos) % g]
+        recv_counts = np.ones(g, dtype=_INDEX_DTYPE)
+        recv_counts[root_pos] = 0
+        rounds = max(1, math.ceil(math.log2(g))) if g > 1 else 0
+        messages = send_counts
+        bytes_sent = send_counts * nbytes
+        bytes_received = recv_counts * nbytes
+        # Every participant is on the critical path of the full tree depth.
+        comm = np.full(g, rounds * model.message_cost(nbytes), dtype=np.float64)
+        other = np.full(g, model.pack_cost(nbytes), dtype=np.float64)
+        if g == 1:
+            comm[:] = 0.0
+            other[:] = 0.0
+        return ranks_arr, messages, bytes_sent, bytes_received, comm, other
+
     def bcast(self, payload, root: int, ranks: Optional[Sequence[int]] = None):
         """Broadcast ``payload`` from ``root`` to ``ranks`` (default: everyone).
 
-        Returns a dict ``rank -> payload`` so SPMD-style loops can index it.
+        Binomial-tree accounting: exactly ``g − 1`` messages of ``b`` bytes in
+        total, so group bytes sent equal group bytes received.  Returns a dict
+        ``rank -> payload`` so SPMD-style loops can index it.
         """
         ranks = list(range(self.nprocs)) if ranks is None else list(ranks)
         if root not in ranks:
             raise ValueError("broadcast root must be a member of the rank group")
-        g = len(ranks)
         nbytes = _nbytes(payload)
-        model = self._model()
-        rounds = max(1, math.ceil(math.log2(g))) if g > 1 else 0
-        for rank in ranks:
-            st = self._stats(rank)
-            if g == 1:
-                continue
-            if rank == root:
-                # The root participates in every round of the binomial tree.
-                st.messages_sent += rounds
-                st.bytes_sent += nbytes * rounds
-                st.charge_time("comm", rounds * model.message_cost(nbytes))
-                st.charge_time("other", model.pack_cost(nbytes))
-            else:
-                st.bytes_received += nbytes
-                # Every non-root rank receives once and may forward up to
-                # log2(g) times; charging one receive + average forwarding of
-                # one send keeps totals equal to a binomial tree's volume.
-                st.messages_sent += 1
-                st.bytes_sent += nbytes
-                st.charge_time("comm", rounds * model.message_cost(nbytes))
-                st.charge_time("other", model.pack_cost(nbytes))
+        ranks_arr, messages, sent, received, comm, other = self._bcast_charges(
+            nbytes, root, ranks
+        )
+        self._charge_group(
+            ranks_arr,
+            messages=messages,
+            bytes_sent=sent,
+            bytes_received=received,
+            comm_seconds=comm,
+            other_seconds=other,
+            collective="bcast",
+        )
         return {rank: payload for rank in ranks}
+
+    def bcast_many(
+        self,
+        items: Sequence[Tuple[object, int, Sequence[int]]],
+    ) -> List[Dict[int, object]]:
+        """Charge a batch of broadcasts — ``(payload, root, ranks)`` triples — at once.
+
+        Produces byte-for-byte the same ledger as looping :meth:`bcast`, but
+        aggregates all per-rank deltas into numpy arrays and lands them with
+        one :meth:`~repro.runtime.stats.PhaseLedger.charge_bulk` call, which is
+        what keeps a √P-stage SUMMA sweep O(stages) in Python instead of
+        O(stages · √P · group).
+        """
+        all_ranks: List[np.ndarray] = []
+        all_msgs: List[np.ndarray] = []
+        all_sent: List[np.ndarray] = []
+        all_recv: List[np.ndarray] = []
+        all_comm: List[np.ndarray] = []
+        all_other: List[np.ndarray] = []
+        results: List[Dict[int, object]] = []
+        for payload, root, ranks in items:
+            ranks = list(ranks)
+            if root not in ranks:
+                raise ValueError("broadcast root must be a member of the rank group")
+            nbytes = _nbytes(payload)
+            ranks_arr, messages, sent, received, comm, other = self._bcast_charges(
+                nbytes, root, ranks
+            )
+            all_ranks.append(ranks_arr)
+            all_msgs.append(messages)
+            all_sent.append(sent)
+            all_recv.append(received)
+            all_comm.append(comm)
+            all_other.append(other)
+            if self.check_conservation and int(sent.sum()) != int(received.sum()):
+                raise AssertionError(
+                    "bcast_many violates conservation: group sent "
+                    f"{int(sent.sum())} bytes but received {int(received.sum())}"
+                )
+            results.append({rank: payload for rank in ranks})
+        if not all_ranks:
+            return results
+        self.cluster.ledger.charge_bulk(
+            self.cluster.current_phase,
+            np.concatenate(all_ranks),
+            messages=np.concatenate(all_msgs),
+            bytes_sent=np.concatenate(all_sent),
+            bytes_received=np.concatenate(all_recv),
+            comm_seconds=np.concatenate(all_comm),
+            other_seconds=np.concatenate(all_other),
+        )
+        return results
 
     def allgather(self, per_rank_payloads: Dict[int, object],
                   ranks: Optional[Sequence[int]] = None) -> Dict[int, List[object]]:
@@ -139,40 +338,82 @@ class Communicator:
         ranks = sorted(per_rank_payloads) if ranks is None else list(ranks)
         g = len(ranks)
         model = self._model()
-        sizes = {r: _nbytes(per_rank_payloads[r]) for r in ranks}
-        total = sum(sizes.values())
-        for rank in ranks:
-            st = self._stats(rank)
-            if g > 1:
-                recv = total - sizes[rank]
-                st.messages_sent += g - 1
-                st.bytes_sent += sizes[rank] * (g - 1)
-                st.bytes_received += recv
-                st.charge_time(
-                    "comm", (g - 1) * model.alpha + model.beta * (sizes[rank] * (g - 1) + recv)
-                )
-                st.charge_time("other", model.pack_cost(recv + sizes[rank]))
+        sizes = np.array([_nbytes(per_rank_payloads[r]) for r in ranks], dtype=_INDEX_DTYPE)
+        total = int(sizes.sum())
         gathered = [per_rank_payloads[r] for r in ranks]
+        if g > 1:
+            recv = total - sizes
+            sent = sizes * (g - 1)
+            messages = np.full(g, g - 1, dtype=_INDEX_DTYPE)
+            comm = (g - 1) * model.alpha + model.beta * (sent + recv).astype(np.float64)
+            other = model.pack_per_byte * (recv + sizes).astype(np.float64)
+            self._charge_group(
+                np.asarray(ranks, dtype=_INDEX_DTYPE),
+                messages=messages,
+                bytes_sent=sent,
+                bytes_received=recv,
+                comm_seconds=comm,
+                other_seconds=other,
+                collective="allgather",
+            )
         return {rank: list(gathered) for rank in ranks}
 
     def gather(self, per_rank_payloads: Dict[int, object], root: int) -> List[object]:
-        """Gather every rank's payload at ``root``; returns the ordered list at root."""
+        """Gather every rank's payload at ``root``; returns the ordered list at root.
+
+        Binomial-tree accounting: each non-root tree position sends exactly one
+        message carrying its accumulated subtree, so the group moves ``g − 1``
+        messages and ``Σ_{j≠root} subtree_bytes(j)`` bytes, sent == received.
+        """
         ranks = sorted(per_rank_payloads)
+        g = len(ranks)
         model = self._model()
-        root_stats = self._stats(root)
-        for rank in ranks:
-            if rank == root:
+        result = [per_rank_payloads[r] for r in ranks]
+        if g <= 1:
+            return result
+        root_pos = ranks.index(root)
+        sizes = np.array([_nbytes(per_rank_payloads[r]) for r in ranks], dtype=_INDEX_DTYPE)
+        # Accumulate subtree sizes up the binomial tree, round by round; the
+        # position arrays are relative to the root (position 0 = root).
+        rel_sizes = np.roll(sizes, -root_pos)
+        acc = rel_sizes.astype(_INDEX_DTYPE).copy()
+        rounds = int(math.ceil(math.log2(g)))
+        rel_sent = np.zeros(g, dtype=_INDEX_DTYPE)
+        rel_recv = np.zeros(g, dtype=_INDEX_DTYPE)
+        rel_msgs = np.zeros(g, dtype=_INDEX_DTYPE)
+        for k in range(rounds):
+            step = 1 << k
+            senders = np.arange(g, dtype=_INDEX_DTYPE)
+            mask = (senders & ((step << 1) - 1)) == step
+            senders = senders[mask]
+            if senders.size == 0:
                 continue
-            nbytes = _nbytes(per_rank_payloads[rank])
-            st = self._stats(rank)
-            st.messages_sent += 1
-            st.bytes_sent += nbytes
-            st.charge_time("comm", model.message_cost(nbytes))
-            st.charge_time("other", model.pack_cost(nbytes))
-            root_stats.bytes_received += nbytes
-            root_stats.charge_time("comm", model.message_cost(nbytes))
-            root_stats.charge_time("other", model.pack_cost(nbytes))
-        return [per_rank_payloads[r] for r in ranks]
+            parents = senders - step
+            moved = acc[senders]
+            rel_sent[senders] += moved
+            rel_msgs[senders] += 1
+            rel_recv[parents] += moved
+            np.add.at(acc, parents, moved)
+            acc[senders] = 0
+        # Rotate back to absolute group positions.
+        positions = (np.arange(g) - root_pos) % g
+        sent = rel_sent[positions]
+        received = rel_recv[positions]
+        messages = rel_msgs[positions]
+        comm = model.alpha * (messages + (received > 0)) + model.beta * (
+            sent + received
+        ).astype(np.float64)
+        other = model.pack_per_byte * (sent + received).astype(np.float64)
+        self._charge_group(
+            np.asarray(ranks, dtype=_INDEX_DTYPE),
+            messages=messages,
+            bytes_sent=sent,
+            bytes_received=received,
+            comm_seconds=comm,
+            other_seconds=other,
+            collective="gather",
+        )
+        return result
 
     def alltoallv(
         self, buffers: Dict[int, Dict[int, object]]
@@ -181,45 +422,101 @@ class Communicator:
 
         ``buffers[src][dst]`` is the payload ``src`` sends to ``dst``; the
         return value is ``received[dst][src]``.  Empty/None payloads cost
-        nothing (sparse all-to-all, as used by the 3D merge step).
+        nothing (sparse all-to-all, as used by the 3D merge step).  The
+        accounting for all pairs is aggregated into numpy arrays and charged
+        in O(P), not O(P²).
         """
-        model = self._model()
         received: Dict[int, Dict[int, object]] = {r: {} for r in range(self.nprocs)}
+        srcs: List[int] = []
+        dsts: List[int] = []
+        sizes: List[int] = []
         for src, per_dst in buffers.items():
             for dst, payload in per_dst.items():
                 if payload is None:
                     continue
-                nbytes = _nbytes(payload)
-                if src == dst:
-                    received[dst][src] = payload
-                    continue
-                s = self._stats(src)
-                d = self._stats(dst)
-                s.messages_sent += 1
-                s.bytes_sent += nbytes
-                d.bytes_received += nbytes
-                cost = model.message_cost(nbytes)
-                s.charge_time("comm", cost)
-                d.charge_time("comm", cost)
-                s.charge_time("other", model.pack_cost(nbytes))
-                d.charge_time("other", model.pack_cost(nbytes))
                 received[dst][src] = payload
+                if src == dst:
+                    continue
+                srcs.append(src)
+                dsts.append(dst)
+                sizes.append(_nbytes(payload))
+        self.alltoallv_sizes(srcs, dsts, sizes)
         return received
 
+    def alltoallv_sizes(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        sizes: Sequence[int],
+    ) -> None:
+        """Pure-accounting personalised all-to-all over numpy size arrays.
+
+        One entry per pairwise message; self-messages must already be
+        filtered out by the caller (:meth:`alltoallv` does).  This is the
+        vectorised path the algorithms use when the payload routing is handled
+        separately from the cost accounting.
+        """
+        srcs = np.asarray(srcs, dtype=_INDEX_DTYPE)
+        dsts = np.asarray(dsts, dtype=_INDEX_DTYPE)
+        sizes = np.asarray(sizes, dtype=_INDEX_DTYPE)
+        if not (srcs.shape == dsts.shape == sizes.shape):
+            raise ValueError("alltoallv_sizes arrays must be aligned")
+        if srcs.size == 0:
+            return
+        if self.check_conservation and np.any(srcs == dsts):
+            raise AssertionError("alltoallv_sizes received a self-message")
+        model = self._model()
+        costs = model.alpha + model.beta * sizes
+        packs = model.pack_per_byte * sizes.astype(np.float64)
+        ledger = self.cluster.ledger
+        phase = self.cluster.current_phase
+        ledger.charge_bulk(
+            phase,
+            srcs,
+            messages=1,
+            bytes_sent=sizes,
+            comm_seconds=costs,
+            other_seconds=packs,
+        )
+        ledger.charge_bulk(
+            phase,
+            dsts,
+            bytes_received=sizes,
+            comm_seconds=costs,
+            other_seconds=packs,
+        )
+
     def allreduce_scalar(self, per_rank_values: Dict[int, float], op=sum) -> Dict[int, float]:
-        """Allreduce of one scalar per rank (tree reduce + broadcast accounting)."""
+        """Allreduce of one scalar per rank (binomial reduce + binomial broadcast).
+
+        The reduce phase moves ``g − 1`` eight-byte messages up the tree (one
+        per non-root position); the broadcast phase moves ``g − 1`` back down,
+        so the group's sent and received bytes balance exactly.
+        """
         ranks = sorted(per_rank_values)
         g = len(ranks)
         model = self._model()
-        rounds = max(1, math.ceil(math.log2(g))) if g > 1 else 0
-        for rank in ranks:
-            st = self._stats(rank)
-            if g > 1:
-                st.messages_sent += rounds
-                st.bytes_sent += 8 * rounds
-                st.bytes_received += 8 * rounds
-                st.charge_time("comm", 2 * rounds * model.message_cost(8))
         value = op(per_rank_values[r] for r in ranks)
+        if g <= 1:
+            return {rank: value for rank in ranks}
+        rounds = max(1, math.ceil(math.log2(g)))
+        # Tree position == group position (root = ranks[0]).
+        down_sends = binomial_send_counts(g)          # broadcast: sends per position
+        up_sends = (np.arange(g) > 0).astype(_INDEX_DTYPE)  # reduce: one up-message
+        up_recvs = down_sends                          # children count == bcast sends
+        down_recvs = up_sends                          # every non-root receives once
+        messages = up_sends + down_sends
+        sent = 8 * messages
+        received = 8 * (up_recvs + down_recvs)
+        comm = np.full(g, 2 * rounds * model.message_cost(8), dtype=np.float64)
+        self._charge_group(
+            np.asarray(ranks, dtype=_INDEX_DTYPE),
+            messages=messages,
+            bytes_sent=sent,
+            bytes_received=received,
+            comm_seconds=comm,
+            collective="allreduce_scalar",
+        )
         return {rank: value for rank in ranks}
 
     def barrier(self, ranks: Optional[Sequence[int]] = None) -> None:

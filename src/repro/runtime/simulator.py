@@ -73,6 +73,11 @@ class SimulatedCluster:
     nprocs: int
     cost_model: CostModel = PERLMUTTER
     name: str = "sim"
+    #: assert the per-collective conservation invariant (bytes sent ==
+    #: bytes received per group) inside every communication primitive;
+    #: ``None`` defers to the ``REPRO_CHECK_CONSERVATION`` environment
+    #: variable (default: enabled — the check is two numpy sums per call).
+    check_conservation: Optional[bool] = None
     ledger: PhaseLedger = field(init=False)
     _current_phase: str = field(default="default", init=False)
 
@@ -80,7 +85,7 @@ class SimulatedCluster:
         if self.nprocs <= 0:
             raise ValueError("nprocs must be positive")
         self.ledger = PhaseLedger(nprocs=self.nprocs)
-        self.comm = Communicator(self)
+        self.comm = Communicator(self, check_conservation=self.check_conservation)
 
     # ------------------------------------------------------------------
     # Ranks and phases
@@ -157,6 +162,10 @@ class SimulatedCluster:
     def elapsed_time(self) -> float:
         """Modelled elapsed seconds accumulated so far (Σ over phases of slowest rank)."""
         return self.ledger.elapsed_time()
+
+    def assert_conservation(self) -> None:
+        """Assert the ledger-wide byte balance (delegates to the PhaseLedger)."""
+        self.ledger.assert_conserved()
 
     def reset(self) -> None:
         """Clear all recorded phases (fresh ledger, same machine)."""

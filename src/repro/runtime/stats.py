@@ -15,6 +15,25 @@ bytes and flops so communication-volume figures (Figs 5, 6) come from the
 same objects.  :class:`PhaseLedger` groups the per-rank numbers into named
 bulk-synchronous phases so elapsed time can be modelled as
 ``Σ_phases max_ranks(phase time)``.
+
+Conservation invariant
+----------------------
+Every byte charged as *sent* by some rank must be charged as *received* by
+another rank (and vice versa): sends, collectives and RDMA Gets all move data
+between two ledger entries of the same phase.  :meth:`PhaseLedger.conservation_report`
+exposes the per-phase balance and :meth:`PhaseLedger.assert_conserved` turns a
+violation into a hard error, which is how the test suite pins the bookkeeping
+of every collective and every distributed algorithm.
+
+Batched charging
+----------------
+The distributed algorithms execute O(P²) logical messages per phase; charging
+them one Python attribute update at a time dominates wall-clock at high
+process counts.  :meth:`RankStats.charge_bulk` applies a whole phase's worth
+of counters to one rank in a single call, and
+:meth:`PhaseLedger.charge_bulk` scatters numpy arrays of per-event charges
+onto the ranks of a phase with ``np.add.at`` so the Python-level work is
+O(ranks), not O(messages).
 """
 
 from __future__ import annotations
@@ -55,6 +74,33 @@ class RankStats:
         if category not in self.time:
             raise KeyError(f"unknown time category {category!r}")
         self.time[category] += float(seconds)
+
+    def charge_bulk(
+        self,
+        *,
+        messages: int = 0,
+        rdma_gets: int = 0,
+        bytes_sent: int = 0,
+        bytes_received: int = 0,
+        comm_seconds: float = 0.0,
+        comp_seconds: float = 0.0,
+        other_seconds: float = 0.0,
+        flops: int = 0,
+    ) -> None:
+        """Apply a whole batch of charges to this rank in one call.
+
+        The batched communication primitives aggregate an entire phase's
+        messages into per-rank totals (with numpy) and land them here, so the
+        Python-level cost is one call per rank instead of one per message.
+        """
+        self.messages_sent += int(messages)
+        self.rdma_gets += int(rdma_gets)
+        self.bytes_sent += int(bytes_sent)
+        self.bytes_received += int(bytes_received)
+        self.time["comm"] += float(comm_seconds)
+        self.time["comp"] += float(comp_seconds)
+        self.time["other"] += float(other_seconds)
+        self.flops += int(flops)
 
     def charge_measured(self, category: str, seconds: float) -> None:
         if category not in self.measured:
@@ -124,6 +170,102 @@ class PhaseLedger:
 
     def rank(self, phase: str, rank: int) -> RankStats:
         return self.phase(phase)[rank]
+
+    def charge_bulk(
+        self,
+        phase: str,
+        ranks,
+        *,
+        messages=None,
+        rdma_gets=None,
+        bytes_sent=None,
+        bytes_received=None,
+        comm_seconds=None,
+        other_seconds=None,
+    ) -> None:
+        """Scatter per-event charges onto the ranks of ``phase`` in O(ranks).
+
+        ``ranks`` is an integer array with one entry per event (repeats
+        allowed); each keyword is either ``None``, a scalar applied to every
+        event, or an array aligned with ``ranks``.  Aggregation happens with
+        ``np.add.at`` so a phase with millions of messages costs a handful of
+        numpy calls plus one Python loop over the *distinct* ranks touched.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size == 0:
+            return
+        if ranks.min() < 0 or ranks.max() >= self.nprocs:
+            raise IndexError("rank id outside 0..nprocs-1 in charge_bulk")
+        stats_list = self.phase(phase)
+
+        def _accumulate(values, dtype):
+            if values is None:
+                return None
+            acc = np.zeros(self.nprocs, dtype=dtype)
+            values = np.asarray(values)
+            if values.ndim == 0:
+                np.add.at(acc, ranks, np.broadcast_to(values, ranks.shape))
+            else:
+                if values.shape != ranks.shape:
+                    raise ValueError("charge_bulk array not aligned with ranks")
+                np.add.at(acc, ranks, values)
+            return acc
+
+        acc_msgs = _accumulate(messages, np.int64)
+        acc_gets = _accumulate(rdma_gets, np.int64)
+        acc_sent = _accumulate(bytes_sent, np.int64)
+        acc_recv = _accumulate(bytes_received, np.int64)
+        acc_comm = _accumulate(comm_seconds, np.float64)
+        acc_other = _accumulate(other_seconds, np.float64)
+        for r in np.unique(ranks):
+            stats_list[r].charge_bulk(
+                messages=0 if acc_msgs is None else acc_msgs[r],
+                rdma_gets=0 if acc_gets is None else acc_gets[r],
+                bytes_sent=0 if acc_sent is None else acc_sent[r],
+                bytes_received=0 if acc_recv is None else acc_recv[r],
+                comm_seconds=0.0 if acc_comm is None else acc_comm[r],
+                other_seconds=0.0 if acc_other is None else acc_other[r],
+            )
+
+    # ------------------------------------------------------------------
+    # Conservation invariant
+    # ------------------------------------------------------------------
+    def conservation_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-phase byte balance: total sent, total received, and the gap.
+
+        Every primitive of the simulated runtime moves bytes between two
+        ledger entries of the same phase (sender/origin and receiver/target),
+        so a non-zero ``imbalance`` in any phase means a bookkeeping bug.
+        """
+        report: Dict[str, Dict[str, int]] = {}
+        for name in self.phase_order:
+            stats_list = self.phases[name]
+            sent = sum(st.bytes_sent for st in stats_list)
+            received = sum(st.bytes_received for st in stats_list)
+            report[name] = {
+                "bytes_sent": sent,
+                "bytes_received": received,
+                "imbalance": sent - received,
+            }
+        return report
+
+    def is_conserved(self) -> bool:
+        """True iff every phase's total bytes sent equals total bytes received."""
+        return all(row["imbalance"] == 0 for row in self.conservation_report().values())
+
+    def assert_conserved(self) -> None:
+        """Raise ``AssertionError`` naming the offending phases if unbalanced."""
+        bad = {
+            name: row
+            for name, row in self.conservation_report().items()
+            if row["imbalance"] != 0
+        }
+        if bad:
+            detail = ", ".join(
+                f"{name}: sent={row['bytes_sent']} received={row['bytes_received']}"
+                for name, row in bad.items()
+            )
+            raise AssertionError(f"ledger conservation violated in phases {{{detail}}}")
 
     # ------------------------------------------------------------------
     # Aggregations

@@ -129,14 +129,46 @@ class RdmaWindow:
     ) -> np.ndarray:
         """Issue one ``get`` per ``(start, stop)`` range and concatenate the results.
 
-        Convenience wrapper used by the block-fetch strategy, which issues at
-        most ``K`` gets per remote process.
+        Used by the block-fetch strategy, which issues at most ``K`` gets per
+        remote process.  The accounting is batched: the ``M`` gets are charged
+        in one bulk update (``M·α_rdma + β·total_bytes`` of modelled time,
+        ``M`` RDMA messages, the summed byte counters on both sides) instead
+        of ``M`` separate Python-level stat updates — byte-for-byte identical
+        to looping :meth:`get`.
         """
-        parts = [self.get(origin, target, key, start, stop) for start, stop in ranges]
-        if not parts:
-            arr = self._lookup(target, key)
+        arr = self._lookup(target, key)
+        if not ranges:
             return np.zeros(0, dtype=arr.dtype)
-        return np.concatenate(parts)
+        if origin == target:
+            # Local access: no messages, just view copies (matches `get`).
+            if not self._epoch_open:
+                raise WindowError("RDMA get outside of an access epoch")
+            return np.concatenate([arr[start:stop] for start, stop in ranges])
+        if not self._epoch_open:
+            raise WindowError("RDMA get outside of an access epoch")
+        bounds = np.asarray(ranges, dtype=np.int64)
+        if bounds.size and not (
+            np.all(0 <= bounds[:, 0])
+            and np.all(bounds[:, 0] <= bounds[:, 1])
+            and np.all(bounds[:, 1] <= arr.shape[0])
+        ):
+            raise WindowError("get range outside exposed array")
+        data = np.concatenate([arr[start:stop] for start, stop in ranges])
+        nbytes = int(data.nbytes)
+        m = len(ranges)
+        model = self.cluster.cost_model
+        origin_stats = self.cluster.stats(origin)
+        target_stats = self.cluster.stats(target)
+        origin_stats.charge_bulk(
+            rdma_gets=m,
+            bytes_received=nbytes,
+            comm_seconds=m * model.alpha_rdma + model.beta * nbytes,
+            # Only the origin pays to land/unpack the data — the point of RDMA.
+            other_seconds=model.pack_cost(nbytes),
+        )
+        target_stats.charge_bulk(bytes_sent=nbytes)
+        self._gets_issued += m
+        return data
 
     # ------------------------------------------------------------------
     def _lookup(self, rank: int, key: str) -> np.ndarray:

@@ -147,13 +147,35 @@ class TestKernelStats:
         C = local_spgemm(A, A, kernel="dense", stats=stats)
         assert stats.output_nnz == C.nnz
 
-    def test_stats_column_routing_sums_to_ncols(self):
+    def test_stats_column_routing_sums_to_active_columns(self):
         A = _random(40, 40, 0.1, seed=52)
         stats = SpGEMMKernelStats()
         local_spgemm(A, A, kernel="hybrid", stats=stats)
+        active = int(np.count_nonzero(per_column_flops(as_csc(A), as_csc(A)) > 0))
         assert (
-            stats.columns_heap + stats.columns_hash + stats.columns_dense == A.ncols
+            stats.columns_heap + stats.columns_hash + stats.columns_dense == active
         )
+        assert active <= as_csc(A).ncols
+
+    def test_stats_column_routing_agrees_across_kernels_on_sparse_input(self):
+        """Hybrid and literal kernels must count the same columns as routed.
+
+        Regression test: the literal kernels used to add ``B.ncols`` to their
+        counters even for columns doing zero work, so hybrid-vs-literal
+        routing stats disagreed on sparse inputs with empty columns.
+        """
+        # Very sparse input with guaranteed empty columns.
+        A = _random(60, 60, 0.02, seed=99)
+        totals = {}
+        for kernel in ("heap", "hash", "dense", "hybrid"):
+            stats = SpGEMMKernelStats()
+            local_spgemm(A, A, kernel=kernel, stats=stats)
+            totals[kernel] = (
+                stats.columns_heap + stats.columns_hash + stats.columns_dense
+            )
+        assert len(set(totals.values())) == 1, totals
+        active = int(np.count_nonzero(per_column_flops(as_csc(A), as_csc(A)) > 0))
+        assert totals["hybrid"] == active
 
     def test_compression_ratio_at_least_one(self):
         A = _random(40, 40, 0.1, seed=53)
