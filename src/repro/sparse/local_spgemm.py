@@ -74,6 +74,13 @@ class SpGEMMKernelStats:
     ``columns_hash``      columns processed by the hash accumulator
     ``columns_dense``     columns processed by the dense accumulator
     ``compression_ratio`` flops / output_nnz (≥ 1; the paper's compression factor)
+
+    The ``columns_*`` counters count only columns that perform work
+    (``col_flops > 0``); columns of ``B`` that are empty, or whose
+    participating columns of ``A`` are all empty, are routed to no
+    accumulator.  The hybrid kernel and the literal kernels agree on this
+    definition, so column-routing statistics are comparable across kernels
+    even on very sparse inputs.
     """
 
     flops: int = 0
@@ -197,7 +204,7 @@ def spgemm_heap(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix
     if stats is not None:
         stats.flops += int(col_flops.sum())
         stats.output_nnz += result.nnz
-        stats.columns_heap += B.ncols
+        stats.columns_heap += int(np.count_nonzero(col_flops > 0))
     return result
 
 
@@ -271,7 +278,7 @@ def spgemm_hash(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix
     if stats is not None:
         stats.flops += int(col_flops.sum())
         stats.output_nnz += result.nnz
-        stats.columns_hash += B.ncols
+        stats.columns_hash += int(np.count_nonzero(col_flops > 0))
     return result
 
 
@@ -319,7 +326,7 @@ def spgemm_dense_accumulator(
     if stats is not None:
         stats.flops += int(col_flops.sum())
         stats.output_nnz += result.nnz
-        stats.columns_dense += B.ncols
+        stats.columns_dense += int(np.count_nonzero(col_flops > 0))
     return result
 
 
@@ -384,7 +391,10 @@ def spgemm_hybrid(
     col_flops = per_column_flops(A, B)
 
     if stats is not None:
-        heap_cols = int(np.count_nonzero(col_flops < heap_flops_threshold))
+        # Route only columns that do work (col_flops > 0) so the hybrid
+        # routing statistics agree with the literal kernels on sparse inputs.
+        active = int(np.count_nonzero(col_flops > 0))
+        heap_cols = int(np.count_nonzero((col_flops > 0) & (col_flops < heap_flops_threshold)))
         est_density = col_flops / max(1, A.nrows)
         dense_cols = int(
             np.count_nonzero(
@@ -392,7 +402,7 @@ def spgemm_hybrid(
                 & (est_density > dense_density_threshold)
             )
         )
-        hash_cols = B.ncols - heap_cols - dense_cols
+        hash_cols = active - heap_cols - dense_cols
         stats.columns_heap += heap_cols
         stats.columns_dense += dense_cols
         stats.columns_hash += hash_cols
