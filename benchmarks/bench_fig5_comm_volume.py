@@ -2,43 +2,57 @@
 
 The paper reports ≈96% volume reduction from choosing the right permutation
 (natural order for hv15r, METIS for eukarya) relative to random permutation.
+Runs through the experiment engine: each (dataset, strategy) point is a
+``RunConfig``, executed fan-out-parallel and cached in the shared JSONL
+trajectory, and the asserted volumes come from the persisted records.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table, mebibytes
-from repro.apps.squaring import run_squaring
-from repro.matrices import load_dataset
+from repro.experiments import RunConfig
 
-from common import BLOCK_SPLIT, SCALE, assert_conserved, header
+from common import BLOCK_SPLIT, SCALE, assert_record_conserved, header, run_bench_grid
 
 NPROCS = 16
 
 
+def _configs():
+    cases = (
+        ("hv15r", SCALE, ("random", "none")),
+        ("eukarya", max(0.1, SCALE / 2), ("random", "none", "metis")),
+    )
+    return [
+        RunConfig(
+            dataset=dataset,
+            algorithm="1d",
+            strategy=strategy,
+            nprocs=NPROCS,
+            block_split=BLOCK_SPLIT,
+            seed=0,
+            scale=scale,
+        )
+        for dataset, scale, strategies in cases
+        for strategy in strategies
+    ]
+
+
 def _run():
+    result = run_bench_grid(_configs())
     rows = []
-    hv = load_dataset("hv15r", scale=SCALE)
-    eu = load_dataset("eukarya", scale=max(0.1, SCALE / 2))
     volumes = {}
-    for dataset, matrix, strategies in (
-        ("hv15r", hv, ("random", "none")),
-        ("eukarya", eu, ("random", "none", "metis")),
-    ):
-        for strategy in strategies:
-            run = run_squaring(
-                matrix, algorithm="1d", strategy=strategy, nprocs=NPROCS,
-                block_split=BLOCK_SPLIT, dataset=dataset, seed=0,
-            )
-            assert_conserved(run)
-            volumes[(dataset, strategy)] = run.result.communication_volume
-            rows.append(
-                {
-                    "dataset": dataset,
-                    "strategy": strategy,
-                    "volume": mebibytes(run.result.communication_volume),
-                    "CV/memA": f"{run.cv_over_mema:.3f}",
-                }
-            )
+    for record in result.records:
+        assert_record_conserved(record)
+        key = (record.config.dataset, record.config.strategy)
+        volumes[key] = record.communication_volume
+        rows.append(
+            {
+                "dataset": record.config.dataset,
+                "strategy": record.config.strategy,
+                "volume": mebibytes(record.communication_volume),
+                "CV/memA": f"{record.cv_over_mema:.3f}",
+            }
+        )
     return rows, volumes
 
 

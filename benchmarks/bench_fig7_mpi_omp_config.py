@@ -3,43 +3,56 @@
 Given c cores, the paper varies processes p and threads t with c = p·t and
 finds that intermediate configurations (p between 64 and 256 at their scale)
 win: too few processes waste the cores on serial per-process work, too many
-make communication dominate.
+make communication dominate.  Each (p, t) split runs through the experiment
+engine as a ``RunConfig`` with a per-config thread count, fanned out over
+workers and cached in the shared JSONL trajectory.
 """
 
 from __future__ import annotations
 
-from repro.analysis import config_sweep, format_table
-from repro.matrices import load_dataset
+from repro.analysis import ConfigPoint, format_table
+from repro.analysis.sweep import mpi_omp_configurations
+from repro.experiments import RunConfig
 
-from common import BLOCK_SPLIT, SCALE, header
+from common import BLOCK_SPLIT, SCALE, header, run_bench_grid
 
 TOTAL_CORES = 256
+MIN_PROCESSES = 1
+
+
+def _configs():
+    return [
+        RunConfig(
+            dataset="hv15r",
+            algorithm="1d",
+            strategy="none",
+            nprocs=cfg["processes"],
+            block_split=BLOCK_SPLIT,
+            scale=SCALE,
+            threads=cfg["threads"],
+        )
+        for cfg in mpi_omp_configurations(TOTAL_CORES)
+        if cfg["processes"] >= MIN_PROCESSES
+    ]
 
 
 def _run():
-    A = load_dataset("hv15r", scale=SCALE)
-    return config_sweep(
-        A,
-        total_cores=TOTAL_CORES,
-        algorithm="1d",
-        strategy="none",
-        block_split=BLOCK_SPLIT,
-        min_processes=1,
-    )
+    return [
+        ConfigPoint.from_record(r) for r in run_bench_grid(_configs()).records
+    ]
 
 
 def test_fig7_mpi_omp_configurations(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
     header(f"Figure 7: MPI x OpenMP configurations at {TOTAL_CORES} cores (hv15r, 1D)")
-    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
-    print(format_table(display))
-    times = {row["processes"]: row["_time"] for row in rows}
+    print(format_table([p.as_row() for p in points]))
+    times = {p.processes: p.elapsed_time for p in points}
     best_p = min(times, key=times.get)
     print(f"best process count: {best_p} (paper: intermediate configurations, 64-256)")
     # The extreme all-threads configuration (1 process) must not be the best:
     # per-process serial work stops scaling with threads (Amdahl).
     assert best_p != 1
     # Communication grows with the process count at fixed total work.
-    comm = {row["processes"]: float(row["comm (s)"]) for row in rows}
+    comm = {p.processes: p.comm_time for p in points}
     procs_sorted = sorted(comm)
     assert comm[procs_sorted[0]] <= comm[procs_sorted[-1]]

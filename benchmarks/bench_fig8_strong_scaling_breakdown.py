@@ -2,51 +2,68 @@
 
 The paper shows per-process stacked bars at increasing concurrency for hv15r,
 highlighting the load imbalance inherent to a sparsity-aware 1D decomposition
-and how it is tamed at larger process counts.
+and how it is tamed at larger process counts.  The scaling points run through
+the experiment engine; the per-rank bars are rendered straight from the
+persisted records' ``per_rank_*`` fields.
 """
 
 from __future__ import annotations
 
-from repro.analysis import breakdown_chart, format_table, seconds
-from repro.apps.squaring import run_squaring
-from repro.matrices import load_dataset
+from repro.analysis import format_bar_chart, format_table, seconds
+from repro.experiments import RunConfig
 
-from common import BLOCK_SPLIT, PROCESS_COUNTS, SCALE, header
+from common import BLOCK_SPLIT, PROCESS_COUNTS, SCALE, header, run_bench_grid
+
+
+def _configs():
+    return [
+        RunConfig(
+            dataset="hv15r",
+            algorithm="1d",
+            strategy="none",
+            nprocs=p,
+            block_split=BLOCK_SPLIT,
+            scale=SCALE,
+        )
+        for p in PROCESS_COUNTS
+    ]
 
 
 def _run():
-    A = load_dataset("hv15r", scale=SCALE)
-    return {
-        p: run_squaring(
-            A, algorithm="1d", strategy="none", nprocs=p, block_split=BLOCK_SPLIT,
-            dataset="hv15r",
-        )
-        for p in PROCESS_COUNTS
-    }
+    result = run_bench_grid(_configs())
+    return {r.config.nprocs: r for r in result.records}
 
 
 def test_fig8_strong_scaling_breakdown(benchmark):
-    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    records = benchmark.pedantic(_run, rounds=1, iterations=1)
     header("Figure 8: per-rank breakdown across process counts (hv15r, 1D)")
     rows = []
-    for p, run in runs.items():
+    for p, record in records.items():
         rows.append(
             {
                 "P": p,
-                "total": seconds(run.spgemm_time),
-                "comm": seconds(run.result.comm_time),
-                "comp": seconds(run.result.comp_time),
-                "other": seconds(run.result.other_time),
-                "load imbalance (max/mean)": f"{run.result.load_imbalance:.2f}",
+                "total": seconds(record.elapsed_time),
+                "comm": seconds(record.comm_time),
+                "comp": seconds(record.comp_time),
+                "other": seconds(record.other_time),
+                "load imbalance (max/mean)": f"{record.load_imbalance:.2f}",
             }
         )
     print(format_table(rows))
-    smallest = min(runs)
+    smallest = min(records)
+    totals = records[smallest].per_rank_total
     print()
-    print(breakdown_chart(runs[smallest].result, title=f"per-rank total time at P={smallest}"))
+    print(
+        format_bar_chart(
+            [f"rank {i}" for i in range(len(totals))],
+            totals,
+            title=f"per-rank total time at P={smallest}",
+            unit=" s",
+        )
+    )
     # Load imbalance exists (>1) but stays bounded, and per-rank computation
     # shrinks as processes are added (the work really is being divided).
-    for p, run in runs.items():
-        assert run.result.load_imbalance >= 1.0
-    ps = sorted(runs)
-    assert runs[ps[-1]].result.comp_time <= runs[ps[0]].result.comp_time
+    for p, record in records.items():
+        assert record.load_imbalance >= 1.0
+    ps = sorted(records)
+    assert records[ps[-1]].comp_time <= records[ps[0]].comp_time

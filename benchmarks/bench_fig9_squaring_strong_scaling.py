@@ -4,17 +4,27 @@ For every dataset the harness prints one row per (algorithm, process count)
 with modelled time, time including permutation, volume and messages — the
 series Fig 9 plots.  The paper's protocol is followed: no permutation for the
 sparsity-aware 1D algorithm, random permutation for 2D/3D (reported with and
-without its cost), best layer count for 3D.
+without its cost), best layer count for 3D.  All points of a dataset run
+through the experiment engine as one grid — fanned out over workers, cached
+in the shared JSONL trajectory, deterministic across serial/parallel runs.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import format_table, strong_scaling_sweep
-from repro.matrices import load_dataset
+from repro.analysis import ScalingPoint, format_table
+from repro.experiments import RunConfig
 
-from common import BLOCK_SPLIT, PROCESS_COUNTS, SCALE, SCALING_DATASETS, header
+from common import (
+    BLOCK_SPLIT,
+    PROCESS_COUNTS,
+    SCALE,
+    SCALING_DATASETS,
+    assert_record_conserved,
+    header,
+    run_bench_grid,
+)
 
 ALGORITHMS = (
     ("1d", "none"),
@@ -23,24 +33,32 @@ ALGORITHMS = (
 )
 
 
-def _sweep(dataset: str):
-    A = load_dataset(dataset, scale=SCALE)
-    rows = []
-    winners = {}
-    for algorithm, strategy in ALGORITHMS:
-        points = strong_scaling_sweep(
-            A,
+def _configs(dataset: str):
+    return [
+        RunConfig(
+            dataset=dataset,
             algorithm=algorithm,
             strategy=strategy,
-            process_counts=PROCESS_COUNTS,
-            dataset=dataset,
+            nprocs=p,
             block_split=BLOCK_SPLIT,
+            scale=SCALE,
         )
-        for point in points:
-            rows.append(point.as_row())
-            winners.setdefault(point.nprocs, []).append(
-                (point.elapsed_time, point.communication_volume, point.algorithm)
-            )
+        for algorithm, strategy in ALGORITHMS
+        for p in PROCESS_COUNTS
+    ]
+
+
+def _sweep(dataset: str):
+    result = run_bench_grid(_configs(dataset))
+    rows = []
+    winners = {}
+    for record in result.records:
+        assert_record_conserved(record)
+        point = ScalingPoint.from_record(record)
+        rows.append(point.as_row())
+        winners.setdefault(point.nprocs, []).append(
+            (point.elapsed_time, point.communication_volume, point.algorithm)
+        )
     return rows, winners
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import os
 
+from repro.experiments import ResultStore, SweepResult, run_grid
+
 #: global dataset scale multiplier (1.0 ≈ a few thousand rows per dataset)
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
@@ -30,6 +32,36 @@ BLOCK_SPLIT = int(os.environ.get("REPRO_BENCH_BLOCK_SPLIT", "32"))
 
 #: datasets used by the squaring / RtA strong-scaling figures (Fig 9 / Fig 11)
 SCALING_DATASETS = ("queen", "stokes", "hv15r", "nlpkkt")
+
+#: worker processes for engine-backed figures (0/1 = serial)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+
+#: JSONL trajectory of every engine-backed benchmark run; "" disables
+#: persistence (and with it the cross-run cache)
+RECORDS_PATH = os.environ.get(
+    "REPRO_BENCH_RECORDS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "results", "records.jsonl"),
+)
+
+#: set REPRO_BENCH_FORCE=1 to re-execute configs whose records are cached
+FORCE = os.environ.get("REPRO_BENCH_FORCE", "0").strip().lower() in ("1", "true", "yes")
+
+
+def records_store():
+    """The shared benchmark record store (or None when disabled)."""
+    if not RECORDS_PATH:
+        return None
+    return ResultStore(RECORDS_PATH)
+
+
+def run_bench_grid(configs) -> SweepResult:
+    """Run experiment configs through the engine with the bench defaults.
+
+    Records persist to :data:`RECORDS_PATH`, so re-running a figure is a
+    cache lookup; delete the file (or set ``REPRO_BENCH_FORCE=1``) after
+    changing the modelled algorithms to invalidate the trajectory.
+    """
+    return run_grid(configs, workers=WORKERS, store=records_store(), force=FORCE)
 
 
 def header(title: str) -> None:
@@ -48,3 +80,11 @@ def assert_conserved(run) -> None:
     the plotted numbers are bookkeeping artefacts.
     """
     run.result.ledger.assert_conserved()
+
+
+def assert_record_conserved(record) -> None:
+    """Engine-record variant of :func:`assert_conserved`."""
+    assert record.conserved, (
+        f"ledger not conserved for {record.algorithm}/{record.config.strategy} "
+        f"at P={record.config.nprocs} on {record.config.dataset}"
+    )

@@ -12,6 +12,8 @@ The package is organised bottom-up:
                         block fetch, outer-product 1D, and the 2D/3D baselines
 ``repro.apps``          squaring, AMG Galerkin product, betweenness centrality
 ``repro.matrices``      synthetic analogues of the paper's datasets
+``repro.experiments``   parallel experiment engine: declarative grids,
+                        cached deterministic sweeps persisted as JSONL
 ``repro.analysis``      breakdowns, sweeps and text reports
 
 Quickstart::
@@ -35,6 +37,7 @@ from .core import (
     estimate_communication,
     should_partition,
 )
+from .experiments import ExperimentGrid, RunConfig, RunRecord, run_grid
 from .matrices import load_dataset, dataset_names
 from .runtime import CostModel, LAPTOP, PERLMUTTER, SimulatedCluster
 from .sparse import CSCMatrix, DCSCMatrix, as_csc, as_dcsc, local_spgemm
@@ -51,6 +54,10 @@ __all__ = [
     "available_algorithms",
     "estimate_communication",
     "should_partition",
+    "ExperimentGrid",
+    "RunConfig",
+    "RunRecord",
+    "run_grid",
     "load_dataset",
     "dataset_names",
     "CostModel",

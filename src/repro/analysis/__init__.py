@@ -3,6 +3,7 @@
 from .breakdown import RankBreakdown, breakdown_chart, breakdown_table, per_rank_breakdown
 from .reporting import format_bar_chart, format_grid, format_table, mebibytes, seconds
 from .sweep import (
+    ConfigPoint,
     ScalingPoint,
     config_sweep,
     mpi_omp_configurations,
@@ -19,6 +20,7 @@ __all__ = [
     "format_table",
     "mebibytes",
     "seconds",
+    "ConfigPoint",
     "ScalingPoint",
     "config_sweep",
     "mpi_omp_configurations",

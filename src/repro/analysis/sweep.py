@@ -1,24 +1,32 @@
 """Parameter sweeps used by the strong-scaling and configuration figures.
 
-The paper's evaluation is a family of sweeps: over process counts (Figs 8, 9,
-11), over MPI×OpenMP configurations at fixed core counts (Fig 7), over
+The paper's evaluation is a family of sweeps: over process counts (Figs 8,
+9, 11), over MPI×OpenMP configurations at fixed core counts (Fig 7), over
 block-fetch split counts (Fig 6), and over 3D layer counts (implicit in
-"we explored all possible layer parameters").  This module wraps those loops
-so the benchmark scripts stay declarative.
+"we explored all possible layer parameters").  These helpers are thin,
+figure-shaped views over the experiment engine
+(:mod:`repro.experiments`): each sweep point becomes a
+:class:`~repro.experiments.RunConfig`, executes through
+:func:`~repro.experiments.execute_config`, and the resulting
+:class:`~repro.experiments.RunRecord` is projected into the row shape the
+figure prints.  Grid-scale, parallel, cached execution lives in
+:func:`repro.experiments.run_grid`; these wrappers keep the classic
+matrix-in-hand API for tests and small scripts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..apps.squaring import SquaringRun, run_squaring
+from ..experiments import RunConfig, RunRecord, execute_config
 from ..runtime import CostModel, PERLMUTTER
 
 __all__ = [
     "ScalingPoint",
+    "ConfigPoint",
     "strong_scaling_sweep",
     "mpi_omp_configurations",
     "config_sweep",
@@ -38,6 +46,19 @@ class ScalingPoint:
     messages: int
     load_imbalance: float
 
+    @classmethod
+    def from_record(cls, record: RunRecord) -> "ScalingPoint":
+        return cls(
+            nprocs=record.config.nprocs,
+            algorithm=record.algorithm,
+            strategy=record.config.strategy,
+            elapsed_time=record.elapsed_time,
+            elapsed_with_permutation=record.total_time_with_permutation,
+            communication_volume=record.communication_volume,
+            messages=record.message_count,
+            load_imbalance=record.load_imbalance,
+        )
+
     def as_row(self) -> Dict[str, object]:
         return {
             "P": self.nprocs,
@@ -48,6 +69,49 @@ class ScalingPoint:
             "volume (B)": self.communication_volume,
             "messages": self.messages,
             "imbalance": f"{self.load_imbalance:.2f}",
+        }
+
+
+@dataclass
+class ConfigPoint:
+    """One MPI×OpenMP configuration of the Fig 7 sweep.
+
+    Numeric fields stay numeric here; formatting happens only in
+    :meth:`as_row`, so no private ``"_time"`` style keys ever leak into
+    rendered tables.
+    """
+
+    processes: int
+    threads: int
+    elapsed_time: float
+    comm_time: float
+    comp_time: float
+    other_time: float
+
+    @classmethod
+    def from_record(cls, record: RunRecord) -> "ConfigPoint":
+        return cls(
+            processes=record.config.nprocs,
+            threads=record.config.threads or 1,
+            elapsed_time=record.elapsed_time,
+            comm_time=record.comm_time,
+            comp_time=record.comp_time,
+            other_time=record.other_time,
+        )
+
+    @property
+    def cores(self) -> int:
+        return self.processes * self.threads
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "processes": self.processes,
+            "threads": self.threads,
+            "cores": self.cores,
+            "time (s)": f"{self.elapsed_time:.6f}",
+            "comm (s)": f"{self.comm_time:.6f}",
+            "comp (s)": f"{self.comp_time:.6f}",
+            "other (s)": f"{self.other_time:.6f}",
         }
 
 
@@ -72,30 +136,20 @@ def strong_scaling_sweep(
     """
     points = []
     for nprocs in process_counts:
-        run = run_squaring(
-            A,
+        config = RunConfig(
+            dataset=dataset,
             algorithm=algorithm,
             strategy=strategy,
-            nprocs=nprocs,
-            cost_model=cost_model,
-            dataset=dataset,
+            nprocs=int(nprocs),
             block_split=block_split,
             seed=seed,
         )
-        if verify_conservation:
-            run.result.ledger.assert_conserved()
-        points.append(
-            ScalingPoint(
-                nprocs=nprocs,
-                algorithm=run.algorithm,
-                strategy=strategy,
-                elapsed_time=run.spgemm_time,
-                elapsed_with_permutation=run.total_time_with_permutation,
-                communication_volume=run.result.communication_volume,
-                messages=run.result.message_count,
-                load_imbalance=run.result.load_imbalance,
+        record = execute_config(config, matrix=A, cost_model=cost_model)
+        if verify_conservation and not record.conserved:
+            raise AssertionError(
+                f"ledger not conserved for {algorithm}/{strategy} at P={nprocs}"
             )
-        )
+        points.append(ScalingPoint.from_record(record))
     return points
 
 
@@ -127,33 +181,21 @@ def config_sweep(
     dataset: str = "matrix",
     block_split: int = 2048,
     min_processes: int = 4,
-) -> List[Dict[str, object]]:
+) -> List[ConfigPoint]:
     """Fig 7 sweep: fixed core budget, varying the MPI×OpenMP split."""
-    rows = []
+    points = []
     for config in mpi_omp_configurations(total_cores):
         p, t = config["processes"], config["threads"]
         if p < min_processes:
             continue
-        model = cost_model.with_threads(t)
-        run = run_squaring(
-            A,
+        run_config = RunConfig(
+            dataset=dataset,
             algorithm=algorithm,
             strategy=strategy,
             nprocs=p,
-            cost_model=model,
-            dataset=dataset,
             block_split=block_split,
+            threads=t,
         )
-        rows.append(
-            {
-                "processes": p,
-                "threads": t,
-                "cores": p * t,
-                "time (s)": f"{run.spgemm_time:.6f}",
-                "comm (s)": f"{run.result.comm_time:.6f}",
-                "comp (s)": f"{run.result.comp_time:.6f}",
-                "other (s)": f"{run.result.other_time:.6f}",
-                "_time": run.spgemm_time,
-            }
-        )
-    return rows
+        record = execute_config(run_config, matrix=A, cost_model=cost_model)
+        points.append(ConfigPoint.from_record(record))
+    return points

@@ -52,12 +52,17 @@ class SquaringRun:
     strategy: str
     nprocs: int
     result: SpGEMMResult
-    #: seconds spent computing the permutation / partition (0 for "none")
+    #: modelled seconds for the permutation-induced redistribution
+    #: (``beta * permutation_bytes``; 0 for "none") — deterministic, so the
+    #: Fig 9 "time+perm" series is identical across machines and runs
     permutation_seconds: float
     #: bytes the permutation-induced redistribution would move
     permutation_bytes: int
     #: CV/memA ratio of the (permuted) input at this process count
     cv_over_mema: float
+    #: measured host wall-clock spent computing the permutation/partition
+    #: (machine-dependent; reported separately, never mixed into the model)
+    permutation_wall_seconds: float = 0.0
 
     @property
     def spgemm_time(self) -> float:
@@ -135,8 +140,9 @@ def run_squaring(
 
     For the 2D/3D baselines the permutation models the CombBLAS protocol
     (random permutation for load balance); the redistribution bytes it would
-    move are recorded in ``permutation_bytes``.  The 1D algorithms honour the
-    partition-derived block bounds so each process's columns follow the
+    move are recorded in ``permutation_bytes``.  Every 1D-family algorithm
+    (sparsity-aware, outer-product and the block-row baselines) honours the
+    partition-derived block bounds so each process's slice follows the
     partitioner's parts.
     """
     A = as_csc(A)
@@ -144,17 +150,23 @@ def run_squaring(
 
     cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
     algo_kwargs = {}
-    if algorithm.startswith("1d") or algorithm == "outer-product":
-        if algorithm in ("1d", "1d-sparsity-aware"):
-            algo_kwargs["block_split"] = block_split
+    if algorithm in ("1d", "1d-sparsity-aware"):
+        algo_kwargs["block_split"] = block_split
     if algorithm in ("3d", "3d-split") and layers is not None:
         algo_kwargs["layers"] = layers
     algo = make_algorithm(algorithm, **algo_kwargs)
 
-    multiply_kwargs = {}
+    # Every 1D-family algorithm honours the partition-derived block bounds
+    # (squaring is square, so the same bounds serve rows and columns).
+    bounds = block_bounds_from_sizes(ordering.block_sizes)
     if algorithm in ("1d", "1d-sparsity-aware"):
-        bounds = block_bounds_from_sizes(ordering.block_sizes)
         multiply_kwargs = {"a_bounds": bounds, "b_bounds": bounds}
+    elif algorithm in ("outer-product", "1d-outer-product"):
+        multiply_kwargs = {"a_bounds": bounds, "c_bounds": bounds}
+    elif algorithm in ("1d-naive-block-row", "1d-improved-block-row"):
+        multiply_kwargs = {"a_bounds": bounds, "b_bounds": bounds}
+    else:
+        multiply_kwargs = {}
 
     result = algo.multiply(permuted, permuted, cluster, **multiply_kwargs)
 
@@ -170,7 +182,6 @@ def run_squaring(
     from ..distribution import estimate_redistribution_bytes
 
     perm_bytes = 0 if strategy == "none" else estimate_redistribution_bytes(A, nprocs)
-    perm_time_modelled = perm_seconds + cost_model.beta * perm_bytes
 
     est = estimate_communication(permuted, nprocs=nprocs, block_split=block_split)
     return SquaringRun(
@@ -179,7 +190,8 @@ def run_squaring(
         strategy=strategy,
         nprocs=nprocs,
         result=result,
-        permutation_seconds=perm_time_modelled,
+        permutation_seconds=cost_model.beta * perm_bytes,
         permutation_bytes=perm_bytes,
         cv_over_mema=est.cv_over_mema,
+        permutation_wall_seconds=perm_seconds,
     )

@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro estimate --dataset eukarya --nprocs 16
     python -m repro galerkin --dataset queen --nprocs 16
     python -m repro bc       --dataset eukarya --nprocs 8 --sources 32
+    python -m repro sweep    --datasets hv15r,eukarya --algorithms 1d,2d \
+                             --nprocs 4,16,64 --workers 4 --records runs.jsonl
     python -m repro datasets
 
 Every subcommand accepts either one of the built-in Table II analogues
@@ -16,14 +18,16 @@ so the same harness runs on the paper's real inputs when they are available.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from .analysis import breakdown_table, format_table, mebibytes, seconds
 from .apps.amg import galerkin_product
 from .apps.bc import batched_betweenness_centrality
 from .apps.squaring import PERMUTATION_STRATEGIES, run_squaring
 from .core import available_algorithms, should_partition
+from .experiments import COST_MODELS, ExperimentGrid, run_grid
 from .matrices import dataset_names, load_dataset, matrix_stats, read_matrix_market
 from .runtime import PERLMUTTER
 from .sparse import CSCMatrix
@@ -35,6 +39,13 @@ def _load_input(args) -> CSCMatrix:
     if getattr(args, "matrix", None):
         return read_matrix_market(args.matrix)
     return load_dataset(args.dataset, scale=args.scale)
+
+
+def _input_label(args) -> str:
+    """Dataset label for reports: the file stem when ``--matrix`` is given."""
+    if getattr(args, "matrix", None):
+        return pathlib.Path(args.matrix).stem
+    return args.dataset
 
 
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_square.add_argument("--strategy", default="none", choices=PERMUTATION_STRATEGIES)
     p_square.add_argument("--block-split", type=int, default=2048,
                           help="Algorithm 2's K (max RDMA messages per remote rank)")
+    p_square.add_argument("--layers", type=int, default=None,
+                          help="3D layer count c (3d/3d-split only; default: auto)")
     p_square.add_argument("--breakdown", action="store_true",
                           help="print the per-rank comm/comp/other breakdown")
 
@@ -82,6 +95,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc.add_argument("--sources", type=int, default=32, help="number of sampled sources")
     p_bc.add_argument("--batch-size", type=int, default=16)
     p_bc.add_argument("--algorithm", default="1d")
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel, cached engine",
+    )
+    p_sweep.add_argument(
+        "--datasets", default="hv15r",
+        help="comma-separated built-in dataset names",
+    )
+    p_sweep.add_argument("--algorithms", default="1d",
+                         help="comma-separated algorithm names")
+    p_sweep.add_argument("--strategies", default="none",
+                         help="comma-separated permutation strategies")
+    p_sweep.add_argument("--nprocs", default="4,16",
+                         help="comma-separated simulated process counts")
+    p_sweep.add_argument("--block-splits", default="2048",
+                         help="comma-separated block-split (K) values")
+    p_sweep.add_argument("--seeds", default="0",
+                         help="comma-separated permutation seeds")
+    p_sweep.add_argument("--scale", type=float, default=0.5,
+                         help="dataset scale factor")
+    p_sweep.add_argument("--cost-model", default="perlmutter",
+                         choices=sorted(COST_MODELS))
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="worker processes (0/1 = serial)")
+    p_sweep.add_argument("--records", default=None,
+                         help="JSONL store for records (enables caching/resume)")
+    p_sweep.add_argument("--force", action="store_true",
+                         help="re-execute configs even on a cache hit")
 
     sub.add_parser("datasets", help="list the built-in dataset analogues")
     sub.add_parser("algorithms", help="list the available distributed algorithms")
@@ -100,8 +142,9 @@ def _cmd_square(args) -> int:
         strategy=args.strategy,
         nprocs=args.nprocs,
         block_split=args.block_split,
+        layers=args.layers,
         cost_model=PERLMUTTER,
-        dataset=args.dataset,
+        dataset=_input_label(args),
     )
     rows = [
         {
@@ -125,7 +168,7 @@ def _cmd_square(args) -> int:
 def _cmd_estimate(args) -> int:
     A = _load_input(args)
     decision, ratio = should_partition(A, nprocs=args.nprocs, threshold=args.threshold)
-    stats = matrix_stats(A, args.dataset)
+    stats = matrix_stats(A, _input_label(args))
     print(format_table([stats.as_row()], title="input"))
     print(
         f"\nCV/memA at P={args.nprocs}: {ratio:.3f} "
@@ -182,6 +225,77 @@ def _cmd_bc(args) -> int:
     return 0
 
 
+def _parse_csv(text: str, cast) -> List:
+    return [cast(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args) -> int:
+    grid = ExperimentGrid(
+        datasets=_parse_csv(args.datasets, str),
+        algorithms=_parse_csv(args.algorithms, str),
+        strategies=_parse_csv(args.strategies, str),
+        process_counts=_parse_csv(args.nprocs, int),
+        block_splits=_parse_csv(args.block_splits, int),
+        seeds=_parse_csv(args.seeds, int),
+        scale=args.scale,
+        cost_model=args.cost_model,
+    )
+    # Validate every grid axis up front: a typo must exit cleanly before any
+    # config executes, not crash a worker mid-sweep after partial persistence.
+    from .core.registry import ALGORITHM_FACTORIES
+
+    problems = []
+    unknown = [d for d in grid.datasets if d not in dataset_names()]
+    if unknown:
+        problems.append(f"unknown datasets: {', '.join(unknown)}")
+    unknown = [a for a in grid.algorithms if a.lower() not in ALGORITHM_FACTORIES]
+    if unknown:
+        problems.append(f"unknown algorithms: {', '.join(unknown)}")
+    unknown = [s for s in grid.strategies if s not in PERMUTATION_STRATEGIES]
+    if unknown:
+        problems.append(f"unknown strategies: {', '.join(unknown)}")
+    bad = [p for p in grid.process_counts if p <= 0]
+    if bad:
+        problems.append(f"process counts must be positive: {bad}")
+    bad = [k for k in grid.block_splits if k <= 0]
+    if bad:
+        problems.append(f"block splits must be positive: {bad}")
+    if grid.scale <= 0:
+        problems.append(f"scale must be positive: {grid.scale}")
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 2
+    result = run_grid(
+        grid,
+        workers=args.workers,
+        store=args.records,
+        force=args.force,
+        progress=print,
+    )
+    rows = [
+        {
+            "dataset": r.config.dataset,
+            "algorithm": r.algorithm,
+            "strategy": r.config.strategy,
+            "P": r.config.nprocs,
+            "K": r.config.block_split,
+            "seed": r.config.seed,
+            "time (s)": f"{r.elapsed_time:.6f}",
+            "time+perm (s)": f"{r.total_time_with_permutation:.6f}",
+            "volume": mebibytes(r.communication_volume),
+            "messages": r.message_count,
+            "CV/memA": f"{r.cv_over_mema:.3f}",
+            "conserved": "yes" if r.conserved else "NO",
+        }
+        for r in result.records
+    ]
+    print(format_table(rows, title="sweep"))
+    print()
+    print(result.stats.summary())
+    return 0 if all(r.conserved for r in result.records) else 1
+
+
 def _cmd_datasets(_args) -> int:
     from .matrices import DATASETS
 
@@ -210,6 +324,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "galerkin": _cmd_galerkin,
     "bc": _cmd_bc,
+    "sweep": _cmd_sweep,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
 }

@@ -20,7 +20,7 @@ pack/unpack overhead the RDMA design avoids is charged faithfully.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,14 +53,24 @@ class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="1d-naive-block-row", init=False)
 
-    def multiply(self, A, B, cluster: SimulatedCluster, **kwargs) -> SpGEMMResult:
+    def multiply(
+        self,
+        A,
+        B,
+        cluster: SimulatedCluster,
+        *,
+        a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+        b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> SpGEMMResult:
         A = as_csc(A)
         B = as_csc(B)
         if A.ncols != B.nrows:
             raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
         P = cluster.nprocs
-        dist_a = DistributedRows1D.from_global(A, P)
-        dist_b = DistributedRows1D.from_global(B, P)
+        # ``a_bounds``/``b_bounds`` are *row* bounds here (this is the
+        # row-wise 1D layout), e.g. partition-derived block sizes.
+        dist_a = DistributedRows1D.from_global(A, P, bounds=a_bounds)
+        dist_b = DistributedRows1D.from_global(B, P, bounds=b_bounds)
 
         # Ring exchange: in step s, rank r receives the block originally owned
         # by rank (r + s) mod P.  Every block of B therefore visits every rank.
@@ -102,14 +112,24 @@ class ImprovedBlockRow1D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="1d-improved-block-row", init=False)
 
-    def multiply(self, A, B, cluster: SimulatedCluster, **kwargs) -> SpGEMMResult:
+    def multiply(
+        self,
+        A,
+        B,
+        cluster: SimulatedCluster,
+        *,
+        a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+        b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> SpGEMMResult:
         A = as_csc(A)
         B = as_csc(B)
         if A.ncols != B.nrows:
             raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
         P = cluster.nprocs
-        dist_a = DistributedRows1D.from_global(A, P)
-        dist_b = DistributedRows1D.from_global(B, P)
+        # Row bounds follow the partitioner's parts when supplied (the same
+        # convention as the column bounds of the sparsity-aware algorithm).
+        dist_a = DistributedRows1D.from_global(A, P, bounds=a_bounds)
+        dist_b = DistributedRows1D.from_global(B, P, bounds=b_bounds)
 
         # Each rank asks the owners for the rows of B it needs; the owners
         # extract (pack) and send them — the packing overhead is the point.

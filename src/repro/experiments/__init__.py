@@ -1,0 +1,27 @@
+"""Parallel experiment engine: declarative grids, cached deterministic sweeps.
+
+The paper's figures are sweeps over (dataset × algorithm × strategy ×
+process count × block split × seed).  This package turns each sweep point
+into a hashable :class:`RunConfig`, executes grids fan-out-parallel with
+:func:`run_grid`, and persists deterministic :class:`RunRecord` rows as
+JSONL keyed by config hash — so re-running a figure is a cache lookup and
+an interrupted sweep resumes where it stopped.
+"""
+
+from .config import COST_MODELS, ExperimentGrid, RunConfig, resolve_cost_model
+from .engine import SweepResult, SweepStats, execute_config, run_grid
+from .records import RunRecord
+from .store import ResultStore
+
+__all__ = [
+    "COST_MODELS",
+    "ExperimentGrid",
+    "RunConfig",
+    "resolve_cost_model",
+    "RunRecord",
+    "ResultStore",
+    "SweepResult",
+    "SweepStats",
+    "execute_config",
+    "run_grid",
+]

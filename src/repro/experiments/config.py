@@ -1,0 +1,182 @@
+"""Declarative experiment configurations and grids.
+
+The paper's evaluation is a family of sweeps — strong scaling (Figs 8, 9,
+11), MPI×OpenMP configurations (Fig 7), block-split counts (Fig 6),
+permutation strategies (Figs 4, 5).  Every point of every sweep is one
+:class:`RunConfig`: a frozen, hashable record of *everything* that
+determines a squaring experiment's outcome.  A :class:`ExperimentGrid` is
+the cartesian product the figures iterate over, expanded into ``RunConfig``
+records in a deterministic order so two expansions of the same grid always
+produce the same run list (and therefore the same JSONL, byte for byte).
+
+``RunConfig.config_hash()`` is the cache key of the experiment engine: it
+digests the canonical JSON form of the config plus a schema-version salt,
+so records written by an incompatible engine version are never mistaken
+for cache hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..runtime import LAPTOP, PERLMUTTER, ZERO_COST, CostModel
+
+__all__ = ["COST_MODELS", "RunConfig", "ExperimentGrid", "resolve_cost_model"]
+
+#: bump when the record schema or the modelled-cost semantics change, so
+#: stale JSONL caches miss instead of silently serving incompatible rows
+SCHEMA_VERSION = 1
+
+#: named machine models a config can reference (configs must stay
+#: JSON-serialisable, so they carry the name, not the CostModel object)
+COST_MODELS: Dict[str, CostModel] = {
+    "perlmutter": PERLMUTTER,
+    "laptop": LAPTOP,
+    "zero-cost": ZERO_COST,
+}
+
+
+def resolve_cost_model(name: str) -> CostModel:
+    """Look up a named cost model (the machines configs can reference)."""
+    if name not in COST_MODELS:
+        raise ValueError(
+            f"unknown cost model {name!r}; available: {sorted(COST_MODELS)}"
+        )
+    return COST_MODELS[name]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One fully-specified squaring experiment (one point of a sweep).
+
+    Every field that can change the produced record is here; nothing else
+    is.  The engine derives the cache key from these fields alone, which is
+    what makes records reusable across processes, sessions and machines.
+    """
+
+    #: built-in dataset analogue name (or a label when ``matrix`` is set)
+    dataset: str
+    algorithm: str = "1d"
+    strategy: str = "none"
+    nprocs: int = 16
+    block_split: int = 2048
+    #: permutation / partitioner seed
+    seed: int = 0
+    #: dataset generator scale factor
+    scale: float = 0.5
+    #: 3D layer count (None lets the algorithm pick)
+    layers: Optional[int] = None
+    #: OpenMP threads per process (None keeps the cost model's default)
+    threads: Optional[int] = None
+    #: named machine model (key of :data:`COST_MODELS`)
+    cost_model: str = "perlmutter"
+    #: optional MatrixMarket path overriding the built-in dataset
+    matrix: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def canonical_json(self) -> str:
+        """Canonical (sorted-key, compact) JSON form — the hash input."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def _matrix_fingerprint(self) -> str:
+        """Staleness component for ``matrix``-file configs.
+
+        The path alone would keep serving stale cache hits after the file
+        is regenerated with different contents, so the file's size and
+        mtime enter the hash.  This makes matrix-path hashes machine-local
+        — unlike dataset-name configs, whose records stay comparable
+        across machines.
+        """
+        if not self.matrix:
+            return ""
+        try:
+            stat = os.stat(self.matrix)
+        except OSError:
+            return "|matrix:missing"
+        return f"|matrix:{stat.st_size}:{stat.st_mtime_ns}"
+
+    def config_hash(self) -> str:
+        """Stable 16-hex-digit cache key for this configuration."""
+        payload = f"v{SCHEMA_VERSION}:{self.canonical_json()}{self._matrix_fingerprint()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def with_updates(self, **changes) -> "RunConfig":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """A declarative sweep: the cartesian product of experiment axes.
+
+    ``expand()`` iterates the axes in the declared order (datasets
+    outermost, seeds innermost), so the run list — and any JSONL produced
+    from it — is deterministic for a given grid.
+    """
+
+    datasets: Sequence[str]
+    algorithms: Sequence[str] = ("1d",)
+    strategies: Sequence[str] = ("none",)
+    process_counts: Sequence[int] = (16,)
+    block_splits: Sequence[int] = (2048,)
+    seeds: Sequence[int] = (0,)
+    layer_counts: Sequence[Optional[int]] = (None,)
+    thread_counts: Sequence[Optional[int]] = (None,)
+    scale: float = 0.5
+    cost_model: str = "perlmutter"
+
+    def expand(self) -> List[RunConfig]:
+        configs = []
+        for dataset, algorithm, strategy, nprocs, block_split, layers, threads, seed in (
+            itertools.product(
+                self.datasets,
+                self.algorithms,
+                self.strategies,
+                self.process_counts,
+                self.block_splits,
+                self.layer_counts,
+                self.thread_counts,
+                self.seeds,
+            )
+        ):
+            configs.append(
+                RunConfig(
+                    dataset=dataset,
+                    algorithm=algorithm,
+                    strategy=strategy,
+                    nprocs=int(nprocs),
+                    block_split=int(block_split),
+                    seed=int(seed),
+                    scale=float(self.scale),
+                    layers=layers,
+                    threads=threads,
+                    cost_model=self.cost_model,
+                )
+            )
+        return configs
+
+    def __iter__(self) -> Iterator[RunConfig]:
+        return iter(self.expand())
+
+    def __len__(self) -> int:
+        return (
+            len(self.datasets)
+            * len(self.algorithms)
+            * len(self.strategies)
+            * len(self.process_counts)
+            * len(self.block_splits)
+            * len(self.layer_counts)
+            * len(self.thread_counts)
+            * len(self.seeds)
+        )

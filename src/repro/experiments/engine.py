@@ -1,0 +1,248 @@
+"""The parallel experiment engine: fan-out execution with result caching.
+
+``run_grid`` takes a declarative :class:`~repro.experiments.ExperimentGrid`
+(or an explicit list of :class:`RunConfig`), consults the JSONL store for
+records whose config hash already exists (cache hit ⇒ the run is skipped),
+and executes the misses — serially, or fanned out over a
+``multiprocessing`` pool.  Records come back in grid order regardless of
+completion order, and only modelled (deterministic) quantities enter a
+record, so::
+
+    parallel(run_grid(grid)) == serial(run_grid(grid))   # bit-identical
+
+holds by construction, and an interrupted sweep resumes from its store:
+already-persisted points are skipped, only the remainder runs.
+
+Worker processes re-load inputs by dataset name through
+:func:`repro.matrices.load_dataset`, whose disk cache (see
+:mod:`repro.matrices.cache`) makes repeated loads of the same synthetic
+matrix a file read instead of a regeneration.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..matrices import load_dataset, read_matrix_market
+from ..runtime import CostModel
+from ..sparse import CSCMatrix
+from .config import ExperimentGrid, RunConfig, resolve_cost_model
+from .records import RunRecord
+from .store import ResultStore
+
+__all__ = ["SweepStats", "SweepResult", "execute_config", "run_grid"]
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for one ``run_grid`` invocation."""
+
+    total: int = 0
+    cached: int = 0
+    executed: int = 0
+    workers: int = 1
+    #: measured wall-clock of the whole sweep (reporting only — never persisted)
+    wall_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} configs: {self.cached} cached, {self.executed} executed "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"{self.wall_seconds:.2f}s wall)"
+        )
+
+
+@dataclass
+class SweepResult:
+    """Records (in grid order) plus execution statistics."""
+
+    records: List[RunRecord]
+    stats: SweepStats
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+
+def _load_input(config: RunConfig) -> CSCMatrix:
+    if config.matrix:
+        return read_matrix_market(config.matrix)
+    return load_dataset(config.dataset, scale=config.scale)
+
+
+def execute_config(
+    config: RunConfig,
+    *,
+    matrix: Optional[CSCMatrix] = None,
+    cost_model: Optional[CostModel] = None,
+) -> RunRecord:
+    """Execute one configuration and distil the run into a :class:`RunRecord`.
+
+    ``matrix`` and ``cost_model`` override the config's dataset/model lookup
+    for in-process callers that already hold the operand (the classic sweep
+    helpers); grid execution across worker processes always resolves both
+    from the config so the record stays reproducible from its JSON form.
+    Records produced with an override carry an **empty** ``config_hash``:
+    the config no longer describes what actually ran, so such a record must
+    never be mistaken for a cache hit if a caller appends it to a store.
+    """
+    from ..apps.squaring import run_squaring  # deferred: keeps worker imports light
+
+    A = matrix if matrix is not None else _load_input(config)
+    model = cost_model if cost_model is not None else resolve_cost_model(config.cost_model)
+    if config.threads is not None:
+        model = model.with_threads(config.threads)
+
+    run = run_squaring(
+        A,
+        algorithm=config.algorithm,
+        strategy=config.strategy,
+        nprocs=config.nprocs,
+        cost_model=model,
+        dataset=config.dataset,
+        block_split=config.block_split,
+        seed=config.seed,
+        layers=config.layers,
+    )
+    ledger = run.result.ledger
+    per_rank = ledger.per_rank_totals()
+    overridden = matrix is not None or cost_model is not None
+    return RunRecord(
+        config=config,
+        config_hash="" if overridden else config.config_hash(),
+        algorithm=run.algorithm,
+        elapsed_time=run.result.elapsed_time,
+        comm_time=run.result.comm_time,
+        comp_time=run.result.comp_time,
+        other_time=run.result.other_time,
+        communication_volume=run.result.communication_volume,
+        message_count=run.result.message_count,
+        rdma_gets=run.result.rdma_gets,
+        load_imbalance=run.result.load_imbalance,
+        cv_over_mema=run.cv_over_mema,
+        permutation_seconds=run.permutation_seconds,
+        permutation_bytes=run.permutation_bytes,
+        output_nnz=run.result.C.nnz,
+        conserved=ledger.is_conserved(),
+        per_rank_comm=[st.time["comm"] for st in per_rank],
+        per_rank_comp=[st.time["comp"] for st in per_rank],
+        per_rank_other=[st.time["other"] for st in per_rank],
+    )
+
+
+def _execute_worker(config: RunConfig) -> RunRecord:
+    """Top-level pool target (must be picklable by name)."""
+    return execute_config(config)
+
+
+def _prewarm_dataset_cache(configs: Sequence[RunConfig]) -> None:
+    """Generate each unique dataset once in the parent before fanning out.
+
+    Without this, a cold parallel sweep has every worker miss the disk
+    cache simultaneously and regenerate the same synthetic matrix; one
+    parent-side load populates the cache so workers only do file reads.
+    """
+    from ..matrices.cache import dataset_cache_enabled
+
+    if not dataset_cache_enabled():
+        return
+    for dataset, scale in sorted({
+        (c.dataset, c.scale) for c in configs if not c.matrix
+    }):
+        load_dataset(dataset, scale=scale)
+
+
+def _collect(produced, store: Optional[ResultStore]) -> List[RunRecord]:
+    """Drain records, persisting each as it arrives.
+
+    Appending incrementally (instead of once at the end) is what makes an
+    interrupted or partially-failing sweep resumable: every record that
+    finished before the abort is already in the store, so the re-run skips
+    it as a cache hit.
+    """
+    fresh: List[RunRecord] = []
+    for record in produced:
+        if store is not None:
+            store.append([record])
+        fresh.append(record)
+    return fresh
+
+
+def run_grid(
+    grid: Union[ExperimentGrid, Sequence[RunConfig]],
+    *,
+    workers: int = 0,
+    store: Optional[Union[ResultStore, str]] = None,
+    force: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Execute every config of ``grid``, reusing cached records.
+
+    Parameters
+    ----------
+    workers:
+        ``0``/``1`` runs serially in-process; ``N > 1`` fans the cache
+        misses out over a ``multiprocessing`` pool of ``N`` workers.
+    store:
+        A :class:`ResultStore` (or path) consulted for cache hits before
+        executing and appended to afterwards.  ``None`` disables
+        persistence (everything executes, nothing is written).
+    force:
+        Re-execute even on a cache hit; fresh records shadow the old rows.
+    progress:
+        Optional callback receiving human-readable status lines.
+    """
+    t0 = time.perf_counter()
+    configs = grid.expand() if isinstance(grid, ExperimentGrid) else list(grid)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    say = progress if progress is not None else (lambda _msg: None)
+    cached: Dict[str, RunRecord] = {}
+    if store is not None and not force:
+        cached = store.load()
+
+    hashes = [c.config_hash() for c in configs]
+    pending = [
+        (i, c) for i, (c, h) in enumerate(zip(configs, hashes)) if h not in cached
+    ]
+    stats = SweepStats(
+        total=len(configs),
+        cached=len(configs) - len(pending),
+        executed=len(pending),
+        workers=max(1, workers),
+    )
+    if stats.cached:
+        say(f"cache: reusing {stats.cached}/{stats.total} records")
+
+    fresh: List[RunRecord] = []
+    if pending:
+        say(f"executing {len(pending)} configs with {stats.workers} worker(s)")
+        pending_configs = [c for _, c in pending]
+        if workers > 1 and len(pending) > 1:
+            _prewarm_dataset_cache(pending_configs)
+            with multiprocessing.Pool(processes=workers) as pool:
+                produced = pool.imap(_execute_worker, pending_configs, chunksize=1)
+                fresh = _collect(produced, store)
+        else:
+            fresh = _collect((execute_config(c) for c in pending_configs), store)
+        if store is not None:
+            say(f"persisted {len(fresh)} new records to {store.path}")
+
+    # Assemble in grid order: cached rows fill the gaps between fresh ones.
+    by_index: Dict[int, RunRecord] = {i: r for (i, _), r in zip(pending, fresh)}
+    records = [
+        by_index[i] if i in by_index else cached[h]
+        for i, h in enumerate(hashes)
+    ]
+
+    stats.wall_seconds = time.perf_counter() - t0
+    return SweepResult(records=records, stats=stats)

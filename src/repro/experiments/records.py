@@ -1,0 +1,123 @@
+"""Deterministic result records produced by the experiment engine.
+
+A :class:`RunRecord` holds everything a figure needs from one squaring
+experiment — modelled times, communication volumes, message counts,
+CV/memA, conservation status, per-rank breakdowns — and *only* modelled
+(deterministic) quantities.  Measured wall-clock never enters a record, so
+serial and parallel execution of the same grid produce byte-identical
+JSONL, and a cached record is indistinguishable from a fresh run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .config import RunConfig
+
+__all__ = ["RunRecord"]
+
+
+@dataclass
+class RunRecord:
+    """The persisted outcome of executing one :class:`RunConfig`."""
+
+    #: the configuration that produced this record
+    config: RunConfig
+    #: cache key (``config.config_hash()`` at execution time)
+    config_hash: str
+    #: canonical algorithm name the registry resolved to
+    algorithm: str
+    #: modelled elapsed seconds (Σ over phases of the slowest rank)
+    elapsed_time: float
+    comm_time: float
+    comp_time: float
+    other_time: float
+    #: total bytes received across all ranks and phases
+    communication_volume: int
+    message_count: int
+    rdma_gets: int
+    load_imbalance: float
+    cv_over_mema: float
+    #: modelled permutation/redistribution seconds (deterministic)
+    permutation_seconds: float
+    permutation_bytes: int
+    output_nnz: int
+    #: did every phase's ledger satisfy bytes_sent == bytes_received?
+    conserved: bool
+    #: per-rank modelled seconds by category (the Fig 8 stacked bars)
+    per_rank_comm: List[float] = field(default_factory=list)
+    per_rank_comp: List[float] = field(default_factory=list)
+    per_rank_other: List[float] = field(default_factory=list)
+
+    @property
+    def total_time_with_permutation(self) -> float:
+        """Kernel time plus the (amortised-once) permutation cost."""
+        return self.elapsed_time + self.permutation_seconds
+
+    @property
+    def per_rank_total(self) -> List[float]:
+        """Per-rank total modelled seconds (load-imbalance bar chart input)."""
+        return [
+            c + p + o
+            for c, p, o in zip(self.per_rank_comm, self.per_rank_comp, self.per_rank_other)
+        ]
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (one JSONL line per record)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config_hash": self.config_hash,
+            "config": self.config.as_dict(),
+            "algorithm": self.algorithm,
+            "elapsed_time": self.elapsed_time,
+            "comm_time": self.comm_time,
+            "comp_time": self.comp_time,
+            "other_time": self.other_time,
+            "communication_volume": self.communication_volume,
+            "message_count": self.message_count,
+            "rdma_gets": self.rdma_gets,
+            "load_imbalance": self.load_imbalance,
+            "cv_over_mema": self.cv_over_mema,
+            "permutation_seconds": self.permutation_seconds,
+            "permutation_bytes": self.permutation_bytes,
+            "output_nnz": self.output_nnz,
+            "conserved": self.conserved,
+            "per_rank_comm": self.per_rank_comm,
+            "per_rank_comp": self.per_rank_comp,
+            "per_rank_other": self.per_rank_other,
+        }
+
+    def to_json_line(self) -> str:
+        """Canonical single-line JSON (sorted keys, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        return cls(
+            config=RunConfig.from_dict(data["config"]),
+            config_hash=str(data["config_hash"]),
+            algorithm=str(data["algorithm"]),
+            elapsed_time=float(data["elapsed_time"]),
+            comm_time=float(data["comm_time"]),
+            comp_time=float(data["comp_time"]),
+            other_time=float(data["other_time"]),
+            communication_volume=int(data["communication_volume"]),
+            message_count=int(data["message_count"]),
+            rdma_gets=int(data["rdma_gets"]),
+            load_imbalance=float(data["load_imbalance"]),
+            cv_over_mema=float(data["cv_over_mema"]),
+            permutation_seconds=float(data["permutation_seconds"]),
+            permutation_bytes=int(data["permutation_bytes"]),
+            output_nnz=int(data["output_nnz"]),
+            conserved=bool(data["conserved"]),
+            per_rank_comm=[float(x) for x in data.get("per_rank_comm", [])],
+            per_rank_comp=[float(x) for x in data.get("per_rank_comp", [])],
+            per_rank_other=[float(x) for x in data.get("per_rank_other", [])],
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "RunRecord":
+        return cls.from_dict(json.loads(line))

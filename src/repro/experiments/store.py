@@ -1,0 +1,91 @@
+"""JSONL persistence for experiment records, keyed by config hash.
+
+One record per line, appended as sweeps complete.  Loading builds a
+hash → record index (last write wins, so a re-run with ``force=True``
+shadows older rows without rewriting the file); lines that fail to parse
+— torn writes, rows from an incompatible schema version — are skipped as
+cache misses rather than aborting the sweep.  Appends issue one
+``O_APPEND`` ``write(2)`` per batch, so concurrent sweeps over disjoint
+grids can share a store without interleaving partial lines; within one
+engine invocation all appends happen in the parent process, in grid
+order, which keeps the file deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .records import RunRecord
+
+__all__ = ["ResultStore"]
+
+
+def _parse_line(line: str) -> Optional[RunRecord]:
+    """Parse one JSONL line; ``None`` (a miss) for torn/incompatible rows."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        return RunRecord.from_json_line(line)
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`RunRecord` rows."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> Dict[str, RunRecord]:
+        """Read all records into a hash → record map (last write wins)."""
+        records: Dict[str, RunRecord] = {}
+        for record in self.load_records():
+            records[record.config_hash] = record
+        return records
+
+    def load_records(self) -> List[RunRecord]:
+        """All parseable records in file order (duplicates included)."""
+        out: List[RunRecord] = []
+        if not self.path.is_file():
+            return out
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                record = _parse_line(line)
+                if record is not None:
+                    out.append(record)
+        return out
+
+    def append(self, records: Iterable[RunRecord]) -> int:
+        """Append records (one JSONL line each); returns the count written.
+
+        The whole batch goes out in a single ``write(2)`` on an
+        ``O_APPEND`` descriptor, so a concurrent appender cannot land
+        between the fragments of one line.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = "".join(r.to_json_line() + "\n" for r in records).encode("utf-8")
+        fd = os.open(str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            view = memoryview(payload)
+            while view:
+                written = os.write(fd, view)
+                view = view[written:]
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return len(records)
+
+    def __len__(self) -> int:
+        return len(self.load_records())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.path)!r})"

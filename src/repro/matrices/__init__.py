@@ -1,7 +1,12 @@
 """Synthetic matrix generators, the Table II dataset suite, statistics and I/O."""
 
 from . import generators
-from .io import read_matrix_market, write_matrix_market
+from .cache import (
+    dataset_cache_dir,
+    dataset_cache_enabled,
+    dataset_cache_path,
+)
+from .io import read_matrix_market, read_npz, write_matrix_market, write_npz
 from .stats import MatrixStats, bandwidth_profile, matrix_stats, spy_histogram
 from .suite import (
     DATASETS,
@@ -17,8 +22,13 @@ from .suite import (
 
 __all__ = [
     "generators",
+    "dataset_cache_dir",
+    "dataset_cache_enabled",
+    "dataset_cache_path",
     "read_matrix_market",
     "write_matrix_market",
+    "read_npz",
+    "write_npz",
     "MatrixStats",
     "matrix_stats",
     "spy_histogram",

@@ -1,0 +1,106 @@
+"""Disk cache for generated datasets.
+
+Every sweep point re-loads its input, and before this cache existed every
+load *regenerated* the synthetic matrix from scratch — the dominant cost
+of a wide sweep, multiplied across worker processes.  The cache persists
+each generated :class:`~repro.sparse.CSCMatrix` as an ``.npz`` file keyed
+by ``(dataset name, scale, seed)``, so repeated loads (including from
+`multiprocessing` workers) become a single binary file read.
+
+Environment knobs:
+
+* ``REPRO_DATASET_CACHE`` — set to ``0``/``false``/``off`` to disable the
+  cache entirely (loads always regenerate, nothing is written).
+* ``REPRO_DATASET_CACHE_DIR`` — cache directory (default
+  ``~/.cache/repro/datasets``).
+
+Writes are atomic (temp file + ``os.replace``), so concurrent sweep
+workers racing to populate the same entry cannot leave a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..sparse import CSCMatrix
+from .io import read_npz, write_npz
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_DIR_ENV",
+    "dataset_cache_enabled",
+    "dataset_cache_dir",
+    "dataset_cache_path",
+    "load_cached_dataset",
+    "store_cached_dataset",
+]
+
+CACHE_ENV = "REPRO_DATASET_CACHE"
+CACHE_DIR_ENV = "REPRO_DATASET_CACHE_DIR"
+
+#: part of every cache filename — bump whenever a generator in
+#: :mod:`repro.matrices.generators` or a spec in
+#: :mod:`repro.matrices.suite` changes shape/values, so existing caches
+#: miss instead of silently serving matrices from the old code
+GENERATOR_VERSION = 1
+
+_DISABLED_VALUES = {"0", "false", "off", "no"}
+
+
+def dataset_cache_enabled() -> bool:
+    """Is the disk cache active (``REPRO_DATASET_CACHE`` not disabling it)?"""
+    return os.environ.get(CACHE_ENV, "1").strip().lower() not in _DISABLED_VALUES
+
+
+def dataset_cache_dir() -> Path:
+    """Directory the cache lives in (``REPRO_DATASET_CACHE_DIR`` override)."""
+    configured = os.environ.get(CACHE_DIR_ENV)
+    if configured:
+        return Path(configured)
+    return Path.home() / ".cache" / "repro" / "datasets"
+
+
+def dataset_cache_path(name: str, scale: float, seed: Optional[int]) -> Path:
+    """Cache file for one ``(name, scale, seed)`` generation request."""
+    seed_part = "default" if seed is None else str(int(seed))
+    return dataset_cache_dir() / (
+        f"{name}-scale{scale!r}-seed{seed_part}-v{GENERATOR_VERSION}.npz"
+    )
+
+
+def load_cached_dataset(name: str, scale: float, seed: Optional[int]) -> Optional[CSCMatrix]:
+    """Return the cached matrix, or ``None`` on a miss / unreadable entry."""
+    path = dataset_cache_path(name, scale, seed)
+    if not path.is_file():
+        return None
+    try:
+        return read_npz(path)
+    except Exception:
+        # A torn or stale-format entry is a miss, not an error: regenerate.
+        return None
+
+
+def store_cached_dataset(
+    name: str, scale: float, seed: Optional[int], matrix: CSCMatrix
+) -> None:
+    """Atomically persist a generated matrix; failures are non-fatal."""
+    path = dataset_cache_path(name, scale, seed)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The suffix must end in ".npz" or np.savez would append its own.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp.npz", dir=str(path.parent)
+        )
+        os.close(fd)
+        try:
+            write_npz(tmp_name, matrix)
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+    except OSError:
+        # Cache population must never fail a sweep (read-only FS, quota, …).
+        pass

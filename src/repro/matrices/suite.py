@@ -175,12 +175,35 @@ def dataset_names() -> List[str]:
     return list(DATASETS)
 
 
-def load_dataset(name: str, *, scale: float = 1.0, seed: Optional[int] = None) -> CSCMatrix:
-    """Generate the named analogue at the requested scale."""
+def load_dataset(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> CSCMatrix:
+    """Generate the named analogue at the requested scale.
+
+    Generated matrices are persisted to a disk cache keyed by
+    ``(name, scale, seed)`` (see :mod:`repro.matrices.cache`), so the
+    repeated loads a sweep performs — one per point, per worker process —
+    become a binary file read instead of a regeneration.  ``use_cache``
+    overrides the ``REPRO_DATASET_CACHE`` environment toggle.
+    """
     if name not in DATASETS:
         raise ValueError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    from .cache import dataset_cache_enabled, load_cached_dataset, store_cached_dataset
+
+    cache_on = dataset_cache_enabled() if use_cache is None else use_cache
+    if cache_on:
+        cached = load_cached_dataset(name, scale, seed)
+        if cached is not None:
+            return cached
     spec = DATASETS[name]
     kwargs = {"scale": scale}
     if seed is not None:
         kwargs["seed"] = seed
-    return spec.generator(**kwargs)
+    matrix = spec.generator(**kwargs)
+    if cache_on:
+        store_cached_dataset(name, scale, seed, matrix)
+    return matrix

@@ -5,13 +5,33 @@ All fixtures are deterministic (fixed seeds) so failures reproduce exactly.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
 from repro.matrices import load_dataset
+from repro.matrices.cache import CACHE_DIR_ENV
 from repro.runtime import CostModel, SimulatedCluster, ZERO_COST
 from repro.sparse import CSCMatrix, as_csc
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_dataset_cache(tmp_path_factory):
+    """Keep the dataset disk cache inside the test session's tmp dir.
+
+    The suite must never read from (or populate) the developer's real
+    ``~/.cache`` — and the per-session directory still exercises the cache
+    path, making repeated ``load_dataset`` fixtures fast.
+    """
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("dataset-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture(scope="session")

@@ -117,10 +117,17 @@ class TestSweeps:
         # Only perfect-square process counts (CombBLAS tradition).
         assert all(int(round(np.sqrt(p))) ** 2 == p for p in procs)
 
-    def test_config_sweep_rows(self):
+    def test_config_sweep_points(self):
         A = banded(150, 6, symmetric=True, seed=3)
-        rows = config_sweep(A, total_cores=16, min_processes=4)
-        assert rows
-        for row in rows:
-            assert row["processes"] * row["threads"] == 16
-            assert row["_time"] >= 0
+        points = config_sweep(A, total_cores=16, min_processes=4)
+        assert points
+        for point in points:
+            assert point.processes * point.threads == 16
+            assert point.cores == 16
+            assert point.elapsed_time >= 0
+            row = point.as_row()
+            # Numeric internals must not leak private keys into tables.
+            assert set(row) == {
+                "processes", "threads", "cores",
+                "time (s)", "comm (s)", "comp (s)", "other (s)",
+            }

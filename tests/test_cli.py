@@ -82,3 +82,51 @@ class TestCommands:
         write_matrix_market(path, banded(60, 4, symmetric=True, seed=1))
         assert main(["square", "--matrix", str(path), "--nprocs", "2"]) == 0
         assert "squaring" in capsys.readouterr().out
+
+    def test_matrix_input_labelled_by_file_stem(self, tmp_path, capsys):
+        path = tmp_path / "mycustom.mtx"
+        write_matrix_market(path, banded(60, 4, symmetric=True, seed=1))
+        assert main(["estimate", "--matrix", str(path), "--nprocs", "2"]) == 0
+        out = capsys.readouterr().out
+        # The report must name the file, not the default --dataset (hv15r).
+        assert "mycustom" in out
+        assert "hv15r" not in out
+
+    def test_square_layers_forwarded(self, capsys):
+        code = main(
+            ["square", "--dataset", "hv15r", "--scale", "0.05", "--nprocs", "8",
+             "--algorithm", "3d", "--layers", "2", "--strategy", "random"]
+        )
+        assert code == 0
+        assert "squaring" in capsys.readouterr().out
+
+    def test_sweep_runs_and_persists_jsonl(self, tmp_path, capsys):
+        records = tmp_path / "runs.jsonl"
+        argv = [
+            "sweep", "--datasets", "hv15r", "--algorithms", "1d",
+            "--nprocs", "2,4", "--block-splits", "16", "--scale", "0.05",
+            "--records", str(records),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "2 executed" in out
+        lines = records.read_text().strip().splitlines()
+        assert len(lines) == 2
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cached, 0 executed" in out
+        assert len(records.read_text().strip().splitlines()) == 2
+
+    def test_sweep_rejects_unknown_dataset(self, capsys):
+        assert main(["sweep", "--datasets", "nope42"]) == 2
+
+    def test_sweep_rejects_unknown_algorithm_and_strategy(self, capsys):
+        # Axis typos must exit cleanly up front, not crash a worker mid-grid.
+        assert main(["sweep", "--datasets", "hv15r", "--algorithms", "1d,bogus"]) == 2
+        assert main(["sweep", "--datasets", "hv15r", "--strategies", "zodiac"]) == 2
+
+    def test_sweep_rejects_non_positive_axes(self, capsys):
+        assert main(["sweep", "--datasets", "hv15r", "--nprocs", "0,4"]) == 2
+        assert main(["sweep", "--datasets", "hv15r", "--block-splits", "-1"]) == 2
+        assert main(["sweep", "--datasets", "hv15r", "--scale", "0"]) == 2
