@@ -5,6 +5,13 @@
 3. Compacted Ã vs multiplying against uncompacted fetched blocks.
 4. Cost-model sensitivity: the algorithm ordering of Fig 9 must not depend on
    the exact machine constants (Perlmutter-like vs laptop-like).
+
+The partitioner and cost-model ablations run through the experiment engine
+(the ordering is a config ``strategy``, the machine a config ``cost_model``),
+so they cache in the shared trajectory like every other figure.  The local
+kernel and compaction ablations stay direct calls: the first measures host
+wall-clock (which records never persist, by design) and the second toggles a
+kernel-internal flag that is not an experiment axis.
 """
 
 from __future__ import annotations
@@ -12,13 +19,13 @@ from __future__ import annotations
 import time
 
 from repro.analysis import format_table, seconds
-from repro.apps.squaring import run_squaring
 from repro.core import SparsityAware1D
+from repro.experiments import RunConfig
 from repro.matrices import load_dataset
-from repro.runtime import LAPTOP, PERLMUTTER, SimulatedCluster
+from repro.runtime import SimulatedCluster
 from repro.sparse import local_spgemm
 
-from common import BLOCK_SPLIT, SCALE, header
+from common import BLOCK_SPLIT, SCALE, assert_record_conserved, header, run_bench_grid
 
 
 def test_ablation_local_kernels(benchmark):
@@ -44,23 +51,36 @@ def test_ablation_local_kernels(benchmark):
     assert len(set(nnz.values())) == 1  # all kernels agree on the result
 
 
+STRATEGIES = ("none", "random", "metis", "rcm")
+
+
 def test_ablation_partitioners(benchmark):
+    configs = [
+        RunConfig(
+            dataset="eukarya",
+            algorithm="1d",
+            strategy=strategy,
+            nprocs=8,
+            block_split=BLOCK_SPLIT,
+            seed=0,
+            scale=max(0.1, SCALE / 2),
+        )
+        for strategy in STRATEGIES
+    ]
+
     def _run():
-        A = load_dataset("eukarya", scale=max(0.1, SCALE / 2))
+        result = run_bench_grid(configs)
         rows = []
         volumes = {}
-        for strategy in ("none", "random", "metis", "rcm"):
-            run = run_squaring(
-                A, algorithm="1d", strategy=strategy, nprocs=8,
-                block_split=BLOCK_SPLIT, seed=0,
-            )
-            volumes[strategy] = run.result.communication_volume
+        for strategy, record in zip(STRATEGIES, result.records):
+            assert_record_conserved(record)
+            volumes[strategy] = record.communication_volume
             rows.append(
                 {
                     "strategy": strategy,
-                    "volume (B)": run.result.communication_volume,
-                    "time": seconds(run.spgemm_time),
-                    "CV/memA": f"{run.cv_over_mema:.3f}",
+                    "volume (B)": record.communication_volume,
+                    "time": seconds(record.elapsed_time),
+                    "CV/memA": f"{record.cv_over_mema:.3f}",
                 }
             )
         return rows, volumes
@@ -100,18 +120,32 @@ def test_ablation_compaction(benchmark):
 
 
 def test_ablation_costmodel_sensitivity(benchmark):
+    cases = (("1d", "none"), ("2d", "random"))
+    models = ("perlmutter", "laptop")
+    configs = [
+        RunConfig(
+            dataset="queen",
+            algorithm=algorithm,
+            strategy=strategy,
+            nprocs=16,
+            block_split=BLOCK_SPLIT,
+            seed=0,
+            scale=SCALE,
+            cost_model=model,
+        )
+        for model in models
+        for algorithm, strategy in cases
+    ]
+
     def _run():
-        A = load_dataset("queen", scale=SCALE)
+        result = run_bench_grid(configs)
         orderings = {}
-        for label, model in (("perlmutter", PERLMUTTER), ("laptop", LAPTOP)):
+        for model, offset in zip(models, range(0, len(configs), len(cases))):
             times = {}
-            for algorithm, strategy in (("1d", "none"), ("2d", "random")):
-                run = run_squaring(
-                    A, algorithm=algorithm, strategy=strategy, nprocs=16,
-                    cost_model=model, block_split=BLOCK_SPLIT,
-                )
-                times[algorithm] = run.spgemm_time
-            orderings[label] = min(times, key=times.get)
+            for (algorithm, _), record in zip(cases, result.records[offset:offset + len(cases)]):
+                assert_record_conserved(record)
+                times[algorithm] = record.elapsed_time
+            orderings[model] = min(times, key=times.get)
         return orderings
 
     orderings = benchmark.pedantic(_run, rounds=1, iterations=1)

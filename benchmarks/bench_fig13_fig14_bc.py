@@ -5,108 +5,114 @@ uses hv15r (natural ordering).  The harness prints the per-iteration forward
 search and backward sweep times/volumes for each algorithm, the series the
 paper plots.  Partitioning time is excluded, as in the paper (§IV-C explains
 it amortises over tens of thousands of SpGEMMs).
+
+Every (dataset, algorithm, strategy) point is one ``bc`` workload config of
+the experiment engine: the METIS/none ordering choice is the config's
+``strategy``, the deterministic source set (vertices 0, 4, 8, …) is
+``bc_sources``/``bc_source_stride``, and the per-iteration series asserted
+below comes from the persisted ``record.bc`` rather than an in-process run.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table, mebibytes, seconds
-from repro.apps.bc import batched_betweenness_centrality
-from repro.matrices import load_dataset
-from repro.partition import apply_ordering, ordering_from_partition, partition_matrix
+from repro.experiments import RunConfig
 
-from common import SCALE, header
+from common import SCALE, assert_record_conserved, header, run_bench_grid
 
 NPROCS = 4
 BATCH = 16
 
 
-def _run_bc(matrix, algorithm):
-    sources = list(range(0, 4 * BATCH, 4))
-    return batched_betweenness_centrality(
-        matrix, sources=sources, batch_size=BATCH, algorithm=algorithm, nprocs=NPROCS
+def _bc_config(dataset, scale, algorithm, strategy="none"):
+    return RunConfig(
+        dataset=dataset,
+        workload="bc",
+        algorithm=algorithm,
+        strategy=strategy,
+        nprocs=NPROCS,
+        seed=0,
+        scale=scale,
+        bc_sources=BATCH,
+        bc_batch=BATCH,
+        bc_source_stride=4,
     )
 
 
-def _iteration_rows(result, label):
+def _iteration_rows(record, label):
     rows = []
-    for rec in result.iterations:
+    for it in record.bc.iterations:
         rows.append(
             {
                 "algorithm": label,
-                "phase": rec.phase,
-                "iter": rec.iteration,
-                "time": seconds(rec.modelled_time),
-                "volume": mebibytes(rec.communication_volume),
-                "frontier nnz": rec.frontier_nnz,
+                "phase": it.phase,
+                "iter": it.iteration,
+                "time": seconds(it.time),
+                "volume": mebibytes(it.volume),
+                "frontier nnz": it.frontier_nnz,
             }
         )
     return rows
 
 
-def test_fig13_bc_eukarya(benchmark):
-    def _run():
-        A = load_dataset("eukarya", scale=max(0.1, SCALE / 2))
-        ordering = ordering_from_partition(partition_matrix(A, NPROCS, seed=0))
-        A_metis = apply_ordering(A, ordering)
-        return {
-            "1d+metis": _run_bc(A_metis, "1d"),
-            "1d+none": _run_bc(A, "1d"),
-            "2d": _run_bc(A, "2d"),
-            "3d": _run_bc(A, "3d"),
-        }
-
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
-    header("Figure 13: BC forward search + backward sweep on eukarya (first batch)")
-    rows = []
-    for label, res in results.items():
-        rows.extend(_iteration_rows(res, label))
-    print(format_table(rows))
-    summary = [
+def _summary_rows(records):
+    return [
         {
             "algorithm": label,
-            "forward": seconds(res.forward_time),
-            "backward": seconds(res.backward_time),
-            "total": seconds(res.total_time),
-            "total volume": mebibytes(sum(r.communication_volume for r in res.iterations)),
+            "forward": seconds(record.bc.forward_time),
+            "backward": seconds(record.bc.backward_time),
+            "total": seconds(record.elapsed_time),
+            "total volume": mebibytes(record.communication_volume),
         }
-        for label, res in results.items()
+        for label, record in records.items()
     ]
-    print(format_table(summary, title="summary"))
+
+
+def test_fig13_bc_eukarya(benchmark):
+    scale = max(0.1, SCALE / 2)
+    cases = (
+        ("1d+metis", _bc_config("eukarya", scale, "1d", strategy="metis")),
+        ("1d+none", _bc_config("eukarya", scale, "1d")),
+        ("2d", _bc_config("eukarya", scale, "2d")),
+        ("3d", _bc_config("eukarya", scale, "3d")),
+    )
+
+    def _run():
+        result = run_bench_grid([config for _, config in cases])
+        return {label: record for (label, _), record in zip(cases, result.records)}
+
+    records = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 13: BC forward search + backward sweep on eukarya (first batch)")
+    rows = []
+    for label, record in records.items():
+        assert_record_conserved(record)
+        rows.extend(_iteration_rows(record, label))
+    print(format_table(rows))
+    print(format_table(_summary_rows(records), title="summary"))
     # The paper's qualitative finding reproduced at this scale: METIS
     # partitioning reduces the 1D algorithm's fetch volume on eukarya.
-    vol_metis = sum(r.communication_volume for r in results["1d+metis"].iterations)
-    vol_none = sum(r.communication_volume for r in results["1d+none"].iterations)
-    assert vol_metis < vol_none
+    assert records["1d+metis"].communication_volume < records["1d+none"].communication_volume
 
 
 def test_fig14_bc_hv15r(benchmark):
-    def _run():
-        A = load_dataset("hv15r", scale=SCALE)
-        return {
-            "1d": _run_bc(A, "1d"),
-            "3d": _run_bc(A, "3d"),
-            "2d": _run_bc(A, "2d"),
-        }
+    cases = (
+        ("1d", _bc_config("hv15r", SCALE, "1d")),
+        ("3d", _bc_config("hv15r", SCALE, "3d")),
+        ("2d", _bc_config("hv15r", SCALE, "2d")),
+    )
 
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    def _run():
+        result = run_bench_grid([config for _, config in cases])
+        return {label: record for (label, _), record in zip(cases, result.records)}
+
+    records = benchmark.pedantic(_run, rounds=1, iterations=1)
     header("Figure 14: BC forward search + backward sweep on hv15r (first batch)")
-    summary = [
-        {
-            "algorithm": label,
-            "forward": seconds(res.forward_time),
-            "backward": seconds(res.backward_time),
-            "total": seconds(res.total_time),
-            "total volume": mebibytes(sum(r.communication_volume for r in res.iterations)),
-        }
-        for label, res in results.items()
-    ]
-    print(format_table(summary, title="summary"))
+    for record in records.values():
+        assert_record_conserved(record)
+    print(format_table(_summary_rows(records), title="summary"))
     # The 1D algorithm moves several times less data than the 2D/3D baselines
     # on this clustered input (the paper reports a 3.5x time win at scale,
     # with the 2D variant running out of memory in the backward sweep).
-    vol = {
-        label: sum(r.communication_volume for r in res.iterations)
-        for label, res in results.items()
-    }
+    vol = {label: record.communication_volume for label, record in records.items()}
     assert vol["1d"] * 2 < vol["2d"]
     assert vol["1d"] * 2 < vol["3d"]

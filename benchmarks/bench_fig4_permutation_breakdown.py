@@ -3,64 +3,81 @@
 The paper shows per-MPI-process comm/comp/other bars for hv15r (none vs
 random) and eukarya (none vs random vs METIS).  This harness prints the same
 breakdowns and asserts the headline findings: random permutation is the worst
-for the 1D algorithm on hv15r; METIS is the right choice on eukarya.
+for the 1D algorithm on hv15r; METIS is the right choice on eukarya.  Every
+(dataset, strategy) point runs through the experiment engine and the bars are
+rendered from the persisted records' ``per_rank_*`` fields.
 """
 
 from __future__ import annotations
 
-from repro.analysis import breakdown_table, format_table, seconds
-from repro.apps.squaring import run_squaring
-from repro.matrices import load_dataset
+from repro.analysis import format_table, record_breakdown_table, seconds
+from repro.experiments import RunConfig
 
-from common import BLOCK_SPLIT, SCALE, header
+from common import BLOCK_SPLIT, SCALE, assert_record_conserved, header, run_bench_grid
 
 NPROCS = 16
 
+CASES = (
+    ("hv15r", SCALE, ("none", "random")),
+    ("eukarya", max(0.1, SCALE / 2), ("none", "random", "metis")),
+)
 
-def _run_all():
-    runs = {}
-    hv = load_dataset("hv15r", scale=SCALE)
-    for strategy in ("none", "random"):
-        runs[("hv15r", strategy)] = run_squaring(
-            hv, algorithm="1d", strategy=strategy, nprocs=NPROCS,
-            block_split=BLOCK_SPLIT, dataset="hv15r",
+
+def _configs():
+    return [
+        (
+            (dataset, strategy),
+            RunConfig(
+                dataset=dataset,
+                algorithm="1d",
+                strategy=strategy,
+                nprocs=NPROCS,
+                block_split=BLOCK_SPLIT,
+                seed=0,
+                scale=scale,
+            ),
         )
-    eu = load_dataset("eukarya", scale=max(0.1, SCALE / 2))
-    for strategy in ("none", "random", "metis"):
-        runs[("eukarya", strategy)] = run_squaring(
-            eu, algorithm="1d", strategy=strategy, nprocs=NPROCS,
-            block_split=BLOCK_SPLIT, dataset="eukarya", seed=0,
-        )
-    return runs
+        for dataset, scale, strategies in CASES
+        for strategy in strategies
+    ]
+
+
+def _run():
+    keyed = _configs()
+    result = run_bench_grid([config for _, config in keyed])
+    return {key: record for (key, _), record in zip(keyed, result.records)}
 
 
 def test_fig4_permutation_breakdown(benchmark):
-    runs = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    records = benchmark.pedantic(_run, rounds=1, iterations=1)
     header("Figure 4: permutation impact on squaring (sparsity-aware 1D, P=16)")
     summary = []
-    for (dataset, strategy), run in runs.items():
+    for (dataset, strategy), record in records.items():
+        assert_record_conserved(record)
         summary.append(
             {
                 "dataset": dataset,
                 "strategy": strategy,
-                "comm": seconds(run.result.comm_time),
-                "comp": seconds(run.result.comp_time),
-                "other": seconds(run.result.other_time),
-                "total": seconds(run.spgemm_time),
-                "+permutation": seconds(run.total_time_with_permutation),
+                "comm": seconds(record.comm_time),
+                "comp": seconds(record.comp_time),
+                "other": seconds(record.other_time),
+                "total": seconds(record.elapsed_time),
+                "+permutation": seconds(record.total_time_with_permutation),
             }
         )
     print(format_table(summary, title="summary (modelled time)"))
-    for (dataset, strategy) in (("hv15r", "none"), ("eukarya", "metis")):
+    for dataset, strategy in (("hv15r", "none"), ("eukarya", "metis")):
         print()
-        print(breakdown_table(runs[(dataset, strategy)].result,
-                              title=f"per-rank breakdown: {dataset} / {strategy}"))
+        print(record_breakdown_table(
+            records[(dataset, strategy)],
+            title=f"per-rank breakdown: {dataset} / {strategy}",
+        ))
 
     # Paper findings: random permutation is the worst performer on hv15r;
     # METIS beats the natural order on eukarya (excluding partitioning cost).
-    assert runs[("hv15r", "none")].result.comm_time < runs[("hv15r", "random")].result.comm_time
-    assert runs[("hv15r", "none")].spgemm_time < runs[("hv15r", "random")].spgemm_time
+    assert records[("hv15r", "none")].comm_time < records[("hv15r", "random")].comm_time
+    assert records[("hv15r", "none")].elapsed_time < records[("hv15r", "random")].elapsed_time
     assert (
-        runs[("eukarya", "metis")].result.communication_volume
-        < runs[("eukarya", "none")].result.communication_volume
+        records[("eukarya", "metis")].communication_volume
+        < records[("eukarya", "none")].communication_volume
     )

@@ -3,59 +3,71 @@
 The paper shows that grouping columns into blocks sharply reduces the number
 of RDMA messages (and improves communication time) relative to per-column
 fetching, at the price of a modest volume increase.  This harness sweeps the
-split parameter K from whole-matrix fetch (K=1) to per-column fetch (K=∞).
+split parameter K from whole-matrix fetch (K=1) to per-column fetch (K=∞);
+the K axis is the engine's ``block_split`` config field, so the sweep is one
+cached grid.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table, mebibytes, seconds
-from repro.apps.squaring import run_squaring
-from repro.matrices import load_dataset
+from repro.experiments import RunConfig
 
-from common import SCALE, header
+from common import SCALE, assert_record_conserved, header, run_bench_grid
 
 NPROCS = 8
 K_SWEEP = (1, 4, 16, 64, 10**6)  # 10**6 => per-column fetching
 
 
-def _run():
-    A = load_dataset("hv15r", scale=SCALE)
-    rows = []
-    results = {}
-    for K in K_SWEEP:
-        # Random permutation gives the message-heavy regime that makes the
-        # blocking strategy necessary (at paper scale even the natural order
-        # has millions of candidate columns).
-        run = run_squaring(
-            A, algorithm="1d", strategy="random", nprocs=NPROCS, block_split=K,
+def _configs():
+    # Random permutation gives the message-heavy regime that makes the
+    # blocking strategy necessary (at paper scale even the natural order
+    # has millions of candidate columns).
+    return [
+        RunConfig(
             dataset="hv15r",
+            algorithm="1d",
+            strategy="random",
+            nprocs=NPROCS,
+            block_split=K,
+            seed=0,
+            scale=SCALE,
         )
-        results[K] = run
+        for K in K_SWEEP
+    ]
+
+
+def _run():
+    result = run_bench_grid(_configs())
+    records = {K: record for K, record in zip(K_SWEEP, result.records)}
+    rows = []
+    for K, record in records.items():
+        assert_record_conserved(record)
         rows.append(
             {
                 "K (split)": "per-column" if K == 10**6 else K,
-                "RDMA msgs": run.result.rdma_gets,
-                "volume": mebibytes(run.result.communication_volume),
-                "comm time": seconds(run.result.comm_time),
-                "total time": seconds(run.spgemm_time),
+                "RDMA msgs": record.rdma_gets,
+                "volume": mebibytes(record.communication_volume),
+                "comm time": seconds(record.comm_time),
+                "total time": seconds(record.elapsed_time),
             }
         )
-    return rows, results
+    return rows, records
 
 
 def test_fig6_block_fetch(benchmark):
-    rows, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows, records = benchmark.pedantic(_run, rounds=1, iterations=1)
     header("Figure 6: block-fetch strategy on hv15r (1D squaring, P=8)")
     print(format_table(rows))
-    per_column = results[10**6]
-    blocked = results[16]
+    per_column = records[10**6]
+    blocked = records[16]
     print(
         f"message reduction at K=16 vs per-column: "
-        f"{per_column.result.rdma_gets / max(1, blocked.result.rdma_gets):.1f}x"
+        f"{per_column.rdma_gets / max(1, blocked.rdma_gets):.1f}x"
     )
     # Blocking reduces messages monotonically as K shrinks ...
-    gets = [results[K].result.rdma_gets for K in (1, 4, 16, 64)]
+    gets = [records[K].rdma_gets for K in (1, 4, 16, 64)]
     assert gets == sorted(gets)
-    assert blocked.result.rdma_gets < per_column.result.rdma_gets
+    assert blocked.rdma_gets < per_column.rdma_gets
     # ... and the comm time improves as well at this message-dominated scale.
-    assert blocked.result.comm_time <= per_column.result.comm_time
+    assert blocked.comm_time <= per_column.comm_time

@@ -5,60 +5,89 @@
 * Figure 10: permutation comparison on RᵀA (queen), per-rank breakdown.
 * Figure 11: strong scaling of RᵀA across datasets and algorithms.
 * Figure 12: sparsity-aware 1D vs outer-product 1D on (RᵀA)·R.
+
+All points run through the multi-workload experiment engine as
+``amg-restriction`` configs — fanned out over workers, cached in the shared
+JSONL trajectory — and every figure reads the persisted records (phase
+``rta`` for the left multiplication alone, ``rtar`` for the full triple
+product with per-phase extras in ``record.amg``).  Table III and Fig 11a
+share the same P=16 configs, so the coarsening statistics come from cache
+hits of the scaling sweep.
 """
 
 from __future__ import annotations
 
-from repro.analysis import breakdown_table, format_table, seconds
-from repro.apps.amg import build_restriction, left_multiplication, right_multiplication
-from repro.matrices import load_dataset
-from repro.partition import apply_symmetric_permutation, random_symmetric_permutation
+from repro.analysis import format_table, record_breakdown_table, seconds
+from repro.experiments import RunConfig
 
-from common import PROCESS_COUNTS, SCALE, SCALING_DATASETS, header
+from common import (
+    PROCESS_COUNTS,
+    SCALE,
+    SCALING_DATASETS,
+    assert_record_conserved,
+    header,
+    run_bench_grid,
+)
 
 
-def _restrictions():
-    out = {}
-    for name in SCALING_DATASETS:
-        A = load_dataset(name, scale=SCALE)
-        out[name] = (A, build_restriction(A, seed=0))
-    return out
+def _amg_config(
+    dataset,
+    *,
+    phase,
+    nprocs=16,
+    algorithm="1d",
+    right_algorithm=None,
+    strategy="none",
+    seed=0,
+):
+    return RunConfig(
+        dataset=dataset,
+        workload="amg-restriction",
+        algorithm=algorithm,
+        strategy=strategy,
+        nprocs=nprocs,
+        seed=seed,
+        scale=SCALE,
+        amg_phase=phase,
+        mis_seed=0,
+        right_algorithm=right_algorithm,
+    )
 
 
 def test_table3_restriction_stats(benchmark):
-    data = benchmark.pedantic(_restrictions, rounds=1, iterations=1)
+    configs = [_amg_config(name, phase="rta") for name in SCALING_DATASETS]
+    result = benchmark.pedantic(run_bench_grid, args=(configs,), rounds=1, iterations=1)
     header("Table III: restriction operator statistics (MIS-2 aggregation)")
     rows = []
-    for name, (A, rest) in data.items():
+    for record in result.records:
+        assert_record_conserved(record)
+        amg = record.amg
         rows.append(
             {
-                "dataset": name,
-                "nrows(R)": rest.R.nrows,
-                "ncols(R)": rest.R.ncols,
-                "nnz(R)": rest.R.nnz,
-                "coarsening factor": f"{rest.n_fine / rest.n_coarse:.1f}x",
+                "dataset": record.config.dataset,
+                "nrows(R)": amg.n_fine,
+                "ncols(R)": amg.n_coarse,
+                "nnz(R)": amg.r_nnz,
+                "coarsening factor": f"{amg.coarsening_factor:.1f}x",
             }
         )
-        assert rest.R.nnz == rest.R.nrows  # exactly one nonzero per row
+        assert amg.r_nnz == amg.n_fine  # exactly one nonzero per row
     print(format_table(rows))
 
 
 def test_fig10_rta_permutation_comparison(benchmark):
-    def _run():
-        A = load_dataset("queen", scale=SCALE)
-        rest = build_restriction(A, seed=0)
-        natural = left_multiplication(rest.R, A, algorithm="1d", nprocs=16)
-        perm = random_symmetric_permutation(A.nrows, seed=1)
-        A_perm = apply_symmetric_permutation(A, perm)
-        R_perm = rest.R.permute(row_perm=perm)
-        randomised = left_multiplication(R_perm, A_perm, algorithm="1d", nprocs=16)
-        return natural, randomised
-
-    natural, randomised = benchmark.pedantic(_run, rounds=1, iterations=1)
+    configs = [
+        _amg_config("queen", phase="rta", strategy="none"),
+        _amg_config("queen", phase="rta", strategy="random", seed=1),
+    ]
+    result = benchmark.pedantic(run_bench_grid, args=(configs,), rounds=1, iterations=1)
+    natural, randomised = result.records
+    assert_record_conserved(natural)
+    assert_record_conserved(randomised)
     header("Figure 10: RtA on queen — original ordering vs random permutation (P=16)")
-    print(breakdown_table(natural, title="original ordering"))
+    print(record_breakdown_table(natural, title="original ordering"))
     print()
-    print(breakdown_table(randomised, title="random permutation"))
+    print(record_breakdown_table(randomised, title="random permutation"))
     print(
         f"\ncomm time: original {seconds(natural.comm_time)} vs "
         f"random {seconds(randomised.comm_time)}"
@@ -71,49 +100,53 @@ def test_fig11_rta_strong_scaling(benchmark):
     four datasets, (b) on queen, the full restriction product RᵀA + (RᵀA)R
     compared across SpGEMM variants — the comparison the paper's text calls
     out ("1D SpGEMM variant is better than all other 2D, 3D algorithms")."""
+    scaling_configs = [
+        _amg_config(name, phase="rta", nprocs=nprocs)
+        for name in SCALING_DATASETS
+        for nprocs in PROCESS_COUNTS
+    ]
+    variants = (
+        ("1d (+outer-product)", "1d", "outer-product"),
+        ("2d", "2d", "2d"),
+        ("3d", "3d", "3d"),
+    )
+    variant_configs = [
+        _amg_config("queen", phase="rtar", algorithm=left, right_algorithm=right)
+        for _, left, right in variants
+    ]
 
     def _run():
-        scaling_rows = []
-        for name in SCALING_DATASETS:
-            A = load_dataset(name, scale=SCALE)
-            rest = build_restriction(A, seed=0)
-            for nprocs in PROCESS_COUNTS:
-                res = left_multiplication(rest.R, A, algorithm="1d", nprocs=nprocs)
-                scaling_rows.append(
-                    {
-                        "dataset": name,
-                        "P": nprocs,
-                        "time": seconds(res.elapsed_time),
-                        "comm": seconds(res.comm_time),
-                        "other": seconds(res.other_time),
-                        "volume (B)": res.communication_volume,
-                    }
-                )
-        # Variant comparison on queen: total RtA + (RtA)R per variant.
-        Q = load_dataset("queen", scale=SCALE)
-        rest_q = build_restriction(Q, seed=0)
-        comparison_rows = []
-        totals = {}
-        for label, left_algo, right_algo in (
-            ("1d (+outer-product)", "1d", "outer-product"),
-            ("2d", "2d", "2d"),
-            ("3d", "3d", "3d"),
-        ):
-            left = left_multiplication(rest_q.R, Q, algorithm=left_algo, nprocs=16)
-            right = right_multiplication(left.C, rest_q.R, algorithm=right_algo, nprocs=16)
-            total = left.elapsed_time + right.elapsed_time
-            totals[label] = total
-            comparison_rows.append(
-                {
-                    "variant": label,
-                    "RtA": seconds(left.elapsed_time),
-                    "(RtA)R": seconds(right.elapsed_time),
-                    "total": seconds(total),
-                }
-            )
-        return scaling_rows, comparison_rows, totals
+        scaling = run_bench_grid(scaling_configs)
+        comparison = run_bench_grid(variant_configs)
+        return scaling, comparison
 
-    scaling_rows, comparison_rows, totals = benchmark.pedantic(_run, rounds=1, iterations=1)
+    scaling, comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    scaling_rows = []
+    for record in scaling.records:
+        assert_record_conserved(record)
+        scaling_rows.append(
+            {
+                "dataset": record.config.dataset,
+                "P": record.config.nprocs,
+                "time": seconds(record.elapsed_time),
+                "comm": seconds(record.comm_time),
+                "other": seconds(record.other_time),
+                "volume (B)": record.communication_volume,
+            }
+        )
+    comparison_rows = []
+    totals = {}
+    for (label, _, _), record in zip(variants, comparison.records):
+        assert_record_conserved(record)
+        totals[label] = record.elapsed_time
+        comparison_rows.append(
+            {
+                "variant": label,
+                "RtA": seconds(record.amg.left_time),
+                "(RtA)R": seconds(record.amg.right_time),
+                "total": seconds(record.elapsed_time),
+            }
+        )
     header("Figure 11a: strong scaling of RtA with the sparsity-aware 1D algorithm")
     print(format_table(scaling_rows))
     header("Figure 11b: restriction product variants on queen (P=16, RtA + (RtA)R)")
@@ -122,26 +155,24 @@ def test_fig11_rta_strong_scaling(benchmark):
 
 
 def test_fig12_outer_product_vs_1d_on_right_multiplication(benchmark):
-    def _run():
-        A = load_dataset("queen", scale=SCALE)
-        rest = build_restriction(A, seed=0)
-        rta = left_multiplication(rest.R, A, algorithm="1d", nprocs=16)
-        rows = []
-        times = {}
-        for algorithm in ("outer-product", "1d"):
-            res = right_multiplication(rta.C, rest.R, algorithm=algorithm, nprocs=16)
-            times[algorithm] = res.elapsed_time
-            rows.append(
-                {
-                    "algorithm": res.algorithm,
-                    "time": seconds(res.elapsed_time),
-                    "volume (B)": res.communication_volume,
-                    "messages": res.message_count,
-                }
-            )
-        return rows, times
-
-    rows, times = benchmark.pedantic(_run, rounds=1, iterations=1)
+    configs = [
+        _amg_config("queen", phase="rtar", right_algorithm=algorithm)
+        for algorithm in ("outer-product", "1d")
+    ]
+    result = benchmark.pedantic(run_bench_grid, args=(configs,), rounds=1, iterations=1)
+    rows = []
+    times = {}
+    for config, record in zip(configs, result.records):
+        assert_record_conserved(record)
+        times[config.right_algorithm] = record.amg.right_time
+        rows.append(
+            {
+                "algorithm": record.algorithm.split("+", 1)[1],
+                "time": seconds(record.amg.right_time),
+                "volume (B)": record.amg.right_volume,
+                "messages": record.amg.right_messages,
+            }
+        )
     header("Figure 12: (RtA)R — outer-product 1D vs sparsity-aware 1D (queen, P=16)")
     print(format_table(rows))
     assert times["outer-product"] < times["1d"]

@@ -1,0 +1,63 @@
+"""Roll the shared benchmark record store up into a ``BENCH_PRn.json``.
+
+The migrated benchmark harness persists every engine record to one JSONL
+trajectory (``benchmarks/results/records.jsonl``, see ``common.py``).  This
+script aggregates that store into the committed per-PR perf snapshot::
+
+    PYTHONPATH=src python -m pytest benchmarks -q     # populate the store
+    PYTHONPATH=src python benchmarks/trajectory.py --out BENCH_PR3.json
+
+Modelled counters in the output are deterministic and comparable across
+machines and PRs; the machine tag and wall-clock only describe where the
+snapshot was taken.  ``python -m repro bench`` produces the same document
+from the built-in representative grid instead of the full harness store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments import ResultStore, write_trajectory
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from common import RECORDS_PATH  # noqa: E402 — the harness's shared store path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="aggregate engine records into a BENCH_*.json trajectory"
+    )
+    parser.add_argument("--records", default=RECORDS_PATH,
+                        help="JSONL record store to roll up")
+    parser.add_argument("--out", required=True,
+                        help="path of the trajectory JSON to write")
+    parser.add_argument("--label", default=None,
+                        help="trajectory label (default: the --out file stem)")
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.records)
+    if not store.exists():
+        print(f"no record store at {args.records}; run the benchmarks first",
+              file=sys.stderr)
+        return 2
+    # Deduplicated (last write wins), in deterministic hash order.
+    loaded = store.load()
+    records = [loaded[h] for h in sorted(loaded)]
+    if not records:
+        print(f"record store at {args.records} holds no parseable records",
+              file=sys.stderr)
+        return 2
+    label = args.label or pathlib.Path(args.out).stem
+    document = write_trajectory(args.out, records, label=label)
+    workloads = ", ".join(
+        f"{name}={agg['configs']}" for name, agg in document["workloads"].items()
+    )
+    print(f"{args.out}: {document['total_records']} records ({workloads}), "
+          f"all_conserved={document['all_conserved']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

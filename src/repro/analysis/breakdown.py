@@ -17,7 +17,13 @@ from ..core.base import SpGEMMResult
 from ..runtime import CATEGORIES, PhaseLedger
 from .reporting import format_bar_chart, format_table, seconds
 
-__all__ = ["RankBreakdown", "per_rank_breakdown", "breakdown_table", "breakdown_chart"]
+__all__ = [
+    "RankBreakdown",
+    "per_rank_breakdown",
+    "breakdown_table",
+    "breakdown_chart",
+    "record_breakdown_table",
+]
 
 
 @dataclass
@@ -67,6 +73,29 @@ def breakdown_table(source, *, title: str = "per-rank time breakdown") -> str:
                 "total": seconds(rb.total),
                 "recv bytes": rb.bytes_received,
                 "rdma gets": rb.rdma_gets,
+            }
+        )
+    return format_table(rows, title=title)
+
+
+def record_breakdown_table(record, *, title: str = "per-rank time breakdown") -> str:
+    """Per-rank comm/comp/other table from a persisted ``RunRecord``.
+
+    Engine records carry only the modelled per-rank *times* (not the byte
+    counters a live ledger holds), so this is the record-shaped analogue of
+    :func:`breakdown_table` for the engine-backed benchmarks.
+    """
+    rows = []
+    for rank, (comm, comp, other) in enumerate(
+        zip(record.per_rank_comm, record.per_rank_comp, record.per_rank_other)
+    ):
+        rows.append(
+            {
+                "rank": rank,
+                "comm": seconds(comm),
+                "comp": seconds(comp),
+                "other": seconds(other),
+                "total": seconds(comm + comp + other),
             }
         )
     return format_table(rows, title=title)

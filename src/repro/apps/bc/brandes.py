@@ -56,6 +56,17 @@ class BCIterationRecord:
     measured_time: float
     communication_volume: int
     frontier_nnz: int
+    #: modelled per-category seconds of the iteration's SpGEMM
+    comm_time: float = 0.0
+    comp_time: float = 0.0
+    other_time: float = 0.0
+    #: two-sided messages + one-sided Gets of the iteration's SpGEMM
+    message_count: int = 0
+    rdma_gets: int = 0
+    #: max/mean per-rank time of the iteration's SpGEMM (1.0 in local mode)
+    load_imbalance: float = 1.0
+    #: did the iteration's ledger satisfy bytes_sent == bytes_received?
+    conserved: bool = True
 
 
 @dataclass
@@ -78,31 +89,73 @@ class BCResult:
     def total_time(self) -> float:
         return self.forward_time + self.backward_time
 
+    @property
+    def forward_volume(self) -> int:
+        return sum(r.communication_volume for r in self.iterations if r.phase == "forward")
+
+    @property
+    def backward_volume(self) -> int:
+        return sum(r.communication_volume for r in self.iterations if r.phase == "backward")
+
+    @property
+    def total_volume(self) -> int:
+        return self.forward_volume + self.backward_volume
+
+    @property
+    def message_count(self) -> int:
+        return sum(r.message_count for r in self.iterations)
+
+    @property
+    def conserved(self) -> bool:
+        return all(r.conserved for r in self.iterations)
+
 
 def _timed_spgemm(
     A: CSCMatrix,
     F: CSCMatrix,
     *,
+    phase: str,
+    iteration: int,
     algorithm: str,
     nprocs: int,
     cost_model: CostModel,
-) -> tuple[CSCMatrix, float, int, float]:
+) -> tuple[CSCMatrix, BCIterationRecord]:
     """Multiply ``A·F`` either locally or with a distributed algorithm.
 
-    Returns ``(product, modelled_time, comm_volume, measured_seconds)``.
+    Returns the product and a populated :class:`BCIterationRecord`; the
+    caller fills ``frontier_nnz`` in (the masked new frontier for forward
+    iterations, W itself backward) once it is known.
     """
     t0 = time.perf_counter()
     if algorithm == "local":
         product = local_spgemm(A, F)
-        return product, 0.0, 0, time.perf_counter() - t0
+        record = BCIterationRecord(
+            phase=phase,
+            iteration=iteration,
+            modelled_time=0.0,
+            measured_time=time.perf_counter() - t0,
+            communication_volume=0,
+            frontier_nnz=0,
+        )
+        return product, record
     cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="bc")
     result = make_algorithm(algorithm).multiply(A, F, cluster)
-    return (
-        result.C,
-        result.elapsed_time,
-        result.communication_volume,
-        time.perf_counter() - t0,
+    record = BCIterationRecord(
+        phase=phase,
+        iteration=iteration,
+        modelled_time=result.elapsed_time,
+        measured_time=time.perf_counter() - t0,
+        communication_volume=result.communication_volume,
+        frontier_nnz=0,
+        comm_time=result.comm_time,
+        comp_time=result.comp_time,
+        other_time=result.other_time,
+        message_count=result.message_count,
+        rdma_gets=result.rdma_gets,
+        load_imbalance=result.load_imbalance,
+        conserved=result.ledger.is_conserved(),
     )
+    return result.C, record
 
 
 def batched_betweenness_centrality(
@@ -176,21 +229,13 @@ def batched_betweenness_centrality(
         levels: List[CSCMatrix] = [frontier]
         it = 0
         while frontier.nnz and it < max_levels:
-            product, modelled, volume, measured = _timed_spgemm(
-                pattern_t, frontier,
+            product, record = _timed_spgemm(
+                pattern_t, frontier, phase="forward", iteration=it,
                 algorithm=algorithm, nprocs=nprocs, cost_model=cost_model,
             )
             new_frontier = mask_visited(product, visited)
-            iterations.append(
-                BCIterationRecord(
-                    phase="forward",
-                    iteration=it,
-                    modelled_time=modelled,
-                    measured_time=measured,
-                    communication_volume=volume,
-                    frontier_nnz=new_frontier.nnz,
-                )
-            )
+            record.frontier_nnz = new_frontier.nnz
+            iterations.append(record)
             if new_frontier.nnz == 0:
                 break
             dense_new = new_frontier.to_dense()
@@ -210,20 +255,12 @@ def batched_betweenness_centrality(
             rows_d, cols_d, _ = lvl.to_coo()
             w_vals = (1.0 + delta[rows_d, cols_d]) / safe_sigma[rows_d, cols_d]
             W = CSCMatrix.from_coo(n, b, rows_d, cols_d, w_vals, sum_duplicates=False)
-            product, modelled, volume, measured = _timed_spgemm(
-                pattern, W,
+            product, record = _timed_spgemm(
+                pattern, W, phase="backward", iteration=len(levels) - 1 - d,
                 algorithm=algorithm, nprocs=nprocs, cost_model=cost_model,
             )
-            iterations.append(
-                BCIterationRecord(
-                    phase="backward",
-                    iteration=len(levels) - 1 - d,
-                    modelled_time=modelled,
-                    measured_time=measured,
-                    communication_volume=volume,
-                    frontier_nnz=W.nnz,
-                )
-            )
+            record.frontier_nnz = W.nnz
+            iterations.append(record)
             # Restrict the propagated values to the previous level's pattern
             # and scale by σ there.
             prev = levels[d - 1]

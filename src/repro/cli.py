@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro bc       --dataset eukarya --nprocs 8 --sources 32
     python -m repro sweep    --datasets hv15r,eukarya --algorithms 1d,2d \
                              --nprocs 4,16,64 --workers 4 --records runs.jsonl
+    python -m repro sweep    --workloads bc --datasets eukarya --bc-sources 16
+    python -m repro bench    --out BENCH_PR3.json --workers 2
     python -m repro datasets
 
 Every subcommand accepts either one of the built-in Table II analogues
@@ -27,7 +29,14 @@ from .apps.amg import galerkin_product
 from .apps.bc import batched_betweenness_centrality
 from .apps.squaring import PERMUTATION_STRATEGIES, run_squaring
 from .core import available_algorithms, should_partition
-from .experiments import COST_MODELS, ExperimentGrid, run_grid
+from .experiments import (
+    COST_MODELS,
+    ExperimentGrid,
+    RunConfig,
+    run_grid,
+    workload_names,
+    write_trajectory,
+)
 from .matrices import dataset_names, load_dataset, matrix_stats, read_matrix_market
 from .runtime import PERLMUTTER
 from .sparse import CSCMatrix
@@ -104,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--datasets", default="hv15r",
         help="comma-separated built-in dataset names",
     )
+    p_sweep.add_argument(
+        "--workloads", default="squaring",
+        help="comma-separated workloads (squaring, amg-restriction, bc)",
+    )
     p_sweep.add_argument("--algorithms", default="1d",
                          help="comma-separated algorithm names")
     p_sweep.add_argument("--strategies", default="none",
@@ -123,6 +136,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--records", default=None,
                          help="JSONL store for records (enables caching/resume)")
     p_sweep.add_argument("--force", action="store_true",
+                         help="re-execute configs even on a cache hit")
+    p_sweep.add_argument("--amg-phase", default=None, choices=("rta", "rtar"),
+                         help="amg-restriction workload: RtA only, or RtA + (RtA)R")
+    p_sweep.add_argument("--mis-seed", type=int, default=0,
+                         help="amg-restriction workload: MIS-2 aggregation seed")
+    p_sweep.add_argument("--right-algorithm", default=None,
+                         help="amg-restriction workload: (RtA)R algorithm "
+                              "(default outer-product)")
+    p_sweep.add_argument("--bc-sources", type=int, default=None,
+                         help="bc workload: number of source vertices (required)")
+    p_sweep.add_argument("--bc-batch", type=int, default=None,
+                         help="bc workload: batch size (default: all sources)")
+    p_sweep.add_argument("--bc-stride", type=int, default=None,
+                         help="bc workload: pick sources 0, s, 2s, … instead of sampling")
+    p_sweep.add_argument("--bc-directed", action="store_true",
+                         help="bc workload: treat the adjacency matrix as directed")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the representative multi-workload bench grid and emit a "
+             "BENCH_*.json perf trajectory",
+    )
+    p_bench.add_argument(
+        "--workloads", default="squaring,amg-restriction,bc",
+        help="comma-separated workloads to bench",
+    )
+    p_bench.add_argument("--scale", type=float, default=0.2,
+                         help="dataset scale factor of the bench grid")
+    p_bench.add_argument("--workers", type=int, default=0,
+                         help="worker processes (0/1 = serial)")
+    p_bench.add_argument("--records", default=None,
+                         help="JSONL store for the bench records (enables caching)")
+    p_bench.add_argument("--out", default="BENCH.json",
+                         help="path of the rolled-up trajectory JSON")
+    p_bench.add_argument("--label", default=None,
+                         help="trajectory label (default: the --out file stem)")
+    p_bench.add_argument("--force", action="store_true",
                          help="re-execute configs even on a cache hit")
 
     sub.add_parser("datasets", help="list the built-in dataset analogues")
@@ -229,26 +279,26 @@ def _parse_csv(text: str, cast) -> List:
     return [cast(part.strip()) for part in text.split(",") if part.strip()]
 
 
-def _cmd_sweep(args) -> int:
-    grid = ExperimentGrid(
-        datasets=_parse_csv(args.datasets, str),
-        algorithms=_parse_csv(args.algorithms, str),
-        strategies=_parse_csv(args.strategies, str),
-        process_counts=_parse_csv(args.nprocs, int),
-        block_splits=_parse_csv(args.block_splits, int),
-        seeds=_parse_csv(args.seeds, int),
-        scale=args.scale,
-        cost_model=args.cost_model,
-    )
-    # Validate every grid axis up front: a typo must exit cleanly before any
-    # config executes, not crash a worker mid-sweep after partial persistence.
+def _validate_grid(grid: ExperimentGrid) -> List[str]:
+    """Axis problems of a grid (empty = valid).
+
+    Validation happens up front: a typo must exit cleanly before any config
+    executes, not crash a worker mid-sweep after partial persistence.
+    """
     from .core.registry import ALGORITHM_FACTORIES
 
     problems = []
     unknown = [d for d in grid.datasets if d not in dataset_names()]
     if unknown:
         problems.append(f"unknown datasets: {', '.join(unknown)}")
-    unknown = [a for a in grid.algorithms if a.lower() not in ALGORITHM_FACTORIES]
+    unknown = [w for w in grid.workloads if w not in workload_names()]
+    if unknown:
+        problems.append(f"unknown workloads: {', '.join(unknown)}")
+    # "local" is the bc workload's run-everything-in-one-process mode; the
+    # distributed registry does not know it.
+    bc_only = set(grid.workloads) == {"bc"}
+    valid_algorithms = set(ALGORITHM_FACTORIES) | ({"local"} if bc_only else set())
+    unknown = [a for a in grid.algorithms if a.lower() not in valid_algorithms]
     if unknown:
         problems.append(f"unknown algorithms: {', '.join(unknown)}")
     unknown = [s for s in grid.strategies if s not in PERMUTATION_STRATEGIES]
@@ -262,6 +312,58 @@ def _cmd_sweep(args) -> int:
         problems.append(f"block splits must be positive: {bad}")
     if grid.scale <= 0:
         problems.append(f"scale must be positive: {grid.scale}")
+    if "bc" in grid.workloads:
+        if grid.bc_sources is None:
+            problems.append("the bc workload requires --bc-sources")
+        elif grid.bc_sources <= 0:
+            problems.append(f"--bc-sources must be positive: {grid.bc_sources}")
+        if grid.bc_batch is not None and grid.bc_batch <= 0:
+            problems.append(f"--bc-batch must be positive: {grid.bc_batch}")
+        if grid.bc_source_stride is not None and grid.bc_source_stride <= 0:
+            problems.append(f"--bc-stride must be positive: {grid.bc_source_stride}")
+    if grid.amg_phase not in (None, "rta", "rtar"):
+        problems.append(f"unknown amg phase: {grid.amg_phase}")
+    return problems
+
+
+def _record_row(r) -> dict:
+    return {
+        "workload": r.workload,
+        "dataset": r.config.dataset,
+        "algorithm": r.algorithm,
+        "strategy": r.config.strategy,
+        "P": r.config.nprocs,
+        "K": r.config.block_split,
+        "seed": r.config.seed,
+        "time (s)": f"{r.elapsed_time:.6f}",
+        "time+perm (s)": f"{r.total_time_with_permutation:.6f}",
+        "volume": mebibytes(r.communication_volume),
+        "messages": r.message_count,
+        "CV/memA": f"{r.cv_over_mema:.3f}",
+        "conserved": "yes" if r.conserved else "NO",
+    }
+
+
+def _cmd_sweep(args) -> int:
+    grid = ExperimentGrid(
+        datasets=_parse_csv(args.datasets, str),
+        workloads=_parse_csv(args.workloads, str),
+        algorithms=_parse_csv(args.algorithms, str),
+        strategies=_parse_csv(args.strategies, str),
+        process_counts=_parse_csv(args.nprocs, int),
+        block_splits=_parse_csv(args.block_splits, int),
+        seeds=_parse_csv(args.seeds, int),
+        scale=args.scale,
+        cost_model=args.cost_model,
+        amg_phase=args.amg_phase,
+        mis_seed=args.mis_seed,
+        right_algorithm=args.right_algorithm,
+        bc_sources=args.bc_sources,
+        bc_batch=args.bc_batch,
+        bc_source_stride=args.bc_stride,
+        bc_directed=args.bc_directed,
+    )
+    problems = _validate_grid(grid)
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
@@ -273,26 +375,76 @@ def _cmd_sweep(args) -> int:
         force=args.force,
         progress=print,
     )
-    rows = [
-        {
-            "dataset": r.config.dataset,
-            "algorithm": r.algorithm,
-            "strategy": r.config.strategy,
-            "P": r.config.nprocs,
-            "K": r.config.block_split,
-            "seed": r.config.seed,
-            "time (s)": f"{r.elapsed_time:.6f}",
-            "time+perm (s)": f"{r.total_time_with_permutation:.6f}",
-            "volume": mebibytes(r.communication_volume),
-            "messages": r.message_count,
-            "CV/memA": f"{r.cv_over_mema:.3f}",
-            "conserved": "yes" if r.conserved else "NO",
-        }
-        for r in result.records
-    ]
-    print(format_table(rows, title="sweep"))
+    print(format_table([_record_row(r) for r in result.records], title="sweep"))
     print()
     print(result.stats.summary())
+    return 0 if all(r.conserved for r in result.records) else 1
+
+
+def _bench_configs(workload: str, scale: float) -> List[RunConfig]:
+    """The representative bench grid of one workload (one figure family)."""
+    if workload == "squaring":
+        return [
+            RunConfig(dataset="hv15r", algorithm="1d", strategy="none",
+                      nprocs=p, block_split=32, scale=scale)
+            for p in (4, 16)
+        ] + [
+            RunConfig(dataset="hv15r", algorithm="2d", strategy="random",
+                      nprocs=16, block_split=32, scale=scale),
+            RunConfig(dataset="eukarya", algorithm="1d", strategy="metis",
+                      nprocs=8, block_split=32, scale=scale),
+        ]
+    if workload == "amg-restriction":
+        return [
+            RunConfig(dataset="queen", workload="amg-restriction",
+                      algorithm="1d", amg_phase=phase, nprocs=16, scale=scale)
+            for phase in ("rta", "rtar")
+        ]
+    if workload == "bc":
+        return [
+            RunConfig(dataset="hv15r", workload="bc", algorithm="1d", nprocs=4,
+                      scale=scale, bc_sources=8, bc_batch=8, bc_source_stride=4),
+        ]
+    raise ValueError(f"unknown workload {workload!r}; available: {workload_names()}")
+
+
+def _cmd_bench(args) -> int:
+    import time
+
+    workloads = _parse_csv(args.workloads, str)
+    unknown = [w for w in workloads if w not in workload_names()]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    configs: List[RunConfig] = []
+    for workload in workloads:
+        configs.extend(_bench_configs(workload, args.scale))
+    t0 = time.perf_counter()
+    result = run_grid(
+        configs,
+        workers=args.workers,
+        store=args.records,
+        force=args.force,
+        progress=print,
+    )
+    wall = time.perf_counter() - t0
+    print(format_table([_record_row(r) for r in result.records], title="bench"))
+    print()
+    print(result.stats.summary())
+    label = args.label or pathlib.Path(args.out).stem
+    write_trajectory(
+        args.out,
+        result.records,
+        label=label,
+        wall_seconds=wall,
+        sweep_stats={
+            "total": result.stats.total,
+            "cached": result.stats.cached,
+            "executed": result.stats.executed,
+            "workers": result.stats.workers,
+        },
+    )
+    print(f"trajectory written to {args.out}")
     return 0 if all(r.conserved for r in result.records) else 1
 
 
@@ -325,6 +477,7 @@ _COMMANDS = {
     "galerkin": _cmd_galerkin,
     "bc": _cmd_bc,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
 }

@@ -1,27 +1,41 @@
 """Parallel experiment engine: declarative grids, cached deterministic sweeps.
 
-The paper's figures are sweeps over (dataset × algorithm × strategy ×
-process count × block split × seed).  This package turns each sweep point
-into a hashable :class:`RunConfig`, executes grids fan-out-parallel with
-:func:`run_grid`, and persists deterministic :class:`RunRecord` rows as
-JSONL keyed by config hash — so re-running a figure is a cache lookup and
-an interrupted sweep resumes where it stopped.
+The paper's figures are sweeps over (workload × dataset × algorithm ×
+strategy × process count × block split × seed).  This package turns each
+sweep point into a hashable :class:`RunConfig`, executes grids
+fan-out-parallel with :func:`run_grid`, and persists deterministic
+:class:`RunRecord` rows as JSONL keyed by config hash — so re-running a
+figure is a cache lookup and an interrupted sweep resumes where it
+stopped.  Three workloads cover the paper's whole evaluation surface:
+``squaring`` (Figs 4–9), ``amg-restriction`` (Table III, Figs 10–12) and
+``bc`` (Figs 13–14); see :mod:`repro.experiments.workloads`.
 """
 
 from .config import COST_MODELS, ExperimentGrid, RunConfig, resolve_cost_model
 from .engine import SweepResult, SweepStats, execute_config, run_grid
-from .records import RunRecord
+from .records import AMGStats, BCIterationStats, BCStats, RunRecord
 from .store import ResultStore
+from .trajectory import machine_tag, rollup_records, write_trajectory
+from .workloads import WORKLOADS, execute_workload, workload_names
 
 __all__ = [
     "COST_MODELS",
     "ExperimentGrid",
     "RunConfig",
     "resolve_cost_model",
+    "AMGStats",
+    "BCIterationStats",
+    "BCStats",
     "RunRecord",
     "ResultStore",
     "SweepResult",
     "SweepStats",
+    "WORKLOADS",
     "execute_config",
+    "execute_workload",
+    "machine_tag",
+    "rollup_records",
     "run_grid",
+    "workload_names",
+    "write_trajectory",
 ]

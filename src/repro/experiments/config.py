@@ -2,12 +2,17 @@
 
 The paper's evaluation is a family of sweeps — strong scaling (Figs 8, 9,
 11), MPI×OpenMP configurations (Fig 7), block-split counts (Fig 6),
-permutation strategies (Figs 4, 5).  Every point of every sweep is one
-:class:`RunConfig`: a frozen, hashable record of *everything* that
-determines a squaring experiment's outcome.  A :class:`ExperimentGrid` is
-the cartesian product the figures iterate over, expanded into ``RunConfig``
-records in a deterministic order so two expansions of the same grid always
-produce the same run list (and therefore the same JSONL, byte for byte).
+permutation strategies (Figs 4, 5), AMG restriction products (Table III,
+Figs 10–12) and batched betweenness centrality (Figs 13–14).  Every point
+of every sweep is one :class:`RunConfig`: a frozen, hashable record of
+*everything* that determines an experiment's outcome, including which
+**workload** runs (``squaring``, ``amg-restriction``, ``bc`` — see
+:mod:`repro.experiments.workloads`) and the workload-specific parameters
+(AMG phase and MIS-2 seed, BC source selection and batching).  A
+:class:`ExperimentGrid` is the cartesian product the figures iterate over,
+expanded into ``RunConfig`` records in a deterministic order so two
+expansions of the same grid always produce the same run list (and
+therefore the same JSONL, byte for byte).
 
 ``RunConfig.config_hash()`` is the cache key of the experiment engine: it
 digests the canonical JSON form of the config plus a schema-version salt,
@@ -30,7 +35,8 @@ __all__ = ["COST_MODELS", "RunConfig", "ExperimentGrid", "resolve_cost_model"]
 
 #: bump when the record schema or the modelled-cost semantics change, so
 #: stale JSONL caches miss instead of silently serving incompatible rows
-SCHEMA_VERSION = 1
+#: (2: multi-workload engine — workload axis + AMG/BC parameters)
+SCHEMA_VERSION = 2
 
 #: named machine models a config can reference (configs must stay
 #: JSON-serialisable, so they carry the name, not the CostModel object)
@@ -52,11 +58,15 @@ def resolve_cost_model(name: str) -> CostModel:
 
 @dataclass(frozen=True)
 class RunConfig:
-    """One fully-specified squaring experiment (one point of a sweep).
+    """One fully-specified experiment (one point of a sweep).
 
     Every field that can change the produced record is here; nothing else
     is.  The engine derives the cache key from these fields alone, which is
     what makes records reusable across processes, sessions and machines.
+    The ``workload`` field selects which application runs (squaring, the
+    AMG restriction triple product, batched betweenness centrality); the
+    ``amg_*``/``mis_seed``/``right_algorithm``/``bc_*`` fields parameterise
+    the non-squaring workloads and are ignored by ``squaring``.
     """
 
     #: built-in dataset analogue name (or a label when ``matrix`` is set)
@@ -77,6 +87,24 @@ class RunConfig:
     cost_model: str = "perlmutter"
     #: optional MatrixMarket path overriding the built-in dataset
     matrix: Optional[str] = None
+    #: which application runs: "squaring", "amg-restriction" or "bc"
+    workload: str = "squaring"
+    #: AMG phase: "rta" (RᵀA only) or "rtar" (RᵀA then (RᵀA)·R);
+    #: None means "rtar" for the amg-restriction workload
+    amg_phase: Optional[str] = None
+    #: seed of the MIS-2 aggregation building the restriction operator
+    mis_seed: int = 0
+    #: algorithm of the AMG right multiplication (None → "outer-product")
+    right_algorithm: Optional[str] = None
+    #: number of BC source vertices (required for the bc workload)
+    bc_sources: Optional[int] = None
+    #: BC batch size (None → all sources in one batch)
+    bc_batch: Optional[int] = None
+    #: deterministic source selection: vertex ids 0, s, 2s, … (None → the
+    #: sources are sampled uniformly at random with ``seed``)
+    bc_source_stride: Optional[int] = None
+    #: treat the adjacency matrix as directed
+    bc_directed: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -108,7 +136,15 @@ class RunConfig:
         return f"|matrix:{stat.st_size}:{stat.st_mtime_ns}"
 
     def config_hash(self) -> str:
-        """Stable 16-hex-digit cache key for this configuration."""
+        """Stable 16-hex-digit cache key for this configuration.
+
+        The digest covers *every* field — including workload parameters the
+        selected workload ignores (e.g. ``bc_sources`` on a squaring
+        config).  That can over-discriminate (two configs that would run
+        identically hash apart and both execute), but it can never serve a
+        wrong record, and it keeps the hash a pure function of the config's
+        canonical JSON.
+        """
         payload = f"v{SCHEMA_VERSION}:{self.canonical_json()}{self._matrix_fingerprint()}"
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
@@ -122,10 +158,15 @@ class ExperimentGrid:
 
     ``expand()`` iterates the axes in the declared order (datasets
     outermost, seeds innermost), so the run list — and any JSONL produced
-    from it — is deterministic for a given grid.
+    from it — is deterministic for a given grid.  ``workloads`` is a full
+    grid axis; the workload-specific parameters (``amg_phase``,
+    ``mis_seed``, ``right_algorithm``, ``bc_*``) are scalar across the grid
+    and simply ride along on every config (the squaring workload ignores
+    them).
     """
 
     datasets: Sequence[str]
+    workloads: Sequence[str] = ("squaring",)
     algorithms: Sequence[str] = ("1d",)
     strategies: Sequence[str] = ("none",)
     process_counts: Sequence[int] = (16,)
@@ -135,12 +176,20 @@ class ExperimentGrid:
     thread_counts: Sequence[Optional[int]] = (None,)
     scale: float = 0.5
     cost_model: str = "perlmutter"
+    amg_phase: Optional[str] = None
+    mis_seed: int = 0
+    right_algorithm: Optional[str] = None
+    bc_sources: Optional[int] = None
+    bc_batch: Optional[int] = None
+    bc_source_stride: Optional[int] = None
+    bc_directed: bool = False
 
     def expand(self) -> List[RunConfig]:
         configs = []
-        for dataset, algorithm, strategy, nprocs, block_split, layers, threads, seed in (
+        for dataset, workload, algorithm, strategy, nprocs, block_split, layers, threads, seed in (
             itertools.product(
                 self.datasets,
+                self.workloads,
                 self.algorithms,
                 self.strategies,
                 self.process_counts,
@@ -162,6 +211,14 @@ class ExperimentGrid:
                     layers=layers,
                     threads=threads,
                     cost_model=self.cost_model,
+                    workload=workload,
+                    amg_phase=self.amg_phase,
+                    mis_seed=self.mis_seed,
+                    right_algorithm=self.right_algorithm,
+                    bc_sources=self.bc_sources,
+                    bc_batch=self.bc_batch,
+                    bc_source_stride=self.bc_source_stride,
+                    bc_directed=self.bc_directed,
                 )
             )
         return configs
@@ -172,6 +229,7 @@ class ExperimentGrid:
     def __len__(self) -> int:
         return (
             len(self.datasets)
+            * len(self.workloads)
             * len(self.algorithms)
             * len(self.strategies)
             * len(self.process_counts)

@@ -4,7 +4,10 @@
 (or an explicit list of :class:`RunConfig`), consults the JSONL store for
 records whose config hash already exists (cache hit ⇒ the run is skipped),
 and executes the misses — serially, or fanned out over a
-``multiprocessing`` pool.  Records come back in grid order regardless of
+``multiprocessing`` pool.  Each config's ``workload`` field selects what
+runs (squaring / AMG restriction / betweenness centrality — see
+:mod:`repro.experiments.workloads`); all workloads share the store, the
+cache and the pool.  Records come back in grid order regardless of
 completion order, and only modelled (deterministic) quantities enter a
 record, so::
 
@@ -86,6 +89,10 @@ def execute_config(
 ) -> RunRecord:
     """Execute one configuration and distil the run into a :class:`RunRecord`.
 
+    The config's ``workload`` field selects what actually runs — squaring,
+    the AMG restriction product, or batched betweenness centrality (see
+    :mod:`repro.experiments.workloads`).
+
     ``matrix`` and ``cost_model`` override the config's dataset/model lookup
     for in-process callers that already hold the operand (the classic sweep
     helpers); grid execution across worker processes always resolves both
@@ -94,48 +101,17 @@ def execute_config(
     the config no longer describes what actually ran, so such a record must
     never be mistaken for a cache hit if a caller appends it to a store.
     """
-    from ..apps.squaring import run_squaring  # deferred: keeps worker imports light
+    from .workloads import execute_workload  # deferred: keeps worker imports light
 
     A = matrix if matrix is not None else _load_input(config)
     model = cost_model if cost_model is not None else resolve_cost_model(config.cost_model)
     if config.threads is not None:
         model = model.with_threads(config.threads)
 
-    run = run_squaring(
-        A,
-        algorithm=config.algorithm,
-        strategy=config.strategy,
-        nprocs=config.nprocs,
-        cost_model=model,
-        dataset=config.dataset,
-        block_split=config.block_split,
-        seed=config.seed,
-        layers=config.layers,
-    )
-    ledger = run.result.ledger
-    per_rank = ledger.per_rank_totals()
+    record = execute_workload(config, A, model)
     overridden = matrix is not None or cost_model is not None
-    return RunRecord(
-        config=config,
-        config_hash="" if overridden else config.config_hash(),
-        algorithm=run.algorithm,
-        elapsed_time=run.result.elapsed_time,
-        comm_time=run.result.comm_time,
-        comp_time=run.result.comp_time,
-        other_time=run.result.other_time,
-        communication_volume=run.result.communication_volume,
-        message_count=run.result.message_count,
-        rdma_gets=run.result.rdma_gets,
-        load_imbalance=run.result.load_imbalance,
-        cv_over_mema=run.cv_over_mema,
-        permutation_seconds=run.permutation_seconds,
-        permutation_bytes=run.permutation_bytes,
-        output_nnz=run.result.C.nnz,
-        conserved=ledger.is_conserved(),
-        per_rank_comm=[st.time["comm"] for st in per_rank],
-        per_rank_comp=[st.time["comp"] for st in per_rank],
-        per_rank_other=[st.time["other"] for st in per_rank],
-    )
+    record.config_hash = "" if overridden else config.config_hash()
+    return record
 
 
 def _execute_worker(config: RunConfig) -> RunRecord:

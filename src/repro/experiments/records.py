@@ -1,11 +1,18 @@
 """Deterministic result records produced by the experiment engine.
 
-A :class:`RunRecord` holds everything a figure needs from one squaring
-experiment — modelled times, communication volumes, message counts,
-CV/memA, conservation status, per-rank breakdowns — and *only* modelled
+A :class:`RunRecord` holds everything a figure needs from one experiment —
+modelled times, communication volumes, message counts, CV/memA,
+conservation status, per-rank breakdowns — and *only* modelled
 (deterministic) quantities.  Measured wall-clock never enters a record, so
 serial and parallel execution of the same grid produce byte-identical
 JSONL, and a cached record is indistinguishable from a fresh run.
+
+Non-squaring workloads attach their own result structures: the AMG
+restriction workload records per-phase (RᵀA vs (RᵀA)·R) times/volumes and
+the coarsening statistics of the MIS-2 restriction operator
+(:class:`AMGStats`, Table III / Figs 10–12); the BC workload records the
+per-iteration forward-search / backward-sweep series the paper plots in
+Figs 13–14 (:class:`BCStats`).
 """
 
 from __future__ import annotations
@@ -16,7 +23,146 @@ from typing import Dict, List, Optional
 
 from .config import RunConfig
 
-__all__ = ["RunRecord"]
+__all__ = ["AMGStats", "BCIterationStats", "BCStats", "RunRecord"]
+
+
+@dataclass
+class AMGStats:
+    """Coarsening and per-phase statistics of one AMG restriction run.
+
+    The ``right_*`` fields are zero when the config's ``amg_phase`` is
+    ``"rta"`` (the left multiplication is the whole run).
+    """
+
+    #: fine / coarse grid sizes of the MIS-2 restriction operator
+    n_fine: int
+    n_coarse: int
+    #: nnz(R) — exactly ``n_fine`` for the tentative piecewise-constant R
+    r_nnz: int
+    #: n_fine / n_coarse (Table III's coarsening factor)
+    coarsening_factor: float
+    #: nnz of the intermediate product RᵀA
+    rta_nnz: int
+    #: modelled seconds / bytes received / messages of the RᵀA SpGEMM
+    left_time: float
+    left_volume: int
+    left_messages: int
+    #: same for the (RᵀA)·R SpGEMM (zero in phase "rta")
+    right_time: float = 0.0
+    right_volume: int = 0
+    right_messages: int = 0
+    #: nnz of the coarse operator RᵀAR (zero in phase "rta")
+    coarse_nnz: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_fine": self.n_fine,
+            "n_coarse": self.n_coarse,
+            "r_nnz": self.r_nnz,
+            "coarsening_factor": self.coarsening_factor,
+            "rta_nnz": self.rta_nnz,
+            "left_time": self.left_time,
+            "left_volume": self.left_volume,
+            "left_messages": self.left_messages,
+            "right_time": self.right_time,
+            "right_volume": self.right_volume,
+            "right_messages": self.right_messages,
+            "coarse_nnz": self.coarse_nnz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AMGStats":
+        return cls(
+            n_fine=int(data["n_fine"]),
+            n_coarse=int(data["n_coarse"]),
+            r_nnz=int(data["r_nnz"]),
+            coarsening_factor=float(data["coarsening_factor"]),
+            rta_nnz=int(data["rta_nnz"]),
+            left_time=float(data["left_time"]),
+            left_volume=int(data["left_volume"]),
+            left_messages=int(data["left_messages"]),
+            right_time=float(data.get("right_time", 0.0)),
+            right_volume=int(data.get("right_volume", 0)),
+            right_messages=int(data.get("right_messages", 0)),
+            coarse_nnz=int(data.get("coarse_nnz", 0)),
+        )
+
+
+@dataclass
+class BCIterationStats:
+    """One SpGEMM iteration of the BC forward search or backward sweep."""
+
+    phase: str          # "forward" or "backward"
+    iteration: int
+    #: modelled seconds of the distributed SpGEMM (0 in local mode)
+    time: float
+    #: bytes received during the iteration's SpGEMM
+    volume: int
+    messages: int
+    frontier_nnz: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "iteration": self.iteration,
+            "time": self.time,
+            "volume": self.volume,
+            "messages": self.messages,
+            "frontier_nnz": self.frontier_nnz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BCIterationStats":
+        return cls(
+            phase=str(data["phase"]),
+            iteration=int(data["iteration"]),
+            time=float(data["time"]),
+            volume=int(data["volume"]),
+            messages=int(data["messages"]),
+            frontier_nnz=int(data["frontier_nnz"]),
+        )
+
+
+@dataclass
+class BCStats:
+    """Per-iteration telemetry of one batched betweenness-centrality run."""
+
+    #: number of source vertices and batches actually processed
+    sources: int
+    batches: int
+    #: modelled seconds summed over the forward / backward iterations
+    forward_time: float
+    backward_time: float
+    #: bytes received summed over the forward / backward iterations
+    forward_volume: int
+    backward_volume: int
+    #: the Fig 13/14 series: one entry per SpGEMM iteration
+    iterations: List[BCIterationStats] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sources": self.sources,
+            "batches": self.batches,
+            "forward_time": self.forward_time,
+            "backward_time": self.backward_time,
+            "forward_volume": self.forward_volume,
+            "backward_volume": self.backward_volume,
+            "iterations": [it.to_dict() for it in self.iterations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BCStats":
+        return cls(
+            sources=int(data["sources"]),
+            batches=int(data["batches"]),
+            forward_time=float(data["forward_time"]),
+            backward_time=float(data["backward_time"]),
+            forward_volume=int(data["forward_volume"]),
+            backward_volume=int(data["backward_volume"]),
+            iterations=[
+                BCIterationStats.from_dict(it) for it in data.get("iterations", [])
+            ],
+        )
 
 
 @dataclass
@@ -46,10 +192,17 @@ class RunRecord:
     output_nnz: int
     #: did every phase's ledger satisfy bytes_sent == bytes_received?
     conserved: bool
-    #: per-rank modelled seconds by category (the Fig 8 stacked bars)
+    #: per-rank modelled seconds by category (the Fig 8 stacked bars);
+    #: empty for the bc workload (each iteration runs on its own cluster)
     per_rank_comm: List[float] = field(default_factory=list)
     per_rank_comp: List[float] = field(default_factory=list)
     per_rank_other: List[float] = field(default_factory=list)
+    #: which workload produced this record (mirrors ``config.workload``)
+    workload: str = "squaring"
+    #: AMG restriction extras (amg-restriction workload only)
+    amg: Optional[AMGStats] = None
+    #: BC per-iteration series (bc workload only)
+    bc: Optional[BCStats] = None
 
     @property
     def total_time_with_permutation(self) -> float:
@@ -68,9 +221,10 @@ class RunRecord:
     # JSON round-trip (one JSONL line per record)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "config_hash": self.config_hash,
             "config": self.config.as_dict(),
+            "workload": self.workload,
             "algorithm": self.algorithm,
             "elapsed_time": self.elapsed_time,
             "comm_time": self.comm_time,
@@ -89,6 +243,13 @@ class RunRecord:
             "per_rank_comp": self.per_rank_comp,
             "per_rank_other": self.per_rank_other,
         }
+        # Workload extras only appear on the workloads that produce them, so
+        # squaring JSONL rows stay exactly as lean as before.
+        if self.amg is not None:
+            out["amg"] = self.amg.to_dict()
+        if self.bc is not None:
+            out["bc"] = self.bc.to_dict()
+        return out
 
     def to_json_line(self) -> str:
         """Canonical single-line JSON (sorted keys, compact separators)."""
@@ -116,6 +277,9 @@ class RunRecord:
             per_rank_comm=[float(x) for x in data.get("per_rank_comm", [])],
             per_rank_comp=[float(x) for x in data.get("per_rank_comp", [])],
             per_rank_other=[float(x) for x in data.get("per_rank_other", [])],
+            workload=str(data.get("workload", "squaring")),
+            amg=AMGStats.from_dict(data["amg"]) if data.get("amg") else None,
+            bc=BCStats.from_dict(data["bc"]) if data.get("bc") else None,
         )
 
     @classmethod

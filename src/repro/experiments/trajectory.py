@@ -1,0 +1,136 @@
+"""Roll experiment records up into a benchmark-trajectory JSON document.
+
+The repo commits one ``BENCH_PRn.json`` per PR (the "perf trajectory"):
+a machine-tagged snapshot of the modelled counters the engine produced for
+the representative bench set, plus the measured wall-clock of producing
+them.  Modelled counters (times, volumes, messages) are deterministic and
+comparable across machines and PRs; wall-clock and the machine tag record
+where/how fast the snapshot was taken and are **not** comparable across
+machines — the split mirrors the record schema's modelled-only rule.
+
+:func:`rollup_records` aggregates per workload; :func:`write_trajectory`
+writes the document.  ``benchmarks/trajectory.py`` is the command-line
+wrapper that rolls the shared bench store up after a harness run, and
+``python -m repro bench`` produces a trajectory directly.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .records import RunRecord
+
+__all__ = ["TRAJECTORY_SCHEMA_VERSION", "machine_tag", "rollup_records", "write_trajectory"]
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+
+def machine_tag() -> Dict[str, str]:
+    """Identify the host that produced a trajectory snapshot."""
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}.{sys.version_info.micro}",
+    }
+
+
+def _record_row(record: RunRecord) -> Dict[str, object]:
+    """The compact per-record row a trajectory keeps (modelled-only)."""
+    row: Dict[str, object] = {
+        "config_hash": record.config_hash,
+        "workload": record.workload,
+        "dataset": record.config.dataset,
+        "algorithm": record.algorithm,
+        "strategy": record.config.strategy,
+        "nprocs": record.config.nprocs,
+        "scale": record.config.scale,
+        "elapsed_time": record.elapsed_time,
+        "communication_volume": record.communication_volume,
+        "message_count": record.message_count,
+        "conserved": record.conserved,
+    }
+    if record.amg is not None:
+        row["amg"] = {
+            "left_time": record.amg.left_time,
+            "right_time": record.amg.right_time,
+            "coarsening_factor": record.amg.coarsening_factor,
+        }
+    if record.bc is not None:
+        row["bc"] = {
+            "forward_time": record.bc.forward_time,
+            "backward_time": record.bc.backward_time,
+            "iterations": len(record.bc.iterations),
+        }
+    return row
+
+
+def rollup_records(
+    records: Iterable[RunRecord],
+    *,
+    label: str = "trajectory",
+    wall_seconds: Optional[float] = None,
+    sweep_stats: Optional[Dict[str, int]] = None,
+) -> Dict[str, object]:
+    """Aggregate records into the trajectory document (one dict, JSON-ready).
+
+    ``wall_seconds`` is the measured host time of producing the records
+    (machine-dependent, reported under the machine tag); ``sweep_stats``
+    optionally carries the engine's cached/executed split.
+    """
+    records = list(records)
+    workloads: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        agg = workloads.setdefault(
+            record.workload,
+            {
+                "configs": 0,
+                "modelled_time": 0.0,
+                "communication_volume": 0,
+                "message_count": 0,
+                "conserved": True,
+            },
+        )
+        agg["configs"] += 1
+        agg["modelled_time"] += record.elapsed_time
+        agg["communication_volume"] += record.communication_volume
+        agg["message_count"] += record.message_count
+        agg["conserved"] = bool(agg["conserved"]) and record.conserved
+    document: Dict[str, object] = {
+        "schema": TRAJECTORY_SCHEMA_VERSION,
+        "label": label,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": machine_tag(),
+        "total_records": len(records),
+        "all_conserved": all(r.conserved for r in records),
+        "workloads": {name: workloads[name] for name in sorted(workloads)},
+        "records": [_record_row(r) for r in records],
+    }
+    if wall_seconds is not None:
+        document["wall_seconds"] = wall_seconds
+    if sweep_stats is not None:
+        document["sweep"] = dict(sweep_stats)
+    return document
+
+
+def write_trajectory(
+    path: Union[str, Path],
+    records: Iterable[RunRecord],
+    *,
+    label: str = "trajectory",
+    wall_seconds: Optional[float] = None,
+    sweep_stats: Optional[Dict[str, int]] = None,
+) -> Dict[str, object]:
+    """Write the rolled-up trajectory JSON to ``path`` and return it."""
+    document = rollup_records(
+        records, label=label, wall_seconds=wall_seconds, sweep_stats=sweep_stats
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return document

@@ -184,7 +184,6 @@ def spgemm_heap(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix
     B = as_csc(B)
     if A.ncols != B.nrows:
         raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
-    col_flops = per_column_flops(A, B)
     indptr = np.zeros(B.ncols + 1, dtype=_INDEX_DTYPE)
     rows_per_col: List[np.ndarray] = []
     vals_per_col: List[np.ndarray] = []
@@ -202,6 +201,9 @@ def spgemm_heap(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix
     )
     result = CSCMatrix(nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data)
     if stats is not None:
+        # The flops pass is pure counter bookkeeping on this path — only pay
+        # for it when someone is actually collecting stats.
+        col_flops = per_column_flops(A, B)
         stats.flops += int(col_flops.sum())
         stats.output_nnz += result.nnz
         stats.columns_heap += int(np.count_nonzero(col_flops > 0))
@@ -257,7 +259,6 @@ def spgemm_hash(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix
     B = as_csc(B)
     if A.ncols != B.nrows:
         raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
-    col_flops = per_column_flops(A, B)
     indptr = np.zeros(B.ncols + 1, dtype=_INDEX_DTYPE)
     rows_per_col: List[np.ndarray] = []
     vals_per_col: List[np.ndarray] = []
@@ -276,6 +277,8 @@ def spgemm_hash(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix
     )
     result = CSCMatrix(nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data)
     if stats is not None:
+        # Lazy flops pass: only counter bookkeeping needs it on this path.
+        col_flops = per_column_flops(A, B)
         stats.flops += int(col_flops.sum())
         stats.output_nnz += result.nnz
         stats.columns_hash += int(np.count_nonzero(col_flops > 0))
@@ -294,7 +297,6 @@ def spgemm_dense_accumulator(
     B = as_csc(B)
     if A.ncols != B.nrows:
         raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
-    col_flops = per_column_flops(A, B)
     accumulator = np.zeros(A.nrows, dtype=np.result_type(A.data.dtype, B.data.dtype))
     indptr = np.zeros(B.ncols + 1, dtype=_INDEX_DTYPE)
     rows_per_col: List[np.ndarray] = []
@@ -324,6 +326,8 @@ def spgemm_dense_accumulator(
     )
     result = CSCMatrix(nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data)
     if stats is not None:
+        # Lazy flops pass: only counter bookkeeping needs it on this path.
+        col_flops = per_column_flops(A, B)
         stats.flops += int(col_flops.sum())
         stats.output_nnz += result.nnz
         stats.columns_dense += int(np.count_nonzero(col_flops > 0))

@@ -130,3 +130,59 @@ class TestCommands:
         assert main(["sweep", "--datasets", "hv15r", "--nprocs", "0,4"]) == 2
         assert main(["sweep", "--datasets", "hv15r", "--block-splits", "-1"]) == 2
         assert main(["sweep", "--datasets", "hv15r", "--scale", "0"]) == 2
+
+    def test_sweep_rejects_unknown_workload(self, capsys):
+        assert main(["sweep", "--datasets", "hv15r", "--workloads", "tensor"]) == 2
+
+    def test_sweep_bc_requires_sources(self, capsys):
+        assert main(["sweep", "--datasets", "hv15r", "--workloads", "bc"]) == 2
+
+    def test_sweep_bc_workload_runs(self, capsys):
+        code = main(
+            ["sweep", "--workloads", "bc", "--datasets", "hv15r", "--nprocs", "4",
+             "--scale", "0.05", "--bc-sources", "4", "--bc-batch", "4",
+             "--bc-stride", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bc" in out and "1 executed" in out
+
+    def test_sweep_local_algorithm_only_for_bc(self, capsys):
+        # "local" is a bc-only execution mode, not a distributed algorithm.
+        assert main(["sweep", "--datasets", "hv15r", "--algorithms", "local"]) == 2
+        code = main(
+            ["sweep", "--workloads", "bc", "--datasets", "hv15r", "--nprocs", "4",
+             "--algorithms", "local", "--scale", "0.05", "--bc-sources", "4",
+             "--bc-stride", "2"]
+        )
+        assert code == 0
+
+    def test_sweep_amg_workload_runs(self, capsys):
+        code = main(
+            ["sweep", "--workloads", "amg-restriction", "--datasets", "queen",
+             "--nprocs", "8", "--scale", "0.05", "--amg-phase", "rta"]
+        )
+        assert code == 0
+        assert "amg-restriction" in capsys.readouterr().out
+
+    def test_bench_emits_trajectory(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_TEST.json"
+        records = tmp_path / "bench.jsonl"
+        argv = [
+            "bench", "--scale", "0.05", "--records", str(records),
+            "--out", str(out_path),
+        ]
+        assert main(argv) == 0
+        assert "trajectory written" in capsys.readouterr().out
+        import json
+
+        document = json.loads(out_path.read_text())
+        assert document["label"] == "BENCH_TEST"
+        assert document["all_conserved"] is True
+        assert set(document["workloads"]) == {"squaring", "amg-restriction", "bc"}
+        # Re-running serves every config from the record store.
+        assert main(argv) == 0
+        assert "0 executed" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown_workload(self, capsys):
+        assert main(["bench", "--workloads", "quux"]) == 2

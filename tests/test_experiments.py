@@ -57,6 +57,14 @@ class TestRunConfig:
             base.with_updates(layers=2),
             base.with_updates(threads=4),
             base.with_updates(cost_model="laptop"),
+            base.with_updates(workload="amg-restriction"),
+            base.with_updates(amg_phase="rta"),
+            base.with_updates(mis_seed=3),
+            base.with_updates(right_algorithm="1d"),
+            base.with_updates(workload="bc", bc_sources=8),
+            base.with_updates(workload="bc", bc_sources=8, bc_batch=4),
+            base.with_updates(workload="bc", bc_sources=8, bc_source_stride=2),
+            base.with_updates(workload="bc", bc_sources=8, bc_directed=True),
         ]
         hashes = {base.config_hash()} | {v.config_hash() for v in variants}
         assert len(hashes) == len(variants) + 1
