@@ -1,0 +1,114 @@
+"""Chained squaring ``A^(2^k)`` on the resident prepare/execute pipeline.
+
+MCL-style iterated squaring is the workload the paper's stationary-``C``
+property was made for: each level's product lands already in the 1D layout
+the next level consumes, so the chain never assembles a global matrix and
+the per-level modelled numbers equal independent ``multiply()`` calls on
+the assembled intermediates.  This harness runs a k-level chain per dataset
+through the cached engine and checks the per-level ledger identities, plus
+the resident-vs-legacy BC accounting delta (the hoisted window setup).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, mebibytes, seconds
+from repro.experiments import RunConfig
+
+from common import SCALE, assert_record_conserved, header, run_bench_grid
+
+NPROCS = 8
+CHAIN_K = 2
+DATASETS = ("hv15r", "eukarya")
+
+
+def _chain_configs():
+    return [
+        RunConfig(
+            dataset=dataset,
+            workload="chained-squaring",
+            algorithm="1d",
+            nprocs=NPROCS,
+            block_split=32,
+            scale=SCALE,
+            square_k=CHAIN_K,
+        )
+        for dataset in DATASETS
+    ]
+
+
+def _bc_pair_configs():
+    shared = dict(
+        dataset="hv15r",
+        workload="bc",
+        algorithm="1d",
+        nprocs=4,
+        scale=SCALE,
+        bc_sources=8,
+        bc_batch=8,
+        bc_source_stride=4,
+    )
+    return [RunConfig(**shared), RunConfig(**shared, resident=True)]
+
+
+def _run():
+    result = run_bench_grid(_chain_configs() + _bc_pair_configs())
+    chain_records = result.records[: len(DATASETS)]
+    bc_legacy, bc_resident = result.records[len(DATASETS):]
+    rows = []
+    for dataset, record in zip(DATASETS, chain_records):
+        assert_record_conserved(record)
+        for level in record.chain.levels:
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "level": level.level,
+                    "power": 2 ** (level.level + 1),
+                    "time": seconds(level.time),
+                    "volume": mebibytes(level.volume),
+                    "messages": level.messages,
+                    "output nnz": level.output_nnz,
+                }
+            )
+    return rows, chain_records, bc_legacy, bc_resident
+
+
+def test_chained_squaring_levels(benchmark):
+    rows, records, _, _ = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header(f"Chained squaring A^(2^{CHAIN_K}) on the resident pipeline (P={NPROCS})")
+    print(format_table(rows))
+    for record in records:
+        assert record.chain.k == CHAIN_K
+        assert len(record.chain.levels) == CHAIN_K
+        # The chain's topline counters are exactly the per-level sums.
+        assert record.communication_volume == sum(
+            lvl.volume for lvl in record.chain.levels
+        )
+        assert record.message_count == sum(
+            lvl.messages for lvl in record.chain.levels
+        )
+        # Squaring grows the pattern: nnz is non-decreasing along the chain.
+        nnzs = [lvl.output_nnz for lvl in record.chain.levels]
+        assert nnzs == sorted(nnzs)
+
+
+def test_resident_bc_charges_setup_once(benchmark):
+    _, _, legacy, resident = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("BC: per-iteration window setup (legacy) vs hoisted resident setup")
+    setup = [it for it in resident.bc.iterations if it.phase == "setup"]
+    print(
+        f"legacy total: {seconds(legacy.elapsed_time)}   "
+        f"resident total: {seconds(resident.elapsed_time)}   "
+        f"(one-off setup: {seconds(setup[0].time)})"
+    )
+    assert len(setup) == 1
+    assert resident.elapsed_time < legacy.elapsed_time
+    # The frontier series itself is untouched — only setup accounting moved.
+    legacy_series = [
+        (it.phase, it.iteration, it.frontier_nnz) for it in legacy.bc.iterations
+    ]
+    resident_series = [
+        (it.phase, it.iteration, it.frontier_nnz)
+        for it in resident.bc.iterations
+        if it.phase != "setup"
+    ]
+    assert legacy_series == resident_series

@@ -1,0 +1,98 @@
+"""Assert modelled counters are unchanged across two ``BENCH_*.json`` snapshots.
+
+The per-PR trajectory files share config hashes for configs that existed in
+both PRs (hash stability across schema-additive changes is guaranteed by
+``RunConfig.canonical_json``'s elide-at-default rule).  For every overlapping
+hash the *modelled* counters — communication volume and message count, and
+optionally the modelled times — must match exactly: they are deterministic
+and machine-independent, so any drift means the accounting changed::
+
+    PYTHONPATH=src python benchmarks/compare_trajectories.py \
+        BENCH_PR3.json BENCH_PR4.json
+
+Exits 0 when every overlapping config matches (and at least one overlaps),
+1 on a counter mismatch, 2 on usage/file errors.  New configs appearing only
+in the newer snapshot (new workloads, new axes) are reported but never fail
+the comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: counters every overlapping config must reproduce exactly
+STRICT_FIELDS = ("communication_volume", "message_count")
+#: counters compared when --times is given (deterministic floats; exact)
+TIME_FIELDS = ("elapsed_time",)
+
+
+def _rows_by_hash(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        document = json.load(fh)
+    rows = {}
+    for row in document.get("records", []):
+        h = row.get("config_hash")
+        if h:  # override-produced records carry an empty hash — skip them
+            rows[h] = row
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare modelled counters of two bench trajectories"
+    )
+    parser.add_argument("baseline", help="older BENCH_*.json")
+    parser.add_argument("candidate", help="newer BENCH_*.json")
+    parser.add_argument("--times", action="store_true",
+                        help="additionally require modelled times to match")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = _rows_by_hash(args.baseline)
+        candidate = _rows_by_hash(args.candidate)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load trajectory: {exc}", file=sys.stderr)
+        return 2
+
+    overlap = sorted(set(baseline) & set(candidate))
+    only_new = len(set(candidate) - set(baseline))
+    only_old = len(set(baseline) - set(candidate))
+    if not overlap:
+        print(
+            f"no overlapping config hashes between {args.baseline} "
+            f"({len(baseline)} rows) and {args.candidate} ({len(candidate)} rows)",
+            file=sys.stderr,
+        )
+        return 1
+
+    fields = STRICT_FIELDS + (TIME_FIELDS if args.times else ())
+    mismatches = []
+    for h in overlap:
+        for field in fields:
+            old, new = baseline[h].get(field), candidate[h].get(field)
+            if old != new:
+                mismatches.append((h, field, old, new))
+
+    if mismatches:
+        print(f"{len(mismatches)} modelled-counter mismatches:", file=sys.stderr)
+        for h, field, old, new in mismatches:
+            row = baseline[h]
+            print(
+                f"  {h} ({row.get('workload')}/{row.get('dataset')}/"
+                f"{row.get('algorithm')} P={row.get('nprocs')}): "
+                f"{field} {old} -> {new}",
+                file=sys.stderr,
+            )
+        return 1
+
+    print(
+        f"{len(overlap)} overlapping configs: all modelled counters unchanged "
+        f"({', '.join(fields)}); {only_new} new-only, {only_old} baseline-only"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ...core import SpGEMMResult, make_algorithm
+from ...core import DistributedOperand, SpGEMMResult, make_algorithm
 from ...runtime import CostModel, PERLMUTTER, SimulatedCluster
 from ...sparse import CSCMatrix, as_csc
 from ...sparse.ops import transpose
@@ -72,8 +72,19 @@ def right_multiplication(
     cost_model: CostModel = PERLMUTTER,
     **algo_kwargs,
 ) -> SpGEMMResult:
-    """Compute ``(RᵀA)·R``; defaults to the outer-product 1D algorithm."""
-    RtA = as_csc(RtA)
+    """Compute ``(RᵀA)·R``; defaults to the outer-product 1D algorithm.
+
+    ``RtA`` may be a global matrix, the :class:`SpGEMMResult` of the left
+    multiplication, or a :class:`~repro.core.DistributedOperand`.  Passing
+    the left result chains the two products **resident**: the 1D-column
+    distributed RᵀA feeds straight into the outer-product algorithm with no
+    intermediate global gather/scatter — the modelled counters are identical
+    (assembly was never charged), only the host-side gather disappears.
+    """
+    if isinstance(RtA, SpGEMMResult):
+        RtA = RtA.distributed_c if RtA.distributed_c is not None else RtA.C
+    if not isinstance(RtA, DistributedOperand):
+        RtA = as_csc(RtA)
     R = as_csc(R)
     cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="RtAR")
     algo = make_algorithm(algorithm, **algo_kwargs)
@@ -89,12 +100,18 @@ def galerkin_product(
     nprocs: int = 16,
     cost_model: CostModel = PERLMUTTER,
     seed: int = 0,
+    resident: bool = True,
 ) -> GalerkinResult:
     """Full Galerkin product ``Rᵀ A R`` with separate ledgers for each SpGEMM.
 
     The restriction operator defaults to the MIS-2 aggregation of ``A``
     (:func:`repro.apps.amg.build_restriction`), matching how the paper's
     Table III operators were produced.
+
+    With ``resident`` (the default) the intermediate RᵀA flows into the
+    right multiplication as a distributed operand — no global gather/scatter
+    between the two SpGEMMs.  ``resident=False`` forces the legacy
+    gather-then-scatter path; the modelled ledgers are identical either way.
     """
     A = as_csc(A)
     if restriction is None:
@@ -105,7 +122,11 @@ def galerkin_product(
         R, A, algorithm=left_algorithm, nprocs=nprocs, cost_model=cost_model
     )
     right = right_multiplication(
-        left.C, R, algorithm=right_algorithm, nprocs=nprocs, cost_model=cost_model
+        left if resident else left.C,
+        R,
+        algorithm=right_algorithm,
+        nprocs=nprocs,
+        cost_model=cost_model,
     )
     return GalerkinResult(
         coarse=right.C, left=left, right=right, restriction=restriction

@@ -10,7 +10,6 @@ structure reported in Table III.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
@@ -23,6 +22,49 @@ from .mis2 import mis2
 __all__ = ["RestrictionOperator", "build_restriction"]
 
 _INDEX_DTYPE = np.int64
+
+
+def _assign_aggregates(graph: AdjacencyGraph, roots: np.ndarray) -> np.ndarray:
+    """Multi-source BFS assigning every reachable vertex to its nearest root.
+
+    Frontier-at-a-time numpy implementation of the FIFO BFS (one python
+    iteration per BFS *level* instead of per vertex).  Tie-breaking matches
+    the sequential queue exactly: a vertex reached at level ``d+1`` joins the
+    aggregate of the first level-``d`` vertex adjacent to it in queue order,
+    where the queue order within a level is the order in which vertices were
+    claimed (roots start in aggregate-id order).  The pinning equality test
+    in ``tests/test_apps_amg.py`` compares this against the reference
+    per-vertex BFS on every fixture graph.
+    """
+    n = graph.nvertices
+    aggregates = np.full(n, -1, dtype=_INDEX_DTYPE)
+    roots = np.asarray(roots, dtype=_INDEX_DTYPE)
+    aggregates[roots] = np.arange(roots.shape[0], dtype=_INDEX_DTYPE)
+    xadj, adjncy = graph.xadj, graph.adjncy
+    frontier = roots
+    while frontier.size:
+        degrees = xadj[frontier + 1] - xadj[frontier]
+        total = int(degrees.sum())
+        if total == 0:
+            break
+        # Concatenate the frontier's adjacency lists in (queue position,
+        # adjacency position) order — the exact order the sequential BFS
+        # would inspect edges in.
+        owners = np.repeat(np.arange(frontier.shape[0]), degrees)
+        offsets = np.arange(total) - np.repeat(np.cumsum(degrees) - degrees, degrees)
+        targets = adjncy[np.repeat(xadj[frontier], degrees) + offsets]
+        unclaimed = aggregates[targets] < 0
+        targets = targets[unclaimed]
+        owners = owners[unclaimed]
+        if targets.size == 0:
+            break
+        # First edge touching each unclaimed vertex wins (np.unique returns
+        # the index of the first occurrence); sorting those indices restores
+        # claim order, which becomes the next level's queue order.
+        claimed, first_edge = np.unique(targets, return_index=True)
+        aggregates[claimed] = aggregates[frontier[owners[first_edge]]]
+        frontier = targets[np.sort(first_edge)]
+    return aggregates
 
 
 @dataclass
@@ -60,32 +102,17 @@ def build_restriction(A, *, seed: Optional[int] = 0) -> RestrictionOperator:
     n = graph.nvertices
     roots = mis2(A, seed=seed)
 
-    aggregates = np.full(n, -1, dtype=_INDEX_DTYPE)
-    queue: deque = deque()
-    for agg_id, root in enumerate(roots):
-        aggregates[root] = agg_id
-        queue.append(int(root))
-    # Multi-source BFS: nearer roots claim vertices first.
-    while queue:
-        v = queue.popleft()
-        neigh, _ = graph.neighbours(v)
-        for u in neigh:
-            if aggregates[u] < 0:
-                aggregates[u] = aggregates[v]
-                queue.append(int(u))
+    aggregates = _assign_aggregates(graph, roots)
 
     # Unreached vertices (isolated / disconnected from every root) become
     # their own aggregates so R keeps exactly one nonzero per row.
     unassigned = np.nonzero(aggregates < 0)[0]
-    extra_roots = []
-    next_id = int(roots.shape[0])
-    for v in unassigned:
-        aggregates[v] = next_id
-        extra_roots.append(int(v))
-        next_id += 1
-    all_roots = np.concatenate([roots, np.asarray(extra_roots, dtype=_INDEX_DTYPE)])
+    aggregates[unassigned] = roots.shape[0] + np.arange(
+        unassigned.shape[0], dtype=_INDEX_DTYPE
+    )
+    all_roots = np.concatenate([roots, unassigned.astype(_INDEX_DTYPE)])
 
-    n_coarse = next_id
+    n_coarse = int(roots.shape[0] + unassigned.shape[0])
     R = CSCMatrix.from_coo(
         n,
         n_coarse,

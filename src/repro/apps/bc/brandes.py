@@ -46,9 +46,14 @@ _INDEX_DTYPE = np.int64
 
 @dataclass
 class BCIterationRecord:
-    """One SpGEMM iteration of the forward search or backward sweep."""
+    """One SpGEMM iteration of the forward search or backward sweep.
 
-    phase: str          # "forward" or "backward"
+    Resident runs (``resident=True``) prepend a single record with
+    ``phase="setup"`` carrying the hoisted window-creation + metadata
+    allgather cost — charged once per run instead of once per iteration.
+    """
+
+    phase: str          # "forward", "backward" or "setup" (resident runs)
     iteration: int
     #: modelled elapsed seconds of the distributed SpGEMM (0 in local mode)
     modelled_time: float
@@ -86,8 +91,16 @@ class BCResult:
         return sum(r.modelled_time for r in self.iterations if r.phase == "backward")
 
     @property
+    def setup_time(self) -> float:
+        """Hoisted one-off setup cost (0 for legacy per-iteration runs)."""
+        return sum(r.modelled_time for r in self.iterations if r.phase == "setup")
+
+    @property
     def total_time(self) -> float:
-        return self.forward_time + self.backward_time
+        # Summed per phase (not in iteration order) so legacy runs — where
+        # setup_time is exactly 0.0 — reproduce the historic forward+backward
+        # float value bit for bit.
+        return self.setup_time + self.forward_time + self.backward_time
 
     @property
     def forward_volume(self) -> int:
@@ -98,8 +111,12 @@ class BCResult:
         return sum(r.communication_volume for r in self.iterations if r.phase == "backward")
 
     @property
+    def setup_volume(self) -> int:
+        return sum(r.communication_volume for r in self.iterations if r.phase == "setup")
+
+    @property
     def total_volume(self) -> int:
-        return self.forward_volume + self.backward_volume
+        return self.setup_volume + self.forward_volume + self.backward_volume
 
     @property
     def message_count(self) -> int:
@@ -110,41 +127,13 @@ class BCResult:
         return all(r.conserved for r in self.iterations)
 
 
-def _timed_spgemm(
-    A: CSCMatrix,
-    F: CSCMatrix,
-    *,
-    phase: str,
-    iteration: int,
-    algorithm: str,
-    nprocs: int,
-    cost_model: CostModel,
-) -> tuple[CSCMatrix, BCIterationRecord]:
-    """Multiply ``A·F`` either locally or with a distributed algorithm.
-
-    Returns the product and a populated :class:`BCIterationRecord`; the
-    caller fills ``frontier_nnz`` in (the masked new frontier for forward
-    iterations, W itself backward) once it is known.
-    """
-    t0 = time.perf_counter()
-    if algorithm == "local":
-        product = local_spgemm(A, F)
-        record = BCIterationRecord(
-            phase=phase,
-            iteration=iteration,
-            modelled_time=0.0,
-            measured_time=time.perf_counter() - t0,
-            communication_volume=0,
-            frontier_nnz=0,
-        )
-        return product, record
-    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="bc")
-    result = make_algorithm(algorithm).multiply(A, F, cluster)
-    record = BCIterationRecord(
+def _record_from_result(result, *, phase: str, iteration: int, wall: float) -> BCIterationRecord:
+    """Distil one SpGEMM result (or ledger slice) into an iteration record."""
+    return BCIterationRecord(
         phase=phase,
         iteration=iteration,
         modelled_time=result.elapsed_time,
-        measured_time=time.perf_counter() - t0,
+        measured_time=wall,
         communication_volume=result.communication_volume,
         frontier_nnz=0,
         comm_time=result.comm_time,
@@ -155,7 +144,103 @@ def _timed_spgemm(
         load_imbalance=result.load_imbalance,
         conserved=result.ledger.is_conserved(),
     )
-    return result.C, record
+
+
+class _FrontierMultiplier:
+    """Runs each BFS-level SpGEMM in one of three modes.
+
+    * ``"local"`` — plain local kernel, no simulated cluster;
+    * legacy — a **fresh** cluster per iteration, so every iteration re-pays
+      A's distribution and (for the 1D algorithm) window setup;
+    * resident — **one** run-wide cluster: the adjacency pattern(s) are made
+      resident up front (setup charged exactly once, under the ``prep:``
+      phase scope) and each iteration only prepares/executes the frontier,
+      sliced out of the run ledger by a unique per-iteration phase scope.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        nprocs: int,
+        cost_model: CostModel,
+        pattern: CSCMatrix,
+        pattern_t: CSCMatrix,
+        resident: bool,
+    ) -> None:
+        self.algorithm = algorithm
+        self.nprocs = nprocs
+        self.cost_model = cost_model
+        self.local = algorithm == "local"
+        self.resident = resident and not self.local
+        self._pattern = pattern
+        self._pattern_t = pattern_t
+        self._counter = 0
+        self.setup_record: Optional[BCIterationRecord] = None
+        if self.resident:
+            t0 = time.perf_counter()
+            self.cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="bc")
+            self.algo = make_algorithm(algorithm)
+            with self.cluster.phase_scope("prep:"):
+                self._op_t = self.algo.prepare_operand(pattern_t, self.cluster)
+                self._op = (
+                    self._op_t
+                    if pattern is pattern_t
+                    else self.algo.prepare_operand(pattern, self.cluster)
+                )
+            setup_ledger = self.cluster.ledger.subset("prep:")
+            categories = setup_ledger.elapsed_time_by_category()
+            self.setup_record = BCIterationRecord(
+                phase="setup",
+                iteration=0,
+                modelled_time=setup_ledger.elapsed_time(),
+                measured_time=time.perf_counter() - t0,
+                communication_volume=setup_ledger.total_bytes(),
+                frontier_nnz=0,
+                comm_time=categories["comm"],
+                comp_time=categories["comp"],
+                other_time=categories["other"],
+                message_count=setup_ledger.total_messages(),
+                rdma_gets=setup_ledger.total_rdma_gets(),
+                load_imbalance=setup_ledger.load_imbalance(),
+                conserved=setup_ledger.is_conserved(),
+            )
+
+    def multiply(
+        self, transposed: bool, F: CSCMatrix, *, phase: str, iteration: int
+    ) -> tuple[CSCMatrix, BCIterationRecord]:
+        """Multiply the (transposed) pattern by the frontier ``F``.
+
+        Returns the product and a populated :class:`BCIterationRecord`; the
+        caller fills ``frontier_nnz`` in (the masked new frontier for forward
+        iterations, W itself backward) once it is known.
+        """
+        A = self._pattern_t if transposed else self._pattern
+        t0 = time.perf_counter()
+        if self.local:
+            product = local_spgemm(A, F)
+            record = BCIterationRecord(
+                phase=phase,
+                iteration=iteration,
+                modelled_time=0.0,
+                measured_time=time.perf_counter() - t0,
+                communication_volume=0,
+                frontier_nnz=0,
+            )
+            return product, record
+        if self.resident:
+            op = self._op_t if transposed else self._op
+            with self.cluster.phase_scope(f"it{self._counter}:"):
+                result = self.algo.execute(self.algo.prepare(op, F, self.cluster))
+            self._counter += 1
+        else:
+            cluster = SimulatedCluster(
+                self.nprocs, cost_model=self.cost_model, name="bc"
+            )
+            result = make_algorithm(self.algorithm).multiply(A, F, cluster)
+        record = _record_from_result(
+            result, phase=phase, iteration=iteration, wall=time.perf_counter() - t0
+        )
+        return result.C, record
 
 
 def batched_betweenness_centrality(
@@ -170,6 +255,7 @@ def batched_betweenness_centrality(
     directed: bool = False,
     seed: int = 0,
     max_levels: Optional[int] = None,
+    resident: bool = False,
 ) -> BCResult:
     """Approximate betweenness centrality from a sampled set of sources.
 
@@ -190,6 +276,16 @@ def batched_betweenness_centrality(
     directed:
         Treat ``A`` as a directed adjacency matrix.  Undirected scores are
         halved at the end (each shortest path is found from both endpoints).
+    resident:
+        Run every frontier expansion on **one** run-wide simulated cluster
+        with the adjacency pattern held as a resident distributed operand:
+        A's distribution and (for the 1D algorithm) its RDMA windows +
+        metadata allgather are set up once per run — recorded as a single
+        ``phase="setup"`` iteration record — instead of being re-charged on
+        every BFS level, which is both closer to how a real long-lived run
+        behaves and substantially cheaper in host time.  The default
+        (``False``) keeps the legacy fresh-cluster-per-iteration accounting
+        bit-for-bit.
     """
     A = as_csc(A)
     if A.nrows != A.ncols:
@@ -215,6 +311,11 @@ def batched_betweenness_centrality(
 
     scores = np.zeros(n, dtype=np.float64)
     iterations: List[BCIterationRecord] = []
+    multiplier = _FrontierMultiplier(
+        algorithm, nprocs, cost_model, pattern, pattern_t, resident
+    )
+    if multiplier.setup_record is not None:
+        iterations.append(multiplier.setup_record)
 
     for batch_start in range(0, sources.shape[0], batch_size):
         batch = sources[batch_start : batch_start + batch_size]
@@ -229,9 +330,8 @@ def batched_betweenness_centrality(
         levels: List[CSCMatrix] = [frontier]
         it = 0
         while frontier.nnz and it < max_levels:
-            product, record = _timed_spgemm(
-                pattern_t, frontier, phase="forward", iteration=it,
-                algorithm=algorithm, nprocs=nprocs, cost_model=cost_model,
+            product, record = multiplier.multiply(
+                True, frontier, phase="forward", iteration=it,
             )
             new_frontier = mask_visited(product, visited)
             record.frontier_nnz = new_frontier.nnz
@@ -255,9 +355,8 @@ def batched_betweenness_centrality(
             rows_d, cols_d, _ = lvl.to_coo()
             w_vals = (1.0 + delta[rows_d, cols_d]) / safe_sigma[rows_d, cols_d]
             W = CSCMatrix.from_coo(n, b, rows_d, cols_d, w_vals, sum_duplicates=False)
-            product, record = _timed_spgemm(
-                pattern, W, phase="backward", iteration=len(levels) - 1 - d,
-                algorithm=algorithm, nprocs=nprocs, cost_model=cost_model,
+            product, record = multiplier.multiply(
+                False, W, phase="backward", iteration=len(levels) - 1 - d,
             )
             record.frontier_nnz = W.nnz
             iterations.append(record)

@@ -35,10 +35,17 @@ from ..partition import (
     random_symmetric_permutation,
     rcm_ordering,
 )
-from ..runtime import CostModel, PERLMUTTER, SimulatedCluster
+from ..runtime import CostModel, PERLMUTTER, PhaseLedger, SimulatedCluster
 from ..sparse import CSCMatrix, as_csc
 
-__all__ = ["SquaringRun", "prepare_ordering", "run_squaring", "PERMUTATION_STRATEGIES"]
+__all__ = [
+    "SquaringRun",
+    "ChainedSquaringRun",
+    "prepare_ordering",
+    "run_squaring",
+    "run_chained_squaring",
+    "PERMUTATION_STRATEGIES",
+]
 
 PERMUTATION_STRATEGIES = ("none", "random", "metis", "rcm")
 
@@ -123,6 +130,32 @@ def prepare_ordering(
     return permuted, ordering, seconds
 
 
+def _algo_constructor_kwargs(
+    algorithm: str, block_split: int, layers: Optional[int]
+) -> Dict[str, object]:
+    """Constructor kwargs the named algorithm accepts."""
+    kwargs: Dict[str, object] = {}
+    if algorithm in ("1d", "1d-sparsity-aware"):
+        kwargs["block_split"] = block_split
+    if algorithm in ("3d", "3d-split") and layers is not None:
+        kwargs["layers"] = layers
+    return kwargs
+
+
+def _bounds_kwargs(algorithm: str, bounds) -> Dict[str, object]:
+    """Partition-derived block bounds each 1D-family algorithm honours.
+
+    Squaring is square, so the same bounds serve rows and columns.
+    """
+    if algorithm in ("1d", "1d-sparsity-aware"):
+        return {"a_bounds": bounds, "b_bounds": bounds}
+    if algorithm in ("outer-product", "1d-outer-product"):
+        return {"a_bounds": bounds, "c_bounds": bounds}
+    if algorithm in ("1d-naive-block-row", "1d-improved-block-row"):
+        return {"a_bounds": bounds, "b_bounds": bounds}
+    return {}
+
+
 def run_squaring(
     A,
     *,
@@ -149,24 +182,13 @@ def run_squaring(
     permuted, ordering, perm_seconds = prepare_ordering(A, strategy, nprocs, seed=seed)
 
     cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
-    algo_kwargs = {}
-    if algorithm in ("1d", "1d-sparsity-aware"):
-        algo_kwargs["block_split"] = block_split
-    if algorithm in ("3d", "3d-split") and layers is not None:
-        algo_kwargs["layers"] = layers
-    algo = make_algorithm(algorithm, **algo_kwargs)
+    algo = make_algorithm(
+        algorithm, **_algo_constructor_kwargs(algorithm, block_split, layers)
+    )
 
-    # Every 1D-family algorithm honours the partition-derived block bounds
-    # (squaring is square, so the same bounds serve rows and columns).
+    # Every 1D-family algorithm honours the partition-derived block bounds.
     bounds = block_bounds_from_sizes(ordering.block_sizes)
-    if algorithm in ("1d", "1d-sparsity-aware"):
-        multiply_kwargs = {"a_bounds": bounds, "b_bounds": bounds}
-    elif algorithm in ("outer-product", "1d-outer-product"):
-        multiply_kwargs = {"a_bounds": bounds, "c_bounds": bounds}
-    elif algorithm in ("1d-naive-block-row", "1d-improved-block-row"):
-        multiply_kwargs = {"a_bounds": bounds, "b_bounds": bounds}
-    else:
-        multiply_kwargs = {}
+    multiply_kwargs = _bounds_kwargs(algorithm, bounds)
 
     result = algo.multiply(permuted, permuted, cluster, **multiply_kwargs)
 
@@ -190,6 +212,118 @@ def run_squaring(
         strategy=strategy,
         nprocs=nprocs,
         result=result,
+        permutation_seconds=cost_model.beta * perm_bytes,
+        permutation_bytes=perm_bytes,
+        cv_over_mema=est.cv_over_mema,
+        permutation_wall_seconds=perm_seconds,
+    )
+
+
+@dataclass
+class ChainedSquaringRun:
+    """Result of one iterated-squaring experiment (``A^(2^k)``).
+
+    MCL-style chained squaring: level ``i`` squares the previous level's
+    product, so after ``k`` levels the final operand is ``A`` raised to the
+    ``2^k``-th power.  The whole chain runs on **one** simulated cluster
+    through the resident prepare/execute pipeline — each level's output
+    ``C`` is already in the 1D layout the next level consumes, so no global
+    matrix is ever assembled between levels (the paper's stationary-``C``
+    property, exploited end to end).
+    """
+
+    dataset: str
+    algorithm: str
+    strategy: str
+    nprocs: int
+    #: number of squarings (the final product is A^(2^k))
+    k: int
+    #: per-level results; ``results[i].ledger`` is level ``i``'s own slice
+    results: List[SpGEMMResult]
+    #: run-wide ledger over all levels (phases scoped ``sq0:``, ``sq1:``, …)
+    ledger: PhaseLedger
+    permutation_seconds: float
+    permutation_bytes: int
+    cv_over_mema: float
+    permutation_wall_seconds: float = 0.0
+
+    @property
+    def final(self) -> SpGEMMResult:
+        """The last level's result (its ``C`` is ``A^(2^k)``, still distributed)."""
+        return self.results[-1]
+
+    @property
+    def elapsed_time(self) -> float:
+        """Modelled seconds of the whole chain (Σ over all levels' phases)."""
+        return self.ledger.elapsed_time()
+
+    @property
+    def communication_volume(self) -> int:
+        return self.ledger.total_bytes()
+
+    @property
+    def message_count(self) -> int:
+        return self.ledger.total_messages()
+
+
+def run_chained_squaring(
+    A,
+    *,
+    k: int = 2,
+    algorithm: str = "1d",
+    strategy: str = "none",
+    nprocs: int = 16,
+    cost_model: CostModel = PERLMUTTER,
+    dataset: str = "matrix",
+    block_split: int = 2048,
+    seed: int = 0,
+    layers: Optional[int] = None,
+) -> ChainedSquaringRun:
+    """Compute ``A^(2^k)`` by iterated squaring on one resident pipeline.
+
+    Level 0 squares the (permuted) input; every later level feeds the
+    previous level's *distributed* ``C`` straight back in as both operands.
+    For the 1D-family algorithms no global matrix is assembled between
+    levels; each level's stationary operand is freshly exposed (it is a new
+    matrix), so the per-level modelled numbers are identical to ``k``
+    independent ``multiply()`` calls on the assembled intermediates — pinned
+    by the chaining tests — while the host never pays for assembly.
+    """
+    if k < 1:
+        raise ValueError(f"chained squaring needs k >= 1, got {k}")
+    A = as_csc(A)
+    permuted, ordering, perm_seconds = prepare_ordering(A, strategy, nprocs, seed=seed)
+
+    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
+    algo = make_algorithm(
+        algorithm, **_algo_constructor_kwargs(algorithm, block_split, layers)
+    )
+    bounds = block_bounds_from_sizes(ordering.block_sizes)
+    multiply_kwargs = _bounds_kwargs(algorithm, bounds)
+
+    operand = permuted
+    results: List[SpGEMMResult] = []
+    for level in range(k):
+        with cluster.phase_scope(f"sq{level}:"):
+            prepared = algo.prepare(operand, operand, cluster, **multiply_kwargs)
+            result = algo.execute(prepared)
+        results.append(result)
+        # The output lands already in the desired layout — the next level
+        # consumes it without assembling a global matrix.
+        operand = result.distributed_c if result.distributed_c is not None else result.C
+
+    from ..distribution import estimate_redistribution_bytes
+
+    perm_bytes = 0 if strategy == "none" else estimate_redistribution_bytes(A, nprocs)
+    est = estimate_communication(permuted, nprocs=nprocs, block_split=block_split)
+    return ChainedSquaringRun(
+        dataset=dataset,
+        algorithm=results[0].algorithm,
+        strategy=strategy,
+        nprocs=nprocs,
+        k=k,
+        results=results,
+        ledger=cluster.ledger,
         permutation_seconds=cost_model.beta * perm_bytes,
         permutation_bytes=perm_bytes,
         cv_over_mema=est.cv_over_mema,

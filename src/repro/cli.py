@@ -89,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Algorithm 2's K (max RDMA messages per remote rank)")
     p_square.add_argument("--layers", type=int, default=None,
                           help="3D layer count c (3d/3d-split only; default: auto)")
+    p_square.add_argument("--chain", type=int, default=None, metavar="K",
+                          help="iterated squaring: compute A^(2^K) on the "
+                               "resident pipeline instead of a single A·A")
     p_square.add_argument("--breakdown", action="store_true",
                           help="print the per-rank comm/comp/other breakdown")
 
@@ -152,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bc workload: pick sources 0, s, 2s, … instead of sampling")
     p_sweep.add_argument("--bc-directed", action="store_true",
                          help="bc workload: treat the adjacency matrix as directed")
+    p_sweep.add_argument("--resident", action="store_true",
+                         help="bc workload: hold A resident on one run-wide "
+                              "cluster (setup charged once per run, not per "
+                              "iteration)")
+    p_sweep.add_argument("--square-k", type=int, default=None,
+                         help="chained-squaring workload: number of squarings "
+                              "(required; final product is A^(2^k))")
 
     p_bench = sub.add_parser(
         "bench",
@@ -159,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_*.json perf trajectory",
     )
     p_bench.add_argument(
-        "--workloads", default="squaring,amg-restriction,bc",
+        "--workloads", default="squaring,chained-squaring,amg-restriction,bc",
         help="comma-separated workloads to bench",
     )
     p_bench.add_argument("--scale", type=float, default=0.2,
@@ -186,6 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_square(args) -> int:
     A = _load_input(args)
+    if args.chain is not None:
+        return _cmd_square_chain(args, A)
     run = run_squaring(
         A,
         algorithm=args.algorithm,
@@ -212,6 +224,48 @@ def _cmd_square(args) -> int:
     if args.breakdown:
         print()
         print(breakdown_table(run.result))
+    return 0
+
+
+def _cmd_square_chain(args, A) -> int:
+    from .apps.squaring import run_chained_squaring
+
+    if args.chain < 1:
+        print(f"--chain must be >= 1, got {args.chain}", file=sys.stderr)
+        return 2
+    run = run_chained_squaring(
+        A,
+        k=args.chain,
+        algorithm=args.algorithm,
+        strategy=args.strategy,
+        nprocs=args.nprocs,
+        block_split=args.block_split,
+        layers=args.layers,
+        cost_model=PERLMUTTER,
+        dataset=_input_label(args),
+    )
+    rows = [
+        {
+            "level": i,
+            "power": 2 ** (i + 1),
+            "time": seconds(lvl.elapsed_time),
+            "comm volume": mebibytes(lvl.communication_volume),
+            "messages": lvl.message_count,
+            "output nnz": lvl.output_nnz,
+        }
+        for i, lvl in enumerate(run.results)
+    ]
+    print(format_table(rows, title=f"chained squaring (A^(2^{run.k}))"))
+    print(
+        f"\ntotal: {seconds(run.elapsed_time)}   "
+        f"volume: {mebibytes(run.communication_volume)}   "
+        f"messages: {run.message_count}"
+    )
+    if args.breakdown:
+        for i, level in enumerate(run.results):
+            print()
+            print(f"level {i} (A^{2 ** (i + 1)}):")
+            print(breakdown_table(level))
     return 0
 
 
@@ -323,6 +377,11 @@ def _validate_grid(grid: ExperimentGrid) -> List[str]:
             problems.append(f"--bc-stride must be positive: {grid.bc_source_stride}")
     if grid.amg_phase not in (None, "rta", "rtar"):
         problems.append(f"unknown amg phase: {grid.amg_phase}")
+    if "chained-squaring" in grid.workloads:
+        if grid.square_k is None:
+            problems.append("the chained-squaring workload requires --square-k")
+        elif grid.square_k < 1:
+            problems.append(f"--square-k must be >= 1: {grid.square_k}")
     return problems
 
 
@@ -362,6 +421,8 @@ def _cmd_sweep(args) -> int:
         bc_batch=args.bc_batch,
         bc_source_stride=args.bc_stride,
         bc_directed=args.bc_directed,
+        resident=args.resident,
+        square_k=args.square_k,
     )
     problems = _validate_grid(grid)
     if problems:
@@ -400,10 +461,21 @@ def _bench_configs(workload: str, scale: float) -> List[RunConfig]:
                       algorithm="1d", amg_phase=phase, nprocs=16, scale=scale)
             for phase in ("rta", "rtar")
         ]
+    if workload == "chained-squaring":
+        return [
+            RunConfig(dataset="hv15r", workload="chained-squaring", algorithm="1d",
+                      nprocs=4, block_split=32, scale=scale, square_k=2),
+        ]
     if workload == "bc":
         return [
             RunConfig(dataset="hv15r", workload="bc", algorithm="1d", nprocs=4,
                       scale=scale, bc_sources=8, bc_batch=8, bc_source_stride=4),
+            # The same run with A held resident: the setup phase is charged
+            # once per run, so times drop while per-iteration fetch volumes
+            # stay put.
+            RunConfig(dataset="hv15r", workload="bc", algorithm="1d", nprocs=4,
+                      scale=scale, bc_sources=8, bc_batch=8, bc_source_stride=4,
+                      resident=True),
         ]
     raise ValueError(f"unknown workload {workload!r}; available: {workload_names()}")
 

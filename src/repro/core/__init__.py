@@ -1,6 +1,13 @@
 """The paper's distributed SpGEMM algorithms and baselines."""
 
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .pipeline import (
+    DistributedOperand,
+    PreparedMultiply,
+    as_operand,
+    coerce_columns_1d,
+    coerce_rows_1d,
+)
 from .block_fetch import (
     BlockFetchPlan,
     plan_block_fetch,
@@ -23,6 +30,11 @@ from .spgemm_3d import SplitSpGEMM3D
 __all__ = [
     "DistributedSpGEMMAlgorithm",
     "SpGEMMResult",
+    "DistributedOperand",
+    "PreparedMultiply",
+    "as_operand",
+    "coerce_columns_1d",
+    "coerce_rows_1d",
     "BlockFetchPlan",
     "plan_block_fetch",
     "plan_block_fetch_all",

@@ -14,7 +14,11 @@ Two reference points for the communication analysis in §II-A of the paper:
 
 Both are implemented here in a *row*-wise 1D layout (A, B, C split by rows,
 the layout Ballard et al. analyse), using two-sided communication so the
-pack/unpack overhead the RDMA design avoids is charged faithfully.
+pack/unpack overhead the RDMA design avoids is charged faithfully.  Both
+ride the prepare/execute pipeline: ``prepare`` resolves the operands to
+resident row-block distributions (reusing an already-resident one, e.g. a
+previous product), ``execute`` runs the exchange and multiply phases and
+returns a row-distributed ``C``.
 """
 
 from __future__ import annotations
@@ -26,10 +30,11 @@ import numpy as np
 
 from ..distribution import DistributedRows1D
 from ..runtime import SimulatedCluster
-from ..sparse import CSCMatrix, as_csc, local_spgemm
+from ..sparse import CSCMatrix, local_spgemm
 from ..sparse.flops import per_column_flops
 from ..sparse.ops import extract_rows
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .pipeline import DistributedOperand, PreparedMultiply, coerce_rows_1d
 
 __all__ = ["NaiveBlockRow1D", "ImprovedBlockRow1D"]
 
@@ -46,6 +51,29 @@ def _rows_needed_by(local_a: CSCMatrix) -> np.ndarray:
     return local_a.nonzero_columns()
 
 
+def _prepare_row_blocks(
+    algorithm: DistributedSpGEMMAlgorithm,
+    A,
+    B,
+    cluster: SimulatedCluster,
+    a_bounds: Optional[Sequence[Tuple[int, int]]],
+    b_bounds: Optional[Sequence[Tuple[int, int]]],
+) -> PreparedMultiply:
+    """Shared prepare step of both block-row variants.
+
+    ``a_bounds``/``b_bounds`` are *row* bounds (this is the row-wise 1D
+    layout), e.g. partition-derived block sizes.
+    """
+    P = cluster.nprocs
+    op_a = coerce_rows_1d(A, P, bounds=a_bounds)
+    op_b = coerce_rows_1d(B, P, bounds=b_bounds)
+    if op_a.dist.ncols != op_b.dist.nrows:
+        raise ValueError(
+            f"inner dimensions do not match: {op_a.dist.shape} x {op_b.dist.shape}"
+        )
+    return PreparedMultiply(algorithm=algorithm, cluster=cluster, a=op_a, b=op_b)
+
+
 @dataclass
 class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
     """Ring-exchange 1D baseline: every process receives all of ``B``."""
@@ -53,7 +81,7 @@ class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="1d-naive-block-row", init=False)
 
-    def multiply(
+    def prepare(
         self,
         A,
         B,
@@ -61,16 +89,15 @@ class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
         *,
         a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
-    ) -> SpGEMMResult:
-        A = as_csc(A)
-        B = as_csc(B)
-        if A.ncols != B.nrows:
-            raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+    ) -> PreparedMultiply:
+        return _prepare_row_blocks(self, A, B, cluster, a_bounds, b_bounds)
+
+    def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
+        cluster = prepared.cluster
+        dist_a: DistributedRows1D = prepared.a.dist
+        dist_b: DistributedRows1D = prepared.b.dist
         P = cluster.nprocs
-        # ``a_bounds``/``b_bounds`` are *row* bounds here (this is the
-        # row-wise 1D layout), e.g. partition-derived block sizes.
-        dist_a = DistributedRows1D.from_global(A, P, bounds=a_bounds)
-        dist_b = DistributedRows1D.from_global(B, P, bounds=b_bounds)
+        scope = cluster.phase_prefix
 
         # Ring exchange: in step s, rank r receives the block originally owned
         # by rank (r + s) mod P.  Every block of B therefore visits every rank.
@@ -84,24 +111,32 @@ class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
             srcs = (dsts + np.tile(steps, P)) % P
             cluster.comm.send_many(srcs, dsts, block_sizes[srcs])
 
+        # After the ring completes each rank holds all of B.
+        B_full = prepared.b.global_matrix()
         c_locals: List[CSCMatrix] = []
         with cluster.phase("multiply"):
             for rank in range(P):
                 local_a = dist_a.local(rank)
-                # After the ring completes each rank holds all of B.
-                flops = int(per_column_flops(local_a, B).sum())
+                flops = int(per_column_flops(local_a, B_full).sum())
                 with cluster.measured(rank, "comp"):
-                    c_local = local_spgemm(local_a, B, kernel=self.kernel)
+                    c_local = local_spgemm(local_a, B_full, kernel=self.kernel)
                 cluster.charge_compute(rank, flops)
                 cluster.charge_memory(
                     rank,
-                    local_a.memory_bytes() + B.memory_bytes() + c_local.memory_bytes(),
+                    local_a.memory_bytes()
+                    + B_full.memory_bytes()
+                    + c_local.memory_bytes(),
                 )
                 c_locals.append(c_local)
 
-        C = _assemble_from_row_blocks(c_locals, dist_a, B.ncols)
+        op_c = _row_block_operand(c_locals, dist_a, B_full.ncols)
+        ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
-            C=C, ledger=cluster.ledger, algorithm=self.name, nprocs=P, info={}
+            ledger=ledger,
+            algorithm=self.name,
+            nprocs=P,
+            info={},
+            distributed_c=op_c,
         )
 
 
@@ -112,7 +147,7 @@ class ImprovedBlockRow1D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="1d-improved-block-row", init=False)
 
-    def multiply(
+    def prepare(
         self,
         A,
         B,
@@ -120,16 +155,16 @@ class ImprovedBlockRow1D(DistributedSpGEMMAlgorithm):
         *,
         a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
-    ) -> SpGEMMResult:
-        A = as_csc(A)
-        B = as_csc(B)
-        if A.ncols != B.nrows:
-            raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+    ) -> PreparedMultiply:
+        return _prepare_row_blocks(self, A, B, cluster, a_bounds, b_bounds)
+
+    def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
+        cluster = prepared.cluster
+        dist_a: DistributedRows1D = prepared.a.dist
+        dist_b: DistributedRows1D = prepared.b.dist
         P = cluster.nprocs
-        # Row bounds follow the partitioner's parts when supplied (the same
-        # convention as the column bounds of the sparsity-aware algorithm).
-        dist_a = DistributedRows1D.from_global(A, P, bounds=a_bounds)
-        dist_b = DistributedRows1D.from_global(B, P, bounds=b_bounds)
+        scope = cluster.phase_prefix
+        b_nrows, b_ncols = prepared.b.shape
 
         # Each rank asks the owners for the rows of B it needs; the owners
         # extract (pack) and send them — the packing overhead is the point.
@@ -185,15 +220,15 @@ class ImprovedBlockRow1D(DistributedSpGEMMAlgorithm):
                     vals_parts.append(v)
                 if rows_parts:
                     b_needed = CSCMatrix.from_coo(
-                        B.nrows,
-                        B.ncols,
+                        b_nrows,
+                        b_ncols,
                         np.concatenate(rows_parts),
                         np.concatenate(cols_parts),
                         np.concatenate(vals_parts),
                         sum_duplicates=False,
                     )
                 else:
-                    b_needed = CSCMatrix.empty(B.nrows, B.ncols)
+                    b_needed = CSCMatrix.empty(b_nrows, b_ncols)
                 cluster.charge_other_bytes(rank, b_needed.memory_bytes())
                 flops = int(per_column_flops(local_a, b_needed).sum())
                 with cluster.measured(rank, "comp"):
@@ -207,32 +242,27 @@ class ImprovedBlockRow1D(DistributedSpGEMMAlgorithm):
                 )
                 c_locals.append(c_local)
 
-        C = _assemble_from_row_blocks(c_locals, dist_a, B.ncols)
+        op_c = _row_block_operand(c_locals, dist_a, b_ncols)
+        ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
-            C=C, ledger=cluster.ledger, algorithm=self.name, nprocs=P, info={}
+            ledger=ledger,
+            algorithm=self.name,
+            nprocs=P,
+            info={},
+            distributed_c=op_c,
         )
 
 
-def _assemble_from_row_blocks(
+def _row_block_operand(
     c_locals: List[CSCMatrix], dist_a: DistributedRows1D, ncols: int
-) -> CSCMatrix:
-    """Stack per-rank row-block results back into the global C."""
-    rows_parts = []
-    cols_parts = []
-    vals_parts = []
-    for rank, c_local in enumerate(c_locals):
-        rs, _ = dist_a.row_bounds(rank)
-        r, c, v = c_local.to_coo()
-        rows_parts.append(r + rs)
-        cols_parts.append(c)
-        vals_parts.append(v)
-    if not rows_parts:
-        return CSCMatrix.empty(dist_a.nrows, ncols)
-    return CSCMatrix.from_coo(
-        dist_a.nrows,
-        ncols,
-        np.concatenate(rows_parts),
-        np.concatenate(cols_parts),
-        np.concatenate(vals_parts),
-        sum_duplicates=False,
+) -> DistributedOperand:
+    """Wrap per-rank row-block results as a resident row-distributed C."""
+    return DistributedOperand.rows_1d(
+        DistributedRows1D(
+            nrows=dist_a.nrows,
+            ncols=ncols,
+            nprocs=dist_a.nprocs,
+            bounds=list(dist_a.bounds),
+            locals_=c_locals,
+        )
     )

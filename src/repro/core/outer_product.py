@@ -26,13 +26,13 @@ import numpy as np
 
 from ..distribution import (
     DistributedColumns1D,
-    DistributedRows1D,
     columns_to_rows_1d,
 )
 from ..runtime import SimulatedCluster
-from ..sparse import CSCMatrix, add_matrices, as_csc, local_spgemm, stack_columns
+from ..sparse import CSCMatrix, add_matrices, local_spgemm
 from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .pipeline import DistributedOperand, PreparedMultiply, coerce_columns_1d
 
 __all__ = ["OuterProduct1D", "outer_product_spgemm_1d"]
 
@@ -46,7 +46,7 @@ class OuterProduct1D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="1d-outer-product", init=False)
 
-    def multiply(
+    def prepare(
         self,
         A,
         B,
@@ -54,27 +54,44 @@ class OuterProduct1D(DistributedSpGEMMAlgorithm):
         *,
         a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         c_bounds: Optional[Sequence[Tuple[int, int]]] = None,
-    ) -> SpGEMMResult:
-        A = as_csc(A)
-        B = as_csc(B)
-        if A.ncols != B.nrows:
-            raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+    ) -> PreparedMultiply:
         P = cluster.nprocs
 
-        # A is 1D column-distributed (its columns are the inner dimension).
-        dist_a = DistributedColumns1D.from_global(A, P, bounds=a_bounds)
+        # A is 1D column-distributed (its columns are the inner dimension);
+        # a resident column operand — e.g. the RᵀA product of the Galerkin
+        # chain — is consumed in place, with no intermediate global gather.
+        op_a = coerce_columns_1d(A, P, bounds=a_bounds)
+        op_b = coerce_columns_1d(B, P)
+        if op_a.dist.ncols != op_b.dist.nrows:
+            raise ValueError(
+                f"inner dimensions do not match: {op_a.dist.shape} x {op_b.dist.shape}"
+            )
+
+        # Output column blocks (defaults to an even split of B's columns).
+        dist_c_template = DistributedColumns1D.from_global(
+            CSCMatrix.empty(op_a.dist.nrows, op_b.dist.ncols), P, bounds=c_bounds
+        )
+        return PreparedMultiply(
+            algorithm=self,
+            cluster=cluster,
+            a=op_a,
+            b=op_b,
+            extras={"c_template": dist_c_template},
+        )
+
+    def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
+        cluster = prepared.cluster
+        dist_a: DistributedColumns1D = prepared.a.dist
+        dist_b_cols: DistributedColumns1D = prepared.b.dist
+        dist_c_template: DistributedColumns1D = prepared.extras["c_template"]
+        P = cluster.nprocs
+        scope = cluster.phase_prefix
 
         # ------------------------------------------------------------------
         # Step 1: redistribute B so p_i owns the row block matching its A columns.
         # ------------------------------------------------------------------
-        dist_b_cols = DistributedColumns1D.from_global(B, P)
         row_bounds = [dist_a.column_bounds(r) for r in range(P)]
         dist_b = columns_to_rows_1d(dist_b_cols, cluster=cluster, row_bounds=row_bounds)
-
-        # Output column blocks (defaults to an even split of B's columns).
-        dist_c_template = DistributedColumns1D.from_global(
-            CSCMatrix.empty(A.nrows, B.ncols), P, bounds=c_bounds
-        )
 
         # ------------------------------------------------------------------
         # Step 2: local outer products — every rank builds a partial C.
@@ -122,16 +139,29 @@ class OuterProduct1D(DistributedSpGEMMAlgorithm):
                 if pieces:
                     merged = add_matrices(pieces)
                 else:
-                    merged = CSCMatrix.empty(A.nrows, ce - cs)
+                    merged = CSCMatrix.empty(dist_a.nrows, ce - cs)
                 cluster.charge_other_bytes(rank, merged.memory_bytes())
                 # Merging k sorted partials costs ~ the touched entries.
                 cluster.charge_compute(rank, sum(p.nnz for p in pieces))
                 c_locals.append(merged)
 
-        C = stack_columns(c_locals, nrows=A.nrows)
-        info = {"output_nnz": float(C.nnz)}
+        op_c = DistributedOperand.columns_1d(
+            DistributedColumns1D(
+                nrows=dist_a.nrows,
+                ncols=dist_c_template.ncols,
+                nprocs=P,
+                bounds=list(dist_c_template.bounds),
+                locals_=c_locals,
+            )
+        )
+        info = {"output_nnz": float(op_c.nnz)}
+        ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
-            C=C, ledger=cluster.ledger, algorithm=self.name, nprocs=P, info=info
+            ledger=ledger,
+            algorithm=self.name,
+            nprocs=P,
+            info=info,
+            distributed_c=op_c,
         )
 
 

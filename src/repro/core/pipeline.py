@@ -1,0 +1,290 @@
+"""Resident distributed operands — the state the prepare/execute pipeline reuses.
+
+The paper's 1D design keeps ``B`` and ``C`` stationary and produces ``C``
+already in the desired layout, so a chain of multiplies never has to touch a
+global matrix between steps.  The original drivers threw that away: every
+``multiply()`` took *global* operands, redistributed them from scratch, and
+reassembled a global ``C`` at the end.  This module introduces the two
+objects that make distributions first-class instead:
+
+:class:`DistributedOperand`
+    A matrix resident on the simulated cluster in a concrete layout — 1D
+    column blocks, 1D row blocks, 2D grid blocks, or (for inputs that have
+    not been distributed yet) a plain global matrix.  For the sparsity-aware
+    1D algorithm the operand additionally carries the *exposed* RDMA windows
+    and the allgathered column metadata, so repeated multiplies against the
+    same stationary ``A`` (BC's frontier expansions, iterated squaring)
+    charge the window creation + metadata allgather **once** instead of once
+    per call.  The global matrix is assembled lazily and cached — a
+    modelled-only experiment run never assembles at all.
+
+:class:`PreparedMultiply`
+    The output of ``DistributedSpGEMMAlgorithm.prepare(A, B, cluster)``:
+    both operands resident (and, for 1D, exposed), ready for one or more
+    ``execute`` calls.  ``multiply()`` is now the thin legacy wrapper
+    ``execute(prepare(...))`` and is bit-identical to the pre-pipeline
+    drivers.
+
+Assembly of a global matrix is host work that was never charged to the
+modelled ledgers, so laziness changes no modelled number — it only removes
+host wall-clock and memory from chained and modelled-only runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distribution import (
+    DistributedBlocks2D,
+    DistributedColumns1D,
+    DistributedRows1D,
+)
+from ..runtime import SimulatedCluster
+from ..sparse import CSCMatrix, as_csc
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base imports us)
+    from ..runtime.window import RdmaWindow
+    from .base import DistributedSpGEMMAlgorithm
+
+__all__ = [
+    "LAYOUT_COLUMNS_1D",
+    "LAYOUT_ROWS_1D",
+    "LAYOUT_BLOCKS_2D",
+    "LAYOUT_GLOBAL",
+    "DistributedOperand",
+    "PreparedMultiply",
+    "as_operand",
+    "coerce_columns_1d",
+    "coerce_rows_1d",
+    "eager_assembly_enabled",
+]
+
+LAYOUT_COLUMNS_1D = "1d-columns"
+LAYOUT_ROWS_1D = "1d-rows"
+LAYOUT_BLOCKS_2D = "2d-blocks"
+LAYOUT_GLOBAL = "global"
+
+
+def eager_assembly_enabled() -> bool:
+    """Assemble every result's global C eagerly (``REPRO_EAGER_ASSEMBLY``).
+
+    Only used by regression tests to prove that laziness never changes a
+    persisted record: a sweep run with this flag set writes byte-identical
+    JSONL to one run without it.
+    """
+    return os.environ.get("REPRO_EAGER_ASSEMBLY", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+@dataclass
+class DistributedOperand:
+    """A sparse matrix resident on the cluster in a concrete layout.
+
+    Exactly one of ``dist`` (a layout object) or ``_global`` (a plain global
+    matrix, layout ``"global"``) backs the operand; ``global_matrix()``
+    assembles lazily from the layout and caches the result.
+
+    The three ``window``/``rank_nonzero_cols``/``rank_col_prefix`` fields are
+    the sparsity-aware 1D algorithm's resident state (Algorithm 1 lines 1–2):
+    the per-rank exposed row-id/value windows and the allgathered nonzero
+    column ids ``D`` with their nnz prefix sums.  They are attached by
+    :meth:`SparsityAware1D.prepare` the first time the operand is used as the
+    stationary ``A`` and reused — uncharged — on every later multiply.
+    """
+
+    layout: str
+    dist: Optional[object] = None
+    #: exposed RDMA windows over the local row-id/value arrays (1D A only)
+    window: Optional["RdmaWindow"] = None
+    #: per-rank global ids of nonzero columns (the paper's ``D`` vector)
+    rank_nonzero_cols: Optional[List[np.ndarray]] = None
+    #: per-rank nnz prefix sums over those columns
+    rank_col_prefix: Optional[List[np.ndarray]] = None
+    _global: Optional[CSCMatrix] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.layout == LAYOUT_GLOBAL:
+            if self._global is None:
+                raise ValueError("global-layout operand requires the matrix")
+        elif self.dist is None:
+            raise ValueError(f"layout {self.layout!r} requires a distribution object")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, A) -> "DistributedOperand":
+        """Wrap an undistributed global matrix (drivers distribute on demand)."""
+        return cls(layout=LAYOUT_GLOBAL, _global=as_csc(A))
+
+    @classmethod
+    def columns_1d(cls, dist: DistributedColumns1D) -> "DistributedOperand":
+        return cls(layout=LAYOUT_COLUMNS_1D, dist=dist)
+
+    @classmethod
+    def rows_1d(cls, dist: DistributedRows1D) -> "DistributedOperand":
+        return cls(layout=LAYOUT_ROWS_1D, dist=dist)
+
+    @classmethod
+    def blocks_2d(cls, dist: DistributedBlocks2D) -> "DistributedOperand":
+        return cls(layout=LAYOUT_BLOCKS_2D, dist=dist)
+
+    # ------------------------------------------------------------------
+    # Shape / size without assembly
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        if self.layout == LAYOUT_GLOBAL:
+            return self._global.shape
+        return (self.dist.nrows, self.dist.ncols)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries, computed from the distributed pieces.
+
+        Every layout's assembly is a pure concatenation over disjoint index
+        ranges (explicit zeros are retained, duplicates are impossible across
+        blocks), so this equals ``global_matrix().nnz`` without assembling —
+        pinned by the pipeline tests for all six drivers.
+        """
+        if self.layout == LAYOUT_GLOBAL:
+            return self._global.nnz
+        if self.layout == LAYOUT_BLOCKS_2D:
+            return sum(blk.nnz for blk in self.dist.blocks.values())
+        return self.dist.nnz
+
+    @property
+    def exposed(self) -> bool:
+        """Were the 1D RDMA windows + metadata already created (setup charged)?"""
+        return self.window is not None
+
+    @property
+    def assembled(self) -> bool:
+        """Has the global matrix been materialised (lazily or at construction)?"""
+        return self._global is not None
+
+    # ------------------------------------------------------------------
+    def global_matrix(self) -> CSCMatrix:
+        """Assemble (lazily, cached) the global matrix from the layout."""
+        if self._global is None:
+            self._global = self.dist.to_global()
+        return self._global
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistributedOperand(layout={self.layout!r}, shape={self.shape}, "
+            f"nnz={self.nnz}, exposed={self.exposed}, assembled={self.assembled})"
+        )
+
+
+@dataclass
+class PreparedMultiply:
+    """Resident operands bound to an algorithm and a cluster, ready to run.
+
+    ``extras`` carries whatever per-algorithm state ``prepare`` computed
+    beyond the two operands (e.g. the 3D layer split, which distributes both
+    operands jointly).
+    """
+
+    algorithm: "DistributedSpGEMMAlgorithm"
+    cluster: SimulatedCluster
+    a: DistributedOperand
+    b: DistributedOperand
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def execute(self):
+        """Run the multiply (delegates to ``algorithm.execute(self)``)."""
+        return self.algorithm.execute(self)
+
+
+# ----------------------------------------------------------------------
+# Coercion helpers shared by the drivers
+# ----------------------------------------------------------------------
+
+def as_operand(A) -> DistributedOperand:
+    """Wrap ``A`` as an operand (pass-through when it already is one)."""
+    if isinstance(A, DistributedOperand):
+        return A
+    if isinstance(A, DistributedColumns1D):
+        return DistributedOperand.columns_1d(A)
+    if isinstance(A, DistributedRows1D):
+        return DistributedOperand.rows_1d(A)
+    if isinstance(A, DistributedBlocks2D):
+        return DistributedOperand.blocks_2d(A)
+    return DistributedOperand.from_global(A)
+
+
+def _bounds_match(requested: Optional[Sequence[Tuple[int, int]]], actual) -> bool:
+    if requested is None:
+        return True
+    return [(int(s), int(e)) for s, e in requested] == [
+        (int(s), int(e)) for s, e in actual
+    ]
+
+
+def coerce_columns_1d(
+    A,
+    nprocs: int,
+    *,
+    bounds: Optional[Sequence[Tuple[int, int]]] = None,
+) -> DistributedOperand:
+    """Resolve ``A`` to a 1D column-distributed operand over ``nprocs`` ranks.
+
+    A resident column operand is reused in place when its process count (and,
+    if explicitly requested, its block bounds) match — this is what lets a
+    chained multiply feed ``C`` straight back in without touching a global
+    matrix.  Anything else falls back to distributing the (lazily assembled)
+    global matrix exactly like the pre-pipeline drivers did.
+    """
+    op = as_operand(A)
+    if (
+        op.layout == LAYOUT_COLUMNS_1D
+        and op.dist.nprocs == nprocs
+        and _bounds_match(bounds, op.dist.bounds)
+    ):
+        return op
+    A_global = op.global_matrix()
+    return DistributedOperand(
+        layout=LAYOUT_COLUMNS_1D,
+        dist=DistributedColumns1D.from_global(A_global, nprocs, bounds=bounds),
+        # The global form was just materialised (or given) — keep it cached so
+        # drivers that still need it reuse the identical object.
+        _global=A_global,
+    )
+
+
+def coerce_rows_1d(
+    A,
+    nprocs: int,
+    *,
+    bounds: Optional[Sequence[Tuple[int, int]]] = None,
+) -> DistributedOperand:
+    """Row-block analogue of :func:`coerce_columns_1d` (block-row drivers)."""
+    op = as_operand(A)
+    if (
+        op.layout == LAYOUT_ROWS_1D
+        and op.dist.nprocs == nprocs
+        and _bounds_match(bounds, op.dist.bounds)
+    ):
+        return op
+    A_global = op.global_matrix()
+    return DistributedOperand(
+        layout=LAYOUT_ROWS_1D,
+        dist=DistributedRows1D.from_global(A_global, nprocs, bounds=bounds),
+        _global=A_global,
+    )

@@ -20,7 +20,11 @@ passive-target RDMA ``Get`` operations:
    communication of the output is ever needed because ``C`` is already in
    the desired 1D layout.
 
-The implementation below follows those steps literally, in SPMD style over
+Steps 1–2 are :meth:`SparsityAware1D.prepare` (charged once per resident
+``A`` operand — repeated multiplies against the same stationary ``A`` reuse
+the exposed windows and metadata for free, exactly as a long-lived
+``MPI_Win`` would behave); steps 3–5 are :meth:`SparsityAware1D.execute`.
+The implementation follows the paper's steps literally, in SPMD style over
 the simulated cluster, recording every byte and message in the cluster's
 ledger.
 """
@@ -34,11 +38,12 @@ import numpy as np
 
 from ..distribution import DistributedColumns1D
 from ..runtime import SimulatedCluster
-from ..sparse import CSCMatrix, as_csc, local_spgemm, stack_columns, SpGEMMKernelStats
+from ..sparse import CSCMatrix, local_spgemm, SpGEMMKernelStats
 from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
 from .block_fetch import plan_block_fetch_all
 from .estimator import BYTES_PER_ENTRY
+from .pipeline import DistributedOperand, PreparedMultiply, coerce_columns_1d
 
 __all__ = ["SparsityAware1D", "sparsity_aware_spgemm_1d"]
 
@@ -60,7 +65,19 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
     name: str = field(default="1d-sparsity-aware", init=False)
 
     # ------------------------------------------------------------------
-    def multiply(
+    def prepare_operand(
+        self,
+        A,
+        cluster: SimulatedCluster,
+        *,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> DistributedOperand:
+        """Distribute ``A`` by column blocks and expose its windows (setup phase)."""
+        op = coerce_columns_1d(A, cluster.nprocs, bounds=bounds)
+        self._expose(op, cluster)
+        return op
+
+    def prepare(
         self,
         A,
         B,
@@ -70,27 +87,46 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
         b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         distributed_a: Optional[DistributedColumns1D] = None,
         distributed_b: Optional[DistributedColumns1D] = None,
-    ) -> SpGEMMResult:
-        A = as_csc(A) if distributed_a is None else None
-        B = as_csc(B) if distributed_b is None else None
+    ) -> PreparedMultiply:
         P = cluster.nprocs
 
         # --------------------------------------------------------------
         # Distribution (assumed pre-existing in the paper; kept out of the
         # timed phases, matching "SpGEMM kernel time" reporting).
         # --------------------------------------------------------------
-        dist_a = distributed_a or DistributedColumns1D.from_global(A, P, bounds=a_bounds)
-        dist_b = distributed_b or DistributedColumns1D.from_global(B, P, bounds=b_bounds)
-        k_inner = dist_a.ncols
-        if dist_b.nrows != k_inner:
+        op_a = coerce_columns_1d(
+            distributed_a if distributed_a is not None else A, P, bounds=a_bounds
+        )
+        op_b = coerce_columns_1d(
+            distributed_b if distributed_b is not None else B, P, bounds=b_bounds
+        )
+        if op_b.dist.nrows != op_a.dist.ncols:
             raise ValueError(
-                f"inner dimensions do not match: {dist_a.shape} x {dist_b.shape}"
+                f"inner dimensions do not match: {op_a.dist.shape} x {op_b.dist.shape}"
             )
+        self._expose(op_a, cluster)
+        return PreparedMultiply(algorithm=self, cluster=cluster, a=op_a, b=op_b)
 
-        # --------------------------------------------------------------
-        # Phase "setup": window creation + allgather of the A metadata
-        # (nonzero column ids D and per-column nnz) — Algorithm 1 lines 1-2.
-        # --------------------------------------------------------------
+    # ------------------------------------------------------------------
+    def _expose(self, op_a: DistributedOperand, cluster: SimulatedCluster) -> None:
+        """Phase "setup": window creation + allgather of the A metadata
+        (nonzero column ids D and per-column nnz) — Algorithm 1 lines 1-2.
+
+        A no-op when the operand is already exposed: a resident ``A`` pays
+        this exactly once per run, not once per multiply.
+        """
+        if op_a.exposed:
+            if op_a.window.cluster is not cluster:
+                # The window charges its own cluster's ledger on every get;
+                # executing on a different cluster would silently account the
+                # whole fetch phase to the wrong run.
+                raise ValueError(
+                    "resident operand was exposed on a different cluster; "
+                    "prepare it on the cluster that will execute the multiply"
+                )
+            return
+        dist_a = op_a.dist
+        P = cluster.nprocs
         with cluster.phase("setup"):
             exposed: Dict[int, Dict[str, np.ndarray]] = {}
             # Per-rank metadata every process will own a copy of.
@@ -113,12 +149,27 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                     "values": local_a.data.astype(np.float64, copy=True),
                 }
                 cluster.charge_other_bytes(rank, local_a.memory_bytes())
-            window = cluster.create_window(exposed)
+            op_a.window = cluster.create_window(exposed)
+            op_a.rank_nonzero_cols = rank_nonzero_cols
+            op_a.rank_col_prefix = rank_col_prefix
             # Allgather D and the per-column nnz metadata.
             metadata = {
                 rank: (rank_nonzero_cols[rank], rank_col_prefix[rank]) for rank in range(P)
             }
             cluster.comm.allgather(metadata)
+
+    # ------------------------------------------------------------------
+    def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
+        cluster = prepared.cluster
+        op_a, op_b = prepared.a, prepared.b
+        dist_a: DistributedColumns1D = op_a.dist
+        dist_b: DistributedColumns1D = op_b.dist
+        window = op_a.window
+        rank_nonzero_cols = op_a.rank_nonzero_cols
+        rank_col_prefix = op_a.rank_col_prefix
+        P = cluster.nprocs
+        k_inner = dist_a.ncols
+        scope = cluster.phase_prefix
 
         # --------------------------------------------------------------
         # Phase "fetch": per-rank block-fetch planning and RDMA Gets
@@ -235,9 +286,18 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                 )
                 c_locals.append(c_local)
 
-        # C is naturally 1D distributed; reassemble the global result for the
-        # caller (no communication — Algorithm 1 needs none for the output).
-        C = stack_columns(c_locals, nrows=dist_a.nrows)
+        # C is naturally 1D distributed in B's column layout — no communication
+        # is ever needed for the output (Algorithm 1), and the global matrix
+        # only exists if someone asks for SpGEMMResult.C.
+        op_c = DistributedOperand.columns_1d(
+            DistributedColumns1D(
+                nrows=dist_a.nrows,
+                ncols=dist_b.ncols,
+                nprocs=P,
+                bounds=list(dist_b.bounds),
+                locals_=c_locals,
+            )
+        )
 
         # memA uses the same wire-byte definition as the symbolic estimator
         # (``nnz(A) · BYTES_PER_ENTRY``: 8-byte row id + 8-byte value per
@@ -250,27 +310,31 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
         # Bytes moved by the RDMA fetches of A only (what Fig 5 plots); the
         # ledger's total additionally includes the metadata allgather.
         fetch_bytes = sum(
-            st.bytes_received for st in cluster.ledger.phases.get("fetch", [])
+            st.bytes_received
+            for st in cluster.ledger.phases.get(scope + "fetch", [])
         )
         comm_bytes = fetch_bytes
+        # Scoped executions (resident chains) report only their own slice of
+        # the run-wide ledger; the unscoped wrapper keeps the whole thing.
+        ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         info = {
             "block_split": float(self.block_split),
             "fetch_bytes": float(fetch_bytes),
-            "rdma_gets": float(cluster.ledger.total_rdma_gets()),
+            "rdma_gets": float(ledger.total_rdma_gets()),
             "required_columns": float(total_required_cols),
             "fetched_columns": float(total_fetched_cols),
             "cv_over_memA": (
                 (comm_bytes / P) / a_total_bytes if a_total_bytes else 0.0
             ),
             "kernel_flops": float(kernel_stats.flops),
-            "output_nnz": float(C.nnz),
+            "output_nnz": float(op_c.nnz),
         }
         return SpGEMMResult(
-            C=C,
-            ledger=cluster.ledger,
+            ledger=ledger,
             algorithm=self.name,
             nprocs=P,
             info=info,
+            distributed_c=op_c,
         )
 
 

@@ -22,9 +22,10 @@ import numpy as np
 
 from ..distribution import DistributedBlocks2D, ProcessGrid2D
 from ..runtime import SimulatedCluster
-from ..sparse import CSCMatrix, add_matrices, as_csc, local_spgemm
+from ..sparse import CSCMatrix, add_matrices, local_spgemm
 from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .pipeline import DistributedOperand, PreparedMultiply, as_operand
 
 __all__ = ["SparseSUMMA2D"]
 
@@ -38,16 +39,35 @@ class SparseSUMMA2D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="2d-summa", init=False)
 
-    def multiply(self, A, B, cluster: SimulatedCluster, **kwargs) -> SpGEMMResult:
-        A = as_csc(A)
-        B = as_csc(B)
-        if A.ncols != B.nrows:
-            raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+    def prepare(self, A, B, cluster: SimulatedCluster, **kwargs) -> PreparedMultiply:
+        op_a = as_operand(A)
+        op_b = as_operand(B)
+        if op_a.ncols != op_b.nrows:
+            raise ValueError(
+                f"inner dimensions do not match: {op_a.shape} x {op_b.shape}"
+            )
         P = cluster.nprocs
         grid = ProcessGrid2D.square(P)
+        # The SUMMA stages need A's column splits aligned with B's row splits,
+        # which from_global guarantees; non-global operands (a previous C) are
+        # assembled first — the 2D baseline has no stationary-layout reuse,
+        # which is exactly the asymmetry the paper's 1D design exploits.
+        dist_a = DistributedBlocks2D.from_global(op_a.global_matrix(), grid)
+        dist_b = DistributedBlocks2D.from_global(op_b.global_matrix(), grid)
+        return PreparedMultiply(
+            algorithm=self,
+            cluster=cluster,
+            a=DistributedOperand.blocks_2d(dist_a),
+            b=DistributedOperand.blocks_2d(dist_b),
+            extras={"grid": grid},
+        )
 
-        dist_a = DistributedBlocks2D.from_global(A, grid)
-        dist_b = DistributedBlocks2D.from_global(B, grid)
+    def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
+        cluster = prepared.cluster
+        grid: ProcessGrid2D = prepared.extras["grid"]
+        dist_a: DistributedBlocks2D = prepared.a.dist
+        dist_b: DistributedBlocks2D = prepared.b.dist
+        scope = cluster.phase_prefix
 
         # Per-process accumulated partial results for its C block.
         partials: Dict[tuple, List[CSCMatrix]] = {
@@ -110,15 +130,20 @@ class SparseSUMMA2D(DistributedSpGEMMAlgorithm):
                     c_blocks[(i, j)] = merged
 
         dist_c = DistributedBlocks2D(
-            nrows=A.nrows,
-            ncols=B.ncols,
+            nrows=dist_a.nrows,
+            ncols=dist_b.ncols,
             grid=grid,
             row_bounds=dist_a.row_bounds,
             col_bounds=dist_b.col_bounds,
             blocks=c_blocks,
         )
-        C = dist_c.to_global()
-        info = {"grid": float(grid.prows), "output_nnz": float(C.nnz)}
+        op_c = DistributedOperand.blocks_2d(dist_c)
+        info = {"grid": float(grid.prows), "output_nnz": float(op_c.nnz)}
+        ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
-            C=C, ledger=cluster.ledger, algorithm=self.name, nprocs=P, info=info
+            ledger=ledger,
+            algorithm=self.name,
+            nprocs=cluster.nprocs,
+            info=info,
+            distributed_c=op_c,
         )

@@ -21,12 +21,18 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..distribution import LayerSplit3D, ProcessGrid3D, valid_layer_counts
+from ..distribution import (
+    DistributedBlocks2D,
+    LayerSplit3D,
+    ProcessGrid3D,
+    valid_layer_counts,
+)
 from ..runtime import SimulatedCluster
-from ..sparse import CSCMatrix, add_matrices, as_csc, local_spgemm
+from ..sparse import CSCMatrix, add_matrices, local_spgemm
 from ..sparse.flops import per_column_flops
 from ..sparse.ops import column_blocks
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .pipeline import DistributedOperand, PreparedMultiply, as_operand
 
 __all__ = ["SplitSpGEMM3D"]
 
@@ -39,11 +45,13 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="3d-split", init=False)
 
-    def multiply(self, A, B, cluster: SimulatedCluster, **kwargs) -> SpGEMMResult:
-        A = as_csc(A)
-        B = as_csc(B)
-        if A.ncols != B.nrows:
-            raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+    def prepare(self, A, B, cluster: SimulatedCluster, **kwargs) -> PreparedMultiply:
+        op_a = as_operand(A)
+        op_b = as_operand(B)
+        if op_a.ncols != op_b.nrows:
+            raise ValueError(
+                f"inner dimensions do not match: {op_a.shape} x {op_b.shape}"
+            )
         P = cluster.nprocs
         layers = self.layers
         valid = valid_layer_counts(P)
@@ -52,7 +60,26 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
             # P=4 is impossible because P/c must stay a perfect square).
             layers = min(valid, key=lambda c: (abs(c - self.layers), c))
         grid = ProcessGrid3D.from_nprocs(P, layers)
-        split = LayerSplit3D.from_global(A, B, grid)
+        # The layer split distributes both operands jointly (the inner
+        # dimension is sliced across layers), so residency of a single
+        # operand cannot be reused here; non-global inputs assemble first.
+        split = LayerSplit3D.from_global(
+            op_a.global_matrix(), op_b.global_matrix(), grid
+        )
+        return PreparedMultiply(
+            algorithm=self,
+            cluster=cluster,
+            a=op_a,
+            b=op_b,
+            extras={"grid": grid, "split": split},
+        )
+
+    def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
+        cluster = prepared.cluster
+        grid: ProcessGrid3D = prepared.extras["grid"]
+        split: LayerSplit3D = prepared.extras["split"]
+        P = cluster.nprocs
+        scope = cluster.phase_prefix
         layer_grid = grid.layer_grid
 
         # ------------------------------------------------------------------
@@ -169,35 +196,27 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
                     c_blocks[(i, j)] = [stack_columns(chunks_in_order,
                                                       nrows=row_bounds[i][1] - row_bounds[i][0])]
 
-        # Assemble the global C from the (i, j) blocks.
-        rows_parts = []
-        cols_parts = []
-        vals_parts = []
-        for (i, j), blocks in c_blocks.items():
-            block = blocks[0]
-            if block.nnz == 0:
-                continue
-            rs, _ = row_bounds[i]
-            cs, _ = col_bounds[j]
-            r, c, v = block.to_coo()
-            rows_parts.append(r + rs)
-            cols_parts.append(c + cs)
-            vals_parts.append(v)
-        if rows_parts:
-            C = CSCMatrix.from_coo(
-                A.nrows,
-                B.ncols,
-                np.concatenate(rows_parts),
-                np.concatenate(cols_parts),
-                np.concatenate(vals_parts),
-                sum_duplicates=True,
+        # C stays distributed over the layer grid's (i, j) blocks (each block
+        # fully merged across layers); the global matrix assembles lazily.
+        op_c = DistributedOperand.blocks_2d(
+            DistributedBlocks2D(
+                nrows=prepared.a.nrows,
+                ncols=prepared.b.ncols,
+                grid=layer_grid,
+                row_bounds=list(row_bounds),
+                col_bounds=list(col_bounds),
+                blocks={key: blocks[0] for key, blocks in c_blocks.items()},
             )
-        else:
-            C = CSCMatrix.empty(A.nrows, B.ncols)
+        )
 
-        info = {"layers": float(grid.layers), "output_nnz": float(C.nnz)}
+        info = {"layers": float(grid.layers), "output_nnz": float(op_c.nnz)}
+        ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
-            C=C, ledger=cluster.ledger, algorithm=self.name, nprocs=P, info=info
+            ledger=ledger,
+            algorithm=self.name,
+            nprocs=P,
+            info=info,
+            distributed_c=op_c,
         )
 
     # ------------------------------------------------------------------

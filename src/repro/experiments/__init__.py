@@ -6,14 +6,23 @@ sweep point into a hashable :class:`RunConfig`, executes grids
 fan-out-parallel with :func:`run_grid`, and persists deterministic
 :class:`RunRecord` rows as JSONL keyed by config hash — so re-running a
 figure is a cache lookup and an interrupted sweep resumes where it
-stopped.  Three workloads cover the paper's whole evaluation surface:
-``squaring`` (Figs 4–9), ``amg-restriction`` (Table III, Figs 10–12) and
-``bc`` (Figs 13–14); see :mod:`repro.experiments.workloads`.
+stopped.  Four workloads cover the paper's whole evaluation surface:
+``squaring`` (Figs 4–9), ``chained-squaring`` (MCL-style iterated squaring
+``A^(2^k)`` on the resident pipeline), ``amg-restriction`` (Table III,
+Figs 10–12) and ``bc`` (Figs 13–14); see
+:mod:`repro.experiments.workloads`.
 """
 
 from .config import COST_MODELS, ExperimentGrid, RunConfig, resolve_cost_model
 from .engine import SweepResult, SweepStats, execute_config, run_grid
-from .records import AMGStats, BCIterationStats, BCStats, RunRecord
+from .records import (
+    AMGStats,
+    BCIterationStats,
+    BCStats,
+    ChainLevelStats,
+    ChainStats,
+    RunRecord,
+)
 from .store import ResultStore
 from .trajectory import machine_tag, rollup_records, write_trajectory
 from .workloads import WORKLOADS, execute_workload, workload_names
@@ -26,6 +35,8 @@ __all__ = [
     "AMGStats",
     "BCIterationStats",
     "BCStats",
+    "ChainLevelStats",
+    "ChainStats",
     "RunRecord",
     "ResultStore",
     "SweepResult",

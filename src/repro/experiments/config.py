@@ -47,6 +47,11 @@ COST_MODELS: Dict[str, CostModel] = {
 }
 
 
+#: post-v2 config fields elided from the canonical JSON at their default
+#: value, keeping pre-existing config hashes (and record caches) stable
+_ELIDE_AT_DEFAULT: Dict[str, object] = {"resident": False, "square_k": None}
+
+
 def resolve_cost_model(name: str) -> CostModel:
     """Look up a named cost model (the machines configs can reference)."""
     if name not in COST_MODELS:
@@ -105,6 +110,12 @@ class RunConfig:
     bc_source_stride: Optional[int] = None
     #: treat the adjacency matrix as directed
     bc_directed: bool = False
+    #: run iterative workloads (bc) on one run-wide cluster with resident
+    #: operands: A's distribution + window setup charged once per run
+    #: instead of once per iteration (chained-squaring is always resident)
+    resident: bool = False
+    #: chained-squaring workload: number of squarings (final product A^(2^k))
+    square_k: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -115,8 +126,21 @@ class RunConfig:
         return cls(**{k: v for k, v in data.items() if k in known})
 
     def canonical_json(self) -> str:
-        """Canonical (sorted-key, compact) JSON form — the hash input."""
-        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        """Canonical (sorted-key, compact) JSON form — the hash input.
+
+        Fields added *after* schema v2 shipped (see
+        :data:`_ELIDE_AT_DEFAULT`) drop out of the canonical form while they
+        hold their default value, so every pre-existing config keeps its
+        pre-existing hash: old record stores stay valid caches and
+        ``BENCH_PRn.json`` snapshots remain comparable across PRs.  A
+        non-default value enters the JSON and discriminates the hash as
+        usual.
+        """
+        data = self.as_dict()
+        for key, default in _ELIDE_AT_DEFAULT.items():
+            if data.get(key) == default:
+                data.pop(key, None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def _matrix_fingerprint(self) -> str:
         """Staleness component for ``matrix``-file configs.
@@ -162,7 +186,10 @@ class ExperimentGrid:
     grid axis; the workload-specific parameters (``amg_phase``,
     ``mis_seed``, ``right_algorithm``, ``bc_*``) are scalar across the grid
     and simply ride along on every config (the squaring workload ignores
-    them).
+    them).  The post-v2 axes (``resident``, ``square_k``) are applied only
+    to the workloads that read them (``bc`` and ``chained-squaring``
+    respectively), so a mixed-workload grid never perturbs the hashes of
+    configs the axis does not affect.
     """
 
     datasets: Sequence[str]
@@ -183,6 +210,8 @@ class ExperimentGrid:
     bc_batch: Optional[int] = None
     bc_source_stride: Optional[int] = None
     bc_directed: bool = False
+    resident: bool = False
+    square_k: Optional[int] = None
 
     def expand(self) -> List[RunConfig]:
         configs = []
@@ -219,6 +248,15 @@ class ExperimentGrid:
                     bc_batch=self.bc_batch,
                     bc_source_stride=self.bc_source_stride,
                     bc_directed=self.bc_directed,
+                    # The post-v2 axes land only on the workloads that read
+                    # them: stamping them grid-wide would push non-default
+                    # values into the hashes of configs whose executors
+                    # ignore the field, breaking cache reuse and the
+                    # cross-PR BENCH overlap for mixed-workload grids.
+                    resident=self.resident if workload == "bc" else False,
+                    square_k=(
+                        self.square_k if workload == "chained-squaring" else None
+                    ),
                 )
             )
         return configs

@@ -23,7 +23,73 @@ from typing import Dict, List, Optional
 
 from .config import RunConfig
 
-__all__ = ["AMGStats", "BCIterationStats", "BCStats", "RunRecord"]
+__all__ = [
+    "AMGStats",
+    "BCIterationStats",
+    "BCStats",
+    "ChainLevelStats",
+    "ChainStats",
+    "RunRecord",
+]
+
+
+@dataclass
+class ChainLevelStats:
+    """One squaring level of a chained-squaring run (``A^(2^(level+1))``)."""
+
+    level: int
+    #: modelled seconds / bytes received / messages of this level's SpGEMM
+    time: float
+    volume: int
+    messages: int
+    #: nnz of this level's product (computed without global assembly)
+    output_nnz: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "time": self.time,
+            "volume": self.volume,
+            "messages": self.messages,
+            "output_nnz": self.output_nnz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChainLevelStats":
+        return cls(
+            level=int(data["level"]),
+            time=float(data["time"]),
+            volume=int(data["volume"]),
+            messages=int(data["messages"]),
+            output_nnz=int(data["output_nnz"]),
+        )
+
+
+@dataclass
+class ChainStats:
+    """Per-level telemetry of one chained-squaring (``A^(2^k)``) run."""
+
+    #: number of squarings (the final product is A^(2^k))
+    k: int
+    #: nnz of the final product
+    final_nnz: int
+    #: one entry per squaring level, in execution order
+    levels: List[ChainLevelStats] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "k": self.k,
+            "final_nnz": self.final_nnz,
+            "levels": [lvl.to_dict() for lvl in self.levels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChainStats":
+        return cls(
+            k=int(data["k"]),
+            final_nnz=int(data["final_nnz"]),
+            levels=[ChainLevelStats.from_dict(lvl) for lvl in data.get("levels", [])],
+        )
 
 
 @dataclass
@@ -138,9 +204,14 @@ class BCStats:
     backward_volume: int
     #: the Fig 13/14 series: one entry per SpGEMM iteration
     iterations: List[BCIterationStats] = field(default_factory=list)
+    #: hoisted one-off setup cost of a resident run (0 for legacy runs);
+    #: with these, setup + forward + backward reconciles with the record's
+    #: topline elapsed_time / communication_volume
+    setup_time: float = 0.0
+    setup_volume: int = 0
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "sources": self.sources,
             "batches": self.batches,
             "forward_time": self.forward_time,
@@ -149,6 +220,12 @@ class BCStats:
             "backward_volume": self.backward_volume,
             "iterations": [it.to_dict() for it in self.iterations],
         }
+        # Only resident runs carry setup keys, so legacy bc JSONL rows stay
+        # byte-identical to their pre-resident form.
+        if self.setup_time or self.setup_volume:
+            out["setup_time"] = self.setup_time
+            out["setup_volume"] = self.setup_volume
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "BCStats":
@@ -162,6 +239,8 @@ class BCStats:
             iterations=[
                 BCIterationStats.from_dict(it) for it in data.get("iterations", [])
             ],
+            setup_time=float(data.get("setup_time", 0.0)),
+            setup_volume=int(data.get("setup_volume", 0)),
         )
 
 
@@ -203,6 +282,8 @@ class RunRecord:
     amg: Optional[AMGStats] = None
     #: BC per-iteration series (bc workload only)
     bc: Optional[BCStats] = None
+    #: per-level series of a chained-squaring run (chained-squaring only)
+    chain: Optional[ChainStats] = None
 
     @property
     def total_time_with_permutation(self) -> float:
@@ -249,6 +330,8 @@ class RunRecord:
             out["amg"] = self.amg.to_dict()
         if self.bc is not None:
             out["bc"] = self.bc.to_dict()
+        if self.chain is not None:
+            out["chain"] = self.chain.to_dict()
         return out
 
     def to_json_line(self) -> str:
@@ -280,6 +363,7 @@ class RunRecord:
             workload=str(data.get("workload", "squaring")),
             amg=AMGStats.from_dict(data["amg"]) if data.get("amg") else None,
             bc=BCStats.from_dict(data["bc"]) if data.get("bc") else None,
+            chain=ChainStats.from_dict(data["chain"]) if data.get("chain") else None,
         )
 
     @classmethod

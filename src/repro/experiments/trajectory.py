@@ -67,6 +67,12 @@ def _record_row(record: RunRecord) -> Dict[str, object]:
             "backward_time": record.bc.backward_time,
             "iterations": len(record.bc.iterations),
         }
+    if record.chain is not None:
+        row["chain"] = {
+            "k": record.chain.k,
+            "final_nnz": record.chain.final_nnz,
+            "levels": len(record.chain.levels),
+        }
     return row
 
 

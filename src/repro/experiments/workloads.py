@@ -18,7 +18,21 @@ the experiment engine:
 ``bc``
     Batched approximate betweenness centrality (Figs 13–14): multi-source
     BFS forward search and backward sweep, one SpGEMM per level, with the
-    per-iteration series persisted in ``record.bc``.
+    per-iteration series persisted in ``record.bc``.  With
+    ``config.resident`` the adjacency operand is made resident once per run
+    (the setup appears as a single ``phase="setup"`` entry in the iteration
+    series) instead of being re-distributed and re-exposed every level.
+
+``chained-squaring``
+    MCL-style iterated squaring ``A^(2^k)`` (``config.square_k`` levels) on
+    the resident prepare/execute pipeline: each level's distributed ``C``
+    feeds the next level directly, with per-level times/volumes/messages in
+    ``record.chain``.
+
+Workload executors read only modelled counters and distributed-operand
+metadata — no executor ever assembles a global output matrix, so
+modelled-only engine runs skip global-C assembly entirely (pinned by a
+byte-identical-store regression test against ``REPRO_EAGER_ASSEMBLY``).
 
 Every executor receives the already-loaded input matrix and resolved cost
 model and returns a :class:`RunRecord` whose ``config_hash`` is left empty
@@ -43,7 +57,14 @@ import numpy as np
 from ..runtime import CostModel, PhaseLedger
 from ..sparse import CSCMatrix
 from .config import RunConfig
-from .records import AMGStats, BCIterationStats, BCStats, RunRecord
+from .records import (
+    AMGStats,
+    BCIterationStats,
+    BCStats,
+    ChainLevelStats,
+    ChainStats,
+    RunRecord,
+)
 
 __all__ = ["WORKLOADS", "workload_names", "execute_workload"]
 
@@ -111,12 +132,81 @@ def _execute_squaring(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunR
         cv_over_mema=run.cv_over_mema,
         permutation_seconds=run.permutation_seconds,
         permutation_bytes=run.permutation_bytes,
-        output_nnz=run.result.C.nnz,
+        # Distributed nnz — equal to the assembled C's nnz, without assembly.
+        output_nnz=run.result.output_nnz,
         conserved=ledger.is_conserved(),
         per_rank_comm=ranks["comm"],
         per_rank_comp=ranks["comp"],
         per_rank_other=ranks["other"],
         workload="squaring",
+    )
+
+
+# ----------------------------------------------------------------------
+# chained-squaring
+# ----------------------------------------------------------------------
+
+def _execute_chained_squaring(
+    config: RunConfig, A: CSCMatrix, model: CostModel
+) -> RunRecord:
+    from ..apps.squaring import run_chained_squaring
+
+    if config.square_k is None or config.square_k < 1:
+        raise ValueError(
+            "the chained-squaring workload requires square_k >= 1, got "
+            f"{config.square_k!r}"
+        )
+    run = run_chained_squaring(
+        A,
+        k=config.square_k,
+        algorithm=config.algorithm,
+        strategy=config.strategy,
+        nprocs=config.nprocs,
+        cost_model=model,
+        dataset=config.dataset,
+        block_split=config.block_split,
+        seed=config.seed,
+        layers=config.layers,
+    )
+    ledger = run.ledger
+    ranks = _per_rank_times(ledger)
+    categories = ledger.elapsed_time_by_category()
+    chain = ChainStats(
+        k=run.k,
+        final_nnz=run.final.output_nnz,
+        levels=[
+            ChainLevelStats(
+                level=i,
+                time=lvl.elapsed_time,
+                volume=lvl.communication_volume,
+                messages=lvl.message_count,
+                output_nnz=lvl.output_nnz,
+            )
+            for i, lvl in enumerate(run.results)
+        ],
+    )
+    return RunRecord(
+        config=config,
+        config_hash="",
+        algorithm=run.algorithm,
+        elapsed_time=ledger.elapsed_time(),
+        comm_time=categories["comm"],
+        comp_time=categories["comp"],
+        other_time=categories["other"],
+        communication_volume=ledger.total_bytes(),
+        message_count=ledger.total_messages(),
+        rdma_gets=ledger.total_rdma_gets(),
+        load_imbalance=ledger.load_imbalance(),
+        cv_over_mema=run.cv_over_mema,
+        permutation_seconds=run.permutation_seconds,
+        permutation_bytes=run.permutation_bytes,
+        output_nnz=run.final.output_nnz,
+        conserved=ledger.is_conserved(),
+        per_rank_comm=ranks["comm"],
+        per_rank_comp=ranks["comp"],
+        per_rank_other=ranks["other"],
+        workload="chained-squaring",
+        chain=chain,
     )
 
 
@@ -153,8 +243,12 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
     )
     right = None
     if phase == "rtar":
+        # Chain resident: the left product's distributed C feeds the right
+        # multiplication directly — no intermediate global gather/scatter.
+        # The modelled counters are identical to the legacy assembled path
+        # (assembly was never charged); only the host-side gather disappears.
         right = right_multiplication(
-            left.C,
+            left,
             R,
             algorithm=right_algorithm,
             nprocs=config.nprocs,
@@ -176,14 +270,14 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         n_coarse=restriction.n_coarse,
         r_nnz=restriction.R.nnz,
         coarsening_factor=restriction.n_fine / restriction.n_coarse,
-        rta_nnz=left.C.nnz,
+        rta_nnz=left.output_nnz,
         left_time=left.elapsed_time,
         left_volume=left.communication_volume,
         left_messages=left.message_count,
         right_time=right.elapsed_time if right is not None else 0.0,
         right_volume=right.communication_volume if right is not None else 0,
         right_messages=right.message_count if right is not None else 0,
-        coarse_nnz=right.C.nnz if right is not None else 0,
+        coarse_nnz=right.output_nnz if right is not None else 0,
     )
     algorithm = left.algorithm if right is None else f"{left.algorithm}+{right.algorithm}"
     categories = combined.elapsed_time_by_category()
@@ -202,7 +296,7 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         cv_over_mema=0.0,
         permutation_seconds=model.beta * perm_bytes,
         permutation_bytes=perm_bytes,
-        output_nnz=(right.C if right is not None else left.C).nnz,
+        output_nnz=(right if right is not None else left).output_nnz,
         conserved=combined.is_conserved(),
         per_rank_comm=ranks["comm"],
         per_rank_comp=ranks["comp"],
@@ -257,6 +351,7 @@ def _execute_bc(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
         cost_model=model,
         directed=config.bc_directed,
         seed=config.seed,
+        resident=config.resident,
     )
     perm_bytes = _permutation_bytes(A, config)
     iterations = [
@@ -278,6 +373,8 @@ def _execute_bc(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
         forward_volume=result.forward_volume,
         backward_volume=result.backward_volume,
         iterations=iterations,
+        setup_time=result.setup_time,
+        setup_volume=result.setup_volume,
     )
     recs = result.iterations
     return RunRecord(
@@ -306,6 +403,7 @@ def _execute_bc(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
 
 WORKLOADS: Dict[str, Callable[[RunConfig, CSCMatrix, CostModel], RunRecord]] = {
     "squaring": _execute_squaring,
+    "chained-squaring": _execute_chained_squaring,
     "amg-restriction": _execute_amg,
     "bc": _execute_bc,
 }

@@ -80,6 +80,7 @@ class SimulatedCluster:
     check_conservation: Optional[bool] = None
     ledger: PhaseLedger = field(init=False)
     _current_phase: str = field(default="default", init=False)
+    _phase_prefix: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
         if self.nprocs <= 0:
@@ -97,6 +98,7 @@ class SimulatedCluster:
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Enter a named bulk-synchronous phase; costs recorded inside go to it."""
+        name = self._phase_prefix + name
         previous = self._current_phase
         self._current_phase = name
         self.ledger.phase(name)  # materialise even if nothing gets charged
@@ -104,6 +106,27 @@ class SimulatedCluster:
             yield
         finally:
             self._current_phase = previous
+
+    @contextmanager
+    def phase_scope(self, prefix: str) -> Iterator[None]:
+        """Prefix every phase entered inside the block with ``prefix``.
+
+        The resident pipeline runs several multiplies on one cluster; giving
+        each multiply a unique scope (``"it3:"``, ``"sq1:"``, …) keeps their
+        phases apart in the run-wide ledger so per-multiply metrics can be
+        sliced back out with :meth:`PhaseLedger.subset`.  Scopes nest.
+        """
+        previous = self._phase_prefix
+        self._phase_prefix = previous + prefix
+        try:
+            yield
+        finally:
+            self._phase_prefix = previous
+
+    @property
+    def phase_prefix(self) -> str:
+        """The active phase-name prefix ("" outside any :meth:`phase_scope`)."""
+        return self._phase_prefix
 
     @property
     def current_phase(self) -> str:
@@ -171,6 +194,7 @@ class SimulatedCluster:
         """Clear all recorded phases (fresh ledger, same machine)."""
         self.ledger = PhaseLedger(nprocs=self.nprocs)
         self._current_phase = "default"
+        self._phase_prefix = ""
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers for reports."""

@@ -356,13 +356,36 @@ class PhaseLedger:
         for name in other.phase_order:
             target = self.phase(prefix + name)
             for r, st in enumerate(other.phases[name]):
-                tgt = target[r]
-                for cat in CATEGORIES:
-                    tgt.time[cat] += st.time[cat]
-                    tgt.measured[cat] += st.measured[cat]
-                tgt.messages_sent += st.messages_sent
-                tgt.rdma_gets += st.rdma_gets
-                tgt.bytes_sent += st.bytes_sent
-                tgt.bytes_received += st.bytes_received
-                tgt.flops += st.flops
-                tgt.peak_memory_bytes = max(tgt.peak_memory_bytes, st.peak_memory_bytes)
+                _accumulate_rank_stats(target[r], st)
+
+    def subset(self, prefix: str, *, strip: bool = True) -> "PhaseLedger":
+        """A new ledger holding copies of the phases whose names start with ``prefix``.
+
+        Used by the resident prepare/execute pipeline to slice one run-wide
+        ledger into per-multiply ledgers: each ``execute`` runs under a unique
+        phase prefix (see :meth:`SimulatedCluster.phase_scope`) and its result
+        carries ``ledger.subset(prefix)``.  With ``strip`` (the default) the
+        prefix is removed from the copied phase names, so a sliced ledger is
+        phase-for-phase comparable to one produced by a standalone run.
+        """
+        out = PhaseLedger(nprocs=self.nprocs)
+        for name in self.phase_order:
+            if not name.startswith(prefix):
+                continue
+            target = out.phase(name[len(prefix):] if strip else name)
+            for r, st in enumerate(self.phases[name]):
+                _accumulate_rank_stats(target[r], st)
+        return out
+
+
+def _accumulate_rank_stats(tgt: RankStats, st: RankStats) -> None:
+    """Fold ``st``'s counters into ``tgt`` (shared by merge/subset)."""
+    for cat in CATEGORIES:
+        tgt.time[cat] += st.time[cat]
+        tgt.measured[cat] += st.measured[cat]
+    tgt.messages_sent += st.messages_sent
+    tgt.rdma_gets += st.rdma_gets
+    tgt.bytes_sent += st.bytes_sent
+    tgt.bytes_received += st.bytes_received
+    tgt.flops += st.flops
+    tgt.peak_memory_bytes = max(tgt.peak_memory_bytes, st.peak_memory_bytes)

@@ -100,6 +100,80 @@ class TestRestriction:
         assert rest.aggregates[4] >= 0
 
 
+def _reference_assign_aggregates(graph, roots):
+    """The pre-vectorisation per-vertex FIFO BFS, kept verbatim as the oracle."""
+    from collections import deque
+
+    n = graph.nvertices
+    aggregates = np.full(n, -1, dtype=np.int64)
+    queue = deque()
+    for agg_id, root in enumerate(roots):
+        aggregates[root] = agg_id
+        queue.append(int(root))
+    while queue:
+        v = queue.popleft()
+        neigh, _ = graph.neighbours(v)
+        for u in neigh:
+            if aggregates[u] < 0:
+                aggregates[u] = aggregates[v]
+                queue.append(int(u))
+    return aggregates
+
+
+class TestVectorisedAggregation:
+    """The frontier-at-a-time numpy BFS must equal the per-vertex reference."""
+
+    def _compare(self, A, seed=0):
+        from repro.apps.amg.mis2 import mis2
+        from repro.apps.amg.restriction import _assign_aggregates
+        from repro.partition.graph import AdjacencyGraph
+
+        graph = AdjacencyGraph.from_matrix(A)
+        roots = mis2(A, seed=seed)
+        expected = _reference_assign_aggregates(graph, roots)
+        actual = _assign_aggregates(graph, roots)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_matches_reference_on_banded(self):
+        for seed in range(3):
+            self._compare(banded(200, 5, symmetric=True, seed=seed), seed=seed)
+
+    def test_matches_reference_on_dataset(self):
+        self._compare(load_dataset("queen", scale=0.1))
+
+    def test_matches_reference_on_random(self, small_symmetric):
+        self._compare(small_symmetric)
+
+    def test_isolated_vertices_become_singletons(self):
+        """The singleton path: unreachable vertices get fresh aggregate ids."""
+        # Block-diagonal graph with two isolated vertices at the end.
+        dense = np.zeros((8, 8))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[2, 3] = dense[3, 2] = 1.0
+        dense[4, 5] = dense[5, 4] = 1.0
+        A = CSCMatrix.from_dense(dense + np.eye(8))
+        rest = build_restriction(A, seed=0)
+        # Every row of R has exactly one nonzero and every vertex is assigned.
+        assert rest.R.nnz == 8
+        assert np.all(rest.aggregates >= 0)
+        # Vertices 6 and 7 are isolated → singleton aggregates of their own.
+        assert rest.aggregates[6] != rest.aggregates[7]
+        counts = np.bincount(rest.aggregates)
+        assert counts[rest.aggregates[6]] == 1
+        assert counts[rest.aggregates[7]] == 1
+        assert rest.n_coarse == int(rest.aggregates.max()) + 1
+        assert rest.roots.shape[0] == rest.n_coarse
+
+    def test_disconnected_components_match_reference(self):
+        dense = np.zeros((30, 30))
+        # Three components: a path, a clique, and isolated vertices.
+        for i in range(9):
+            dense[i, i + 1] = dense[i + 1, i] = 1.0
+        dense[12:18, 12:18] = 1.0
+        A = CSCMatrix.from_dense(dense)
+        self._compare(A)
+
+
 class TestGalerkin:
     def test_galerkin_matches_reference_triple_product(self):
         A = load_dataset("queen", scale=0.06)

@@ -179,7 +179,9 @@ class TestCommands:
         document = json.loads(out_path.read_text())
         assert document["label"] == "BENCH_TEST"
         assert document["all_conserved"] is True
-        assert set(document["workloads"]) == {"squaring", "amg-restriction", "bc"}
+        assert set(document["workloads"]) == {
+            "squaring", "chained-squaring", "amg-restriction", "bc"
+        }
         # Re-running serves every config from the record store.
         assert main(argv) == 0
         assert "0 executed" in capsys.readouterr().out

@@ -54,8 +54,10 @@ def _bc_config(**overrides):
 
 
 class TestWorkloadRegistry:
-    def test_all_three_workloads_registered(self):
-        assert set(workload_names()) == {"squaring", "amg-restriction", "bc"}
+    def test_all_workloads_registered(self):
+        assert set(workload_names()) == {
+            "squaring", "chained-squaring", "amg-restriction", "bc"
+        }
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(ValueError, match="unknown workload"):
@@ -118,6 +120,204 @@ class TestHashDiscrimination:
         assert len(configs) == len(grid) == 2
         assert [c.workload for c in configs] == ["squaring", "bc"]
         assert len({c.config_hash() for c in configs}) == 2
+
+
+class TestResidentAndChainAxes:
+    """PR-4 config axes: hash coverage + back-compatible hash elision."""
+
+    def test_new_axes_elide_from_hash_at_default(self):
+        """Configs predating the resident/square_k axes keep their hashes.
+
+        Pinned against a literal hash from the committed PR-3
+        ``BENCH_PR3.json`` snapshot: if this changes, every cached record
+        store and the cross-PR bench comparison silently invalidates.
+        """
+        config = RunConfig(
+            dataset="eukarya", algorithm="1d", strategy="metis",
+            nprocs=16, block_split=32, scale=0.25,
+        )
+        assert config.config_hash() == "029a01b08a1a8790"
+        assert "resident" not in config.canonical_json()
+        assert "square_k" not in config.canonical_json()
+
+    def test_non_default_values_enter_the_hash(self):
+        base = _bc_config()
+        assert base.with_updates(resident=True).config_hash() != base.config_hash()
+        chain = RunConfig(
+            dataset="hv15r", workload="chained-squaring", scale=SCALE, square_k=2
+        )
+        assert chain.config_hash() != chain.with_updates(square_k=3).config_hash()
+        assert '"resident":true' in base.with_updates(resident=True).canonical_json()
+
+    def test_round_trip_preserves_new_fields(self):
+        config = _bc_config(resident=True)
+        assert RunConfig.from_dict(config.as_dict()) == config
+        chain = RunConfig(
+            dataset="hv15r", workload="chained-squaring", scale=SCALE, square_k=2
+        )
+        assert RunConfig.from_dict(chain.as_dict()) == chain
+
+    def test_old_record_rows_parse_without_new_fields(self):
+        """A PR-3-era JSONL row (no resident/square_k keys) still loads."""
+        old = RunConfig(dataset="hv15r", scale=SCALE)
+        data = old.as_dict()
+        del data["resident"]
+        del data["square_k"]
+        parsed = RunConfig.from_dict(data)
+        assert parsed == old
+        assert parsed.config_hash() == old.config_hash()
+
+    def test_grid_applies_new_axes_per_workload(self):
+        """resident/square_k land only on the workloads that read them."""
+        grid = ExperimentGrid(
+            datasets=("hv15r",),
+            workloads=("squaring", "chained-squaring", "bc"),
+            process_counts=(4,),
+            scale=SCALE,
+            square_k=2,
+            resident=True,
+            bc_sources=8,
+            bc_source_stride=4,
+        )
+        by_workload = {c.workload: c for c in grid.expand()}
+        assert by_workload["chained-squaring"].square_k == 2
+        assert by_workload["chained-squaring"].resident is False
+        assert by_workload["bc"].resident is True
+        assert by_workload["bc"].square_k is None
+        assert by_workload["squaring"].square_k is None
+        assert by_workload["squaring"].resident is False
+
+    def test_mixed_grid_leaves_unaffected_hashes_stable(self):
+        """--square-k on a mixed grid must not perturb squaring hashes.
+
+        Otherwise adding chained-squaring to an existing sweep would cache-
+        miss (and lose BENCH overlap for) every squaring config in it.
+        """
+        plain = ExperimentGrid(
+            datasets=("hv15r",), workloads=("squaring",),
+            process_counts=(4,), scale=SCALE,
+        )
+        mixed = ExperimentGrid(
+            datasets=("hv15r",), workloads=("squaring", "chained-squaring"),
+            process_counts=(4,), scale=SCALE, square_k=2, resident=True,
+        )
+        (plain_squaring,) = plain.expand()
+        mixed_squaring = [
+            c for c in mixed.expand() if c.workload == "squaring"
+        ][0]
+        assert mixed_squaring.config_hash() == plain_squaring.config_hash()
+
+
+class TestChainedSquaringWorkload:
+    def test_record_round_trip_and_fields(self):
+        config = RunConfig(
+            dataset="hv15r", workload="chained-squaring", algorithm="1d",
+            nprocs=4, block_split=16, scale=SCALE, square_k=2,
+        )
+        record = execute_config(config)
+        assert record.workload == "chained-squaring"
+        assert record.chain is not None
+        assert record.chain.k == 2
+        assert len(record.chain.levels) == 2
+        assert record.chain.final_nnz == record.output_nnz
+        # The chain's topline counters are the sums of its levels.
+        assert record.communication_volume == sum(
+            lvl.volume for lvl in record.chain.levels
+        )
+        assert record.message_count == sum(
+            lvl.messages for lvl in record.chain.levels
+        )
+        assert record.conserved
+        round_tripped = RunRecord.from_json_line(record.to_json_line())
+        assert round_tripped.to_json_line() == record.to_json_line()
+        assert round_tripped.chain.levels[1].output_nnz == \
+            record.chain.levels[1].output_nnz
+
+    def test_requires_square_k(self):
+        config = RunConfig(
+            dataset="hv15r", workload="chained-squaring", nprocs=4, scale=SCALE
+        )
+        with pytest.raises(ValueError, match="square_k"):
+            execute_config(config)
+
+    def test_matches_direct_chain_call(self):
+        from repro.apps.squaring import run_chained_squaring
+        from repro.matrices import load_dataset
+
+        config = RunConfig(
+            dataset="hv15r", workload="chained-squaring", algorithm="1d",
+            nprocs=4, block_split=16, scale=SCALE, square_k=2,
+        )
+        record = execute_config(config)
+        A = load_dataset("hv15r", scale=SCALE)
+        direct = run_chained_squaring(
+            A, k=2, algorithm="1d", nprocs=4, block_split=16
+        )
+        assert record.elapsed_time == direct.elapsed_time
+        assert record.communication_volume == direct.communication_volume
+        assert record.message_count == direct.message_count
+        for rec_level, direct_level in zip(record.chain.levels, direct.results):
+            assert rec_level.time == direct_level.elapsed_time
+            assert rec_level.volume == direct_level.communication_volume
+
+    def test_cache_hit_round_trip(self, tmp_path):
+        config = RunConfig(
+            dataset="hv15r", workload="chained-squaring", algorithm="1d",
+            nprocs=4, block_split=16, scale=SCALE, square_k=2,
+        )
+        store = tmp_path / "chain.jsonl"
+        first = run_grid([config], store=str(store))
+        assert first.stats.executed == 1
+        second = run_grid([config], store=str(store))
+        assert second.stats.cached == 1
+        assert second.records[0].to_json_line() == first.records[0].to_json_line()
+
+
+class TestResidentBCWorkload:
+    def test_resident_record_differs_only_in_setup_accounting(self):
+        legacy = execute_config(_bc_config())
+        resident = execute_config(_bc_config(resident=True))
+        assert legacy.config_hash != resident.config_hash
+        # The hoisted run charges strictly less modelled time …
+        assert resident.elapsed_time < legacy.elapsed_time
+        # … records the one-off setup as a dedicated series entry …
+        setup = [it for it in resident.bc.iterations if it.phase == "setup"]
+        assert len(setup) == 1
+        assert not any(it.phase == "setup" for it in legacy.bc.iterations)
+        # … and leaves the per-iteration frontier series untouched.
+        legacy_series = [
+            (it.phase, it.iteration, it.frontier_nnz)
+            for it in legacy.bc.iterations
+        ]
+        resident_series = [
+            (it.phase, it.iteration, it.frontier_nnz)
+            for it in resident.bc.iterations
+            if it.phase != "setup"
+        ]
+        assert legacy_series == resident_series
+        assert resident.conserved and legacy.conserved
+
+    def test_setup_fields_reconcile_and_stay_off_legacy_rows(self):
+        legacy = execute_config(_bc_config())
+        resident = execute_config(_bc_config(resident=True))
+        # Typed record stays self-consistent: setup + forward + backward
+        # reconciles with the topline counters.
+        assert resident.bc.setup_time > 0.0
+        assert resident.bc.setup_time + resident.bc.forward_time + \
+            resident.bc.backward_time == pytest.approx(resident.elapsed_time)
+        assert resident.bc.setup_volume + resident.bc.forward_volume + \
+            resident.bc.backward_volume == resident.communication_volume
+        # Legacy JSONL rows carry no setup keys (byte-compatible with PR3).
+        import json
+
+        legacy_row = json.loads(legacy.to_json_line())
+        assert "setup_time" not in legacy_row["bc"]
+        resident_row = json.loads(resident.to_json_line())
+        assert resident_row["bc"]["setup_volume"] == resident.bc.setup_volume
+        # And the setup fields survive the JSON round trip.
+        assert RunRecord.from_json_line(
+            resident.to_json_line()
+        ).bc.setup_time == resident.bc.setup_time
 
 
 class TestWorkloadRecords:
