@@ -1,0 +1,86 @@
+"""Full Markov clustering on the resident pipeline — the iterative harness.
+
+MCL is the workload HipMCL scaled with distributed SpGEMM and the one the
+paper's stationary-``C`` design targets: expansion squares the resident
+iterate in place, inflation/pruning are rank-local elementwise operand ops,
+and no global matrix is ever assembled between iterations.  The harness
+runs MCL to convergence per dataset through the cached engine and prints
+the per-iteration expand/inflate/prune series (the MCL analogue of the BC
+iteration figures), checking the series reconciles exactly with the
+record's topline counters.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, mebibytes, seconds
+from repro.experiments import RunConfig
+
+from common import SCALE, assert_record_conserved, header, run_bench_grid
+
+NPROCS = 4
+DATASETS = ("eukarya", "hv15r")
+MAX_ITERS = 40
+
+
+def _configs():
+    return [
+        RunConfig(
+            dataset=dataset,
+            workload="mcl",
+            algorithm="1d",
+            nprocs=NPROCS,
+            block_split=32,
+            scale=SCALE,
+            mcl_max_iters=MAX_ITERS,
+        )
+        for dataset in DATASETS
+    ]
+
+
+def _run():
+    result = run_bench_grid(_configs())
+    rows = []
+    for record in result.records:
+        assert_record_conserved(record)
+        expand = [it for it in record.mcl.iterations if it.phase == "expand"]
+        for it in expand:
+            rows.append(
+                {
+                    "dataset": record.config.dataset,
+                    "iter": it.iteration,
+                    "time": seconds(it.time),
+                    "volume": mebibytes(it.volume),
+                    "messages": it.messages,
+                    "nnz after expand": it.nnz,
+                }
+            )
+    return rows, result.records
+
+
+def test_mcl_to_convergence(benchmark):
+    rows, records = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header(f"Markov clustering to convergence (P={NPROCS}, inflation 2.0)")
+    print(format_table(rows))
+    for record in records:
+        print(
+            f"{record.config.dataset}: converged in {record.mcl.n_iterations} "
+            f"iterations, {record.mcl.n_clusters} clusters, "
+            f"final nnz {record.mcl.final_nnz}, "
+            f"total {seconds(record.elapsed_time)} / "
+            f"{mebibytes(record.communication_volume)}"
+        )
+        assert record.mcl.converged
+        assert 1 < record.mcl.n_clusters < record.config.nprocs * 10_000
+        # The per-phase series reconciles exactly with the topline counters.
+        assert record.communication_volume == sum(
+            it.volume for it in record.mcl.iterations
+        )
+        assert record.message_count == sum(
+            it.messages for it in record.mcl.iterations
+        )
+        # Inflation + pruning keep the iterate sparse: the final nnz never
+        # exceeds the first expansion's output.
+        first_expand = next(
+            it for it in record.mcl.iterations if it.phase == "expand"
+        )
+        assert record.mcl.final_nnz <= first_expand.nnz

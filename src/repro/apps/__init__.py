@@ -1,7 +1,11 @@
-"""The paper's benchmark applications: squaring, AMG Galerkin product, betweenness centrality."""
+"""The paper's benchmark applications and the SpGEMM consumers built on them:
+squaring, AMG Galerkin product, betweenness centrality, triangle counting,
+Markov clustering."""
 
 from . import amg, bc
+from .mcl import MCLIterationRecord, MCLRun, run_mcl
 from .squaring import PERMUTATION_STRATEGIES, SquaringRun, prepare_ordering, run_squaring
+from .triangles import TriangleCountRun, run_triangles
 
 __all__ = [
     "amg",
@@ -10,4 +14,9 @@ __all__ = [
     "SquaringRun",
     "prepare_ordering",
     "run_squaring",
+    "TriangleCountRun",
+    "run_triangles",
+    "MCLIterationRecord",
+    "MCLRun",
+    "run_mcl",
 ]

@@ -1,0 +1,306 @@
+"""Markov clustering (MCL) on the resident prepare/execute pipeline.
+
+MCL (van Dongen 2000; HipMCL is the distributed-SpGEMM incarnation the
+paper cites as the motivating squaring consumer) iterates three steps on a
+column-stochastic matrix ``M`` until the process converges:
+
+1. **expansion** — ``M ← M·M`` (the SpGEMM; flow spreads along paths),
+2. **inflation** — entries are raised to the power ``r`` and each column is
+   re-normalised (flow concentrates into strong neighbourhoods),
+3. **pruning** — near-zero entries are dropped and the columns re-normalised
+   (keeps the iterate sparse, as every real MCL implementation does).
+
+Every step runs **resident**: expansion feeds each level's distributed
+``C`` straight back in through ``prepare``/``execute`` (the stationary-``C``
+property of the paper's 1D design), and inflation/pruning/normalisation are
+the rank-local elementwise operands of :mod:`repro.core.elementwise` — no
+global matrix is ever assembled between iterations.
+
+Convergence uses the standard MCL *chaos* metric: for each column, the
+largest entry minus the sum of squared entries; the global maximum over
+columns (an ``allreduce`` of one scalar per rank, charged to the ledger)
+tends to zero as every column collapses onto its attractor.  The run stops
+when ``chaos <= convergence``.
+
+Each iteration contributes ``{phase, iteration, time, volume, messages,
+nnz}`` records — phases ``"expand"``, ``"inflate"``, ``"prune"`` and
+``"converge"`` — sliced out of the one run-wide ledger exactly like the BC
+iteration series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import inflate, make_algorithm, prune
+from ..core.pipeline import DistributedOperand
+from ..runtime import CostModel, PERLMUTTER, PhaseLedger, SimulatedCluster
+from ..sparse import CSCMatrix, as_csc
+
+__all__ = [
+    "COLUMN_OUTPUT_ALGORITHMS",
+    "MCLIterationRecord",
+    "MCLRun",
+    "build_stochastic_matrix",
+    "run_mcl",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class MCLIterationRecord:
+    """One phase of one MCL iteration (sliced from the run-wide ledger)."""
+
+    phase: str          # "expand", "inflate", "prune" or "converge"
+    iteration: int
+    #: modelled seconds of the phase (Σ over its ledger phases of the slowest rank)
+    time: float
+    #: bytes received during the phase
+    volume: int
+    #: two-sided messages + one-sided Gets of the phase
+    messages: int
+    #: stored entries of the iterate after the phase
+    nnz: int
+    #: did the phase's ledger slice satisfy bytes_sent == bytes_received?
+    conserved: bool = True
+
+
+@dataclass
+class MCLRun:
+    """Result of one Markov-clustering run."""
+
+    dataset: str
+    algorithm: str
+    nprocs: int
+    #: inflation exponent r and pruning threshold actually used
+    inflation: float
+    prune_threshold: float
+    #: per-phase iteration series (4 entries per executed iteration)
+    iterations: List[MCLIterationRecord] = field(default_factory=list)
+    #: did chaos fall to/below ``convergence`` within ``max_iterations``?
+    converged: bool = False
+    #: executed iteration count
+    n_iterations: int = 0
+    #: chaos value after the last iteration
+    final_chaos: float = 0.0
+    #: nnz of the final iterate
+    final_nnz: int = 0
+    #: number of clusters: distinct attractor rows of the final iterate
+    n_clusters: int = 0
+    #: the run-wide ledger (phases scoped ``it0:``, ``it1:``, …)
+    ledger: Optional[PhaseLedger] = None
+    #: the final iterate, still distributed (assemble via ``.global_matrix()``)
+    final: Optional[DistributedOperand] = None
+
+    @property
+    def elapsed_time(self) -> float:
+        """Modelled seconds of the whole run."""
+        return self.ledger.elapsed_time() if self.ledger is not None else 0.0
+
+    @property
+    def communication_volume(self) -> int:
+        return self.ledger.total_bytes() if self.ledger is not None else 0
+
+    @property
+    def message_count(self) -> int:
+        return self.ledger.total_messages() if self.ledger is not None else 0
+
+    @property
+    def conserved(self) -> bool:
+        return self.ledger.is_conserved() if self.ledger is not None else True
+
+
+def build_stochastic_matrix(A) -> CSCMatrix:
+    """Column-stochastic MCL start matrix: pattern + self-loops, normalised.
+
+    Values of ``A`` are ignored (MCL operates on the graph structure); the
+    identity is added (standard MCL self-loops, which damp oscillations)
+    and each column is scaled to sum to 1.
+    """
+    A = as_csc(A)
+    if A.nrows != A.ncols:
+        raise ValueError("MCL requires a square adjacency matrix")
+    n = A.nrows
+    r, c, _ = A.to_coo()
+    keep = r != c
+    rows = np.concatenate([r[keep], np.arange(n, dtype=_INDEX_DTYPE)])
+    cols = np.concatenate([c[keep], np.arange(n, dtype=_INDEX_DTYPE)])
+    vals = np.ones(rows.shape[0], dtype=np.float64)
+    M = CSCMatrix.from_coo(n, n, rows, cols, vals, sum_duplicates=True)
+    sums = np.zeros(n, dtype=np.float64)
+    col_of_entry = np.repeat(np.arange(n, dtype=_INDEX_DTYPE), np.diff(M.indptr))
+    np.add.at(sums, col_of_entry, M.data)
+    safe = np.where(sums != 0.0, sums, 1.0)
+    return CSCMatrix(
+        nrows=n,
+        ncols=n,
+        indptr=M.indptr.copy(),
+        indices=M.indices.copy(),
+        data=M.data / safe[col_of_entry],
+    )
+
+
+def _chaos(op: DistributedOperand, cluster: SimulatedCluster) -> float:
+    """Global MCL chaos: ``max_j (max_i M[i,j] - Σ_i M[i,j]²)``.
+
+    Rank-local column maxima/sums (the 1D column layout owns whole columns)
+    followed by a one-scalar-per-rank ``allreduce`` with ``max`` — the
+    convergence test a real distributed MCL performs every iteration.
+    """
+    per_rank = {}
+    for rank in range(op.dist.nprocs):
+        local = op.dist.local(rank)
+        if local.nnz == 0:
+            per_rank[rank] = 0.0
+            continue
+        col_of_entry = np.repeat(
+            np.arange(local.ncols, dtype=_INDEX_DTYPE), np.diff(local.indptr)
+        )
+        maxima = np.zeros(local.ncols, dtype=np.float64)
+        np.maximum.at(maxima, col_of_entry, local.data)
+        sumsq = np.zeros(local.ncols, dtype=np.float64)
+        np.add.at(sumsq, col_of_entry, local.data**2)
+        cluster.charge_compute(rank, 2 * local.nnz)
+        per_rank[rank] = float(np.max(maxima - sumsq))
+    reduced = cluster.comm.allreduce_scalar(per_rank, op=max)
+    return float(next(iter(reduced.values()))) if reduced else 0.0
+
+
+#: algorithms whose output layout is 1D columns — the layout the rank-local
+#: inflation/pruning steps (and the chained expansion) require.  The sweep
+#: CLI validates against this same tuple, so the two can never drift.
+COLUMN_OUTPUT_ALGORITHMS = ("1d", "1d-sparsity-aware", "outer-product", "1d-outer-product")
+
+
+def _phase_record(
+    sliced: PhaseLedger, phase: str, iteration: int, nnz: int
+) -> MCLIterationRecord:
+    """Distil one already-sliced iteration-phase ledger into a record."""
+    return MCLIterationRecord(
+        phase=phase,
+        iteration=iteration,
+        time=sliced.elapsed_time(),
+        volume=sliced.total_bytes(),
+        messages=sliced.total_messages(),
+        nnz=nnz,
+        conserved=sliced.is_conserved(),
+    )
+
+
+def run_mcl(
+    A,
+    *,
+    inflation: float = 2.0,
+    prune_threshold: float = 1e-3,
+    max_iterations: int = 30,
+    convergence: float = 1e-4,
+    algorithm: str = "1d",
+    nprocs: int = 16,
+    cost_model: CostModel = PERLMUTTER,
+    dataset: str = "matrix",
+    block_split: int = 2048,
+    layers: Optional[int] = None,
+) -> MCLRun:
+    """Run Markov clustering to convergence on one resident pipeline.
+
+    Requires a driver whose output layout is 1D columns (``"1d"`` or
+    ``"outer-product"``): the rank-local inflation/pruning operate on whole
+    columns, and the expansion feeds each level's distributed ``C``
+    straight back in without assembling a global matrix.  Returns the
+    per-phase iteration series plus the final (still distributed) iterate.
+    """
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    if algorithm not in COLUMN_OUTPUT_ALGORITHMS:
+        raise ValueError(
+            f"MCL requires a 1D-column-output algorithm {COLUMN_OUTPUT_ALGORITHMS}, "
+            f"got {algorithm!r}"
+        )
+    M = build_stochastic_matrix(A)
+
+    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
+    kwargs = {}
+    if algorithm in ("1d", "1d-sparsity-aware"):
+        kwargs["block_split"] = block_split
+    if algorithm in ("3d", "3d-split") and layers is not None:
+        kwargs["layers"] = layers
+    algo = make_algorithm(algorithm, **kwargs)
+
+    operand = M
+    iterations: List[MCLIterationRecord] = []
+    converged = False
+    chaos = float("inf")
+    n_done = 0
+    op_c: Optional[DistributedOperand] = None
+    for i in range(max_iterations):
+        scope = f"it{i}:"
+        with cluster.phase_scope(scope):
+            # Expansion: the previous iterate (already resident after the
+            # first round) is squared in place.
+            result = algo.execute(algo.prepare(operand, operand, cluster))
+            op_c = result.distributed_c
+            expand_nnz = op_c.nnz
+            # Inflation (power + column normalisation), rank-local.
+            op_c = inflate(op_c, inflation, cluster)
+            # Pruning + re-normalisation, rank-local.  The "prune" series
+            # entry covers both (shared ledger-phase prefix).
+            op_c = prune(op_c, prune_threshold, cluster, phase="prune")
+            op_c = inflate(op_c, 1.0, cluster, phase="prune-renormalise")
+            # Convergence test: rank-local chaos + one-scalar allreduce.
+            with cluster.phase("converge"):
+                chaos = _chaos(op_c, cluster)
+        final_nnz = op_c.nnz
+        # result.ledger is already the `it{i}:` slice taken before the
+        # elementwise phases existed — exactly the expansion's share.
+        iterations.append(_phase_record(result.ledger, "expand", i, expand_nnz))
+        # Inflation preserves the pattern exactly (power + scale, no drops),
+        # so its "nnz after the phase" is still the expansion's; only the
+        # prune phase shrinks the iterate.
+        for phase, nnz_after in (
+            ("inflate", expand_nnz),
+            ("prune", final_nnz),
+            ("converge", final_nnz),
+        ):
+            # "prune" prefix-matches "prune-renormalise" too, so the prune
+            # entry covers the drop *and* the restored stochasticity.
+            iterations.append(
+                _phase_record(
+                    cluster.ledger.subset(f"{scope}{phase}"), phase, i, nnz_after
+                )
+            )
+        operand = op_c
+        n_done = i + 1
+        if chaos <= convergence:
+            converged = True
+            break
+
+    # Attractor rows of the converged iterate: every cluster is the column
+    # support of (at least) one nonzero row, so distinct nonzero rows count
+    # the clusters.  Computed from the resident pieces — no global assembly.
+    row_ids = [
+        op_c.dist.local(rank).indices
+        for rank in range(op_c.dist.nprocs)
+        if op_c.dist.local(rank).nnz
+    ]
+    nonzero_rows = (
+        np.unique(np.concatenate(row_ids)) if row_ids else np.zeros(0, dtype=_INDEX_DTYPE)
+    )
+    return MCLRun(
+        dataset=dataset,
+        algorithm=algorithm,
+        nprocs=nprocs,
+        inflation=inflation,
+        prune_threshold=prune_threshold,
+        iterations=iterations,
+        converged=converged,
+        n_iterations=n_done,
+        final_chaos=chaos,
+        final_nnz=op_c.nnz,
+        n_clusters=int(nonzero_rows.size),
+        ledger=cluster.ledger,
+        final=op_c,
+    )

@@ -2,14 +2,16 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro square   --dataset hv15r --algorithm 1d --nprocs 16
-    python -m repro estimate --dataset eukarya --nprocs 16
-    python -m repro galerkin --dataset queen --nprocs 16
-    python -m repro bc       --dataset eukarya --nprocs 8 --sources 32
-    python -m repro sweep    --datasets hv15r,eukarya --algorithms 1d,2d \
-                             --nprocs 4,16,64 --workers 4 --records runs.jsonl
-    python -m repro sweep    --workloads bc --datasets eukarya --bc-sources 16
-    python -m repro bench    --out BENCH_PR3.json --workers 2
+    python -m repro square    --dataset hv15r --algorithm 1d --nprocs 16
+    python -m repro estimate  --dataset eukarya --nprocs 16
+    python -m repro galerkin  --dataset queen --nprocs 16
+    python -m repro bc        --dataset eukarya --nprocs 8 --sources 32
+    python -m repro triangles --dataset eukarya --nprocs 16 --mask-mode early
+    python -m repro mcl       --dataset eukarya --nprocs 16 --inflation 2.0
+    python -m repro sweep     --datasets hv15r,eukarya --algorithms 1d,2d \
+                              --nprocs 4,16,64 --workers 4 --records runs.jsonl
+    python -m repro sweep     --workloads bc --datasets eukarya --bc-sources 16
+    python -m repro bench     --out BENCH_PR5.json --workers 2
     python -m repro datasets
 
 Every subcommand accepts either one of the built-in Table II analogues
@@ -108,6 +110,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc.add_argument("--batch-size", type=int, default=16)
     p_bc.add_argument("--algorithm", default="1d")
 
+    p_tri = sub.add_parser(
+        "triangles",
+        help="triangle counting via masked SpGEMM (L·L masked by L)",
+    )
+    _add_input_arguments(p_tri)
+    p_tri.add_argument("--algorithm", default="1d")
+    p_tri.add_argument("--mask-mode", default="late", choices=("late", "early"),
+                       help="early (1d only) prunes the RDMA fetch plan "
+                            "against the mask's column support")
+    p_tri.add_argument("--block-split", type=int, default=2048,
+                       help="Algorithm 2's K (max RDMA messages per remote rank)")
+
+    p_mcl = sub.add_parser(
+        "mcl",
+        help="Markov clustering (expansion + inflation + pruning to convergence)",
+    )
+    _add_input_arguments(p_mcl)
+    p_mcl.add_argument("--algorithm", default="1d",
+                       help="1D-column-output algorithm (1d, outer-product)")
+    p_mcl.add_argument("--inflation", type=float, default=2.0,
+                       help="inflation exponent r")
+    p_mcl.add_argument("--prune-threshold", type=float, default=1e-3,
+                       help="entries with |value| <= threshold are dropped")
+    p_mcl.add_argument("--max-iters", type=int, default=30,
+                       help="iteration cap")
+    p_mcl.add_argument("--block-split", type=int, default=2048,
+                       help="Algorithm 2's K (max RDMA messages per remote rank)")
+
     p_sweep = sub.add_parser(
         "sweep",
         help="run an experiment grid through the parallel, cached engine",
@@ -118,7 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--workloads", default="squaring",
-        help="comma-separated workloads (squaring, amg-restriction, bc)",
+        # The valid set comes from the registry, so a new workload shows up
+        # here (and in the validation message) without touching the CLI.
+        help=f"comma-separated workloads ({', '.join(workload_names())})",
     )
     p_sweep.add_argument("--algorithms", default="1d",
                          help="comma-separated algorithm names")
@@ -162,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--square-k", type=int, default=None,
                          help="chained-squaring workload: number of squarings "
                               "(required; final product is A^(2^k))")
+    p_sweep.add_argument("--mask-mode", default=None, choices=("late", "early"),
+                         help="triangles workload: apply the mask after the "
+                              "kernel (late) or also prune the 1d fetch plan "
+                              "(early)")
+    p_sweep.add_argument("--mcl-inflation", type=float, default=None,
+                         help="mcl workload: inflation exponent r (default 2.0)")
+    p_sweep.add_argument("--mcl-prune", type=float, default=None,
+                         help="mcl workload: pruning threshold (default 1e-3)")
+    p_sweep.add_argument("--mcl-max-iters", type=int, default=None,
+                         help="mcl workload: iteration cap (default 30)")
 
     p_bench = sub.add_parser(
         "bench",
@@ -169,8 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_*.json perf trajectory",
     )
     p_bench.add_argument(
-        "--workloads", default="squaring,chained-squaring,amg-restriction,bc",
-        help="comma-separated workloads to bench",
+        "--workloads", default=",".join(workload_names()),
+        help=f"comma-separated workloads to bench ({', '.join(workload_names())})",
     )
     p_bench.add_argument("--scale", type=float, default=0.2,
                          help="dataset scale factor of the bench grid")
@@ -329,6 +371,77 @@ def _cmd_bc(args) -> int:
     return 0
 
 
+def _cmd_triangles(args) -> int:
+    from .apps.triangles import run_triangles
+
+    A = _load_input(args)
+    run = run_triangles(
+        A,
+        algorithm=args.algorithm,
+        nprocs=args.nprocs,
+        block_split=args.block_split,
+        mask_mode=args.mask_mode,
+        dataset=_input_label(args),
+    )
+    rows = [
+        {
+            "algorithm": run.algorithm,
+            "P": run.nprocs,
+            "mask": run.mask_mode,
+            "triangles": run.triangles,
+            "L nnz": run.l_nnz,
+            "masked nnz": run.masked_nnz,
+            "time": seconds(run.result.elapsed_time),
+            "comm volume": mebibytes(run.result.communication_volume),
+            "messages": run.result.message_count,
+        }
+    ]
+    print(format_table(rows, title="triangle counting ((L·L) ⊙ L)"))
+    print(f"\nscipy reference: {run.reference} -> "
+          f"{'match' if run.matches_reference else 'MISMATCH'}")
+    return 0 if run.matches_reference else 1
+
+
+def _cmd_mcl(args) -> int:
+    from .apps.mcl import run_mcl
+
+    A = _load_input(args)
+    run = run_mcl(
+        A,
+        inflation=args.inflation,
+        prune_threshold=args.prune_threshold,
+        max_iterations=args.max_iters,
+        algorithm=args.algorithm,
+        nprocs=args.nprocs,
+        block_split=args.block_split,
+        dataset=_input_label(args),
+    )
+    expand = [it for it in run.iterations if it.phase == "expand"]
+    rows = [
+        {
+            "iter": it.iteration,
+            "time": seconds(it.time),
+            "volume": mebibytes(it.volume),
+            "messages": it.messages,
+            "nnz after expand": it.nnz,
+        }
+        for it in expand
+    ]
+    print(format_table(rows, title=f"MCL (inflation {run.inflation}, "
+                                   f"prune {run.prune_threshold})"))
+    print(
+        f"\n{'converged' if run.converged else 'NOT converged'} after "
+        f"{run.n_iterations} iterations (chaos {run.final_chaos:.2e}); "
+        f"{run.n_clusters} clusters, final nnz {run.final_nnz}"
+    )
+    print(
+        f"total: {seconds(run.elapsed_time)}   "
+        f"volume: {mebibytes(run.communication_volume)}   "
+        f"messages: {run.message_count}"
+    )
+    return 0 if run.converged and run.conserved else 1
+
+
 def _parse_csv(text: str, cast) -> List:
     return [cast(part.strip()) for part in text.split(",") if part.strip()]
 
@@ -347,7 +460,12 @@ def _validate_grid(grid: ExperimentGrid) -> List[str]:
         problems.append(f"unknown datasets: {', '.join(unknown)}")
     unknown = [w for w in grid.workloads if w not in workload_names()]
     if unknown:
-        problems.append(f"unknown workloads: {', '.join(unknown)}")
+        # List the valid set straight from the registry so this message can
+        # never go stale when a workload is added.
+        problems.append(
+            f"unknown workloads: {', '.join(unknown)} "
+            f"(valid: {', '.join(workload_names())})"
+        )
     # "local" is the bc workload's run-everything-in-one-process mode; the
     # distributed registry does not know it.
     bc_only = set(grid.workloads) == {"bc"}
@@ -382,6 +500,29 @@ def _validate_grid(grid: ExperimentGrid) -> List[str]:
             problems.append("the chained-squaring workload requires --square-k")
         elif grid.square_k < 1:
             problems.append(f"--square-k must be >= 1: {grid.square_k}")
+    if "triangles" in grid.workloads and grid.mask_mode == "early":
+        non_1d = [a for a in grid.algorithms
+                  if a.lower() not in ("1d", "1d-sparsity-aware")]
+        if non_1d:
+            problems.append(
+                "--mask-mode early only applies to the 1d algorithm "
+                f"(got: {', '.join(non_1d)})"
+            )
+    if "mcl" in grid.workloads:
+        from .apps.mcl import COLUMN_OUTPUT_ALGORITHMS as column_only
+
+        non_col = [a for a in grid.algorithms if a.lower() not in column_only]
+        if non_col:
+            problems.append(
+                "the mcl workload requires a 1D-column-output algorithm "
+                f"({', '.join(column_only)}); got: {', '.join(non_col)}"
+            )
+        if grid.mcl_inflation is not None and grid.mcl_inflation <= 0:
+            problems.append(f"--mcl-inflation must be positive: {grid.mcl_inflation}")
+        if grid.mcl_prune is not None and grid.mcl_prune < 0:
+            problems.append(f"--mcl-prune must be non-negative: {grid.mcl_prune}")
+        if grid.mcl_max_iters is not None and grid.mcl_max_iters < 1:
+            problems.append(f"--mcl-max-iters must be >= 1: {grid.mcl_max_iters}")
     return problems
 
 
@@ -423,6 +564,10 @@ def _cmd_sweep(args) -> int:
         bc_directed=args.bc_directed,
         resident=args.resident,
         square_k=args.square_k,
+        mask_mode=args.mask_mode,
+        mcl_inflation=args.mcl_inflation,
+        mcl_prune=args.mcl_prune,
+        mcl_max_iters=args.mcl_max_iters,
     )
     problems = _validate_grid(grid)
     if problems:
@@ -476,6 +621,21 @@ def _bench_configs(workload: str, scale: float) -> List[RunConfig]:
             RunConfig(dataset="hv15r", workload="bc", algorithm="1d", nprocs=4,
                       scale=scale, bc_sources=8, bc_batch=8, bc_source_stride=4,
                       resident=True),
+        ]
+    if workload == "triangles":
+        return [
+            RunConfig(dataset="eukarya", workload="triangles", algorithm="1d",
+                      nprocs=4, block_split=32, scale=scale),
+            # Same count; the fetch plan is pruned against the mask support.
+            RunConfig(dataset="eukarya", workload="triangles", algorithm="1d",
+                      nprocs=4, block_split=32, scale=scale, mask_mode="early"),
+            RunConfig(dataset="hv15r", workload="triangles", algorithm="2d",
+                      nprocs=4, block_split=32, scale=scale),
+        ]
+    if workload == "mcl":
+        return [
+            RunConfig(dataset="eukarya", workload="mcl", algorithm="1d",
+                      nprocs=4, block_split=32, scale=scale),
         ]
     raise ValueError(f"unknown workload {workload!r}; available: {workload_names()}")
 
@@ -548,6 +708,8 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "galerkin": _cmd_galerkin,
     "bc": _cmd_bc,
+    "triangles": _cmd_triangles,
+    "mcl": _cmd_mcl,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "datasets": _cmd_datasets,

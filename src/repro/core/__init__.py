@@ -15,6 +15,8 @@ from .block_fetch import (
     split_into_groups,
 )
 from .block_row import ImprovedBlockRow1D, NaiveBlockRow1D
+from .elementwise import column_sums, ewise_mult, inflate, prune, scale_columns
+from .masking import MASK_MODES, apply_mask, iter_local_pieces
 from .estimator import (
     BYTES_PER_ENTRY,
     CommunicationEstimate,
@@ -35,6 +37,14 @@ __all__ = [
     "as_operand",
     "coerce_columns_1d",
     "coerce_rows_1d",
+    "MASK_MODES",
+    "apply_mask",
+    "iter_local_pieces",
+    "column_sums",
+    "ewise_mult",
+    "inflate",
+    "prune",
+    "scale_columns",
     "BlockFetchPlan",
     "plan_block_fetch",
     "plan_block_fetch_all",

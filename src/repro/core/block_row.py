@@ -34,6 +34,12 @@ from ..sparse import CSCMatrix, local_spgemm
 from ..sparse.flops import per_column_flops
 from ..sparse.ops import extract_rows
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .masking import (
+    apply_mask,
+    coerce_mask_rows_1d,
+    masked_info,
+    validate_mask_mode,
+)
 from .pipeline import DistributedOperand, PreparedMultiply, coerce_rows_1d
 
 __all__ = ["NaiveBlockRow1D", "ImprovedBlockRow1D"]
@@ -58,11 +64,14 @@ def _prepare_row_blocks(
     cluster: SimulatedCluster,
     a_bounds: Optional[Sequence[Tuple[int, int]]],
     b_bounds: Optional[Sequence[Tuple[int, int]]],
+    mask=None,
+    mask_mode: str = "late",
 ) -> PreparedMultiply:
     """Shared prepare step of both block-row variants.
 
     ``a_bounds``/``b_bounds`` are *row* bounds (this is the row-wise 1D
-    layout), e.g. partition-derived block sizes.
+    layout), e.g. partition-derived block sizes.  The mask, when given,
+    follows ``C``'s layout — the row blocks of ``A``.
     """
     P = cluster.nprocs
     op_a = coerce_rows_1d(A, P, bounds=a_bounds)
@@ -71,7 +80,23 @@ def _prepare_row_blocks(
         raise ValueError(
             f"inner dimensions do not match: {op_a.dist.shape} x {op_b.dist.shape}"
         )
-    return PreparedMultiply(algorithm=algorithm, cluster=cluster, a=op_a, b=op_b)
+    op_m = None
+    if mask is not None:
+        validate_mask_mode(mask_mode)
+        op_m = coerce_mask_rows_1d(
+            mask,
+            P,
+            shape=(op_a.dist.nrows, op_b.dist.ncols),
+            bounds=op_a.dist.bounds,
+        )
+    return PreparedMultiply(
+        algorithm=algorithm,
+        cluster=cluster,
+        a=op_a,
+        b=op_b,
+        mask=op_m,
+        mask_mode=mask_mode,
+    )
 
 
 @dataclass
@@ -89,8 +114,12 @@ class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
         *,
         a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+        mask=None,
+        mask_mode: str = "late",
     ) -> PreparedMultiply:
-        return _prepare_row_blocks(self, A, B, cluster, a_bounds, b_bounds)
+        return _prepare_row_blocks(
+            self, A, B, cluster, a_bounds, b_bounds, mask=mask, mask_mode=mask_mode
+        )
 
     def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
         cluster = prepared.cluster
@@ -130,12 +159,14 @@ class NaiveBlockRow1D(DistributedSpGEMMAlgorithm):
                 c_locals.append(c_local)
 
         op_c = _row_block_operand(c_locals, dist_a, B_full.ncols)
+        if prepared.mask is not None:
+            op_c = apply_mask(cluster, op_c, prepared.mask)
         ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
             ledger=ledger,
             algorithm=self.name,
             nprocs=P,
-            info={},
+            info=masked_info(prepared.mask, prepared.mask_mode),
             distributed_c=op_c,
         )
 
@@ -155,8 +186,12 @@ class ImprovedBlockRow1D(DistributedSpGEMMAlgorithm):
         *,
         a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+        mask=None,
+        mask_mode: str = "late",
     ) -> PreparedMultiply:
-        return _prepare_row_blocks(self, A, B, cluster, a_bounds, b_bounds)
+        return _prepare_row_blocks(
+            self, A, B, cluster, a_bounds, b_bounds, mask=mask, mask_mode=mask_mode
+        )
 
     def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
         cluster = prepared.cluster
@@ -243,12 +278,14 @@ class ImprovedBlockRow1D(DistributedSpGEMMAlgorithm):
                 c_locals.append(c_local)
 
         op_c = _row_block_operand(c_locals, dist_a, b_ncols)
+        if prepared.mask is not None:
+            op_c = apply_mask(cluster, op_c, prepared.mask)
         ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
             ledger=ledger,
             algorithm=self.name,
             nprocs=P,
-            info={},
+            info=masked_info(prepared.mask, prepared.mask_mode),
             distributed_c=op_c,
         )
 

@@ -1,0 +1,279 @@
+"""Resident elementwise operations on :class:`DistributedOperand`.
+
+Iterative SpGEMM consumers — Markov clustering above all — interleave
+multiplies with elementwise work: Hadamard products, thresholding, column
+scaling, MCL's inflation.  Pre-pipeline code would gather a global matrix,
+transform it on the host, and redistribute; these helpers instead transform
+the **resident** distributed pieces rank by rank, charging the work to the
+cluster ledger, so an iterative workload never assembles a global matrix
+between steps.
+
+Accounting conventions (same units as the rest of the runtime):
+
+* every helper runs inside its own named ledger phase and charges **local
+  computation only** (``γ`` seconds per touched entry, counted as flops) —
+  except :func:`column_sums`, whose global reduction goes through the
+  existing :meth:`~repro.runtime.communicator.Communicator.allgather`
+  collective and therefore conserves bytes by construction;
+* no helper ever moves matrix entries between ranks: layouts are preserved,
+  so every phase they create satisfies ``bytes_sent == bytes_received``
+  (trivially 0 = 0 for the compute-only ones);
+* all helpers are deterministic — the same operand produces bit-identical
+  ledgers and results.
+
+Layout support: all layouts with per-rank pieces (1D columns, 1D rows, 2D
+blocks) for :func:`ewise_mult` and :func:`prune`; the column-oriented
+helpers (:func:`scale_columns`, :func:`inflate`, :func:`column_sums`)
+require the 1D **column** layout, where every rank owns whole columns and
+column sums are rank-local.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ..distribution import DistributedBlocks2D, DistributedColumns1D, DistributedRows1D
+from ..runtime import SimulatedCluster
+from ..sparse import CSCMatrix
+from ..sparse.ops import elementwise_multiply
+from ..sparse.ops import scale_columns as _scale_columns_local
+from .masking import iter_local_pieces
+from .pipeline import (
+    LAYOUT_BLOCKS_2D,
+    LAYOUT_COLUMNS_1D,
+    LAYOUT_ROWS_1D,
+    DistributedOperand,
+)
+
+__all__ = [
+    "ewise_mult",
+    "prune",
+    "scale_columns",
+    "inflate",
+    "column_sums",
+]
+
+
+def _rebuild(op: DistributedOperand, pieces: List[CSCMatrix]) -> DistributedOperand:
+    """Wrap transformed per-rank pieces back into ``op``'s layout."""
+    if op.layout in (LAYOUT_COLUMNS_1D, LAYOUT_ROWS_1D):
+        dist_cls = (
+            DistributedColumns1D if op.layout == LAYOUT_COLUMNS_1D else DistributedRows1D
+        )
+        return DistributedOperand(
+            layout=op.layout,
+            dist=dist_cls(
+                nrows=op.dist.nrows,
+                ncols=op.dist.ncols,
+                nprocs=op.dist.nprocs,
+                bounds=list(op.dist.bounds),
+                locals_=pieces,
+            ),
+        )
+    grid = op.dist.grid
+    blocks = {}
+    idx = 0
+    for i in range(grid.prows):
+        for j in range(grid.pcols):
+            blocks[(i, j)] = pieces[idx]
+            idx += 1
+    return DistributedOperand.blocks_2d(
+        DistributedBlocks2D(
+            nrows=op.dist.nrows,
+            ncols=op.dist.ncols,
+            grid=grid,
+            row_bounds=list(op.dist.row_bounds),
+            col_bounds=list(op.dist.col_bounds),
+            blocks=blocks,
+        )
+    )
+
+
+def _map_locals(
+    op: DistributedOperand,
+    cluster: SimulatedCluster,
+    phase: str,
+    transform: Callable[[int, CSCMatrix], CSCMatrix],
+    flops: Callable[[int, CSCMatrix], int],
+) -> DistributedOperand:
+    """Apply ``transform`` to every rank's piece inside one compute-only phase."""
+    pieces: List[CSCMatrix] = []
+    with cluster.phase(phase):
+        for rank, local in iter_local_pieces(op):
+            out = transform(rank, local)
+            cluster.charge_compute(rank, flops(rank, local))
+            pieces.append(out)
+    return _rebuild(op, pieces)
+
+
+def _require_columns_1d(op: DistributedOperand, what: str) -> None:
+    if op.layout != LAYOUT_COLUMNS_1D:
+        raise ValueError(
+            f"{what} requires a 1D column-distributed operand (each rank owns "
+            f"whole columns), got layout {op.layout!r}"
+        )
+
+
+def ewise_mult(
+    a: DistributedOperand,
+    b: DistributedOperand,
+    cluster: SimulatedCluster,
+    *,
+    phase: str = "ewise-mult",
+) -> DistributedOperand:
+    """Hadamard product ``A ⊙ B`` of two same-layout resident operands.
+
+    Both operands must share layout *and* block bounds (entries never cross
+    ranks); the per-rank sorted-merge intersection is charged as
+    ``nnz(A_i) + nnz(B_i)`` flops.  Returns a new operand, same layout.
+    """
+    if a.layout != b.layout:
+        raise ValueError(f"layout mismatch: {a.layout!r} vs {b.layout!r}")
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    b_pieces = dict(iter_local_pieces(b))
+    if a.layout in (LAYOUT_COLUMNS_1D, LAYOUT_ROWS_1D):
+        if list(a.dist.bounds) != list(b.dist.bounds):
+            raise ValueError("ewise_mult operands must share block bounds")
+    elif a.layout == LAYOUT_BLOCKS_2D:
+        if (
+            a.dist.grid != b.dist.grid
+            or list(a.dist.row_bounds) != list(b.dist.row_bounds)
+            or list(a.dist.col_bounds) != list(b.dist.col_bounds)
+        ):
+            raise ValueError("ewise_mult operands must share the block grid")
+    else:
+        raise ValueError(f"operand layout {a.layout!r} is not resident")
+    return _map_locals(
+        a,
+        cluster,
+        phase,
+        lambda rank, local: elementwise_multiply(local, b_pieces[rank]),
+        # The sorted merge walks both patterns — same convention as the
+        # masked-multiply filter in repro.core.masking.
+        lambda rank, local: local.nnz + b_pieces[rank].nnz,
+    )
+
+
+def prune(
+    op: DistributedOperand,
+    threshold: float,
+    cluster: SimulatedCluster,
+    *,
+    phase: str = "prune",
+) -> DistributedOperand:
+    """Drop stored entries with ``|value| <= threshold``, rank-locally.
+
+    MCL's pruning step: after inflation, near-zero transition probabilities
+    are removed to keep the iterate sparse.  Charged as one flop per stored
+    entry (the magnitude test); no bytes move.
+    """
+    if threshold < 0:
+        raise ValueError(f"prune threshold must be non-negative, got {threshold}")
+    return _map_locals(
+        op,
+        cluster,
+        phase,
+        lambda rank, local: local.prune_explicit_zeros(tol=threshold),
+        lambda rank, local: local.nnz,
+    )
+
+
+def scale_columns(
+    op: DistributedOperand,
+    scales: np.ndarray,
+    cluster: SimulatedCluster,
+    *,
+    phase: str = "scale-columns",
+) -> DistributedOperand:
+    """Multiply global column ``j`` by ``scales[j]`` (1D column layout only).
+
+    ``scales`` is a dense global vector of length ``ncols``; each rank
+    applies its own slice, so the operation is rank-local.  Charged as one
+    flop per stored entry.
+    """
+    _require_columns_1d(op, "scale_columns")
+    scales = np.asarray(scales, dtype=np.float64)
+    if scales.shape[0] != op.ncols:
+        raise ValueError(
+            f"scales length {scales.shape[0]} does not match ncols {op.ncols}"
+        )
+
+    def _transform(rank: int, local: CSCMatrix) -> CSCMatrix:
+        s, e = op.dist.bounds[rank]
+        return _scale_columns_local(local, scales[s:e])
+
+    return _map_locals(op, cluster, phase, _transform, lambda rank, local: local.nnz)
+
+
+def inflate(
+    op: DistributedOperand,
+    r: float,
+    cluster: SimulatedCluster,
+    *,
+    phase: str = "inflate",
+) -> DistributedOperand:
+    """MCL inflation: raise entries to the power ``r``, then column-normalise.
+
+    Requires the 1D column layout (column sums are then rank-local, so the
+    whole step charges computation only — ``2·nnz`` flops per rank: one for
+    the power, one for the scale).  ``r == 1.0`` is a pure column
+    normalisation, which MCL also uses to restore stochasticity after
+    pruning.  Entries are assumed non-negative (Markov matrices); columns
+    whose sum is zero are left untouched.
+    """
+    _require_columns_1d(op, "inflate")
+    if r <= 0:
+        raise ValueError(f"inflation exponent must be positive, got {r}")
+
+    def _transform(rank: int, local: CSCMatrix) -> CSCMatrix:
+        data = local.data if r == 1.0 else np.power(local.data, r)
+        sums = np.zeros(local.ncols, dtype=np.float64)
+        col_of_entry = np.repeat(
+            np.arange(local.ncols, dtype=np.int64), np.diff(local.indptr)
+        )
+        np.add.at(sums, col_of_entry, data)
+        safe = np.where(sums != 0.0, sums, 1.0)
+        return CSCMatrix(
+            nrows=local.nrows,
+            ncols=local.ncols,
+            indptr=local.indptr.copy(),
+            indices=local.indices.copy(),
+            data=data / safe[col_of_entry],
+        )
+
+    return _map_locals(op, cluster, phase, _transform, lambda rank, local: 2 * local.nnz)
+
+
+def column_sums(
+    op: DistributedOperand,
+    cluster: SimulatedCluster,
+    *,
+    phase: str = "column-sums",
+) -> np.ndarray:
+    """Global per-column sums, allgathered so every rank holds the vector.
+
+    Each rank sums its own columns locally (one flop per stored entry),
+    then the per-rank partial vectors go through the existing
+    :meth:`~repro.runtime.communicator.Communicator.allgather` collective —
+    the one communicating elementwise helper, conserved by construction.
+    Returns the dense global vector of length ``ncols``.
+    """
+    _require_columns_1d(op, "column_sums")
+    out = np.zeros(op.ncols, dtype=np.float64)
+    with cluster.phase(phase):
+        per_rank = {}
+        for rank, local in iter_local_pieces(op):
+            s, e = op.dist.bounds[rank]
+            sums = np.zeros(local.ncols, dtype=np.float64)
+            col_of_entry = np.repeat(
+                np.arange(local.ncols, dtype=np.int64), np.diff(local.indptr)
+            )
+            np.add.at(sums, col_of_entry, local.data)
+            cluster.charge_compute(rank, local.nnz)
+            out[s:e] = sums
+            per_rank[rank] = sums
+        cluster.comm.allgather(per_rank)
+    return out

@@ -1,0 +1,225 @@
+"""Masked SpGEMM support: ``C = (A·B) ⊙ M`` on resident distributed operands.
+
+Masked multiplication is the primitive behind the two classic SpGEMM
+consumers beyond squaring — triangle counting (``(L·L) ⊙ L``) and the
+filtered expansions of graph algorithms.  The design here follows the
+stationary-``C`` property of the paper's 1D algorithm: the mask ``M`` is a
+resident :class:`~repro.core.pipeline.DistributedOperand` in the **output
+layout** of the driver, so applying it is a purely rank-local filter after
+the local kernel — **no extra communication is ever charged** for masking.
+
+Semantics
+---------
+The mask is a *pattern* mask (CombBLAS/GraphBLAS convention): an output
+entry ``C[i, j]`` survives iff ``M`` stores an entry at ``(i, j)``; the
+mask's numeric values are ignored.  Masking happens inside a dedicated
+``"mask"`` ledger phase, charged as local computation proportional to the
+entries the sorted-merge intersection touches (``nnz(C_i) + nnz(M_i)``
+flops on each rank) — zero bytes, zero messages.
+
+Mask modes
+----------
+``"late"`` (every driver)
+    Compute the full product locally, then intersect with the mask.
+
+``"early"`` (the sparsity-aware 1D driver only)
+    Additionally restrict the paper's ``H_i`` row marking (Algorithm 1
+    line 4) to the columns of ``B_i`` whose mask column is non-empty: an
+    output column with an empty mask column is all zeros after masking, so
+    none of the ``A`` columns *only* it needs are fetched.  This **reduces
+    the modelled communication volume** — the sparsity-aware story extended
+    to masks — while the final masked product is bit-identical to the late
+    mode (the late filter still runs, removing any entries computed in
+    masked-out columns as a side effect of shared fetches).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..distribution import DistributedBlocks2D, DistributedColumns1D, DistributedRows1D
+from ..runtime import SimulatedCluster
+from ..sparse import CSCMatrix
+from ..sparse.ops import elementwise_mask
+from .pipeline import (
+    LAYOUT_BLOCKS_2D,
+    LAYOUT_COLUMNS_1D,
+    LAYOUT_ROWS_1D,
+    DistributedOperand,
+    as_operand,
+    coerce_columns_1d,
+    coerce_rows_1d,
+)
+
+__all__ = [
+    "MASK_MODES",
+    "MASK_PHASE",
+    "validate_mask_mode",
+    "coerce_mask_columns_1d",
+    "coerce_mask_rows_1d",
+    "coerce_mask_blocks_2d",
+    "apply_mask",
+    "iter_local_pieces",
+    "masked_info",
+]
+
+#: recognised values of the drivers' ``mask_mode`` option
+MASK_MODES = ("late", "early")
+
+#: ledger phase name under which every driver applies its mask
+MASK_PHASE = "mask"
+
+
+def validate_mask_mode(mode: str, *, allow_early: bool = False) -> str:
+    """Check a ``mask_mode`` string (drivers call this in ``prepare``)."""
+    if mode not in MASK_MODES:
+        raise ValueError(f"unknown mask_mode {mode!r}; expected one of {MASK_MODES}")
+    if mode == "early" and not allow_early:
+        raise ValueError(
+            "mask_mode='early' is only supported by the sparsity-aware 1D "
+            "driver (it prunes the RDMA fetch plan); use 'late' here"
+        )
+    return mode
+
+
+def _check_shape(mask: DistributedOperand, shape: Tuple[int, int]) -> None:
+    if mask.shape != shape:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match the output shape {shape}"
+        )
+
+
+def coerce_mask_columns_1d(
+    mask,
+    nprocs: int,
+    *,
+    shape: Tuple[int, int],
+    bounds: Sequence[Tuple[int, int]],
+) -> DistributedOperand:
+    """Resolve a mask to the 1D column layout of the product (``B``'s bounds).
+
+    A mask already resident in the right layout (e.g. ``L`` reused as both
+    operand and mask by triangle counting) is passed through untouched —
+    its distribution is never re-charged, exactly like the input operands.
+    """
+    op = as_operand(mask)
+    _check_shape(op, shape)
+    return coerce_columns_1d(op, nprocs, bounds=list(bounds))
+
+
+def coerce_mask_rows_1d(
+    mask,
+    nprocs: int,
+    *,
+    shape: Tuple[int, int],
+    bounds: Sequence[Tuple[int, int]],
+) -> DistributedOperand:
+    """Row-block analogue of :func:`coerce_mask_columns_1d` (block-row drivers)."""
+    op = as_operand(mask)
+    _check_shape(op, shape)
+    return coerce_rows_1d(op, nprocs, bounds=list(bounds))
+
+
+def coerce_mask_blocks_2d(
+    mask,
+    grid,
+    *,
+    shape: Tuple[int, int],
+    row_bounds: Sequence[Tuple[int, int]],
+    col_bounds: Sequence[Tuple[int, int]],
+) -> DistributedOperand:
+    """Resolve a mask to the 2D block layout of the product (2D/3D drivers)."""
+    op = as_operand(mask)
+    _check_shape(op, shape)
+    if (
+        op.layout == LAYOUT_BLOCKS_2D
+        and op.dist.grid == grid
+        and list(op.dist.row_bounds) == list(row_bounds)
+        and list(op.dist.col_bounds) == list(col_bounds)
+    ):
+        return op
+    return DistributedOperand.blocks_2d(
+        DistributedBlocks2D.from_global(
+            op.global_matrix(), grid, row_bounds=row_bounds, col_bounds=col_bounds
+        )
+    )
+
+
+def iter_local_pieces(op: DistributedOperand) -> Iterator[Tuple[int, CSCMatrix]]:
+    """Yield ``(rank, local matrix)`` pairs for any distributed layout.
+
+    The iteration order is deterministic (rank-major; 2D blocks in row-major
+    grid order), so ledger charges driven by it are reproducible.
+    """
+    if op.layout in (LAYOUT_COLUMNS_1D, LAYOUT_ROWS_1D):
+        for rank in range(op.dist.nprocs):
+            yield rank, op.dist.local(rank)
+    elif op.layout == LAYOUT_BLOCKS_2D:
+        grid = op.dist.grid
+        for i in range(grid.prows):
+            for j in range(grid.pcols):
+                yield grid.rank_of(i, j), op.dist.block(i, j)
+    else:
+        raise ValueError(f"operand layout {op.layout!r} has no per-rank pieces")
+
+
+def apply_mask(
+    cluster: SimulatedCluster,
+    op_c: DistributedOperand,
+    mask: DistributedOperand,
+) -> DistributedOperand:
+    """Intersect a distributed product with a same-layout mask, rank-locally.
+
+    Runs inside the ``"mask"`` ledger phase charging only local computation
+    (``nnz(C_i) + nnz(M_i)`` flops per rank — the entries the sorted merge
+    touches); no bytes or messages move, so the phase is trivially conserved.
+    Returns a new operand in the same layout with the masked local pieces.
+    """
+    if mask.layout != op_c.layout:
+        raise ValueError(
+            f"mask layout {mask.layout!r} does not match product layout {op_c.layout!r}"
+        )
+    masked: List[CSCMatrix] = []
+    with cluster.phase(MASK_PHASE):
+        for (rank, c_local), (_, m_local) in zip(
+            iter_local_pieces(op_c), iter_local_pieces(mask)
+        ):
+            out = elementwise_mask(c_local, m_local)
+            cluster.charge_compute(rank, c_local.nnz + m_local.nnz)
+            masked.append(out)
+    if op_c.layout in (LAYOUT_COLUMNS_1D, LAYOUT_ROWS_1D):
+        dist_cls = (
+            DistributedColumns1D if op_c.layout == LAYOUT_COLUMNS_1D else DistributedRows1D
+        )
+        dist = dist_cls(
+            nrows=op_c.dist.nrows,
+            ncols=op_c.dist.ncols,
+            nprocs=op_c.dist.nprocs,
+            bounds=list(op_c.dist.bounds),
+            locals_=masked,
+        )
+        return DistributedOperand(layout=op_c.layout, dist=dist)
+    grid = op_c.dist.grid
+    blocks = {}
+    idx = 0
+    for i in range(grid.prows):
+        for j in range(grid.pcols):
+            blocks[(i, j)] = masked[idx]
+            idx += 1
+    return DistributedOperand.blocks_2d(
+        DistributedBlocks2D(
+            nrows=op_c.dist.nrows,
+            ncols=op_c.dist.ncols,
+            grid=grid,
+            row_bounds=list(op_c.dist.row_bounds),
+            col_bounds=list(op_c.dist.col_bounds),
+            blocks=blocks,
+        )
+    )
+
+
+def masked_info(mask: Optional[DistributedOperand], mode: str) -> dict:
+    """``SpGEMMResult.info`` entries all drivers report for a masked run."""
+    if mask is None:
+        return {}
+    return {"masked": 1.0, "mask_nnz": float(mask.nnz), "mask_early": float(mode == "early")}

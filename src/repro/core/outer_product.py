@@ -32,6 +32,12 @@ from ..runtime import SimulatedCluster
 from ..sparse import CSCMatrix, add_matrices, local_spgemm
 from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .masking import (
+    apply_mask,
+    coerce_mask_columns_1d,
+    masked_info,
+    validate_mask_mode,
+)
 from .pipeline import DistributedOperand, PreparedMultiply, coerce_columns_1d
 
 __all__ = ["OuterProduct1D", "outer_product_spgemm_1d"]
@@ -54,6 +60,8 @@ class OuterProduct1D(DistributedSpGEMMAlgorithm):
         *,
         a_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         c_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+        mask=None,
+        mask_mode: str = "late",
     ) -> PreparedMultiply:
         P = cluster.nprocs
 
@@ -71,12 +79,23 @@ class OuterProduct1D(DistributedSpGEMMAlgorithm):
         dist_c_template = DistributedColumns1D.from_global(
             CSCMatrix.empty(op_a.dist.nrows, op_b.dist.ncols), P, bounds=c_bounds
         )
+        op_m = None
+        if mask is not None:
+            validate_mask_mode(mask_mode)
+            op_m = coerce_mask_columns_1d(
+                mask,
+                P,
+                shape=(op_a.dist.nrows, op_b.dist.ncols),
+                bounds=dist_c_template.bounds,
+            )
         return PreparedMultiply(
             algorithm=self,
             cluster=cluster,
             a=op_a,
             b=op_b,
             extras={"c_template": dist_c_template},
+            mask=op_m,
+            mask_mode=mask_mode,
         )
 
     def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
@@ -154,7 +173,10 @@ class OuterProduct1D(DistributedSpGEMMAlgorithm):
                 locals_=c_locals,
             )
         )
+        if prepared.mask is not None:
+            op_c = apply_mask(cluster, op_c, prepared.mask)
         info = {"output_nnz": float(op_c.nnz)}
+        info.update(masked_info(prepared.mask, prepared.mask_mode))
         ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
             ledger=ledger,

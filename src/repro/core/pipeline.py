@@ -28,6 +28,14 @@ objects that make distributions first-class instead:
 Assembly of a global matrix is host work that was never charged to the
 modelled ledgers, so laziness changes no modelled number — it only removes
 host wall-clock and memory from chained and modelled-only runs.
+
+Units and conservation: sizes (``nnz``) count stored matrix entries;
+everything ``prepare`` charges for setup (window creation, the metadata
+allgather) goes through the cluster's collectives and therefore satisfies
+the per-phase ``bytes_sent == bytes_received`` invariant — making an
+operand resident never unbalances a ledger.  Pure layout bookkeeping
+(wrapping, coercion of an already-assembled matrix) is uncharged, matching
+the paper's convention that inputs are distributed before timing starts.
 """
 
 from __future__ import annotations
@@ -199,6 +207,14 @@ class PreparedMultiply:
     ``extras`` carries whatever per-algorithm state ``prepare`` computed
     beyond the two operands (e.g. the 3D layer split, which distributes both
     operands jointly).
+
+    ``mask``, when set, is a *pattern* mask resident in the driver's output
+    layout: ``execute`` computes ``C = (A·B) ⊙ M`` by intersecting each
+    rank's local product with its local mask piece after the kernel — a
+    purely local filter, never charged any communication (see
+    :mod:`repro.core.masking`).  ``mask_mode`` is ``"late"`` (every driver)
+    or ``"early"`` (1D only: the fetch plan is additionally pruned against
+    the mask's column support, reducing modelled volume).
     """
 
     algorithm: "DistributedSpGEMMAlgorithm"
@@ -206,6 +222,10 @@ class PreparedMultiply:
     a: DistributedOperand
     b: DistributedOperand
     extras: Dict[str, object] = field(default_factory=dict)
+    #: optional pattern mask, resident in the output layout
+    mask: Optional[DistributedOperand] = None
+    #: "late" (post-kernel filter) or "early" (1D fetch pruning + filter)
+    mask_mode: str = "late"
 
     def execute(self):
         """Run the multiply (delegates to ``algorithm.execute(self)``)."""

@@ -43,6 +43,12 @@ from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
 from .block_fetch import plan_block_fetch_all
 from .estimator import BYTES_PER_ENTRY
+from .masking import (
+    apply_mask,
+    coerce_mask_columns_1d,
+    masked_info,
+    validate_mask_mode,
+)
 from .pipeline import DistributedOperand, PreparedMultiply, coerce_columns_1d
 
 __all__ = ["SparsityAware1D", "sparsity_aware_spgemm_1d"]
@@ -87,6 +93,8 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
         b_bounds: Optional[Sequence[Tuple[int, int]]] = None,
         distributed_a: Optional[DistributedColumns1D] = None,
         distributed_b: Optional[DistributedColumns1D] = None,
+        mask=None,
+        mask_mode: str = "late",
     ) -> PreparedMultiply:
         P = cluster.nprocs
 
@@ -104,8 +112,26 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
             raise ValueError(
                 f"inner dimensions do not match: {op_a.dist.shape} x {op_b.dist.shape}"
             )
+        op_m = None
+        if mask is not None:
+            # The mask lives in the output layout — C follows B's column
+            # bounds — so applying it after the kernel is purely rank-local.
+            validate_mask_mode(mask_mode, allow_early=True)
+            op_m = coerce_mask_columns_1d(
+                mask,
+                P,
+                shape=(op_a.dist.nrows, op_b.dist.ncols),
+                bounds=op_b.dist.bounds,
+            )
         self._expose(op_a, cluster)
-        return PreparedMultiply(algorithm=self, cluster=cluster, a=op_a, b=op_b)
+        return PreparedMultiply(
+            algorithm=self,
+            cluster=cluster,
+            a=op_a,
+            b=op_b,
+            mask=op_m,
+            mask_mode=mask_mode,
+        )
 
     # ------------------------------------------------------------------
     def _expose(self, op_a: DistributedOperand, cluster: SimulatedCluster) -> None:
@@ -180,12 +206,23 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
         ]
         total_required_cols = 0
         total_fetched_cols = 0
+        mask_early = prepared.mask is not None and prepared.mask_mode == "early"
         with cluster.phase("fetch"):
             with window.epoch():
                 for rank in range(P):
                     local_b = dist_b.local(rank)
                     # H_i: nonzero rows of B_i over the global inner dimension.
-                    hit = local_b.nonzero_rows_mask()
+                    if mask_early:
+                        # Early masking: output columns whose mask column is
+                        # empty are all-zero after masking, so only B_i
+                        # columns with mask support mark rows in H_i — the
+                        # fetch plan shrinks and modelled volume drops.
+                        m_local = prepared.mask.dist.local(rank)
+                        hit = local_b.extract_columns(
+                            m_local.nonzero_columns()
+                        ).nonzero_rows_mask()
+                    else:
+                        hit = local_b.nonzero_rows_mask()
                     # One vectorised planning pass over all P targets
                     # (Algorithm 2 for every remote process at once).
                     plans = plan_block_fetch_all(
@@ -298,6 +335,11 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                 locals_=c_locals,
             )
         )
+        if prepared.mask is not None:
+            # Rank-local pattern filter ("mask" phase, computation only) —
+            # in early mode this also removes any entries computed in
+            # masked-out columns as a side effect of shared fetches.
+            op_c = apply_mask(cluster, op_c, prepared.mask)
 
         # memA uses the same wire-byte definition as the symbolic estimator
         # (``nnz(A) · BYTES_PER_ENTRY``: 8-byte row id + 8-byte value per
@@ -329,6 +371,7 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
             "kernel_flops": float(kernel_stats.flops),
             "output_nnz": float(op_c.nnz),
         }
+        info.update(masked_info(prepared.mask, prepared.mask_mode))
         return SpGEMMResult(
             ledger=ledger,
             algorithm=self.name,

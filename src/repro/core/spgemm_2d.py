@@ -25,6 +25,12 @@ from ..runtime import SimulatedCluster
 from ..sparse import CSCMatrix, add_matrices, local_spgemm
 from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .masking import (
+    apply_mask,
+    coerce_mask_blocks_2d,
+    masked_info,
+    validate_mask_mode,
+)
 from .pipeline import DistributedOperand, PreparedMultiply, as_operand
 
 __all__ = ["SparseSUMMA2D"]
@@ -39,7 +45,16 @@ class SparseSUMMA2D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="2d-summa", init=False)
 
-    def prepare(self, A, B, cluster: SimulatedCluster, **kwargs) -> PreparedMultiply:
+    def prepare(
+        self,
+        A,
+        B,
+        cluster: SimulatedCluster,
+        *,
+        mask=None,
+        mask_mode: str = "late",
+        **kwargs,
+    ) -> PreparedMultiply:
         op_a = as_operand(A)
         op_b = as_operand(B)
         if op_a.ncols != op_b.nrows:
@@ -54,12 +69,26 @@ class SparseSUMMA2D(DistributedSpGEMMAlgorithm):
         # which is exactly the asymmetry the paper's 1D design exploits.
         dist_a = DistributedBlocks2D.from_global(op_a.global_matrix(), grid)
         dist_b = DistributedBlocks2D.from_global(op_b.global_matrix(), grid)
+        op_m = None
+        if mask is not None:
+            validate_mask_mode(mask_mode)
+            # C(i, j) lives on rank (i, j) with A's row split and B's column
+            # split, so the mask block layout mirrors that exactly.
+            op_m = coerce_mask_blocks_2d(
+                mask,
+                grid,
+                shape=(op_a.nrows, op_b.ncols),
+                row_bounds=dist_a.row_bounds,
+                col_bounds=dist_b.col_bounds,
+            )
         return PreparedMultiply(
             algorithm=self,
             cluster=cluster,
             a=DistributedOperand.blocks_2d(dist_a),
             b=DistributedOperand.blocks_2d(dist_b),
             extras={"grid": grid},
+            mask=op_m,
+            mask_mode=mask_mode,
         )
 
     def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
@@ -138,7 +167,10 @@ class SparseSUMMA2D(DistributedSpGEMMAlgorithm):
             blocks=c_blocks,
         )
         op_c = DistributedOperand.blocks_2d(dist_c)
+        if prepared.mask is not None:
+            op_c = apply_mask(cluster, op_c, prepared.mask)
         info = {"grid": float(grid.prows), "output_nnz": float(op_c.nnz)}
+        info.update(masked_info(prepared.mask, prepared.mask_mode))
         ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
             ledger=ledger,

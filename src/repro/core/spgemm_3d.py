@@ -32,6 +32,12 @@ from ..sparse import CSCMatrix, add_matrices, local_spgemm
 from ..sparse.flops import per_column_flops
 from ..sparse.ops import column_blocks
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
+from .masking import (
+    apply_mask,
+    coerce_mask_blocks_2d,
+    masked_info,
+    validate_mask_mode,
+)
 from .pipeline import DistributedOperand, PreparedMultiply, as_operand
 
 __all__ = ["SplitSpGEMM3D"]
@@ -45,7 +51,16 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
     kernel: str = "hybrid"
     name: str = field(default="3d-split", init=False)
 
-    def prepare(self, A, B, cluster: SimulatedCluster, **kwargs) -> PreparedMultiply:
+    def prepare(
+        self,
+        A,
+        B,
+        cluster: SimulatedCluster,
+        *,
+        mask=None,
+        mask_mode: str = "late",
+        **kwargs,
+    ) -> PreparedMultiply:
         op_a = as_operand(A)
         op_b = as_operand(B)
         if op_a.ncols != op_b.nrows:
@@ -66,12 +81,26 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
         split = LayerSplit3D.from_global(
             op_a.global_matrix(), op_b.global_matrix(), grid
         )
+        op_m = None
+        if mask is not None:
+            validate_mask_mode(mask_mode)
+            # After the cross-layer merge C lives on the layer grid's (i, j)
+            # blocks, so the mask follows that layout.
+            op_m = coerce_mask_blocks_2d(
+                mask,
+                grid.layer_grid,
+                shape=(op_a.nrows, op_b.ncols),
+                row_bounds=split.a_layers[0].row_bounds,
+                col_bounds=split.b_layers[0].col_bounds,
+            )
         return PreparedMultiply(
             algorithm=self,
             cluster=cluster,
             a=op_a,
             b=op_b,
             extras={"grid": grid, "split": split},
+            mask=op_m,
+            mask_mode=mask_mode,
         )
 
     def execute(self, prepared: PreparedMultiply) -> SpGEMMResult:
@@ -209,7 +238,10 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
             )
         )
 
+        if prepared.mask is not None:
+            op_c = apply_mask(cluster, op_c, prepared.mask)
         info = {"layers": float(grid.layers), "output_nnz": float(op_c.nnz)}
+        info.update(masked_info(prepared.mask, prepared.mask_mode))
         ledger = cluster.ledger if not scope else cluster.ledger.subset(scope)
         return SpGEMMResult(
             ledger=ledger,

@@ -87,10 +87,33 @@ class DistributedBlocks2D:
     blocks: Dict[Tuple[int, int], CSCMatrix]
 
     @classmethod
-    def from_global(cls, A, grid: ProcessGrid2D) -> "DistributedBlocks2D":
+    def from_global(
+        cls,
+        A,
+        grid: ProcessGrid2D,
+        *,
+        row_bounds: Optional[List[Tuple[int, int]]] = None,
+        col_bounds: Optional[List[Tuple[int, int]]] = None,
+    ) -> "DistributedBlocks2D":
+        """Distribute a global matrix over the grid's blocks.
+
+        ``row_bounds``/``col_bounds`` override the default even split (used
+        when the block boundaries must align with an existing distribution,
+        e.g. a mask coerced into a product's layout).
+        """
         A = as_csc(A)
-        rb = row_blocks(A.nrows, grid.prows)
-        cb = column_blocks(A.ncols, grid.pcols)
+        rb = (
+            [(int(s), int(e)) for s, e in row_bounds]
+            if row_bounds is not None
+            else row_blocks(A.nrows, grid.prows)
+        )
+        cb = (
+            [(int(s), int(e)) for s, e in col_bounds]
+            if col_bounds is not None
+            else column_blocks(A.ncols, grid.pcols)
+        )
+        if len(rb) != grid.prows or len(cb) != grid.pcols:
+            raise ValueError("block bounds must have one entry per grid row/column")
         blocks: Dict[Tuple[int, int], CSCMatrix] = {}
         # Slice columns once per grid column, then carve rows out of each slice.
         for j, (cs, ce) in enumerate(cb):

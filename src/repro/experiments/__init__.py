@@ -6,11 +6,12 @@ sweep point into a hashable :class:`RunConfig`, executes grids
 fan-out-parallel with :func:`run_grid`, and persists deterministic
 :class:`RunRecord` rows as JSONL keyed by config hash — so re-running a
 figure is a cache lookup and an interrupted sweep resumes where it
-stopped.  Four workloads cover the paper's whole evaluation surface:
-``squaring`` (Figs 4–9), ``chained-squaring`` (MCL-style iterated squaring
-``A^(2^k)`` on the resident pipeline), ``amg-restriction`` (Table III,
-Figs 10–12) and ``bc`` (Figs 13–14); see
-:mod:`repro.experiments.workloads`.
+stopped.  Six workloads cover the paper's evaluation surface and the
+SpGEMM consumers grown on it: ``squaring`` (Figs 4–9), ``chained-squaring``
+(iterated squaring ``A^(2^k)`` on the resident pipeline),
+``amg-restriction`` (Table III, Figs 10–12), ``bc`` (Figs 13–14),
+``triangles`` (masked-SpGEMM triangle counting) and ``mcl`` (full Markov
+clustering); see :mod:`repro.experiments.workloads`.
 """
 
 from .config import COST_MODELS, ExperimentGrid, RunConfig, resolve_cost_model
@@ -21,7 +22,10 @@ from .records import (
     BCStats,
     ChainLevelStats,
     ChainStats,
+    MCLIterationStats,
+    MCLStats,
     RunRecord,
+    TriangleStats,
 )
 from .store import ResultStore
 from .trajectory import machine_tag, rollup_records, write_trajectory
@@ -37,6 +41,9 @@ __all__ = [
     "BCStats",
     "ChainLevelStats",
     "ChainStats",
+    "MCLIterationStats",
+    "MCLStats",
+    "TriangleStats",
     "RunRecord",
     "ResultStore",
     "SweepResult",

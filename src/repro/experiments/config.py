@@ -49,7 +49,21 @@ COST_MODELS: Dict[str, CostModel] = {
 
 #: post-v2 config fields elided from the canonical JSON at their default
 #: value, keeping pre-existing config hashes (and record caches) stable
-_ELIDE_AT_DEFAULT: Dict[str, object] = {"resident": False, "square_k": None}
+#: (PR4 added resident/square_k; PR5 added the triangles/mcl parameters)
+_ELIDE_AT_DEFAULT: Dict[str, object] = {
+    "resident": False,
+    "square_k": None,
+    "mask_mode": None,
+    "mcl_inflation": None,
+    "mcl_prune": None,
+    "mcl_max_iters": None,
+}
+
+#: explicit values that are behaviourally identical to a field's default
+#: (the executor resolves ``None`` to them), normalised to the default
+#: before elision so equivalent configs share one hash — an explicit
+#: ``mask_mode="late"`` must not cache-miss against an unset one
+_HASH_EQUIVALENT_TO_DEFAULT: Dict[str, tuple] = {"mask_mode": ("late",)}
 
 
 def resolve_cost_model(name: str) -> CostModel:
@@ -116,6 +130,16 @@ class RunConfig:
     resident: bool = False
     #: chained-squaring workload: number of squarings (final product A^(2^k))
     square_k: Optional[int] = None
+    #: triangles workload: "late" (post-kernel mask filter, any driver) or
+    #: "early" (1D only: the RDMA fetch plan is pruned against the mask's
+    #: column support); None means "late"
+    mask_mode: Optional[str] = None
+    #: mcl workload: inflation exponent r (None → 2.0)
+    mcl_inflation: Optional[float] = None
+    #: mcl workload: pruning threshold (None → 1e-3)
+    mcl_prune: Optional[float] = None
+    #: mcl workload: iteration cap (None → 30)
+    mcl_max_iters: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -137,6 +161,9 @@ class RunConfig:
         usual.
         """
         data = self.as_dict()
+        for key, equivalents in _HASH_EQUIVALENT_TO_DEFAULT.items():
+            if data.get(key) in equivalents:
+                data[key] = _ELIDE_AT_DEFAULT[key]
         for key, default in _ELIDE_AT_DEFAULT.items():
             if data.get(key) == default:
                 data.pop(key, None)
@@ -186,10 +213,11 @@ class ExperimentGrid:
     grid axis; the workload-specific parameters (``amg_phase``,
     ``mis_seed``, ``right_algorithm``, ``bc_*``) are scalar across the grid
     and simply ride along on every config (the squaring workload ignores
-    them).  The post-v2 axes (``resident``, ``square_k``) are applied only
-    to the workloads that read them (``bc`` and ``chained-squaring``
-    respectively), so a mixed-workload grid never perturbs the hashes of
-    configs the axis does not affect.
+    them).  The post-v2 axes (``resident``, ``square_k``, ``mask_mode``,
+    ``mcl_*``) are applied only to the workloads that read them (``bc``,
+    ``chained-squaring``, ``triangles`` and ``mcl`` respectively), so a
+    mixed-workload grid never perturbs the hashes of configs the axis does
+    not affect.
     """
 
     datasets: Sequence[str]
@@ -212,6 +240,10 @@ class ExperimentGrid:
     bc_directed: bool = False
     resident: bool = False
     square_k: Optional[int] = None
+    mask_mode: Optional[str] = None
+    mcl_inflation: Optional[float] = None
+    mcl_prune: Optional[float] = None
+    mcl_max_iters: Optional[int] = None
 
     def expand(self) -> List[RunConfig]:
         configs = []
@@ -256,6 +288,14 @@ class ExperimentGrid:
                     resident=self.resident if workload == "bc" else False,
                     square_k=(
                         self.square_k if workload == "chained-squaring" else None
+                    ),
+                    mask_mode=self.mask_mode if workload == "triangles" else None,
+                    mcl_inflation=(
+                        self.mcl_inflation if workload == "mcl" else None
+                    ),
+                    mcl_prune=self.mcl_prune if workload == "mcl" else None,
+                    mcl_max_iters=(
+                        self.mcl_max_iters if workload == "mcl" else None
                     ),
                 )
             )

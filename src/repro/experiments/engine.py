@@ -5,7 +5,8 @@
 records whose config hash already exists (cache hit ⇒ the run is skipped),
 and executes the misses — serially, or fanned out over a
 ``multiprocessing`` pool.  Each config's ``workload`` field selects what
-runs (squaring / AMG restriction / betweenness centrality — see
+runs (squaring, chained squaring, AMG restriction, betweenness centrality,
+triangle counting, Markov clustering — see
 :mod:`repro.experiments.workloads`); all workloads share the store, the
 cache and the pool.  Records come back in grid order regardless of
 completion order, and only modelled (deterministic) quantities enter a
@@ -92,6 +93,13 @@ def execute_config(
     The config's ``workload`` field selects what actually runs — squaring,
     the AMG restriction product, or batched betweenness centrality (see
     :mod:`repro.experiments.workloads`).
+
+    Every quantity in the returned record is **modelled and deterministic**
+    — seconds from the α–β–γ cost model, payload bytes, message counts —
+    with the ledger's conservation status (``bytes_sent == bytes_received``
+    per phase) distilled into ``record.conserved``; measured wall-clock
+    never enters a record (see :mod:`repro.experiments.records` for the
+    per-field units).
 
     ``matrix`` and ``cost_model`` override the config's dataset/model lookup
     for in-process callers that already hold the operand (the classic sweep

@@ -29,8 +29,126 @@ __all__ = [
     "BCStats",
     "ChainLevelStats",
     "ChainStats",
+    "MCLIterationStats",
+    "MCLStats",
+    "TriangleStats",
     "RunRecord",
 ]
+
+
+@dataclass
+class TriangleStats:
+    """Extras of one triangle-counting record (triangles workload only)."""
+
+    #: exact triangle count (== the scipy reference, asserted at run time)
+    triangles: int
+    #: nnz of the strictly lower-triangular operand/mask L
+    l_nnz: int
+    #: nnz of the masked product (L·L) ⊙ L
+    masked_nnz: int
+    #: mask mode actually used: "late" or "early"
+    mask_mode: str
+    #: did the distributed count match the local scipy reference?
+    reference_match: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "triangles": self.triangles,
+            "l_nnz": self.l_nnz,
+            "masked_nnz": self.masked_nnz,
+            "mask_mode": self.mask_mode,
+            "reference_match": self.reference_match,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TriangleStats":
+        return cls(
+            triangles=int(data["triangles"]),
+            l_nnz=int(data["l_nnz"]),
+            masked_nnz=int(data["masked_nnz"]),
+            mask_mode=str(data["mask_mode"]),
+            reference_match=bool(data.get("reference_match", True)),
+        )
+
+
+@dataclass
+class MCLIterationStats:
+    """One phase of one MCL iteration (expand / inflate / prune / converge)."""
+
+    phase: str
+    iteration: int
+    #: modelled seconds / bytes received / messages of the phase
+    time: float
+    volume: int
+    messages: int
+    #: stored entries of the iterate after the phase
+    nnz: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "iteration": self.iteration,
+            "time": self.time,
+            "volume": self.volume,
+            "messages": self.messages,
+            "nnz": self.nnz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MCLIterationStats":
+        return cls(
+            phase=str(data["phase"]),
+            iteration=int(data["iteration"]),
+            time=float(data["time"]),
+            volume=int(data["volume"]),
+            messages=int(data["messages"]),
+            nnz=int(data["nnz"]),
+        )
+
+
+@dataclass
+class MCLStats:
+    """Per-iteration telemetry of one Markov-clustering run."""
+
+    #: inflation exponent and pruning threshold actually used
+    inflation: float
+    prune_threshold: float
+    #: executed iterations and whether chaos reached the convergence bound
+    n_iterations: int
+    converged: bool
+    #: chaos after the last iteration and nnz / cluster count of the result
+    final_chaos: float
+    final_nnz: int
+    n_clusters: int
+    #: the per-phase iteration series, in execution order
+    iterations: List[MCLIterationStats] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "inflation": self.inflation,
+            "prune_threshold": self.prune_threshold,
+            "n_iterations": self.n_iterations,
+            "converged": self.converged,
+            "final_chaos": self.final_chaos,
+            "final_nnz": self.final_nnz,
+            "n_clusters": self.n_clusters,
+            "iterations": [it.to_dict() for it in self.iterations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MCLStats":
+        return cls(
+            inflation=float(data["inflation"]),
+            prune_threshold=float(data["prune_threshold"]),
+            n_iterations=int(data["n_iterations"]),
+            converged=bool(data["converged"]),
+            final_chaos=float(data["final_chaos"]),
+            final_nnz=int(data["final_nnz"]),
+            n_clusters=int(data["n_clusters"]),
+            iterations=[
+                MCLIterationStats.from_dict(it) for it in data.get("iterations", [])
+            ],
+        )
 
 
 @dataclass
@@ -246,7 +364,15 @@ class BCStats:
 
 @dataclass
 class RunRecord:
-    """The persisted outcome of executing one :class:`RunConfig`."""
+    """The persisted outcome of executing one :class:`RunConfig`.
+
+    Units: ``*_time`` fields are modelled **seconds** (Σ over phases of the
+    slowest rank), ``communication_volume``/``permutation_bytes`` are
+    **bytes**, counts are event counts, ``output_nnz`` is stored entries.
+    ``conserved`` records whether every ledger phase satisfied
+    ``bytes_sent == bytes_received`` — the invariant every workload is
+    expected to uphold.
+    """
 
     #: the configuration that produced this record
     config: RunConfig
@@ -284,6 +410,10 @@ class RunRecord:
     bc: Optional[BCStats] = None
     #: per-level series of a chained-squaring run (chained-squaring only)
     chain: Optional[ChainStats] = None
+    #: triangle-counting extras (triangles workload only)
+    triangles: Optional[TriangleStats] = None
+    #: Markov-clustering per-iteration series (mcl workload only)
+    mcl: Optional[MCLStats] = None
 
     @property
     def total_time_with_permutation(self) -> float:
@@ -332,6 +462,10 @@ class RunRecord:
             out["bc"] = self.bc.to_dict()
         if self.chain is not None:
             out["chain"] = self.chain.to_dict()
+        if self.triangles is not None:
+            out["triangles"] = self.triangles.to_dict()
+        if self.mcl is not None:
+            out["mcl"] = self.mcl.to_dict()
         return out
 
     def to_json_line(self) -> str:
@@ -364,6 +498,12 @@ class RunRecord:
             amg=AMGStats.from_dict(data["amg"]) if data.get("amg") else None,
             bc=BCStats.from_dict(data["bc"]) if data.get("bc") else None,
             chain=ChainStats.from_dict(data["chain"]) if data.get("chain") else None,
+            triangles=(
+                TriangleStats.from_dict(data["triangles"])
+                if data.get("triangles")
+                else None
+            ),
+            mcl=MCLStats.from_dict(data["mcl"]) if data.get("mcl") else None,
         )
 
     @classmethod

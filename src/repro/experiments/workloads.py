@@ -29,6 +29,21 @@ the experiment engine:
     feeds the next level directly, with per-level times/volumes/messages in
     ``record.chain``.
 
+``triangles``
+    Distributed masked-SpGEMM triangle counting ``Σ((L·L) ⊙ L)``: the
+    strictly lower-triangular pattern ``L`` serves as both operands and the
+    mask (resident in the output layout, applied rank-locally).
+    ``config.mask_mode="early"`` additionally prunes the 1D fetch plan
+    against the mask's column support.  The count is asserted equal to a
+    local scipy reference at run time; extras land in ``record.triangles``.
+
+``mcl``
+    Full Markov clustering — expansion (resident chained SpGEMM),
+    inflation, pruning — iterated to chaos convergence, parameterised by
+    ``config.mcl_inflation`` / ``mcl_prune`` / ``mcl_max_iters``.  The
+    per-iteration ``{phase, iteration, time, volume, messages, nnz}``
+    series (phases expand/inflate/prune/converge) lands in ``record.mcl``.
+
 Workload executors read only modelled counters and distributed-operand
 metadata — no executor ever assembles a global output matrix, so
 modelled-only engine runs skip global-C assembly entirely (pinned by a
@@ -63,7 +78,10 @@ from .records import (
     BCStats,
     ChainLevelStats,
     ChainStats,
+    MCLIterationStats,
+    MCLStats,
     RunRecord,
+    TriangleStats,
 )
 
 __all__ = ["WORKLOADS", "workload_names", "execute_workload"]
@@ -401,11 +419,144 @@ def _execute_bc(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
     )
 
 
+# ----------------------------------------------------------------------
+# triangles
+# ----------------------------------------------------------------------
+
+def _execute_triangles(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
+    from ..apps.squaring import prepare_ordering
+    from ..apps.triangles import run_triangles
+
+    permuted, _ordering, _wall = prepare_ordering(
+        A, config.strategy, config.nprocs, seed=config.seed
+    )
+    run = run_triangles(
+        permuted,
+        algorithm=config.algorithm,
+        nprocs=config.nprocs,
+        cost_model=model,
+        dataset=config.dataset,
+        block_split=config.block_split,
+        mask_mode=config.mask_mode or "late",
+        layers=config.layers,
+    )
+    ledger = run.result.ledger
+    ranks = _per_rank_times(ledger)
+    perm_bytes = _permutation_bytes(A, config)
+    categories = ledger.elapsed_time_by_category()
+    triangles = TriangleStats(
+        triangles=run.triangles,
+        l_nnz=run.l_nnz,
+        masked_nnz=run.masked_nnz,
+        mask_mode=run.mask_mode,
+        reference_match=run.matches_reference,
+    )
+    return RunRecord(
+        config=config,
+        config_hash="",
+        algorithm=run.algorithm,
+        elapsed_time=ledger.elapsed_time(),
+        comm_time=categories["comm"],
+        comp_time=categories["comp"],
+        other_time=categories["other"],
+        communication_volume=ledger.total_bytes(),
+        message_count=ledger.total_messages(),
+        rdma_gets=ledger.total_rdma_gets(),
+        load_imbalance=ledger.load_imbalance(),
+        cv_over_mema=0.0,
+        permutation_seconds=model.beta * perm_bytes,
+        permutation_bytes=perm_bytes,
+        output_nnz=run.masked_nnz,
+        conserved=ledger.is_conserved(),
+        per_rank_comm=ranks["comm"],
+        per_rank_comp=ranks["comp"],
+        per_rank_other=ranks["other"],
+        workload="triangles",
+        triangles=triangles,
+    )
+
+
+# ----------------------------------------------------------------------
+# mcl
+# ----------------------------------------------------------------------
+
+def _execute_mcl(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
+    from ..apps.mcl import run_mcl
+    from ..apps.squaring import prepare_ordering
+
+    permuted, _ordering, _wall = prepare_ordering(
+        A, config.strategy, config.nprocs, seed=config.seed
+    )
+    run = run_mcl(
+        permuted,
+        inflation=config.mcl_inflation if config.mcl_inflation is not None else 2.0,
+        prune_threshold=config.mcl_prune if config.mcl_prune is not None else 1e-3,
+        max_iterations=(
+            config.mcl_max_iters if config.mcl_max_iters is not None else 30
+        ),
+        algorithm=config.algorithm,
+        nprocs=config.nprocs,
+        cost_model=model,
+        dataset=config.dataset,
+        block_split=config.block_split,
+        layers=config.layers,
+    )
+    ledger = run.ledger
+    ranks = _per_rank_times(ledger)
+    perm_bytes = _permutation_bytes(A, config)
+    categories = ledger.elapsed_time_by_category()
+    mcl = MCLStats(
+        inflation=run.inflation,
+        prune_threshold=run.prune_threshold,
+        n_iterations=run.n_iterations,
+        converged=run.converged,
+        final_chaos=run.final_chaos,
+        final_nnz=run.final_nnz,
+        n_clusters=run.n_clusters,
+        iterations=[
+            MCLIterationStats(
+                phase=it.phase,
+                iteration=it.iteration,
+                time=it.time,
+                volume=it.volume,
+                messages=it.messages,
+                nnz=it.nnz,
+            )
+            for it in run.iterations
+        ],
+    )
+    return RunRecord(
+        config=config,
+        config_hash="",
+        algorithm=run.algorithm,
+        elapsed_time=ledger.elapsed_time(),
+        comm_time=categories["comm"],
+        comp_time=categories["comp"],
+        other_time=categories["other"],
+        communication_volume=ledger.total_bytes(),
+        message_count=ledger.total_messages(),
+        rdma_gets=ledger.total_rdma_gets(),
+        load_imbalance=ledger.load_imbalance(),
+        cv_over_mema=0.0,
+        permutation_seconds=model.beta * perm_bytes,
+        permutation_bytes=perm_bytes,
+        output_nnz=run.final_nnz,
+        conserved=ledger.is_conserved(),
+        per_rank_comm=ranks["comm"],
+        per_rank_comp=ranks["comp"],
+        per_rank_other=ranks["other"],
+        workload="mcl",
+        mcl=mcl,
+    )
+
+
 WORKLOADS: Dict[str, Callable[[RunConfig, CSCMatrix, CostModel], RunRecord]] = {
     "squaring": _execute_squaring,
     "chained-squaring": _execute_chained_squaring,
     "amg-restriction": _execute_amg,
     "bc": _execute_bc,
+    "triangles": _execute_triangles,
+    "mcl": _execute_mcl,
 }
 
 

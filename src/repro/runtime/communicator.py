@@ -108,7 +108,12 @@ class Communicator:
 
     The data itself is exchanged by reference inside one Python process —
     what matters for the reproduction is the *accounting*: who is charged how
-    many messages, bytes, and seconds.
+    many messages, bytes, and seconds.  Charges land on the cluster's
+    *current phase* in the units of :class:`~repro.runtime.stats.RankStats`
+    (modelled seconds, payload bytes, message counts), and every primitive
+    conserves bytes by construction: the group's total ``bytes_sent``
+    equals its total ``bytes_received`` for each call, asserted inline
+    when ``check_conservation`` is enabled (the default).
     """
 
     def __init__(self, cluster, check_conservation: Optional[bool] = None) -> None:

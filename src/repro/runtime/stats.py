@@ -50,7 +50,16 @@ CATEGORIES = ("comm", "comp", "other")
 
 @dataclass
 class RankStats:
-    """Event counters and modelled times for one simulated rank."""
+    """Event counters and modelled times for one simulated rank.
+
+    Units: ``time``/``measured`` are **seconds** (modelled α–β–γ seconds
+    and measured host wall-clock respectively — never mixed), byte
+    counters are **bytes** of wire payload, ``flops`` are sparse
+    multiply-adds, ``peak_memory_bytes`` is a high-water mark in bytes.
+    Conservation expectation: summed over the ranks of one phase,
+    ``bytes_sent == bytes_received`` — every primitive that moves bytes
+    charges both sides in the same phase.
+    """
 
     rank: int
     #: modelled seconds by category ("comm" / "comp" / "other")
@@ -153,6 +162,10 @@ class PhaseLedger:
     redistribution, …  Elapsed modelled time is the sum over phases of the
     slowest rank in that phase, which is how a bulk-synchronous SPMD code
     actually behaves.
+
+    All aggregations return the units of :class:`RankStats` (seconds,
+    bytes, flops); ``is_conserved``/``assert_conserved`` check the
+    per-phase byte balance every finished ledger is expected to satisfy.
     """
 
     nprocs: int

@@ -77,6 +77,32 @@ class TestCommands:
         assert "forward search" in out
         assert "top-10" in out
 
+    def test_triangles_runs(self, capsys):
+        assert main(
+            ["triangles", "--dataset", "eukarya", "--scale", "0.1",
+             "--nprocs", "4", "--block-split", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "triangle counting" in out
+        assert "match" in out
+
+    def test_triangles_early_mask(self, capsys):
+        assert main(
+            ["triangles", "--dataset", "eukarya", "--scale", "0.1",
+             "--nprocs", "4", "--mask-mode", "early"]
+        ) == 0
+        assert "early" in capsys.readouterr().out
+
+    def test_mcl_runs(self, capsys):
+        assert main(
+            ["mcl", "--dataset", "eukarya", "--scale", "0.1", "--nprocs", "4",
+             "--block-split", "16", "--max-iters", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MCL" in out
+        assert "converged" in out
+        assert "clusters" in out
+
     def test_matrix_market_input(self, tmp_path, capsys):
         path = tmp_path / "input.mtx"
         write_matrix_market(path, banded(60, 4, symmetric=True, seed=1))
@@ -133,6 +159,53 @@ class TestCommands:
 
     def test_sweep_rejects_unknown_workload(self, capsys):
         assert main(["sweep", "--datasets", "hv15r", "--workloads", "tensor"]) == 2
+        err = capsys.readouterr().err
+        # The message lists the valid set dynamically from the registry, so
+        # it can never go stale when a workload is added.
+        from repro.experiments import workload_names
+
+        for name in workload_names():
+            assert name in err
+
+    def test_sweep_triangles_workload_runs(self, capsys):
+        code = main(
+            ["sweep", "--workloads", "triangles", "--datasets", "eukarya",
+             "--nprocs", "4", "--scale", "0.1", "--block-splits", "16",
+             "--mask-mode", "early"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out and "1 executed" in out
+
+    def test_sweep_triangles_early_mask_needs_1d(self, capsys):
+        assert main(
+            ["sweep", "--workloads", "triangles", "--datasets", "eukarya",
+             "--algorithms", "2d", "--mask-mode", "early"]
+        ) == 2
+
+    def test_sweep_mcl_workload_runs(self, capsys):
+        code = main(
+            ["sweep", "--workloads", "mcl", "--datasets", "eukarya",
+             "--nprocs", "4", "--scale", "0.1", "--block-splits", "16",
+             "--mcl-max-iters", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mcl" in out and "1 executed" in out
+
+    def test_sweep_mcl_rejects_bad_axes(self, capsys):
+        assert main(
+            ["sweep", "--workloads", "mcl", "--datasets", "eukarya",
+             "--algorithms", "2d"]
+        ) == 2
+        assert main(
+            ["sweep", "--workloads", "mcl", "--datasets", "eukarya",
+             "--mcl-inflation", "-1"]
+        ) == 2
+        assert main(
+            ["sweep", "--workloads", "mcl", "--datasets", "eukarya",
+             "--mcl-max-iters", "0"]
+        ) == 2
 
     def test_sweep_bc_requires_sources(self, capsys):
         assert main(["sweep", "--datasets", "hv15r", "--workloads", "bc"]) == 2
@@ -180,7 +253,8 @@ class TestCommands:
         assert document["label"] == "BENCH_TEST"
         assert document["all_conserved"] is True
         assert set(document["workloads"]) == {
-            "squaring", "chained-squaring", "amg-restriction", "bc"
+            "squaring", "chained-squaring", "amg-restriction", "bc",
+            "triangles", "mcl",
         }
         # Re-running serves every config from the record store.
         assert main(argv) == 0

@@ -1,0 +1,276 @@
+"""Masked SpGEMM and the resident elementwise operand operations.
+
+Pins the PR-5 tentpole semantics:
+
+* masked multiply equals ``unmasked ⊙ M`` on every driver (the mask is a
+  pattern filter applied rank-locally — no communication is charged for it);
+* ``mask_mode="early"`` (1D) produces the identical masked product while
+  strictly reducing modelled volume when the mask's column support is
+  sparser than ``B``'s;
+* every elementwise operand op (``ewise_mult``, ``prune``,
+  ``scale_columns``, ``inflate``, ``column_sums``) transforms the resident
+  pieces correctly and leaves a conserved ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    column_sums,
+    ewise_mult,
+    inflate,
+    make_algorithm,
+    prune,
+    scale_columns,
+)
+from repro.core.pipeline import coerce_columns_1d, coerce_rows_1d
+from repro.runtime import SimulatedCluster
+from repro.sparse import CSCMatrix, local_spgemm
+from repro.sparse.ops import elementwise_mask
+
+ALL_DRIVERS = (
+    "1d",
+    "2d",
+    "3d",
+    "outer-product",
+    "1d-naive-block-row",
+    "1d-improved-block-row",
+)
+
+
+def _random_sparse(n: int, density: float, seed: int) -> CSCMatrix:
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.random((n, n))
+    return CSCMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="module")
+def operands():
+    A = _random_sparse(48, 0.12, seed=7)
+    M = _random_sparse(48, 0.06, seed=8)
+    reference = elementwise_mask(local_spgemm(A, A), M)
+    return A, M, reference
+
+
+class TestMaskedDrivers:
+    @pytest.mark.parametrize("driver", ALL_DRIVERS)
+    def test_masked_equals_unmasked_hadamard_mask(self, driver, operands):
+        A, M, reference = operands
+        cluster = SimulatedCluster(4)
+        result = make_algorithm(driver).multiply(A, A, cluster, mask=M)
+        assert result.C.allclose(reference)
+        assert result.ledger.is_conserved()
+        assert result.info["masked"] == 1.0
+        assert result.info["mask_nnz"] == float(M.nnz)
+
+    @pytest.mark.parametrize("driver", ALL_DRIVERS)
+    def test_mask_phase_charges_no_communication(self, driver, operands):
+        A, M, _ = operands
+        cluster = SimulatedCluster(4)
+        make_algorithm(driver).multiply(A, A, cluster, mask=M)
+        mask_stats = cluster.ledger.phases["mask"]
+        assert sum(st.bytes_sent for st in mask_stats) == 0
+        assert sum(st.bytes_received for st in mask_stats) == 0
+        assert sum(st.messages_sent + st.rdma_gets for st in mask_stats) == 0
+        # ... but the filter work itself is charged as computation.
+        assert sum(st.flops for st in mask_stats) > 0
+
+    @pytest.mark.parametrize("driver", ALL_DRIVERS)
+    def test_masked_matches_volume_of_unmasked(self, driver, operands):
+        """Late masking never changes what moves — only what survives."""
+        A, M, _ = operands
+        c_masked = SimulatedCluster(4)
+        c_plain = SimulatedCluster(4)
+        masked = make_algorithm(driver).multiply(A, A, c_masked, mask=M)
+        plain = make_algorithm(driver).multiply(A, A, c_plain)
+        assert masked.communication_volume == plain.communication_volume
+        assert masked.message_count == plain.message_count
+        assert masked.output_nnz <= plain.output_nnz
+
+    def test_mask_shape_mismatch_raises(self, operands):
+        A, _, _ = operands
+        bad = CSCMatrix.empty(A.nrows + 1, A.ncols)
+        with pytest.raises(ValueError, match="mask shape"):
+            make_algorithm("1d").multiply(A, A, SimulatedCluster(4), mask=bad)
+
+    def test_unknown_mask_mode_raises(self, operands):
+        A, M, _ = operands
+        with pytest.raises(ValueError, match="unknown mask_mode"):
+            make_algorithm("1d").multiply(
+                A, A, SimulatedCluster(4), mask=M, mask_mode="sideways"
+            )
+
+    @pytest.mark.parametrize("driver", ("2d", "outer-product"))
+    def test_early_mode_rejected_off_1d(self, driver, operands):
+        A, M, _ = operands
+        with pytest.raises(ValueError, match="early"):
+            make_algorithm(driver).multiply(
+                A, A, SimulatedCluster(4), mask=M, mask_mode="early"
+            )
+
+
+class TestEarlyMasking:
+    def _sparse_column_mask(self, n: int, ncols_kept: int) -> CSCMatrix:
+        """A mask whose column support is only the first ``ncols_kept`` columns."""
+        rng = np.random.default_rng(3)
+        dense = np.zeros((n, n))
+        dense[:, :ncols_kept] = (rng.random((n, ncols_kept)) < 0.3) * 1.0
+        return CSCMatrix.from_dense(dense)
+
+    def test_early_volume_strictly_below_late_on_sparse_masks(self):
+        A = _random_sparse(64, 0.15, seed=11)
+        M = self._sparse_column_mask(64, ncols_kept=6)
+        reference = elementwise_mask(local_spgemm(A, A), M)
+        volumes = {}
+        for mode in ("late", "early"):
+            cluster = SimulatedCluster(4)
+            result = make_algorithm("1d", block_split=8).multiply(
+                A, A, cluster, mask=M, mask_mode=mode
+            )
+            assert result.C.allclose(reference), mode
+            assert result.ledger.is_conserved(), mode
+            volumes[mode] = result.communication_volume
+        assert volumes["early"] < volumes["late"]
+
+    def test_early_handles_all_masked_out_ranks(self):
+        """Ranks whose mask columns are all empty fetch nothing."""
+        A = _random_sparse(40, 0.2, seed=12)
+        M = self._sparse_column_mask(40, ncols_kept=5)  # ranks 1-3 empty at P=4
+        cluster = SimulatedCluster(4)
+        result = make_algorithm("1d", block_split=8).multiply(
+            A, A, cluster, mask=M, mask_mode="early"
+        )
+        reference = elementwise_mask(local_spgemm(A, A), M)
+        assert result.C.allclose(reference)
+
+    def test_early_info_flag(self):
+        A = _random_sparse(40, 0.2, seed=13)
+        M = self._sparse_column_mask(40, ncols_kept=5)
+        cluster = SimulatedCluster(4)
+        result = make_algorithm("1d").multiply(A, A, cluster, mask=M, mask_mode="early")
+        assert result.info["mask_early"] == 1.0
+
+
+class TestResidentMaskReuse:
+    def test_resident_mask_not_redistributed(self):
+        """A mask already in the output layout is reused object-identically."""
+        A = _random_sparse(40, 0.15, seed=21)
+        M = _random_sparse(40, 0.05, seed=22)
+        cluster = SimulatedCluster(4)
+        algo = make_algorithm("1d")
+        op_m = coerce_columns_1d(M, 4)
+        prepared = algo.prepare(A, A, cluster, mask=op_m)
+        assert prepared.mask.dist is op_m.dist
+        result = algo.execute(prepared)
+        assert result.C.allclose(elementwise_mask(local_spgemm(A, A), M))
+
+
+class TestElementwiseOps:
+    N = 36
+    P = 4
+
+    @pytest.fixture()
+    def dense(self):
+        rng = np.random.default_rng(31)
+        return (rng.random((self.N, self.N)) < 0.15) * rng.random((self.N, self.N))
+
+    @pytest.fixture()
+    def op(self, dense):
+        return coerce_columns_1d(CSCMatrix.from_dense(dense), self.P)
+
+    @pytest.fixture()
+    def cluster(self):
+        return SimulatedCluster(self.P)
+
+    def test_ewise_mult(self, dense, op, cluster):
+        out = ewise_mult(op, op, cluster)
+        assert out.global_matrix().allclose(CSCMatrix.from_dense(dense * dense))
+        cluster.assert_conservation()
+        assert cluster.ledger.total_bytes() == 0  # purely rank-local
+
+    def test_ewise_mult_charges_both_patterns(self, dense, cluster):
+        """The sorted merge walks both operands: nnz(A_i) + nnz(B_i) flops
+        per rank, even when one side is nearly empty."""
+        sparse = np.zeros_like(dense)
+        sparse[0, 0] = 1.0
+        op_a = coerce_columns_1d(CSCMatrix.from_dense(sparse), self.P)
+        op_b = coerce_columns_1d(CSCMatrix.from_dense(dense), self.P)
+        ewise_mult(op_a, op_b, cluster)
+        charged = sum(
+            st.flops for st in cluster.ledger.phases["ewise-mult"]
+        )
+        assert charged == op_a.nnz + op_b.nnz
+
+    def test_ewise_mult_requires_matching_bounds(self, dense, op, cluster):
+        other = coerce_columns_1d(
+            CSCMatrix.from_dense(dense), self.P, bounds=[(0, 6), (6, 12), (12, 24), (24, 36)]
+        )
+        with pytest.raises(ValueError, match="bounds"):
+            ewise_mult(op, other, cluster)
+
+    def test_prune(self, dense, op, cluster):
+        out = prune(op, 0.5, cluster)
+        expected = dense * (dense > 0.5)
+        assert out.global_matrix().allclose(CSCMatrix.from_dense(expected))
+        cluster.assert_conservation()
+
+    def test_prune_rejects_negative_threshold(self, op, cluster):
+        with pytest.raises(ValueError, match="non-negative"):
+            prune(op, -1.0, cluster)
+
+    def test_scale_columns(self, dense, op, cluster):
+        scales = np.linspace(0.5, 2.0, self.N)
+        out = scale_columns(op, scales, cluster)
+        assert out.global_matrix().allclose(CSCMatrix.from_dense(dense * scales))
+        cluster.assert_conservation()
+
+    def test_inflate(self, dense, op, cluster):
+        out = inflate(op, 2.0, cluster)
+        squared = dense**2
+        sums = squared.sum(axis=0)
+        sums[sums == 0.0] = 1.0
+        assert out.global_matrix().allclose(CSCMatrix.from_dense(squared / sums))
+        cluster.assert_conservation()
+
+    def test_inflate_power_one_is_pure_normalisation(self, dense, op, cluster):
+        out = inflate(op, 1.0, cluster)
+        sums = dense.sum(axis=0)
+        sums[sums == 0.0] = 1.0
+        assert out.global_matrix().allclose(CSCMatrix.from_dense(dense / sums))
+
+    def test_column_sums_allgathers_and_conserves(self, dense, op, cluster):
+        sums = column_sums(op, cluster)
+        assert np.allclose(sums, dense.sum(axis=0))
+        cluster.assert_conservation()
+        # The global vector is allgathered — the one communicating op.
+        assert cluster.ledger.total_bytes() > 0
+        assert cluster.ledger.total_messages() > 0
+
+    def test_column_ops_reject_row_layout(self, dense, cluster):
+        rows_op = coerce_rows_1d(CSCMatrix.from_dense(dense), self.P)
+        for fn in (
+            lambda: inflate(rows_op, 2.0, cluster),
+            lambda: scale_columns(rows_op, np.ones(self.N), cluster),
+            lambda: column_sums(rows_op, cluster),
+        ):
+            with pytest.raises(ValueError, match="1D column"):
+                fn()
+
+    def test_every_op_is_deterministic(self, dense, op):
+        """Same operand, same charges — bit-identical ledgers across runs."""
+        def run():
+            cluster = SimulatedCluster(self.P)
+            out = inflate(prune(ewise_mult(op, op, cluster), 1e-3, cluster), 2.0, cluster)
+            column_sums(out, cluster)
+            return cluster.ledger
+
+        a, b = run(), run()
+        assert a.phase_order == b.phase_order
+        for name in a.phase_order:
+            for st_a, st_b in zip(a.phases[name], b.phases[name]):
+                assert st_a.time == st_b.time
+                assert st_a.bytes_sent == st_b.bytes_sent
+                assert st_a.bytes_received == st_b.bytes_received
+                assert st_a.flops == st_b.flops

@@ -56,7 +56,8 @@ def _bc_config(**overrides):
 class TestWorkloadRegistry:
     def test_all_workloads_registered(self):
         assert set(workload_names()) == {
-            "squaring", "chained-squaring", "amg-restriction", "bc"
+            "squaring", "chained-squaring", "amg-restriction", "bc",
+            "triangles", "mcl",
         }
 
     def test_unknown_workload_rejected(self):
