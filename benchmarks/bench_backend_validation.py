@@ -1,0 +1,210 @@
+"""Modelled-vs-measured backend validation: same runs, two backends.
+
+The simulated backend *models* every transfer (α–β–γ seconds, exact payload
+bytes); the shm backend physically *moves* every remote payload through
+POSIX shared memory between processes while keeping the same modelled
+ledger.  This harness pins the contract between the two:
+
+* every one of the six SpGEMM drivers (1d, 2d, 3d, outer-product and both
+  block-row variants) produces a **bit-identical** result matrix C
+  (indptr, indices *and* values) on both backends;
+* the modelled counters — time, volume, messages — are identical, because
+  the shm communicator delegates all accounting to the simulated one;
+* the application-level answers agree: the triangle count and the MCL
+  cluster count are the same numbers under both backends;
+* the shm backend's measured byte ledger is conserved (every byte received
+  was sent) and its per-phase rows line up with the modelled phases —
+  printed side by side as the modelled-vs-measured table.
+
+Run directly (``--out`` writes the JSON artifact CI uploads)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_validation.py \
+        --out backend-validation.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis import format_table, mebibytes, seconds
+from repro.apps.mcl import run_mcl
+from repro.apps.triangles import run_triangles
+from repro.core import make_algorithm
+from repro.matrices import load_dataset
+from repro.runtime import available_backends, create_cluster
+
+from common import SCALE, header
+
+#: the six distributed drivers the backend contract covers
+DRIVERS = (
+    "1d",
+    "2d",
+    "3d",
+    "outer-product",
+    "1d-naive-block-row",
+    "1d-improved-block-row",
+)
+
+NPROCS = 4
+DATASET = "hv15r"
+
+
+def _square(A, algorithm: str, backend: str):
+    """A·A under one driver on one backend; returns (C, result, measured)."""
+    cluster = create_cluster(NPROCS, backend=backend, name=DATASET)
+    try:
+        result = make_algorithm(algorithm).multiply(A, A, cluster)
+        return result.C, result, cluster.measured_ledger
+    finally:
+        cluster.shutdown()
+
+
+def _assert_bit_identical(C_sim, C_shm, algorithm: str) -> None:
+    for attr in ("indptr", "indices", "data"):
+        a = getattr(C_sim, attr)
+        b = getattr(C_shm, attr)
+        if not np.array_equal(a, b):
+            raise AssertionError(
+                f"{algorithm}: C.{attr} differs between the simulated and "
+                "shm backends — the physical transport corrupted a payload"
+            )
+
+
+def validate_drivers(A) -> list:
+    """Bit-identical C + identical modelled counters across all six drivers."""
+    rows = []
+    for algorithm in DRIVERS:
+        t0 = time.perf_counter()
+        C_sim, r_sim, m_sim = _square(A, algorithm, "simulated")
+        C_shm, r_shm, m_shm = _square(A, algorithm, "shm")
+        assert m_sim is None, "simulated backend grew a measured ledger"
+        assert m_shm is not None and m_shm.is_conserved(), (
+            f"{algorithm}: shm measured ledger lost bytes"
+        )
+        _assert_bit_identical(C_sim, C_shm, algorithm)
+        for counter in ("elapsed_time", "communication_volume", "message_count"):
+            a, b = getattr(r_sim, counter), getattr(r_shm, counter)
+            assert a == b, f"{algorithm}: modelled {counter} drifted: {a} != {b}"
+        rows.append(
+            {
+                "driver": algorithm,
+                "C nnz": C_sim.nnz,
+                "modelled time": seconds(r_sim.elapsed_time),
+                "modelled volume": mebibytes(r_sim.communication_volume),
+                "measured bytes": m_shm.total_bytes(),
+                "transfers": m_shm.total_transfers(),
+                "host (s)": f"{time.perf_counter() - t0:.2f}",
+            }
+        )
+    return rows
+
+
+def validate_applications(A) -> dict:
+    """Triangle and MCL answers must be backend-invariant."""
+    tri = {
+        b: run_triangles(A, algorithm="1d", nprocs=NPROCS, dataset=DATASET,
+                         block_split=32, backend=b)
+        for b in ("simulated", "shm")
+    }
+    assert tri["simulated"].triangles == tri["shm"].triangles, (
+        "triangle counts differ across backends: "
+        f"{tri['simulated'].triangles} != {tri['shm'].triangles}"
+    )
+    mcl = {
+        b: run_mcl(A, algorithm="1d", nprocs=NPROCS, dataset=DATASET,
+                   block_split=32, max_iterations=10, backend=b)
+        for b in ("simulated", "shm")
+    }
+    assert mcl["simulated"].n_clusters == mcl["shm"].n_clusters, (
+        "MCL cluster counts differ across backends: "
+        f"{mcl['simulated'].n_clusters} != {mcl['shm'].n_clusters}"
+    )
+    return {
+        "triangles": tri["simulated"].triangles,
+        "mcl_clusters": mcl["simulated"].n_clusters,
+        "mcl_iterations": mcl["simulated"].n_iterations,
+    }
+
+
+def phase_table(A) -> list:
+    """Per-phase modelled-vs-measured rows for one representative 1d run."""
+    cluster = create_cluster(NPROCS, backend="shm", name=DATASET)
+    try:
+        make_algorithm("1d").multiply(A, A, cluster)
+        modelled = cluster.ledger
+        measured = cluster.measured_ledger
+    finally:
+        cluster.shutdown()
+    rows = []
+    for name in modelled.phase_order:
+        mod = modelled.subset(name)
+        mea = measured.phases.get(name)
+        rows.append(
+            {
+                "phase": name,
+                "modelled time": seconds(mod.elapsed_time()),
+                "modelled bytes": mod.total_bytes(),
+                "measured wall": (
+                    seconds(mea.wall_seconds + mea.transfer_seconds)
+                    if mea is not None else "-"
+                ),
+                "measured bytes": int(mea.bytes_received.sum()) if mea is not None else 0,
+                "transfers": mea.transfers if mea is not None else 0,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate the shm backend against the simulated one"
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the validation summary JSON here")
+    parser.add_argument("--scale", type=float, default=min(SCALE, 0.2),
+                        help="dataset scale factor")
+    args = parser.parse_args(argv)
+
+    assert "shm" in available_backends(), available_backends()
+    A = load_dataset(DATASET, scale=args.scale)
+
+    header("backend validation: six drivers, bit-identical C (simulated vs shm)")
+    driver_rows = validate_drivers(A)
+    print(format_table(driver_rows, title="drivers"))
+
+    header("backend validation: application answers")
+    answers = validate_applications(A)
+    print(f"triangles: {answers['triangles']}   "
+          f"mcl clusters: {answers['mcl_clusters']} "
+          f"({answers['mcl_iterations']} iterations)   identical on both backends")
+
+    header("modelled vs measured, per phase (1d squaring on shm)")
+    phases = phase_table(A)
+    print(format_table(phases, title="phases"))
+
+    if args.out:
+        artifact = {
+            "dataset": DATASET,
+            "scale": args.scale,
+            "nprocs": NPROCS,
+            "drivers": driver_rows,
+            "applications": answers,
+            "phases": phases,
+            "backends": available_backends(),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nvalidation artifact written to {args.out}")
+
+    print("\nbackend validation passed: identical results, conserved transfers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...core import DistributedOperand, SpGEMMResult, make_algorithm
-from ...runtime import CostModel, PERLMUTTER, SimulatedCluster
+from ...runtime import CostModel, PERLMUTTER, create_cluster
 from ...sparse import CSCMatrix, as_csc
 from ...sparse.ops import transpose
 from .restriction import RestrictionOperator, build_restriction
@@ -53,14 +53,22 @@ def left_multiplication(
     algorithm: str = "1d",
     nprocs: int = 16,
     cost_model: CostModel = PERLMUTTER,
+    backend: str = "simulated",
     **algo_kwargs,
 ) -> SpGEMMResult:
     """Compute ``Rᵀ·A`` with the chosen distributed algorithm."""
     R = as_csc(R)
     A = as_csc(A)
-    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="RtA")
-    algo = make_algorithm(algorithm, **algo_kwargs)
-    return algo.multiply(transpose(R), A, cluster)
+    cluster = create_cluster(
+        nprocs, backend=backend, cost_model=cost_model, name="RtA"
+    )
+    try:
+        algo = make_algorithm(algorithm, **algo_kwargs)
+        result = algo.multiply(transpose(R), A, cluster)
+        result.measured = cluster.measured_ledger
+        return result
+    finally:
+        cluster.shutdown()
 
 
 def right_multiplication(
@@ -70,6 +78,7 @@ def right_multiplication(
     algorithm: str = "outer-product",
     nprocs: int = 16,
     cost_model: CostModel = PERLMUTTER,
+    backend: str = "simulated",
     **algo_kwargs,
 ) -> SpGEMMResult:
     """Compute ``(RᵀA)·R``; defaults to the outer-product 1D algorithm.
@@ -86,9 +95,16 @@ def right_multiplication(
     if not isinstance(RtA, DistributedOperand):
         RtA = as_csc(RtA)
     R = as_csc(R)
-    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="RtAR")
-    algo = make_algorithm(algorithm, **algo_kwargs)
-    return algo.multiply(RtA, R, cluster)
+    cluster = create_cluster(
+        nprocs, backend=backend, cost_model=cost_model, name="RtAR"
+    )
+    try:
+        algo = make_algorithm(algorithm, **algo_kwargs)
+        result = algo.multiply(RtA, R, cluster)
+        result.measured = cluster.measured_ledger
+        return result
+    finally:
+        cluster.shutdown()
 
 
 def galerkin_product(
@@ -101,6 +117,7 @@ def galerkin_product(
     cost_model: CostModel = PERLMUTTER,
     seed: int = 0,
     resident: bool = True,
+    backend: str = "simulated",
 ) -> GalerkinResult:
     """Full Galerkin product ``Rᵀ A R`` with separate ledgers for each SpGEMM.
 
@@ -119,7 +136,12 @@ def galerkin_product(
     R = restriction.R
 
     left = left_multiplication(
-        R, A, algorithm=left_algorithm, nprocs=nprocs, cost_model=cost_model
+        R,
+        A,
+        algorithm=left_algorithm,
+        nprocs=nprocs,
+        cost_model=cost_model,
+        backend=backend,
     )
     right = right_multiplication(
         left if resident else left.C,
@@ -127,6 +149,7 @@ def galerkin_product(
         algorithm=right_algorithm,
         nprocs=nprocs,
         cost_model=cost_model,
+        backend=backend,
     )
     return GalerkinResult(
         coarse=right.C, left=left, right=right, restriction=restriction

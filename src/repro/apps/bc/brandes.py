@@ -34,7 +34,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ...core import make_algorithm
-from ...runtime import CostModel, PERLMUTTER, SimulatedCluster
+from ...runtime import CostModel, PERLMUTTER, create_cluster
 from ...sparse import CSCMatrix, as_csc, local_spgemm
 from ...sparse.ops import transpose
 from .frontier import mask_visited, source_selection_matrix
@@ -81,6 +81,9 @@ class BCResult:
     scores: np.ndarray
     iterations: List[BCIterationRecord] = field(default_factory=list)
     directed: bool = False
+    #: run-wide measured-transfer ledger (non-simulated backends only);
+    #: legacy runs merge their per-iteration clusters under ``it{n}:``
+    measured: Optional[object] = None
 
     @property
     def forward_time(self) -> float:
@@ -166,19 +169,25 @@ class _FrontierMultiplier:
         pattern: CSCMatrix,
         pattern_t: CSCMatrix,
         resident: bool,
+        backend: str = "simulated",
     ) -> None:
         self.algorithm = algorithm
         self.nprocs = nprocs
         self.cost_model = cost_model
+        self.backend = backend
         self.local = algorithm == "local"
         self.resident = resident and not self.local
         self._pattern = pattern
         self._pattern_t = pattern_t
         self._counter = 0
+        #: run-wide measured ledger (non-simulated backends only)
+        self.measured = None
         self.setup_record: Optional[BCIterationRecord] = None
         if self.resident:
             t0 = time.perf_counter()
-            self.cluster = SimulatedCluster(nprocs, cost_model=cost_model, name="bc")
+            self.cluster = create_cluster(
+                nprocs, backend=backend, cost_model=cost_model, name="bc"
+            )
             self.algo = make_algorithm(algorithm)
             with self.cluster.phase_scope("prep:"):
                 self._op_t = self.algo.prepare_operand(pattern_t, self.cluster)
@@ -233,14 +242,40 @@ class _FrontierMultiplier:
                 result = self.algo.execute(self.algo.prepare(op, F, self.cluster))
             self._counter += 1
         else:
-            cluster = SimulatedCluster(
-                self.nprocs, cost_model=self.cost_model, name="bc"
+            cluster = create_cluster(
+                self.nprocs,
+                backend=self.backend,
+                cost_model=self.cost_model,
+                name="bc",
             )
-            result = make_algorithm(self.algorithm).multiply(A, F, cluster)
+            try:
+                result = make_algorithm(self.algorithm).multiply(A, F, cluster)
+                self._note_measured(
+                    cluster.measured_ledger, prefix=f"it{self._counter}:"
+                )
+                self._counter += 1
+            finally:
+                cluster.shutdown()
         record = _record_from_result(
             result, phase=phase, iteration=iteration, wall=time.perf_counter() - t0
         )
         return result.C, record
+
+    def _note_measured(self, ledger, prefix: str = "") -> None:
+        """Fold one cluster's measured ledger into the run-wide one."""
+        if ledger is None:
+            return
+        if self.measured is None:
+            from ...runtime.shm import MeasuredLedger
+
+            self.measured = MeasuredLedger(nprocs=self.nprocs)
+        self.measured.merge(ledger, prefix=prefix)
+
+    def close(self) -> None:
+        """Collect the resident cluster's measurements and release the backend."""
+        if self.resident:
+            self._note_measured(self.cluster.measured_ledger)
+            self.cluster.shutdown()
 
 
 def batched_betweenness_centrality(
@@ -256,6 +291,7 @@ def batched_betweenness_centrality(
     seed: int = 0,
     max_levels: Optional[int] = None,
     resident: bool = False,
+    backend: str = "simulated",
 ) -> BCResult:
     """Approximate betweenness centrality from a sampled set of sources.
 
@@ -312,7 +348,7 @@ def batched_betweenness_centrality(
     scores = np.zeros(n, dtype=np.float64)
     iterations: List[BCIterationRecord] = []
     multiplier = _FrontierMultiplier(
-        algorithm, nprocs, cost_model, pattern, pattern_t, resident
+        algorithm, nprocs, cost_model, pattern, pattern_t, resident, backend=backend
     )
     if multiplier.setup_record is not None:
         iterations.append(multiplier.setup_record)
@@ -373,4 +409,10 @@ def batched_betweenness_centrality(
 
     if not directed:
         scores *= 0.5
-    return BCResult(scores=scores, iterations=iterations, directed=directed)
+    multiplier.close()
+    return BCResult(
+        scores=scores,
+        iterations=iterations,
+        directed=directed,
+        measured=multiplier.measured,
+    )

@@ -37,7 +37,7 @@ import numpy as np
 
 from ..core import inflate, make_algorithm, prune
 from ..core.pipeline import DistributedOperand
-from ..runtime import CostModel, PERLMUTTER, PhaseLedger, SimulatedCluster
+from ..runtime import CostModel, PERLMUTTER, PhaseLedger, SimulatedCluster, create_cluster
 from ..sparse import CSCMatrix, as_csc
 
 __all__ = [
@@ -95,6 +95,8 @@ class MCLRun:
     ledger: Optional[PhaseLedger] = None
     #: the final iterate, still distributed (assemble via ``.global_matrix()``)
     final: Optional[DistributedOperand] = None
+    #: run-wide measured-transfer ledger (non-simulated backends only)
+    measured: Optional[object] = None
 
     @property
     def elapsed_time(self) -> float:
@@ -204,6 +206,7 @@ def run_mcl(
     dataset: str = "matrix",
     block_split: int = 2048,
     layers: Optional[int] = None,
+    backend: str = "simulated",
 ) -> MCLRun:
     """Run Markov clustering to convergence on one resident pipeline.
 
@@ -222,7 +225,9 @@ def run_mcl(
         )
     M = build_stochastic_matrix(A)
 
-    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
+    cluster = create_cluster(
+        nprocs, backend=backend, cost_model=cost_model, name=dataset
+    )
     kwargs = {}
     if algorithm in ("1d", "1d-sparsity-aware"):
         kwargs["block_split"] = block_split
@@ -278,6 +283,10 @@ def run_mcl(
             converged = True
             break
 
+    # The expand/inflate/prune/converge loop is done; release the backend
+    # (the shm transport's finalizer backstops error paths).
+    cluster.shutdown()
+
     # Attractor rows of the converged iterate: every cluster is the column
     # support of (at least) one nonzero row, so distinct nonzero rows count
     # the clusters.  Computed from the resident pieces — no global assembly.
@@ -303,4 +312,5 @@ def run_mcl(
         n_clusters=int(nonzero_rows.size),
         ledger=cluster.ledger,
         final=op_c,
+        measured=cluster.measured_ledger,
     )

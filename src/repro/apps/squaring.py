@@ -35,7 +35,7 @@ from ..partition import (
     random_symmetric_permutation,
     rcm_ordering,
 )
-from ..runtime import CostModel, PERLMUTTER, PhaseLedger, SimulatedCluster
+from ..runtime import CostModel, PERLMUTTER, PhaseLedger, create_cluster
 from ..sparse import CSCMatrix, as_csc
 
 __all__ = [
@@ -167,6 +167,7 @@ def run_squaring(
     block_split: int = 2048,
     seed: int = 0,
     layers: Optional[int] = None,
+    backend: str = "simulated",
     verify_against: Optional[CSCMatrix] = None,
 ) -> SquaringRun:
     """Square ``A`` with the chosen algorithm and permutation strategy.
@@ -181,16 +182,22 @@ def run_squaring(
     A = as_csc(A)
     permuted, ordering, perm_seconds = prepare_ordering(A, strategy, nprocs, seed=seed)
 
-    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
-    algo = make_algorithm(
-        algorithm, **_algo_constructor_kwargs(algorithm, block_split, layers)
+    cluster = create_cluster(
+        nprocs, backend=backend, cost_model=cost_model, name=dataset
     )
+    try:
+        algo = make_algorithm(
+            algorithm, **_algo_constructor_kwargs(algorithm, block_split, layers)
+        )
 
-    # Every 1D-family algorithm honours the partition-derived block bounds.
-    bounds = block_bounds_from_sizes(ordering.block_sizes)
-    multiply_kwargs = _bounds_kwargs(algorithm, bounds)
+        # Every 1D-family algorithm honours the partition-derived block bounds.
+        bounds = block_bounds_from_sizes(ordering.block_sizes)
+        multiply_kwargs = _bounds_kwargs(algorithm, bounds)
 
-    result = algo.multiply(permuted, permuted, cluster, **multiply_kwargs)
+        result = algo.multiply(permuted, permuted, cluster, **multiply_kwargs)
+        result.measured = cluster.measured_ledger
+    finally:
+        cluster.shutdown()
 
     if verify_against is not None:
         # Undo the permutation on the output for comparison: C' = P C Pᵀ.
@@ -246,6 +253,8 @@ class ChainedSquaringRun:
     permutation_bytes: int
     cv_over_mema: float
     permutation_wall_seconds: float = 0.0
+    #: run-wide measured-transfer ledger (non-simulated backends only)
+    measured: Optional[object] = None
 
     @property
     def final(self) -> SpGEMMResult:
@@ -278,6 +287,7 @@ def run_chained_squaring(
     block_split: int = 2048,
     seed: int = 0,
     layers: Optional[int] = None,
+    backend: str = "simulated",
 ) -> ChainedSquaringRun:
     """Compute ``A^(2^k)`` by iterated squaring on one resident pipeline.
 
@@ -294,23 +304,30 @@ def run_chained_squaring(
     A = as_csc(A)
     permuted, ordering, perm_seconds = prepare_ordering(A, strategy, nprocs, seed=seed)
 
-    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
-    algo = make_algorithm(
-        algorithm, **_algo_constructor_kwargs(algorithm, block_split, layers)
+    cluster = create_cluster(
+        nprocs, backend=backend, cost_model=cost_model, name=dataset
     )
-    bounds = block_bounds_from_sizes(ordering.block_sizes)
-    multiply_kwargs = _bounds_kwargs(algorithm, bounds)
+    try:
+        algo = make_algorithm(
+            algorithm, **_algo_constructor_kwargs(algorithm, block_split, layers)
+        )
+        bounds = block_bounds_from_sizes(ordering.block_sizes)
+        multiply_kwargs = _bounds_kwargs(algorithm, bounds)
 
-    operand = permuted
-    results: List[SpGEMMResult] = []
-    for level in range(k):
-        with cluster.phase_scope(f"sq{level}:"):
-            prepared = algo.prepare(operand, operand, cluster, **multiply_kwargs)
-            result = algo.execute(prepared)
-        results.append(result)
-        # The output lands already in the desired layout — the next level
-        # consumes it without assembling a global matrix.
-        operand = result.distributed_c if result.distributed_c is not None else result.C
+        operand = permuted
+        results: List[SpGEMMResult] = []
+        for level in range(k):
+            with cluster.phase_scope(f"sq{level}:"):
+                prepared = algo.prepare(operand, operand, cluster, **multiply_kwargs)
+                result = algo.execute(prepared)
+            results.append(result)
+            # The output lands already in the desired layout — the next level
+            # consumes it without assembling a global matrix.
+            operand = (
+                result.distributed_c if result.distributed_c is not None else result.C
+            )
+    finally:
+        cluster.shutdown()
 
     from ..distribution import estimate_redistribution_bytes
 
@@ -328,4 +345,5 @@ def run_chained_squaring(
         permutation_bytes=perm_bytes,
         cv_over_mema=est.cv_over_mema,
         permutation_wall_seconds=perm_seconds,
+        measured=cluster.measured_ledger,
     )

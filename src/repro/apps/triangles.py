@@ -31,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 from ..core import SpGEMMResult, iter_local_pieces, make_algorithm
-from ..runtime import CostModel, PERLMUTTER, SimulatedCluster
+from ..runtime import CostModel, PERLMUTTER, create_cluster
 from ..sparse import CSCMatrix, as_csc, to_scipy
 from ..sparse.ops import symmetrize_pattern
 
@@ -106,6 +106,7 @@ def run_triangles(
     block_split: int = 2048,
     mask_mode: str = "late",
     layers: Optional[int] = None,
+    backend: str = "simulated",
     verify: bool = True,
 ) -> TriangleCountRun:
     """Count triangles with a distributed masked SpGEMM ``(L·L) ⊙ L``.
@@ -118,24 +119,31 @@ def run_triangles(
     A = as_csc(A)
     L = build_lower_triangle(A)
 
-    cluster = SimulatedCluster(nprocs, cost_model=cost_model, name=dataset)
-    kwargs = {}
-    if algorithm in ("1d", "1d-sparsity-aware"):
-        kwargs["block_split"] = block_split
-    if algorithm in ("3d", "3d-split") and layers is not None:
-        kwargs["layers"] = layers
-    algo = make_algorithm(algorithm, **kwargs)
-    result = algo.multiply(L, L, cluster, mask=L, mask_mode=mask_mode)
+    cluster = create_cluster(
+        nprocs, backend=backend, cost_model=cost_model, name=dataset
+    )
+    try:
+        kwargs = {}
+        if algorithm in ("1d", "1d-sparsity-aware"):
+            kwargs["block_split"] = block_split
+        if algorithm in ("3d", "3d-split") and layers is not None:
+            kwargs["layers"] = layers
+        algo = make_algorithm(algorithm, **kwargs)
+        result = algo.multiply(L, L, cluster, mask=L, mask_mode=mask_mode)
 
-    # The count is one scalar per rank (the sum of its masked local values)
-    # allreduced over the cluster — charged like any other collective.
-    with cluster.phase("count"):
-        per_rank = {}
-        for rank, local in iter_local_pieces(result.distributed_c):
-            cluster.charge_compute(rank, local.nnz)
-            per_rank[rank] = float(local.data.sum())
-        reduced = cluster.comm.allreduce_scalar(per_rank)
-    triangles = int(round(next(iter(reduced.values())))) if reduced else 0
+        # The count is one scalar per rank (the sum of its masked local
+        # values) allreduced over the cluster — charged like any other
+        # collective.
+        with cluster.phase("count"):
+            per_rank = {}
+            for rank, local in iter_local_pieces(result.distributed_c):
+                cluster.charge_compute(rank, local.nnz)
+                per_rank[rank] = float(local.data.sum())
+            reduced = cluster.comm.allreduce_scalar(per_rank)
+        triangles = int(round(next(iter(reduced.values())))) if reduced else 0
+        result.measured = cluster.measured_ledger
+    finally:
+        cluster.shutdown()
 
     reference = None
     if verify:

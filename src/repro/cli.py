@@ -40,7 +40,7 @@ from .experiments import (
     write_trajectory,
 )
 from .matrices import dataset_names, load_dataset, matrix_stats, read_matrix_market
-from .runtime import PERLMUTTER
+from .runtime import PERLMUTTER, available_backends
 from .sparse import CSCMatrix
 
 __all__ = ["main", "build_parser"]
@@ -96,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "resident pipeline instead of a single A·A")
     p_square.add_argument("--breakdown", action="store_true",
                           help="print the per-rank comm/comp/other breakdown")
+    p_square.add_argument("--backend", default="simulated",
+                          help="execution backend (simulated = modelled only; "
+                               "shm = real shared-memory transfers)")
 
     p_est = sub.add_parser("estimate", help="CV/memA partitioning criterion (§V-A)")
     _add_input_arguments(p_est)
@@ -204,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mcl workload: pruning threshold (default 1e-3)")
     p_sweep.add_argument("--mcl-max-iters", type=int, default=None,
                          help="mcl workload: iteration cap (default 30)")
+    p_sweep.add_argument("--backend", default="simulated",
+                         help="execution backend for every config of the grid "
+                              "(simulated = modelled only; shm = real "
+                              "shared-memory transfers)")
 
     p_bench = sub.add_parser(
         "bench",
@@ -226,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trajectory label (default: the --out file stem)")
     p_bench.add_argument("--force", action="store_true",
                          help="re-execute configs even on a cache hit")
+    p_bench.add_argument("--backend", default=None,
+                         help="force one execution backend for every bench "
+                              "config (default: the built-in mix — simulated "
+                              "plus one shm validation run per workload)")
 
     sub.add_parser("datasets", help="list the built-in dataset analogues")
     sub.add_parser("algorithms", help="list the available distributed algorithms")
@@ -236,7 +247,21 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # ----------------------------------------------------------------------
 
+def _check_backend(name: Optional[str]) -> Optional[str]:
+    """Validation message for a ``--backend`` value (``None`` = valid)."""
+    if name is None or name in available_backends():
+        return None
+    return (
+        f"unknown backend {name!r}; available backends: "
+        f"{', '.join(available_backends())}"
+    )
+
+
 def _cmd_square(args) -> int:
+    problem = _check_backend(args.backend)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     A = _load_input(args)
     if args.chain is not None:
         return _cmd_square_chain(args, A)
@@ -249,6 +274,7 @@ def _cmd_square(args) -> int:
         layers=args.layers,
         cost_model=PERLMUTTER,
         dataset=_input_label(args),
+        backend=args.backend,
     )
     rows = [
         {
@@ -285,6 +311,7 @@ def _cmd_square_chain(args, A) -> int:
         layers=args.layers,
         cost_model=PERLMUTTER,
         dataset=_input_label(args),
+        backend=args.backend,
     )
     rows = [
         {
@@ -476,6 +503,12 @@ def _validate_grid(grid: ExperimentGrid) -> List[str]:
     unknown = [s for s in grid.strategies if s not in PERMUTATION_STRATEGIES]
     if unknown:
         problems.append(f"unknown strategies: {', '.join(unknown)}")
+    unknown = [b for b in grid.backends if b not in available_backends()]
+    if unknown:
+        problems.append(
+            f"unknown backends: {', '.join(unknown)}; available backends: "
+            f"{', '.join(available_backends())}"
+        )
     bad = [p for p in grid.process_counts if p <= 0]
     if bad:
         problems.append(f"process counts must be positive: {bad}")
@@ -568,6 +601,7 @@ def _cmd_sweep(args) -> int:
         mcl_inflation=args.mcl_inflation,
         mcl_prune=args.mcl_prune,
         mcl_max_iters=args.mcl_max_iters,
+        backends=(args.backend,),
     )
     problems = _validate_grid(grid)
     if problems:
@@ -641,6 +675,7 @@ def _bench_configs(workload: str, scale: float) -> List[RunConfig]:
 
 
 def _cmd_bench(args) -> int:
+    import dataclasses
     import time
 
     workloads = _parse_csv(args.workloads, str)
@@ -648,9 +683,22 @@ def _cmd_bench(args) -> int:
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    problem = _check_backend(args.backend)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     configs: List[RunConfig] = []
     for workload in workloads:
-        configs.extend(_bench_configs(workload, args.scale))
+        base = _bench_configs(workload, args.scale)
+        if args.backend is not None:
+            base = [dataclasses.replace(c, backend=args.backend) for c in base]
+        else:
+            # The default mix carries one measured validation point per
+            # workload: the workload's first representative config re-run
+            # on the shm backend at P=4 (small, so the physical transfers
+            # stay cheap; the modelled counters are backend-invariant).
+            base = base + [dataclasses.replace(base[0], backend="shm", nprocs=4)]
+        configs.extend(base)
     t0 = time.perf_counter()
     result = run_grid(
         configs,

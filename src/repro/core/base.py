@@ -61,6 +61,10 @@ class SpGEMMResult:
     info: Dict[str, float] = field(default_factory=dict)
     #: the distributed product (C in the layout the algorithm produces)
     distributed_c: Optional[DistributedOperand] = None
+    #: measured-transfer ledger of the producing cluster
+    #: (:class:`~repro.runtime.shm.MeasuredLedger`); ``None`` on the
+    #: simulated backend, attached post-hoc by the app-level runners.
+    measured: Optional[object] = field(default=None, repr=False)
     #: lazily assembled global product (filled on first access of ``C``)
     _global_c: Optional[CSCMatrix] = field(default=None, repr=False)
 

@@ -51,7 +51,7 @@ from ..distribution import (
     DistributedColumns1D,
     DistributedRows1D,
 )
-from ..runtime import SimulatedCluster
+from ..runtime import SimulatedCluster, WindowError
 from ..sparse import CSCMatrix, as_csc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base imports us)
@@ -228,7 +228,21 @@ class PreparedMultiply:
     mask_mode: str = "late"
 
     def execute(self):
-        """Run the multiply (delegates to ``algorithm.execute(self)``)."""
+        """Run the multiply (delegates to ``algorithm.execute(self)``).
+
+        Refuses to run against a cluster that has been shut down: the
+        operands' windows (and, on real backends, the transport) are gone,
+        so executing would otherwise fail deep inside the ledger with an
+        unrelated-looking error.  This extends the wrong-cluster guard in
+        ``prepare`` to the cluster's lifetime.
+        """
+        if getattr(self.cluster, "closed", False):
+            raise WindowError(
+                "cannot execute a PreparedMultiply on a shut-down "
+                f"{getattr(self.cluster, 'backend_name', 'simulated')!r} backend "
+                "cluster; prepare and execute on a live cluster (the backend "
+                "was shut down after this multiply was prepared)"
+            )
         return self.algorithm.execute(self)
 
 

@@ -24,6 +24,8 @@ from .records import (
     ChainStats,
     MCLIterationStats,
     MCLStats,
+    MeasuredPhaseStats,
+    MeasuredStats,
     RunRecord,
     TriangleStats,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "ChainStats",
     "MCLIterationStats",
     "MCLStats",
+    "MeasuredPhaseStats",
+    "MeasuredStats",
     "TriangleStats",
     "RunRecord",
     "ResultStore",

@@ -57,6 +57,9 @@ _ELIDE_AT_DEFAULT: Dict[str, object] = {
     "mcl_inflation": None,
     "mcl_prune": None,
     "mcl_max_iters": None,
+    # PR6: execution backend; "simulated" is the pre-PR6 behaviour, so
+    # every pre-PR6 hash (and BENCH overlap) stays stable
+    "backend": "simulated",
 }
 
 #: explicit values that are behaviourally identical to a field's default
@@ -140,6 +143,10 @@ class RunConfig:
     mcl_prune: Optional[float] = None
     #: mcl workload: iteration cap (None → 30)
     mcl_max_iters: Optional[int] = None
+    #: execution backend: "simulated" (modelled-only, the default) or
+    #: "shm" (real shared-memory transfers + a measured ledger); see
+    #: :mod:`repro.runtime.backend`
+    backend: str = "simulated"
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -244,13 +251,17 @@ class ExperimentGrid:
     mcl_inflation: Optional[float] = None
     mcl_prune: Optional[float] = None
     mcl_max_iters: Optional[int] = None
+    #: execution backends to run every config on (a full product axis —
+    #: unlike the workload-specific parameters, every workload reads it)
+    backends: Sequence[str] = ("simulated",)
 
     def expand(self) -> List[RunConfig]:
         configs = []
-        for dataset, workload, algorithm, strategy, nprocs, block_split, layers, threads, seed in (
+        for dataset, workload, backend, algorithm, strategy, nprocs, block_split, layers, threads, seed in (
             itertools.product(
                 self.datasets,
                 self.workloads,
+                self.backends,
                 self.algorithms,
                 self.strategies,
                 self.process_counts,
@@ -297,6 +308,7 @@ class ExperimentGrid:
                     mcl_max_iters=(
                         self.mcl_max_iters if workload == "mcl" else None
                     ),
+                    backend=backend,
                 )
             )
         return configs
@@ -308,6 +320,7 @@ class ExperimentGrid:
         return (
             len(self.datasets)
             * len(self.workloads)
+            * len(self.backends)
             * len(self.algorithms)
             * len(self.strategies)
             * len(self.process_counts)

@@ -97,9 +97,11 @@ def execute_config(
     Every quantity in the returned record is **modelled and deterministic**
     — seconds from the α–β–γ cost model, payload bytes, message counts —
     with the ledger's conservation status (``bytes_sent == bytes_received``
-    per phase) distilled into ``record.conserved``; measured wall-clock
-    never enters a record (see :mod:`repro.experiments.records` for the
-    per-field units).
+    per phase) distilled into ``record.conserved``.  The one exception is
+    ``record.measured``: on a non-simulated backend it carries the
+    machine-tagged measured transfer ledger (see
+    :mod:`repro.experiments.records` for the per-field conventions); on the
+    simulated backend it is absent so stores stay byte-reproducible.
 
     ``matrix`` and ``cost_model`` override the config's dataset/model lookup
     for in-process callers that already hold the operand (the classic sweep
@@ -208,21 +210,37 @@ def run_grid(
         say(f"cache: reusing {stats.cached}/{stats.total} records")
 
     fresh: List[RunRecord] = []
+    executed: List = []
     if pending:
         say(f"executing {len(pending)} configs with {stats.workers} worker(s)")
-        pending_configs = [c for _, c in pending]
-        if workers > 1 and len(pending) > 1:
-            _prewarm_dataset_cache(pending_configs)
+        # Non-simulated backends fork transport helper processes of their
+        # own, which daemonic pool workers are not allowed to do — those
+        # configs always run serially in the parent, whatever ``workers``
+        # says.  Pool-vs-parent placement never changes modelled counters.
+        pooled = [(i, c) for i, c in pending if c.backend == "simulated"]
+        serial = [(i, c) for i, c in pending if c.backend != "simulated"]
+        if workers > 1 and len(pooled) > 1:
+            if serial:
+                say(
+                    f"{len(serial)} config(s) on non-simulated backends run "
+                    "in the parent process"
+                )
+            _prewarm_dataset_cache([c for _, c in pooled])
             with multiprocessing.Pool(processes=workers) as pool:
-                produced = pool.imap(_execute_worker, pending_configs, chunksize=1)
+                produced = pool.imap(
+                    _execute_worker, [c for _, c in pooled], chunksize=1
+                )
                 fresh = _collect(produced, store)
+            fresh += _collect((execute_config(c) for _, c in serial), store)
+            executed = pooled + serial
         else:
-            fresh = _collect((execute_config(c) for c in pending_configs), store)
+            executed = pending
+            fresh = _collect((execute_config(c) for _, c in executed), store)
         if store is not None:
             say(f"persisted {len(fresh)} new records to {store.path}")
 
     # Assemble in grid order: cached rows fill the gaps between fresh ones.
-    by_index: Dict[int, RunRecord] = {i: r for (i, _), r in zip(pending, fresh)}
+    by_index: Dict[int, RunRecord] = {i: r for (i, _), r in zip(executed, fresh)}
     records = [
         by_index[i] if i in by_index else cached[h]
         for i, h in enumerate(hashes)

@@ -3,9 +3,15 @@
 A :class:`RunRecord` holds everything a figure needs from one experiment —
 modelled times, communication volumes, message counts, CV/memA,
 conservation status, per-rank breakdowns — and *only* modelled
-(deterministic) quantities.  Measured wall-clock never enters a record, so
-serial and parallel execution of the same grid produce byte-identical
-JSONL, and a cached record is indistinguishable from a fresh run.
+(deterministic) quantities, with one explicitly-marked exception: records
+produced on a non-simulated backend additionally carry a
+:class:`MeasuredStats` block of physically-measured wall-clock and byte
+counts, tagged with the machine that produced it.  Simulated-backend
+records never carry the block, so serial and parallel execution of the
+same simulated grid produce byte-identical JSONL, and a cached record is
+indistinguishable from a fresh run.  Measured fields are machine-local and
+excluded from cross-PR comparison (see ``benchmarks/compare_trajectories``
+and ``docs/accounting.md``).
 
 Non-squaring workloads attach their own result structures: the AMG
 restriction workload records per-phase (RᵀA vs (RᵀA)·R) times/volumes and
@@ -31,9 +37,130 @@ __all__ = [
     "ChainStats",
     "MCLIterationStats",
     "MCLStats",
+    "MeasuredPhaseStats",
+    "MeasuredStats",
     "TriangleStats",
     "RunRecord",
 ]
+
+
+@dataclass
+class MeasuredPhaseStats:
+    """Measured counters of one phase on a real-transfer backend."""
+
+    phase: str
+    #: wall-clock seconds of the whole phase block (driver code included)
+    wall_seconds: float
+    #: seconds spent inside shared-memory round trips
+    transfer_seconds: float
+    #: bytes physically received out of shared memory in this phase
+    bytes: int
+    #: number of physical transfers
+    transfers: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "wall_seconds": self.wall_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "bytes": self.bytes,
+            "transfers": self.transfers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MeasuredPhaseStats":
+        return cls(
+            phase=str(data["phase"]),
+            wall_seconds=float(data["wall_seconds"]),
+            transfer_seconds=float(data["transfer_seconds"]),
+            bytes=int(data["bytes"]),
+            transfers=int(data["transfers"]),
+        )
+
+
+@dataclass
+class MeasuredStats:
+    """Physically-measured counters of one run on a non-simulated backend.
+
+    Everything here is **machine-local** (wall clock, pickle wire sizes,
+    the host tag) and therefore excluded from cross-PR and cross-machine
+    comparison — unlike the modelled fields of the enclosing record, which
+    stay bit-identical across backends and machines.
+    """
+
+    #: backend that produced the measurement ("shm", ...)
+    backend: str
+    #: wall-clock seconds summed over all phases
+    wall_seconds: float
+    #: seconds spent inside physical transfers
+    transfer_seconds: float
+    #: bytes physically pushed into / received out of shared memory
+    bytes_sent: int
+    bytes_received: int
+    #: number of physical transfers
+    transfers: int
+    #: did every phase balance physically-sent against physically-received?
+    conserved: bool
+    #: host/platform/python tag of the measuring machine
+    machine: Dict[str, str] = field(default_factory=dict)
+    #: per-phase breakdown, in execution order
+    phases: List[MeasuredPhaseStats] = field(default_factory=list)
+
+    @classmethod
+    def from_ledger(
+        cls, ledger, backend: str, machine: Optional[Dict[str, str]] = None
+    ) -> "MeasuredStats":
+        """Summarise a :class:`~repro.runtime.shm.MeasuredLedger`."""
+        summary = ledger.to_dict()
+        return cls(
+            backend=backend,
+            wall_seconds=float(summary["wall_seconds"]),
+            transfer_seconds=float(summary["transfer_seconds"]),
+            bytes_sent=int(summary["bytes_sent"]),
+            bytes_received=int(summary["bytes_received"]),
+            transfers=int(summary["transfers"]),
+            conserved=bool(summary["conserved"]),
+            machine=dict(machine or {}),
+            phases=[
+                MeasuredPhaseStats(
+                    phase=str(ph["phase"]),
+                    wall_seconds=float(ph["wall_seconds"]),
+                    transfer_seconds=float(ph["transfer_seconds"]),
+                    bytes=int(ph["bytes"]),
+                    transfers=int(ph["transfers"]),
+                )
+                for ph in summary["phases"]
+            ],
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "wall_seconds": self.wall_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "transfers": self.transfers,
+            "conserved": self.conserved,
+            "machine": self.machine,
+            "phases": [ph.to_dict() for ph in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MeasuredStats":
+        return cls(
+            backend=str(data["backend"]),
+            wall_seconds=float(data["wall_seconds"]),
+            transfer_seconds=float(data["transfer_seconds"]),
+            bytes_sent=int(data["bytes_sent"]),
+            bytes_received=int(data["bytes_received"]),
+            transfers=int(data["transfers"]),
+            conserved=bool(data["conserved"]),
+            machine={str(k): str(v) for k, v in (data.get("machine") or {}).items()},
+            phases=[
+                MeasuredPhaseStats.from_dict(ph) for ph in data.get("phases", [])
+            ],
+        )
 
 
 @dataclass
@@ -414,6 +541,9 @@ class RunRecord:
     triangles: Optional[TriangleStats] = None
     #: Markov-clustering per-iteration series (mcl workload only)
     mcl: Optional[MCLStats] = None
+    #: physically-measured counters (non-simulated backends only);
+    #: machine-tagged and excluded from cross-PR comparison
+    measured: Optional[MeasuredStats] = None
 
     @property
     def total_time_with_permutation(self) -> float:
@@ -466,6 +596,11 @@ class RunRecord:
             out["triangles"] = self.triangles.to_dict()
         if self.mcl is not None:
             out["mcl"] = self.mcl.to_dict()
+        # The measured block exists only for non-simulated backends, so
+        # every simulated JSONL row stays byte-identical to its pre-backend
+        # form (and stays machine-independent).
+        if self.measured is not None:
+            out["measured"] = self.measured.to_dict()
         return out
 
     def to_json_line(self) -> str:
@@ -504,6 +639,11 @@ class RunRecord:
                 else None
             ),
             mcl=MCLStats.from_dict(data["mcl"]) if data.get("mcl") else None,
+            measured=(
+                MeasuredStats.from_dict(data["measured"])
+                if data.get("measured")
+                else None
+            ),
         )
 
     @classmethod

@@ -41,13 +41,20 @@ def machine_tag() -> Dict[str, str]:
 
 
 def _record_row(record: RunRecord) -> Dict[str, object]:
-    """The compact per-record row a trajectory keeps (modelled-only)."""
+    """The compact per-record row a trajectory keeps (modelled-only).
+
+    The one machine-dependent exception is the ``measured`` sub-dict
+    present on non-simulated-backend rows — like the document-level
+    ``wall_seconds`` it reports where/how fast, never enters cross-PR
+    comparison, and is absent from simulated rows entirely.
+    """
     row: Dict[str, object] = {
         "config_hash": record.config_hash,
         "workload": record.workload,
         "dataset": record.config.dataset,
         "algorithm": record.algorithm,
         "strategy": record.config.strategy,
+        "backend": record.config.backend,
         "nprocs": record.config.nprocs,
         "scale": record.config.scale,
         "elapsed_time": record.elapsed_time,
@@ -55,6 +62,15 @@ def _record_row(record: RunRecord) -> Dict[str, object]:
         "message_count": record.message_count,
         "conserved": record.conserved,
     }
+    if record.measured is not None:
+        row["measured"] = {
+            "backend": record.measured.backend,
+            "wall_seconds": record.measured.wall_seconds,
+            "transfer_seconds": record.measured.transfer_seconds,
+            "bytes_received": record.measured.bytes_received,
+            "transfers": record.measured.transfers,
+            "conserved": record.measured.conserved,
+        }
     if record.amg is not None:
         row["amg"] = {
             "left_time": record.amg.left_time,

@@ -80,6 +80,7 @@ from .records import (
     ChainStats,
     MCLIterationStats,
     MCLStats,
+    MeasuredStats,
     RunRecord,
     TriangleStats,
 )
@@ -104,6 +105,19 @@ def _permutation_bytes(A: CSCMatrix, config: RunConfig) -> int:
     if config.strategy == "none":
         return 0
     return estimate_redistribution_bytes(A, config.nprocs)
+
+
+def _measured_stats(config: RunConfig, ledger) -> Optional[MeasuredStats]:
+    """Distil a run's measured-transfer ledger into record form.
+
+    Returns ``None`` on the simulated backend (no measured ledger exists),
+    which keeps simulated record stores byte-identical to pre-backend runs.
+    """
+    if ledger is None:
+        return None
+    from .trajectory import machine_tag
+
+    return MeasuredStats.from_ledger(ledger, config.backend, machine=machine_tag())
 
 
 def _per_rank_times(ledger: PhaseLedger) -> Dict[str, List[float]]:
@@ -132,6 +146,7 @@ def _execute_squaring(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunR
         block_split=config.block_split,
         seed=config.seed,
         layers=config.layers,
+        backend=config.backend,
     )
     ledger = run.result.ledger
     ranks = _per_rank_times(ledger)
@@ -157,6 +172,7 @@ def _execute_squaring(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunR
         per_rank_comp=ranks["comp"],
         per_rank_other=ranks["other"],
         workload="squaring",
+        measured=_measured_stats(config, run.result.measured),
     )
 
 
@@ -185,6 +201,7 @@ def _execute_chained_squaring(
         block_split=config.block_split,
         seed=config.seed,
         layers=config.layers,
+        backend=config.backend,
     )
     ledger = run.ledger
     ranks = _per_rank_times(ledger)
@@ -225,6 +242,7 @@ def _execute_chained_squaring(
         per_rank_other=ranks["other"],
         workload="chained-squaring",
         chain=chain,
+        measured=_measured_stats(config, run.measured),
     )
 
 
@@ -257,6 +275,7 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         algorithm=config.algorithm,
         nprocs=config.nprocs,
         cost_model=model,
+        backend=config.backend,
         **_algo_kwargs(config.algorithm, config),
     )
     right = None
@@ -271,6 +290,7 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
             algorithm=right_algorithm,
             nprocs=config.nprocs,
             cost_model=model,
+            backend=config.backend,
             **_algo_kwargs(right_algorithm, config),
         )
 
@@ -280,6 +300,16 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
     combined.merge(left.ledger, prefix="rta:")
     if right is not None:
         combined.merge(right.ledger, prefix="rtar:")
+    # The measured ledgers merge under the same prefixes as the modelled
+    # ones, so the per-phase validation table lines the two up directly.
+    combined_measured = None
+    if left.measured is not None:
+        from ..runtime.shm import MeasuredLedger
+
+        combined_measured = MeasuredLedger(nprocs=config.nprocs)
+        combined_measured.merge(left.measured, prefix="rta:")
+        if right is not None and right.measured is not None:
+            combined_measured.merge(right.measured, prefix="rtar:")
     ranks = _per_rank_times(combined)
     perm_bytes = _permutation_bytes(A, config)
 
@@ -321,6 +351,7 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         per_rank_other=ranks["other"],
         workload="amg-restriction",
         amg=amg,
+        measured=_measured_stats(config, combined_measured),
     )
 
 
@@ -370,6 +401,7 @@ def _execute_bc(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
         directed=config.bc_directed,
         seed=config.seed,
         resident=config.resident,
+        backend=config.backend,
     )
     perm_bytes = _permutation_bytes(A, config)
     iterations = [
@@ -416,6 +448,7 @@ def _execute_bc(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord:
         # no meaningful cross-iteration per-rank decomposition to persist.
         workload="bc",
         bc=bc,
+        measured=_measured_stats(config, result.measured),
     )
 
 
@@ -439,6 +472,7 @@ def _execute_triangles(config: RunConfig, A: CSCMatrix, model: CostModel) -> Run
         block_split=config.block_split,
         mask_mode=config.mask_mode or "late",
         layers=config.layers,
+        backend=config.backend,
     )
     ledger = run.result.ledger
     ranks = _per_rank_times(ledger)
@@ -473,6 +507,7 @@ def _execute_triangles(config: RunConfig, A: CSCMatrix, model: CostModel) -> Run
         per_rank_other=ranks["other"],
         workload="triangles",
         triangles=triangles,
+        measured=_measured_stats(config, run.result.measured),
     )
 
 
@@ -500,6 +535,7 @@ def _execute_mcl(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         dataset=config.dataset,
         block_split=config.block_split,
         layers=config.layers,
+        backend=config.backend,
     )
     ledger = run.ledger
     ranks = _per_rank_times(ledger)
@@ -547,6 +583,7 @@ def _execute_mcl(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         per_rank_other=ranks["other"],
         workload="mcl",
         mcl=mcl,
+        measured=_measured_stats(config, run.measured),
     )
 
 

@@ -5,6 +5,11 @@ provides the equivalent substrate for an offline, single-node reproduction:
 simulated ranks, collectives, passive-target windows, and an α–β–γ cost
 model that converts the recorded communication/computation events into
 modelled time.  See DESIGN.md §2 for the substitution rationale.
+
+The substrate is pluggable (:mod:`repro.runtime.backend`): ``simulated`` is
+the modelled-only default, ``shm`` additionally moves every remote payload
+through shared memory into a peer process and records a measured ledger
+alongside the modelled one.
 """
 
 from .costmodel import CostModel, LAPTOP, PERLMUTTER, ZERO_COST
@@ -12,6 +17,13 @@ from .stats import CATEGORIES, PhaseLedger, RankStats
 from .window import RdmaWindow, WindowEpoch, WindowError
 from .communicator import Communicator, binomial_send_counts
 from .simulator import MemoryLimitExceeded, SimulatedCluster
+from .backend import (
+    Backend,
+    BACKENDS,
+    available_backends,
+    create_cluster,
+    resolve_backend,
+)
 
 __all__ = [
     "CostModel",
@@ -28,4 +40,9 @@ __all__ = [
     "binomial_send_counts",
     "SimulatedCluster",
     "MemoryLimitExceeded",
+    "Backend",
+    "BACKENDS",
+    "available_backends",
+    "create_cluster",
+    "resolve_backend",
 ]

@@ -1,0 +1,155 @@
+"""Pluggable execution backends.
+
+The algorithms in :mod:`repro.core` are written against a narrow cluster
+protocol — the collectives of :class:`~repro.runtime.communicator.Communicator`
+(``send``/``send_many``/``bcast``/``bcast_many``/``allgather``/``gather``/
+``alltoallv``/``alltoallv_sizes``/``allreduce_scalar``/``barrier``), the
+one-sided :class:`~repro.runtime.window.RdmaWindow` epochs, and the
+``phase``/``phase_scope`` ledger slicing of
+:class:`~repro.runtime.simulator.SimulatedCluster`.  A *backend* is a factory
+for cluster objects implementing that protocol:
+
+``simulated``
+    The default.  Everything runs in one process, data moves by reference,
+    and only the modelled α–β–γ accounting is real.  Deterministic and
+    bit-identical across machines — this is what every figure uses.
+
+``shm``
+    The multiprocessing shared-memory backend
+    (:class:`~repro.runtime.shm.ShmCluster`).  The same SPMD driver loops run
+    unchanged, but every remote payload is physically serialised, moved
+    through a POSIX shared-memory segment into a peer process, and read back
+    before the receiver sees it.  Alongside the (unchanged, bit-identical)
+    modelled ledger it records a *measured* ledger: wall-clock seconds and
+    actually-moved byte counts per phase.
+
+Backends are looked up by name so the experiment layer can carry the choice
+as a plain config field (hash-elided at ``"simulated"`` — see
+:mod:`repro.experiments.config`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from .costmodel import CostModel, PERLMUTTER
+from .simulator import SimulatedCluster
+
+__all__ = [
+    "Backend",
+    "SimulatedBackend",
+    "ShmBackend",
+    "BACKENDS",
+    "available_backends",
+    "resolve_backend",
+    "create_cluster",
+]
+
+
+class Backend(ABC):
+    """Factory for cluster objects implementing the runtime protocol."""
+
+    #: registry key; also the value carried in ``RunConfig.backend``
+    name: str = ""
+
+    @abstractmethod
+    def create_cluster(
+        self,
+        nprocs: int,
+        *,
+        cost_model: CostModel = PERLMUTTER,
+        name: str = "sim",
+        check_conservation: Optional[bool] = None,
+    ) -> SimulatedCluster:
+        """Build a cluster of ``nprocs`` ranks on this backend."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SimulatedBackend(Backend):
+    """The in-process modelled-only backend (today's simulator)."""
+
+    name = "simulated"
+
+    def create_cluster(
+        self,
+        nprocs: int,
+        *,
+        cost_model: CostModel = PERLMUTTER,
+        name: str = "sim",
+        check_conservation: Optional[bool] = None,
+    ) -> SimulatedCluster:
+        return SimulatedCluster(
+            nprocs,
+            cost_model=cost_model,
+            name=name,
+            check_conservation=check_conservation,
+        )
+
+
+class ShmBackend(Backend):
+    """The multiprocessing shared-memory backend (real inter-process bytes)."""
+
+    name = "shm"
+
+    def create_cluster(
+        self,
+        nprocs: int,
+        *,
+        cost_model: CostModel = PERLMUTTER,
+        name: str = "sim",
+        check_conservation: Optional[bool] = None,
+    ) -> SimulatedCluster:
+        # Deferred import: the shm transport pulls in multiprocessing
+        # machinery that simulated-only runs never need.
+        from .shm import ShmCluster
+
+        return ShmCluster(
+            nprocs,
+            cost_model=cost_model,
+            name=name,
+            check_conservation=check_conservation,
+        )
+
+
+#: name -> backend instance; the experiment layer and the CLI validate against
+#: this registry so error messages can list what is actually available.
+BACKENDS: Dict[str, Backend] = {
+    SimulatedBackend.name: SimulatedBackend(),
+    ShmBackend.name: ShmBackend(),
+}
+
+
+def available_backends() -> List[str]:
+    """Sorted names of all registered backends."""
+    return sorted(BACKENDS)
+
+
+def resolve_backend(name: str) -> Backend:
+    """Look up a backend by name; unknown names raise with the valid choices."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available backends: "
+            + ", ".join(available_backends())
+        ) from None
+
+
+def create_cluster(
+    nprocs: int,
+    *,
+    backend: str = "simulated",
+    cost_model: CostModel = PERLMUTTER,
+    name: str = "sim",
+    check_conservation: Optional[bool] = None,
+) -> SimulatedCluster:
+    """Create a cluster on the named backend (convenience wrapper)."""
+    return resolve_backend(backend).create_cluster(
+        nprocs,
+        cost_model=cost_model,
+        name=name,
+        check_conservation=check_conservation,
+    )

@@ -1,0 +1,672 @@
+"""Shared-memory execution backend: real inter-process transfers.
+
+The simulated runtime moves data by reference inside one Python process —
+only the accounting is real.  :class:`ShmCluster` keeps that modelled ledger
+bit-identical (every charge is delegated to the unmodified base classes) but
+additionally moves every remote payload *physically*: the bytes are
+serialised, written into a POSIX shared-memory segment, copied out by a peer
+process into its own address space, written back into a second segment, and
+only then deserialised for the receiving rank.  The round trip through
+another process is what makes the transfer real: the payload a receiver sees
+has genuinely left this process and come back through shared memory.
+
+Alongside the modelled :class:`~repro.runtime.stats.PhaseLedger` the cluster
+records a :class:`MeasuredLedger` — per phase: wall-clock seconds, transfer
+seconds, per-rank physically-moved byte counters, and transfer counts.  The
+measured byte ledger is conserved per phase by construction (every transfer
+records the same byte count as sent by the source and received by the
+destination), and tests assert it the same way ``tests/test_conservation.py``
+asserts the modelled invariant.
+
+Measured vs modelled byte counts
+--------------------------------
+Window ``get``/``get_concat`` and the size-only primitives
+(``send_many``/``alltoallv_sizes``) move exactly the modelled byte counts, so
+measured == modelled for those phases.  Payload collectives serialise with
+pickle, so their measured bytes are the *wire* size (pickle framing included)
+rather than the modelled raw-array size — the difference is precisely the
+packing overhead the paper's RDMA design avoids, and the validation harness
+(``benchmarks/bench_backend_validation.py``) reports both side by side.
+
+The transport uses the ``fork`` start method (a ``spawn`` child cannot be
+launched from all the entry points this repo supports) and a single peer
+process; group collectives perform one physical round trip per logical
+pairwise message, so e.g. a broadcast to ``g`` ranks moves ``g − 1`` real
+copies.  Process counts on this backend are the paper's small configurations
+(4–16 ranks), not the 1024-rank modelled sweeps.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import time
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .communicator import Communicator, _nbytes
+from .simulator import SimulatedCluster
+from .window import RdmaWindow, WindowError
+
+__all__ = [
+    "MeasuredPhase",
+    "MeasuredLedger",
+    "ShmTransport",
+    "ShmCommunicator",
+    "ShmRdmaWindow",
+    "ShmCluster",
+]
+
+_INITIAL_CAPACITY = 1 << 20  # 1 MiB; segments grow on demand
+
+
+# ----------------------------------------------------------------------
+# Measured accounting
+# ----------------------------------------------------------------------
+@dataclass
+class MeasuredPhase:
+    """Measured counters of one phase: what physically moved, and when."""
+
+    nprocs: int
+    #: bytes each rank physically pushed through shared memory
+    bytes_sent: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: bytes each rank physically received back out of shared memory
+    bytes_received: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: number of physical round trips recorded in this phase
+    transfers: int = 0
+    #: seconds spent inside transport round trips
+    transfer_seconds: float = 0.0
+    #: wall-clock seconds of the whole phase block (driver code included)
+    wall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_sent is None:
+            self.bytes_sent = np.zeros(self.nprocs, dtype=np.int64)
+        if self.bytes_received is None:
+            self.bytes_received = np.zeros(self.nprocs, dtype=np.int64)
+
+    def is_conserved(self) -> bool:
+        return int(self.bytes_sent.sum()) == int(self.bytes_received.sum())
+
+
+class MeasuredLedger:
+    """Per-phase measured counters, mirroring the modelled PhaseLedger shape.
+
+    Supports the same ``subset``/``merge`` slicing the modelled ledger offers
+    so multi-cluster workloads (AMG's two products, legacy BC's per-iteration
+    clusters) can compose one run-wide measured ledger with phase prefixes.
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        self.nprocs = nprocs
+        self.phases: Dict[str, MeasuredPhase] = {}
+        self.phase_order: List[str] = []
+
+    def phase(self, name: str) -> MeasuredPhase:
+        ph = self.phases.get(name)
+        if ph is None:
+            ph = MeasuredPhase(nprocs=self.nprocs)
+            self.phases[name] = ph
+            self.phase_order.append(name)
+        return ph
+
+    def record_transfer(
+        self, phase: str, src: int, dst: int, nbytes: int, seconds: float
+    ) -> None:
+        """Account one physical transfer of ``nbytes`` from ``src`` to ``dst``."""
+        ph = self.phase(phase)
+        ph.bytes_sent[src] += int(nbytes)
+        ph.bytes_received[dst] += int(nbytes)
+        ph.transfers += 1
+        ph.transfer_seconds += float(seconds)
+
+    # Totals ------------------------------------------------------------
+    def total_bytes(self) -> int:
+        return int(sum(int(p.bytes_received.sum()) for p in self.phases.values()))
+
+    def total_bytes_sent(self) -> int:
+        return int(sum(int(p.bytes_sent.sum()) for p in self.phases.values()))
+
+    def total_transfers(self) -> int:
+        return int(sum(p.transfers for p in self.phases.values()))
+
+    def transfer_seconds(self) -> float:
+        return float(sum(p.transfer_seconds for p in self.phases.values()))
+
+    def wall_seconds(self) -> float:
+        return float(sum(p.wall_seconds for p in self.phases.values()))
+
+    def is_conserved(self) -> bool:
+        """Does every phase balance physically-sent against physically-received?"""
+        return all(p.is_conserved() for p in self.phases.values())
+
+    # Composition -------------------------------------------------------
+    def subset(self, prefix: str, strip: bool = True) -> "MeasuredLedger":
+        """A new ledger holding only phases whose name starts with ``prefix``."""
+        out = MeasuredLedger(nprocs=self.nprocs)
+        for name in self.phase_order:
+            if not name.startswith(prefix):
+                continue
+            target = name[len(prefix):] if strip else name
+            src = self.phases[name]
+            dst = out.phase(target)
+            dst.bytes_sent += src.bytes_sent
+            dst.bytes_received += src.bytes_received
+            dst.transfers += src.transfers
+            dst.transfer_seconds += src.transfer_seconds
+            dst.wall_seconds += src.wall_seconds
+        return out
+
+    def merge(self, other: "MeasuredLedger", prefix: str = "") -> None:
+        """Fold ``other`` into this ledger, optionally prefixing phase names."""
+        if other.nprocs != self.nprocs:
+            raise ValueError(
+                f"cannot merge measured ledgers with {other.nprocs} and "
+                f"{self.nprocs} ranks"
+            )
+        for name in other.phase_order:
+            src = other.phases[name]
+            dst = self.phase(prefix + name)
+            dst.bytes_sent += src.bytes_sent
+            dst.bytes_received += src.bytes_received
+            dst.transfers += src.transfers
+            dst.transfer_seconds += src.transfer_seconds
+            dst.wall_seconds += src.wall_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict summary (per-phase totals; per-rank arrays collapsed)."""
+        return {
+            "phases": [
+                {
+                    "phase": name,
+                    "wall_seconds": self.phases[name].wall_seconds,
+                    "transfer_seconds": self.phases[name].transfer_seconds,
+                    "bytes": int(self.phases[name].bytes_received.sum()),
+                    "transfers": self.phases[name].transfers,
+                }
+                for name in self.phase_order
+            ],
+            "wall_seconds": self.wall_seconds(),
+            "transfer_seconds": self.transfer_seconds(),
+            "bytes_sent": self.total_bytes_sent(),
+            "bytes_received": self.total_bytes(),
+            "transfers": self.total_transfers(),
+            "conserved": self.is_conserved(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Transport
+# ----------------------------------------------------------------------
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment in the peer process.
+
+    Under the ``fork`` start method the child shares the parent's resource
+    tracker, so the attach-time ``register`` call is an idempotent set-add and
+    must NOT be undone here — unregistering from the child would strip the
+    parent's own registration and make the parent's later ``unlink`` trip the
+    tracker.  The parent owns the whole segment lifecycle.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _serve(conn, outbox_name: str, inbox_name: str) -> None:
+    """Peer-process loop: pull bytes out of the outbox, push them to the inbox.
+
+    Runs in the transport's worker process.  Copying the payload into a local
+    ``bytes`` object lands it in this process's address space — the data has
+    really arrived somewhere else — before it is written back for the parent
+    to read.  Module-level so the fork (and any future spawn) start method
+    can locate it.
+    """
+    outbox = _attach_segment(outbox_name)
+    inbox = _attach_segment(inbox_name)
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "xfer":
+                n = msg[1]
+                data = bytes(outbox.buf[:n])  # payload lands in this process
+                inbox.buf[:n] = data
+                conn.send(("ok", n))
+            elif op == "reattach":
+                outbox.close()
+                inbox.close()
+                outbox = _attach_segment(msg[1])
+                inbox = _attach_segment(msg[2])
+                conn.send(("ok", 0))
+            elif op == "quit":
+                conn.send(("bye", 0))
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send(("err", f"unknown op {op!r}"))
+    finally:
+        outbox.close()
+        inbox.close()
+        conn.close()
+
+
+def _release_transport(state: Dict[str, object]) -> None:
+    """Finalizer: stop the worker and unlink the segments (idempotent)."""
+    if state.get("closed"):
+        return
+    state["closed"] = True
+    conn = state.get("conn")
+    proc = state.get("proc")
+    if conn is not None:
+        try:
+            conn.send(("quit", 0))
+            conn.recv()
+        except Exception:
+            pass
+    if proc is not None:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join(timeout=2.0)
+    if conn is not None:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    for key in ("outbox", "inbox"):
+        seg = state.get(key)
+        if seg is None:
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+        except Exception:
+            pass
+
+
+class ShmTransport:
+    """One peer process plus two shared-memory segments (outbox and inbox).
+
+    :meth:`roundtrip` pushes a byte string through the peer and returns the
+    copy read back out of shared memory together with the elapsed seconds.
+    Segments grow geometrically when a payload exceeds the current capacity.
+    """
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+        ctx = get_context("fork")
+        self._conn, child_conn = ctx.Pipe()
+        outbox = shared_memory.SharedMemory(create=True, size=capacity)
+        inbox = shared_memory.SharedMemory(create=True, size=capacity)
+        self._state: Dict[str, object] = {
+            "outbox": outbox,
+            "inbox": inbox,
+            "conn": self._conn,
+            "closed": False,
+        }
+        proc = ctx.Process(
+            target=_serve,
+            args=(child_conn, outbox.name, inbox.name),
+            daemon=True,
+            name="repro-shm-peer",
+        )
+        proc.start()
+        child_conn.close()
+        self._state["proc"] = proc
+        self._finalizer = weakref.finalize(self, _release_transport, self._state)
+        #: lifetime totals, independent of any ledger slicing
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.transfer_seconds = 0.0
+
+    @property
+    def closed(self) -> bool:
+        return bool(self._state["closed"])
+
+    @property
+    def capacity(self) -> int:
+        return self._state["outbox"].size  # type: ignore[union-attr]
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise WindowError(
+                "shared-memory transport is shut down; the owning cluster was "
+                "closed before this operation"
+            )
+
+    def _ensure_capacity(self, nbytes: int) -> None:
+        if nbytes <= self.capacity:
+            return
+        new_size = max(nbytes, 2 * self.capacity)
+        new_outbox = shared_memory.SharedMemory(create=True, size=new_size)
+        new_inbox = shared_memory.SharedMemory(create=True, size=new_size)
+        self._conn.send(("reattach", new_outbox.name, new_inbox.name))
+        reply = self._conn.recv()
+        if reply[0] != "ok":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"shm peer failed to reattach: {reply!r}")
+        for key, seg in (("outbox", new_outbox), ("inbox", new_inbox)):
+            old = self._state[key]
+            old.close()  # type: ignore[union-attr]
+            old.unlink()  # type: ignore[union-attr]
+            self._state[key] = seg
+
+    def roundtrip(self, data: bytes) -> Tuple[bytes, float]:
+        """Move ``data`` through the peer process; return (echo, seconds)."""
+        self._ensure_open()
+        n = len(data)
+        self._ensure_capacity(n)
+        outbox = self._state["outbox"]
+        inbox = self._state["inbox"]
+        start = time.perf_counter()
+        if n:
+            outbox.buf[:n] = data  # type: ignore[union-attr]
+        self._conn.send(("xfer", n))
+        reply = self._conn.recv()
+        if reply != ("ok", n):  # pragma: no cover - protocol guard
+            raise RuntimeError(f"shm peer returned {reply!r} for {n}-byte transfer")
+        echoed = bytes(inbox.buf[:n]) if n else b""  # type: ignore[union-attr]
+        elapsed = time.perf_counter() - start
+        self.transfers += 1
+        self.bytes_moved += n
+        self.transfer_seconds += elapsed
+        return echoed, elapsed
+
+    def close(self) -> None:
+        """Stop the peer process and unlink both segments (idempotent)."""
+        self._finalizer()
+
+
+# ----------------------------------------------------------------------
+# Communicator
+# ----------------------------------------------------------------------
+class ShmCommunicator(Communicator):
+    """Collectives that physically move payloads before modelled accounting.
+
+    Every override performs the real shared-memory round trips (recording
+    them in the cluster's measured ledger), then delegates to the unmodified
+    base implementation so the *modelled* charges stay bit-identical to the
+    simulated backend.  Receivers get the bytes that came back out of shared
+    memory — reconstructed objects, not references — which is what lets the
+    validation harness assert bit-identical results across backends.
+    """
+
+    # Physical movement helpers ----------------------------------------
+    def _record(self, src: int, dst: int, nbytes: int, seconds: float) -> None:
+        self.cluster.measured_ledger.record_transfer(
+            self.cluster.current_phase, src, dst, nbytes, seconds
+        )
+
+    def _move(self, payload, src: int, dst: int):
+        """Round-trip one payload through the peer; return the reconstruction."""
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        echoed, seconds = self.cluster.transport.roundtrip(blob)
+        self._record(src, dst, len(blob), seconds)
+        return pickle.loads(echoed)
+
+    def _burn(self, src: int, dst: int, nbytes: int) -> None:
+        """Physically move ``nbytes`` of filler for a size-only primitive."""
+        _, seconds = self.cluster.transport.roundtrip(bytes(int(nbytes)))
+        self._record(src, dst, int(nbytes), seconds)
+
+    def _move_scalar(self, value: float, src: int, dst: int) -> float:
+        """Round-trip one float64 (exactly the modelled 8 wire bytes)."""
+        echoed, seconds = self.cluster.transport.roundtrip(
+            struct.pack("<d", float(value))
+        )
+        self._record(src, dst, 8, seconds)
+        return struct.unpack("<d", echoed)[0]
+
+    # Point-to-point ----------------------------------------------------
+    def send(self, payload, src: int, dst: int):
+        if src != dst:
+            payload = self._move(payload, src, dst)
+        return super().send(payload, src, dst)
+
+    def send_many(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        sizes: Sequence[int],
+    ) -> None:
+        for s, d, n in zip(
+            np.asarray(srcs).tolist(),
+            np.asarray(dsts).tolist(),
+            np.asarray(sizes).tolist(),
+        ):
+            if s != d:
+                self._burn(int(s), int(d), int(n))
+        super().send_many(srcs, dsts, sizes)
+
+    # Collectives -------------------------------------------------------
+    def bcast(self, payload, root: int, ranks: Optional[Sequence[int]] = None):
+        modelled = super().bcast(payload, root, ranks)  # validates + charges
+        return {
+            rank: payload if rank == root else self._move(payload, root, rank)
+            for rank in modelled
+        }
+
+    def bcast_many(
+        self,
+        items: Sequence[Tuple[object, int, Sequence[int]]],
+    ) -> List[Dict[int, object]]:
+        modelled = super().bcast_many(items)
+        results: List[Dict[int, object]] = []
+        for (payload, root, _ranks), group in zip(items, modelled):
+            results.append(
+                {
+                    rank: payload if rank == root else self._move(payload, root, rank)
+                    for rank in group
+                }
+            )
+        return results
+
+    def allgather(
+        self,
+        per_rank_payloads: Dict[int, object],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> Dict[int, List[object]]:
+        group = sorted(per_rank_payloads) if ranks is None else list(ranks)
+        super().allgather(per_rank_payloads, ranks)
+        blobs = {
+            r: pickle.dumps(per_rank_payloads[r], protocol=pickle.HIGHEST_PROTOCOL)
+            for r in group
+        }
+        out: Dict[int, List[object]] = {}
+        for dst in group:
+            gathered: List[object] = []
+            for src in group:
+                if src == dst:
+                    gathered.append(per_rank_payloads[src])
+                    continue
+                echoed, seconds = self.cluster.transport.roundtrip(blobs[src])
+                self._record(src, dst, len(blobs[src]), seconds)
+                gathered.append(pickle.loads(echoed))
+            out[dst] = gathered
+        return out
+
+    def gather(self, per_rank_payloads: Dict[int, object], root: int) -> List[object]:
+        ranks = sorted(per_rank_payloads)
+        super().gather(per_rank_payloads, root)
+        result: List[object] = []
+        for r in ranks:
+            if r == root:
+                result.append(per_rank_payloads[r])
+            else:
+                # The modelled tree relays through intermediates; physically
+                # each contribution is moved to the root once (direct).
+                result.append(self._move(per_rank_payloads[r], r, root))
+        return result
+
+    def alltoallv(
+        self, buffers: Dict[int, Dict[int, object]]
+    ) -> Dict[int, Dict[int, object]]:
+        received: Dict[int, Dict[int, object]] = {r: {} for r in range(self.nprocs)}
+        srcs: List[int] = []
+        dsts: List[int] = []
+        sizes: List[int] = []
+        for src, per_dst in buffers.items():
+            for dst, payload in per_dst.items():
+                if payload is None:
+                    continue
+                if src == dst:
+                    received[dst][src] = payload
+                    continue
+                received[dst][src] = self._move(payload, src, dst)
+                srcs.append(src)
+                dsts.append(dst)
+                sizes.append(_nbytes(payload))
+        # Modelled accounting only — the physical movement happened above.
+        super().alltoallv_sizes(srcs, dsts, sizes)
+        return received
+
+    def alltoallv_sizes(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        sizes: Sequence[int],
+    ) -> None:
+        for s, d, n in zip(
+            np.asarray(srcs).tolist(),
+            np.asarray(dsts).tolist(),
+            np.asarray(sizes).tolist(),
+        ):
+            if s != d:
+                self._burn(int(s), int(d), int(n))
+        super().alltoallv_sizes(srcs, dsts, sizes)
+
+    def allreduce_scalar(
+        self, per_rank_values: Dict[int, float], op=sum
+    ) -> Dict[int, float]:
+        modelled = super().allreduce_scalar(per_rank_values, op)
+        ranks = sorted(per_rank_values)
+        if len(ranks) <= 1:
+            return modelled
+        root = ranks[0]
+        # Reduce up: each contribution physically reaches the root.
+        for r in ranks:
+            if r != root:
+                self._move_scalar(per_rank_values[r], r, root)
+        # Broadcast down: the reduced value physically reaches every rank.
+        # struct round trips are exact for float64, so values are unchanged.
+        return {
+            r: modelled[r] if r == root else self._move_scalar(modelled[r], root, r)
+            for r in ranks
+        }
+
+    def barrier(self, ranks: Optional[Sequence[int]] = None) -> None:
+        group = list(range(self.nprocs)) if ranks is None else list(ranks)
+        if len(group) > 1:
+            # A real synchronisation with the peer process (zero payload).
+            self.cluster.transport.roundtrip(b"")
+        super().barrier(ranks)
+
+
+# ----------------------------------------------------------------------
+# Window
+# ----------------------------------------------------------------------
+class ShmRdmaWindow(RdmaWindow):
+    """One-sided gets whose data round-trips through shared memory.
+
+    The base class performs validation, the local-access fast path, and all
+    modelled charging; remote fetches are then physically moved byte-for-byte
+    (measured bytes == modelled bytes) and the reconstruction is returned.
+    """
+
+    def _roundtrip_array(self, data: np.ndarray, origin: int, target: int) -> np.ndarray:
+        blob = data.tobytes()
+        echoed, seconds = self.cluster.transport.roundtrip(blob)
+        # The passive target is the physical sender, the origin the receiver.
+        self.cluster.measured_ledger.record_transfer(
+            self.cluster.current_phase, target, origin, len(blob), seconds
+        )
+        out = np.frombuffer(echoed, dtype=data.dtype)
+        return out.reshape(data.shape).copy()
+
+    def get(
+        self,
+        origin: int,
+        target: int,
+        key: str,
+        start: int,
+        stop: int,
+    ) -> np.ndarray:
+        data = super().get(origin, target, key, start, stop)
+        if origin == target or data.nbytes == 0:
+            return data
+        return self._roundtrip_array(data, origin, target)
+
+    def get_concat(
+        self,
+        origin: int,
+        target: int,
+        key: str,
+        ranges: list,
+    ) -> np.ndarray:
+        data = super().get_concat(origin, target, key, ranges)
+        if origin == target or data.nbytes == 0:
+            return data
+        return self._roundtrip_array(data, origin, target)
+
+
+# ----------------------------------------------------------------------
+# Cluster
+# ----------------------------------------------------------------------
+class ShmCluster(SimulatedCluster):
+    """A cluster whose remote data movement really crosses process boundaries.
+
+    Drop-in replacement for :class:`SimulatedCluster` (same constructor, same
+    protocol): the modelled ledger is charged through the unmodified base
+    classes and stays bit-identical to a simulated run of the same program,
+    while :attr:`measured_ledger` accumulates the physical transfer record
+    and per-phase wall clock.  Call :meth:`shutdown` (or use the cluster as a
+    context manager) to stop the peer process and release the segments; a
+    finalizer covers abandoned instances.
+    """
+
+    backend_name = "shm"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.measured_ledger = MeasuredLedger(nprocs=self.nprocs)
+        self.transport = ShmTransport()
+        self.comm = ShmCommunicator(self, check_conservation=self.check_conservation)
+
+    # Phases ------------------------------------------------------------
+    def phase(self, name: str):
+        @contextmanager
+        def _timed():
+            measured = self.measured_ledger.phase(self._phase_prefix + name)
+            start = time.perf_counter()
+            try:
+                with super(ShmCluster, self).phase(name):
+                    yield
+            finally:
+                measured.wall_seconds += time.perf_counter() - start
+
+        return _timed()
+
+    # Windows -----------------------------------------------------------
+    def create_window(self, exposed) -> ShmRdmaWindow:
+        return ShmRdmaWindow(cluster=self, exposed=exposed)
+
+    # Lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        self.transport.close()
+        super().shutdown()
+
+    def reset(self) -> None:
+        super().reset()
+        self.measured_ledger = MeasuredLedger(nprocs=self.nprocs)
+
+    def summary(self) -> Dict[str, float]:
+        out = super().summary()
+        out["measured_wall_seconds"] = self.measured_ledger.wall_seconds()
+        out["measured_bytes"] = float(self.measured_ledger.total_bytes())
+        out["measured_transfers"] = float(self.measured_ledger.total_transfers())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShmCluster(nprocs={self.nprocs}, name={self.name!r})"

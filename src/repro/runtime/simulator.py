@@ -82,6 +82,13 @@ class SimulatedCluster:
     _current_phase: str = field(default="default", init=False)
     _phase_prefix: str = field(default="", init=False)
 
+    #: registry name of the backend this cluster runs on (see
+    #: :mod:`repro.runtime.backend`); subclasses override.
+    backend_name = "simulated"
+    #: measured-transfer ledger; only non-simulated backends carry one.
+    measured_ledger = None
+    _closed = False
+
     def __post_init__(self) -> None:
         if self.nprocs <= 0:
             raise ValueError("nprocs must be positive")
@@ -195,6 +202,32 @@ class SimulatedCluster:
         self.ledger = PhaseLedger(nprocs=self.nprocs)
         self._current_phase = "default"
         self._phase_prefix = ""
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`shutdown` been called?  Closed clusters refuse new work."""
+        return self._closed
+
+    def shutdown(self) -> None:
+        """Release backend resources and mark the cluster closed.
+
+        For the simulator this is pure bookkeeping (there is nothing to
+        release), but executing a :class:`~repro.core.pipeline.PreparedMultiply`
+        against a closed cluster raises a clear error instead of failing deep
+        inside the ledger; backends with real resources (the shm transport's
+        peer process and segments) override this to release them first.
+        Idempotent; recorded ledgers stay readable after shutdown.
+        """
+        self._closed = True
+
+    def __enter__(self) -> "SimulatedCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers for reports."""

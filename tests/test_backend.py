@@ -1,0 +1,322 @@
+"""Pluggable execution backends: registry, contract, and shm validation.
+
+The backend abstraction promises that the *same* run executes on the
+simulated backend (modelled transfers only) and on the shm backend (real
+inter-process transfers through POSIX shared memory) with bit-identical
+results and bit-identical modelled counters — the shm communicator moves
+payloads physically and then delegates all accounting to the simulated
+one.  These tests pin the registry, the config-hash stability rule
+(``backend`` elided at its default so every pre-backend hash is unchanged),
+collective edge cases under both backends, the measured byte ledger's
+conservation, and the shut-down-cluster guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.experiments import (
+    ExperimentGrid,
+    MeasuredStats,
+    RunConfig,
+    RunRecord,
+    execute_config,
+    run_grid,
+)
+from repro.matrices.generators import banded, community_graph
+from repro.runtime import (
+    BACKENDS,
+    SimulatedCluster,
+    WindowError,
+    available_backends,
+    create_cluster,
+    resolve_backend,
+)
+from repro.runtime.shm import MeasuredLedger
+
+PAYLOAD = np.arange(125, dtype=np.float64)  # 1000 bytes
+
+DRIVERS = (
+    "1d",
+    "2d",
+    "3d",
+    "outer-product",
+    "1d-naive-block-row",
+    "1d-improved-block-row",
+)
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert available_backends() == ["shm", "simulated"]
+        assert set(BACKENDS) == {"shm", "simulated"}
+
+    def test_resolve_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="available backends: shm, simulated"):
+            resolve_backend("mpi")
+
+    def test_create_cluster_dispatches(self):
+        sim = create_cluster(2)
+        assert isinstance(sim, SimulatedCluster)
+        assert sim.backend_name == "simulated"
+        assert sim.measured_ledger is None
+        shm = create_cluster(2, backend="shm")
+        try:
+            assert shm.backend_name == "shm"
+            assert isinstance(shm.measured_ledger, MeasuredLedger)
+        finally:
+            shm.shutdown()
+
+    def test_simulated_cluster_direct_construction_unchanged(self):
+        """The pre-backend construction path keeps working verbatim."""
+        cl = SimulatedCluster(4, name="legacy")
+        cl.comm.bcast(PAYLOAD, root=0)
+        assert cl.ledger.is_conserved()
+
+
+class TestConfigHashStability:
+    def test_backend_elided_at_default(self):
+        base = RunConfig(dataset="hv15r", algorithm="1d", nprocs=4)
+        explicit = RunConfig(dataset="hv15r", algorithm="1d", nprocs=4,
+                             backend="simulated")
+        assert base.config_hash() == explicit.config_hash()
+        assert '"backend"' not in base.canonical_json()
+
+    def test_shm_backend_discriminates(self):
+        sim = RunConfig(dataset="hv15r", algorithm="1d", nprocs=4)
+        shm = RunConfig(dataset="hv15r", algorithm="1d", nprocs=4, backend="shm")
+        assert sim.config_hash() != shm.config_hash()
+        assert '"backend":"shm"' in shm.canonical_json()
+
+    def test_grid_backend_axis(self):
+        grid = ExperimentGrid(
+            datasets=("hv15r",), algorithms=("1d",), process_counts=(4,),
+            backends=("simulated", "shm"),
+        )
+        configs = grid.expand()
+        assert len(configs) == len(grid) == 2
+        assert sorted(c.backend for c in configs) == ["shm", "simulated"]
+
+
+def _collective_edge_cases(cl):
+    """Exercise the edge cases on a live cluster; returns for assertions."""
+    empty = np.zeros(0, dtype=np.float64)
+    # Empty payloads through every payload-carrying collective.
+    cl.comm.send(empty, src=0, dst=cl.nprocs - 1)
+    out = cl.comm.bcast(empty, root=0)
+    assert all(v.nbytes == 0 for v in out.values())
+    cl.comm.allgather({r: empty for r in range(cl.nprocs)})
+    cl.comm.gather({r: empty for r in range(cl.nprocs)}, root=0)
+    # Self-send: src == dst moves nothing between processes.
+    cl.comm.send(PAYLOAD, src=0, dst=0)
+    # Single-rank group collectives.
+    cl.comm.bcast(PAYLOAD, root=0, ranks=[0])
+    cl.comm.allreduce_scalar({0: 1.0})  # group is the dict's keys: just rank 0
+    cl.comm.barrier(ranks=[0])
+    # Scalar reduction over the full cluster round-trips float64 exactly.
+    reduced = cl.comm.allreduce_scalar({r: float(r) + 0.125 for r in range(cl.nprocs)})
+    assert set(reduced.values()) == {sum(float(r) + 0.125 for r in range(cl.nprocs))}
+    # Self-get and empty get through an RDMA window epoch.
+    data = np.arange(32, dtype=np.float64)
+    window = cl.create_window({r: {"x": data} for r in range(cl.nprocs)})
+    with window.epoch():
+        same = window.get(0, 0, "x", 4, 12)
+        np.testing.assert_array_equal(same, data[4:12])
+        nothing = window.get(0, cl.nprocs - 1, "x", 7, 7)
+        assert nothing.size == 0
+        remote = window.get_concat(0, cl.nprocs - 1, "x", [(0, 4), (8, 16)])
+        np.testing.assert_array_equal(
+            remote, np.concatenate([data[0:4], data[8:16]])
+        )
+
+
+class TestCollectiveEdgeCases:
+    @pytest.mark.parametrize("backend", ["simulated", "shm"])
+    @pytest.mark.parametrize("nprocs", [1, 2, 5])
+    def test_edge_cases_and_conservation(self, backend, nprocs):
+        cl = create_cluster(nprocs, backend=backend)
+        try:
+            _collective_edge_cases(cl)
+            assert cl.ledger.is_conserved()
+            if backend == "shm":
+                assert cl.measured_ledger.is_conserved()
+        finally:
+            cl.shutdown()
+
+    def test_payloads_round_trip_shm_bitwise(self):
+        """Physically moved payloads must come back bit-identical."""
+        cl = create_cluster(3, backend="shm")
+        try:
+            payload = np.arange(1000, dtype=np.float64) * np.pi
+            out = cl.comm.bcast(payload, root=1)
+            for rank, received in out.items():
+                np.testing.assert_array_equal(received, payload)
+                if rank != 1:  # non-roots hold a transported copy
+                    assert received is not payload
+            gathered = cl.comm.allgather({r: payload * (r + 1) for r in range(3)})
+            for dst in range(3):
+                for src in range(3):
+                    np.testing.assert_array_equal(
+                        gathered[dst][src], payload * (src + 1)
+                    )
+        finally:
+            cl.shutdown()
+
+
+class TestMeasuredLedgerConservation:
+    """Mirror of test_conservation's collective sweep, on the measured books."""
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5])
+    def test_collectives_conserve_measured_bytes(self, nprocs):
+        cl = create_cluster(nprocs, backend="shm")
+        try:
+            cl.comm.send(PAYLOAD, src=0, dst=cl.nprocs - 1)
+            cl.comm.bcast(PAYLOAD, root=0)
+            cl.comm.allgather({r: PAYLOAD for r in range(nprocs)})
+            cl.comm.gather({r: PAYLOAD for r in range(nprocs)}, root=0)
+            buffers = {
+                src: {dst: PAYLOAD for dst in range(nprocs) if dst != src}
+                for src in range(nprocs)
+            }
+            cl.comm.alltoallv(buffers)
+            cl.comm.allreduce_scalar({r: float(r) for r in range(nprocs)})
+            measured = cl.measured_ledger
+            assert measured.is_conserved()
+            if nprocs > 1:
+                assert measured.total_bytes() > 0
+                assert measured.total_transfers() > 0
+                assert measured.total_bytes() == measured.total_bytes_sent()
+            else:
+                assert measured.total_bytes() == 0
+        finally:
+            cl.shutdown()
+
+    def test_size_only_primitives_burn_exactly_modelled_bytes(self):
+        """send_many / alltoallv_sizes move filler equal to modelled bytes."""
+        cl = create_cluster(4, backend="shm")
+        try:
+            cl.comm.send_many([0, 2, 3], [1, 3, 0], [64, 128, 8])
+            cl.comm.alltoallv_sizes([0, 1], [1, 2], [32, 16])
+            assert cl.measured_ledger.total_bytes() == 64 + 128 + 8 + 32 + 16
+            assert cl.measured_ledger.is_conserved()
+            sent = sum(st.bytes_sent for st in cl.ledger.phases["default"])
+            assert sent == cl.measured_ledger.total_bytes()
+        finally:
+            cl.shutdown()
+
+    def test_measured_phases_follow_modelled_phase_names(self):
+        cl = create_cluster(2, backend="shm")
+        try:
+            with cl.phase("alpha"):
+                cl.comm.send(PAYLOAD, src=0, dst=1)
+            with cl.phase("beta"):
+                cl.comm.bcast(PAYLOAD, root=0)
+            assert set(cl.measured_ledger.phases) >= {"alpha", "beta"}
+            assert cl.measured_ledger.phases["alpha"].is_conserved()
+        finally:
+            cl.shutdown()
+
+
+class TestModelledCountersBackendInvariant:
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_bit_identical_result_and_counters(self, driver):
+        A = community_graph(120, 6, 10, mixing=0.1, shuffle=True, seed=7)
+        sim = SimulatedCluster(4)
+        r_sim = make_algorithm(driver).multiply(A, A, sim)
+        shm = create_cluster(4, backend="shm")
+        try:
+            r_shm = make_algorithm(driver).multiply(A, A, shm)
+        finally:
+            shm.shutdown()
+        for attr in ("indptr", "indices", "data"):
+            np.testing.assert_array_equal(
+                getattr(r_sim.C, attr), getattr(r_shm.C, attr)
+            )
+        assert r_sim.elapsed_time == r_shm.elapsed_time
+        assert r_sim.communication_volume == r_shm.communication_volume
+        assert r_sim.message_count == r_shm.message_count
+        assert shm.measured_ledger.is_conserved()
+
+
+class TestShutdownGuard:
+    def test_execute_after_shutdown_raises_window_error(self):
+        A = banded(64, 4, symmetric=True, seed=1)
+        cl = create_cluster(2, backend="shm")
+        algo = make_algorithm("1d")
+        op = algo.prepare_operand(A, cl)
+        prepared = algo.prepare(op, op, cl)
+        cl.shutdown()
+        with pytest.raises(WindowError, match="shut-down 'shm' backend cluster"):
+            prepared.execute()
+
+    def test_execute_after_simulated_shutdown_raises_too(self):
+        A = banded(64, 4, symmetric=True, seed=1)
+        cl = create_cluster(2)
+        algo = make_algorithm("1d")
+        op = algo.prepare_operand(A, cl)
+        prepared = algo.prepare(op, op, cl)
+        cl.shutdown()
+        with pytest.raises(WindowError, match="prepare and execute on a live"):
+            prepared.execute()
+
+    def test_shutdown_is_idempotent_and_transport_refuses_reuse(self):
+        cl = create_cluster(2, backend="shm")
+        cl.shutdown()
+        cl.shutdown()  # second call is a no-op
+        with pytest.raises(WindowError, match="transport is shut down"):
+            cl.comm.send(PAYLOAD, src=0, dst=1)
+
+    def test_context_manager_shuts_down(self):
+        with create_cluster(2, backend="shm") as cl:
+            cl.comm.bcast(PAYLOAD, root=0)
+        assert cl.closed
+
+
+class TestRecordsAndEngine:
+    def _config(self, backend, **extra):
+        return RunConfig(dataset="stokes", scale=0.1, algorithm="1d",
+                         nprocs=4, block_split=16, backend=backend, **extra)
+
+    def test_measured_record_round_trips_through_json(self):
+        record = execute_config(self._config("shm"))
+        assert isinstance(record.measured, MeasuredStats)
+        assert record.measured.backend == "shm"
+        assert record.measured.conserved
+        assert record.measured.bytes_sent == record.measured.bytes_received > 0
+        assert record.measured.phases, "per-phase measured rows are missing"
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone.measured is not None
+        assert clone.to_dict() == record.to_dict()
+
+    def test_simulated_record_has_no_measured_block(self):
+        record = execute_config(self._config("simulated"))
+        assert record.measured is None
+        assert "measured" not in record.to_dict()
+
+    def test_mixed_backend_grid_runs_and_agrees(self, tmp_path):
+        configs = [self._config("simulated"), self._config("shm")]
+        result = run_grid(configs, store=str(tmp_path / "mixed.jsonl"))
+        sim, shm = result.records
+        assert sim.config.backend == "simulated"
+        assert shm.config.backend == "shm"
+        assert sim.elapsed_time == shm.elapsed_time
+        assert sim.communication_volume == shm.communication_volume
+        assert sim.measured is None and shm.measured is not None
+        # Distinct hashes → both cached independently; a re-run is all hits.
+        again = run_grid(configs, store=str(tmp_path / "mixed.jsonl"))
+        assert again.stats.cached == 2 and again.stats.executed == 0
+
+    def test_parallel_grid_keeps_shm_configs_in_parent(self, tmp_path):
+        """workers>1 must not hand shm configs to daemonic pool workers."""
+        configs = [
+            self._config("simulated"),
+            self._config("simulated", seed=1),
+            self._config("shm"),
+        ]
+        result = run_grid(configs, workers=2, store=str(tmp_path / "par.jsonl"))
+        assert len(result.records) == 3
+        by_backend = {r.config.backend: r for r in result.records}
+        assert by_backend["shm"].measured is not None
+        assert by_backend["shm"].measured.conserved
