@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
                               --nprocs 4,16,64 --workers 4 --records runs.jsonl
     python -m repro sweep     --workloads bc --datasets eukarya --bc-sources 16
     python -m repro bench     --out BENCH_PR5.json --workers 2
+    python -m repro serve     --socket /tmp/repro.sock --records runs.jsonl
     python -m repro datasets
 
 Every subcommand accepts either one of the built-in Table II analogues
@@ -34,6 +35,7 @@ from .core import available_algorithms, should_partition
 from .experiments import (
     COST_MODELS,
     ExperimentGrid,
+    JobRejected,
     RunConfig,
     run_grid,
     workload_names,
@@ -211,6 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution backend for every config of the grid "
                               "(simulated = modelled only; shm = real "
                               "shared-memory transfers)")
+    p_sweep.add_argument("--budget", type=int, default=None,
+                         help="admission control: max fresh executions the "
+                              "sweep may trigger (cache hits are free); a "
+                              "grid over budget is rejected before anything "
+                              "runs")
+    p_sweep.add_argument("--max-inflight-configs", type=int, default=None,
+                         help="admission control: reject the sweep when it "
+                              "would put more than this many configs in "
+                              "flight")
 
     p_bench = sub.add_parser(
         "bench",
@@ -237,6 +248,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="force one execution backend for every bench "
                               "config (default: the built-in mix — simulated "
                               "plus one shm validation run per workload)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived experiment service: one scheduler + resident "
+             "operand cache behind a JSON-line socket",
+    )
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="serve on a unix socket at PATH")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind host (with --port; default localhost)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="serve on localhost TCP (0 picks a free port, "
+                              "printed on startup)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="worker processes of the shared pool "
+                              "(0/1 = serial lane only)")
+    p_serve.add_argument("--records", default=None,
+                         help="JSONL store shared by every job "
+                              "(enables caching/resume)")
+    p_serve.add_argument("--max-jobs", type=int, default=None,
+                         help="admission control: max jobs in flight")
+    p_serve.add_argument("--max-configs", type=int, default=None,
+                         help="admission control: max configs in flight")
+    p_serve.add_argument("--operand-cache-mb", type=int, default=256,
+                         help="budget (MiB) of the resident operand cache "
+                              "(0 disables it)")
 
     sub.add_parser("datasets", help="list the built-in dataset analogues")
     sub.add_parser("algorithms", help="list the available distributed algorithms")
@@ -608,16 +645,24 @@ def _cmd_sweep(args) -> int:
         for problem in problems:
             print(problem, file=sys.stderr)
         return 2
-    result = run_grid(
-        grid,
-        workers=args.workers,
-        store=args.records,
-        force=args.force,
-        progress=print,
-    )
+    try:
+        result = run_grid(
+            grid,
+            workers=args.workers,
+            store=args.records,
+            force=args.force,
+            progress=print,
+            budget=args.budget,
+            max_inflight_configs=args.max_inflight_configs,
+        )
+    except JobRejected as exc:
+        # Admission control refused the whole grid before anything executed
+        # or was persisted; surface the reason and a distinct exit code.
+        print(f"sweep rejected: {exc.reason}", file=sys.stderr)
+        return 3
     print(format_table([_record_row(r) for r in result.records], title="sweep"))
     print()
-    print(result.stats.summary())
+    print(result.summary())
     return 0 if all(r.conserved for r in result.records) else 1
 
 
@@ -710,7 +755,7 @@ def _cmd_bench(args) -> int:
     wall = time.perf_counter() - t0
     print(format_table([_record_row(r) for r in result.records], title="bench"))
     print()
-    print(result.stats.summary())
+    print(result.summary())
     label = args.label or pathlib.Path(args.out).stem
     write_trajectory(
         args.out,
@@ -721,11 +766,48 @@ def _cmd_bench(args) -> int:
             "total": result.stats.total,
             "cached": result.stats.cached,
             "executed": result.stats.executed,
+            "deduped": result.stats.deduped,
+            "serial_lane": result.stats.serial_lane,
             "workers": result.stats.workers,
         },
     )
     print(f"trajectory written to {args.out}")
     return 0 if all(r.conserved for r in result.records) else 1
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .experiments.service import ExperimentService
+
+    if args.socket is None and args.port is None:
+        print("serve needs --socket PATH or --port N (0 = pick a free port)",
+              file=sys.stderr)
+        return 2
+    service = ExperimentService(
+        workers=args.workers,
+        store=args.records,
+        max_inflight_jobs=args.max_jobs,
+        max_inflight_configs=args.max_configs,
+        operand_cache_mb=args.operand_cache_mb,
+    )
+
+    # Announced on its own flushed line so wrappers (CI, tests) can wait for
+    # readiness and, with --port 0, learn the picked port.
+    def ready(address: str) -> None:
+        print(f"repro serve: listening on {address}", flush=True)
+
+    try:
+        asyncio.run(service.run(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port or 0,
+            ready=ready,
+        ))
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: stopped", flush=True)
+    return 0
 
 
 def _cmd_datasets(_args) -> int:
@@ -760,6 +842,7 @@ _COMMANDS = {
     "mcl": _cmd_mcl,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
 }

@@ -41,6 +41,8 @@ the paper's convention that inputs are distributed before timing starts.
 from __future__ import annotations
 
 import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -64,17 +66,173 @@ __all__ = [
     "LAYOUT_BLOCKS_2D",
     "LAYOUT_GLOBAL",
     "DistributedOperand",
+    "OperandCache",
     "PreparedMultiply",
     "as_operand",
     "coerce_columns_1d",
     "coerce_rows_1d",
     "eager_assembly_enabled",
+    "estimate_operand_nbytes",
+    "install_operand_cache",
+    "operand_cache",
+    "operand_source_tag",
+    "tag_operand_source",
 ]
 
 LAYOUT_COLUMNS_1D = "1d-columns"
 LAYOUT_ROWS_1D = "1d-rows"
 LAYOUT_BLOCKS_2D = "2d-blocks"
 LAYOUT_GLOBAL = "global"
+
+#: attribute carrying a matrix's provenance key, e.g. ``("dataset",
+#: "hv15r", 0.5)`` — what makes an operand addressable by the cache
+_SOURCE_TAG_ATTR = "_repro_operand_tag"
+
+
+def tag_operand_source(matrix, tag: Tuple) -> None:
+    """Stamp a matrix with its provenance key (dataset name/scale/...).
+
+    Only tagged matrices participate in operand caching: the tag is what
+    lets two independent runs recognise that they are distributing the
+    *same* input.  Derived matrices (permuted, masked, squared) carry no
+    tag and therefore never alias a cache entry.
+    """
+    try:
+        setattr(matrix, _SOURCE_TAG_ATTR, tuple(tag))
+    except (AttributeError, TypeError):  # slotted/frozen inputs: skip caching
+        pass
+
+
+def operand_source_tag(matrix) -> Optional[Tuple]:
+    """The provenance key stamped by :func:`tag_operand_source` (or None)."""
+    return getattr(matrix, _SOURCE_TAG_ATTR, None)
+
+
+def estimate_operand_nbytes(value) -> int:
+    """Best-effort resident size of a cached value, in bytes.
+
+    Sums ``memory_bytes()`` over the local pieces of a distribution (or the
+    matrix itself); the estimate drives LRU eviction, so being approximate
+    is fine — being *zero* is not, hence the conservative fallback.
+    """
+    mem = getattr(value, "memory_bytes", None)
+    if callable(mem):
+        return int(mem())
+    if isinstance(value, DistributedOperand):
+        if value.layout == LAYOUT_GLOBAL:
+            return estimate_operand_nbytes(value._global)
+        return estimate_operand_nbytes(value.dist)
+    locals_ = getattr(value, "locals_", None)
+    if locals_ is not None:
+        return sum(estimate_operand_nbytes(m) for m in locals_)
+    blocks = getattr(value, "blocks", None)
+    if isinstance(blocks, dict):
+        return sum(estimate_operand_nbytes(b) for b in blocks.values())
+    nnz = getattr(value, "nnz", None)
+    if isinstance(nnz, (int, np.integer)):
+        return int(nnz) * 16 or 1024
+    return 1024
+
+
+class OperandCache:
+    """Process-wide LRU cache of resident operands, bounded by bytes.
+
+    Keyed by provenance — ``("dataset", name, scale)`` for loaded inputs,
+    ``("dist", source_tag, layout, nprocs, bounds)`` for distributions — so
+    repeated workloads against the same input skip regeneration *and*
+    redistribution.  Everything cached here is **host-side state**: reusing
+    an entry never changes a modelled counter (distribution is uncharged
+    layout bookkeeping; charged setup like 1D window exposure happens per
+    run, cache or no cache).  The ``repro serve`` service installs one per
+    process via :func:`install_operand_cache`; without an installed cache
+    every hook below is a no-op, so batch runs behave exactly as before.
+
+    Thread-safe: the service's serial lane and the asyncio handlers share
+    one instance.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024):
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: Tuple, value, nbytes: Optional[int] = None) -> bool:
+        """Insert (refreshing LRU position); returns False if the value
+        alone exceeds the budget and was not cached."""
+        size = int(nbytes) if nbytes is not None else estimate_operand_nbytes(value)
+        with self._lock:
+            if size > self.max_bytes:
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, size)
+            self._bytes += size
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "resident_bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+_OPERAND_CACHE: Optional[OperandCache] = None
+_OPERAND_CACHE_LOCK = threading.Lock()
+
+
+def install_operand_cache(cache: Optional[OperandCache]) -> Optional[OperandCache]:
+    """Install (or, with ``None``, remove) the process-wide operand cache.
+
+    Returns the previously-installed cache so callers can restore it.
+    """
+    global _OPERAND_CACHE
+    with _OPERAND_CACHE_LOCK:
+        previous = _OPERAND_CACHE
+        _OPERAND_CACHE = cache
+        return previous
+
+
+def operand_cache() -> Optional[OperandCache]:
+    """The installed process-wide cache, or ``None`` (hooks disabled)."""
+    return _OPERAND_CACHE
 
 
 def eager_assembly_enabled() -> bool:
@@ -271,6 +429,33 @@ def _bounds_match(requested: Optional[Sequence[Tuple[int, int]]], actual) -> boo
     ]
 
 
+def _cached_distribution(A_global, layout: str, nprocs: int, bounds, builder):
+    """Build (or reuse) a distribution of a tagged source matrix.
+
+    Distribution is a pure function of (matrix, nprocs, bounds) and is
+    never charged to a ledger — the paper's convention is that inputs are
+    distributed before timing starts — so serving it from the installed
+    :class:`OperandCache` elides host work only.  Untagged matrices (the
+    common batch path) always rebuild.
+    """
+    cache = operand_cache()
+    tag = operand_source_tag(A_global)
+    if cache is None or tag is None:
+        return builder()
+    key = (
+        "dist",
+        tag,
+        layout,
+        int(nprocs),
+        None if bounds is None else tuple((int(s), int(e)) for s, e in bounds),
+    )
+    dist = cache.get(key)
+    if dist is None:
+        dist = builder()
+        cache.put(key, dist)
+    return dist
+
+
 def coerce_columns_1d(
     A,
     nprocs: int,
@@ -295,7 +480,10 @@ def coerce_columns_1d(
     A_global = op.global_matrix()
     return DistributedOperand(
         layout=LAYOUT_COLUMNS_1D,
-        dist=DistributedColumns1D.from_global(A_global, nprocs, bounds=bounds),
+        dist=_cached_distribution(
+            A_global, LAYOUT_COLUMNS_1D, nprocs, bounds,
+            lambda: DistributedColumns1D.from_global(A_global, nprocs, bounds=bounds),
+        ),
         # The global form was just materialised (or given) — keep it cached so
         # drivers that still need it reuse the identical object.
         _global=A_global,
@@ -319,6 +507,9 @@ def coerce_rows_1d(
     A_global = op.global_matrix()
     return DistributedOperand(
         layout=LAYOUT_ROWS_1D,
-        dist=DistributedRows1D.from_global(A_global, nprocs, bounds=bounds),
+        dist=_cached_distribution(
+            A_global, LAYOUT_ROWS_1D, nprocs, bounds,
+            lambda: DistributedRows1D.from_global(A_global, nprocs, bounds=bounds),
+        ),
         _global=A_global,
     )

@@ -16,6 +16,8 @@ clustering); see :mod:`repro.experiments.workloads`.
 
 from .config import COST_MODELS, ExperimentGrid, RunConfig, resolve_cost_model
 from .engine import SweepResult, SweepStats, execute_config, run_grid
+from .scheduler import Job, JobCounters, JobHandle, JobRejected, Scheduler
+from .service import ExperimentService, ServiceClient
 from .records import (
     AMGStats,
     BCIterationStats,
@@ -52,6 +54,13 @@ __all__ = [
     "ResultStore",
     "SweepResult",
     "SweepStats",
+    "Job",
+    "JobCounters",
+    "JobHandle",
+    "JobRejected",
+    "Scheduler",
+    "ExperimentService",
+    "ServiceClient",
     "WORKLOADS",
     "execute_config",
     "execute_workload",

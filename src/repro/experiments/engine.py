@@ -1,16 +1,19 @@
-"""The parallel experiment engine: fan-out execution with result caching.
+"""The experiment engine: ``run_grid`` as a thin client of the scheduler.
 
 ``run_grid`` takes a declarative :class:`~repro.experiments.ExperimentGrid`
-(or an explicit list of :class:`RunConfig`), consults the JSONL store for
-records whose config hash already exists (cache hit ⇒ the run is skipped),
-and executes the misses — serially, or fanned out over a
-``multiprocessing`` pool.  Each config's ``workload`` field selects what
-runs (squaring, chained squaring, AMG restriction, betweenness centrality,
-triangle counting, Markov clustering — see
-:mod:`repro.experiments.workloads`); all workloads share the store, the
-cache and the pool.  Records come back in grid order regardless of
-completion order, and only modelled (deterministic) quantities enter a
-record, so::
+(or an explicit list of :class:`RunConfig`), submits it as one job to an
+ephemeral :class:`~repro.experiments.scheduler.Scheduler`, and blocks for
+the records.  All scheduling policy — cache-hit short-circuiting against
+the JSONL store, within-grid dedup of identical config hashes (each unique
+hash executes exactly once), pool fan-out for pool-safe backends with a
+dedicated serial lane for the rest, dataset prewarm, incremental
+in-order persistence — lives in :mod:`repro.experiments.scheduler`, where
+the long-lived ``repro serve`` service reuses it.  Each config's
+``workload`` field selects what runs (squaring, chained squaring, AMG
+restriction, betweenness centrality, triangle counting, Markov clustering —
+see :mod:`repro.experiments.workloads`); all workloads share the store, the
+cache and the pool.  Records come back per unique hash in first-occurrence
+order, and only modelled (deterministic) quantities enter a record, so::
 
     parallel(run_grid(grid)) == serial(run_grid(grid))   # bit-identical
 
@@ -20,40 +23,64 @@ already-persisted points are skipped, only the remainder runs.
 Worker processes re-load inputs by dataset name through
 :func:`repro.matrices.load_dataset`, whose disk cache (see
 :mod:`repro.matrices.cache`) makes repeated loads of the same synthetic
-matrix a file read instead of a regeneration.
+matrix a file read instead of a regeneration.  When a process-wide
+:class:`~repro.core.pipeline.OperandCache` is installed (the ``repro
+serve`` service does), serial-lane executions additionally reuse resident
+datasets and distributions across runs — host work only, never a modelled
+counter.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import os
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..matrices import load_dataset, read_matrix_market
 from ..runtime import CostModel
 from ..sparse import CSCMatrix
 from .config import ExperimentGrid, RunConfig, resolve_cost_model
 from .records import RunRecord
+from .scheduler import JobRejected, Scheduler
 from .store import ResultStore
 
-__all__ = ["SweepStats", "SweepResult", "execute_config", "run_grid"]
+__all__ = [
+    "SweepStats",
+    "SweepResult",
+    "execute_config",
+    "run_grid",
+    "JobRejected",
+]
+
+#: seconds between periodic progress lines during a long sweep
+PROGRESS_INTERVAL_ENV = "REPRO_PROGRESS_INTERVAL"
+DEFAULT_PROGRESS_INTERVAL = 10.0
 
 
 @dataclass
 class SweepStats:
-    """Bookkeeping for one ``run_grid`` invocation."""
+    """Bookkeeping for one ``run_grid`` invocation (scheduler counters)."""
 
     total: int = 0
     cached: int = 0
     executed: int = 0
     workers: int = 1
+    #: duplicate config hashes collapsed onto a single execution
+    deduped: int = 0
+    #: executions routed to the dedicated serial lane (non-pool-safe backends)
+    serial_lane: int = 0
     #: measured wall-clock of the whole sweep (reporting only — never persisted)
     wall_seconds: float = 0.0
 
     def summary(self) -> str:
+        parts = [f"{self.cached} cached", f"{self.executed} executed"]
+        if self.deduped:
+            parts.append(f"{self.deduped} deduped")
+        if self.serial_lane:
+            parts.append(f"{self.serial_lane} serial-lane")
         return (
-            f"{self.total} configs: {self.cached} cached, {self.executed} executed "
+            f"{self.total} configs: {', '.join(parts)} "
             f"({self.workers} worker{'s' if self.workers != 1 else ''}, "
             f"{self.wall_seconds:.2f}s wall)"
         )
@@ -61,7 +88,8 @@ class SweepStats:
 
 @dataclass
 class SweepResult:
-    """Records (in grid order) plus execution statistics."""
+    """Records (one per unique config hash, in first-occurrence order)
+    plus execution statistics."""
 
     records: List[RunRecord]
     stats: SweepStats
@@ -75,11 +103,30 @@ class SweepResult:
     def __getitem__(self, idx):
         return self.records[idx]
 
+    def summary(self) -> str:
+        """One-line scheduler-counter summary (delegates to ``stats``)."""
+        return self.stats.summary()
+
 
 def _load_input(config: RunConfig) -> CSCMatrix:
     if config.matrix:
         return read_matrix_market(config.matrix)
-    return load_dataset(config.dataset, scale=config.scale)
+    # When a process-wide operand cache is installed (the service does),
+    # repeated loads of the same dataset are served resident — the cache
+    # only ever elides host work, never a modelled charge.
+    from ..core.pipeline import operand_cache, tag_operand_source
+
+    key = ("dataset", config.dataset, float(config.scale))
+    cache = operand_cache()
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    A = load_dataset(config.dataset, scale=config.scale)
+    tag_operand_source(A, key)
+    if cache is not None:
+        cache.put(key, A)
+    return A
 
 
 def execute_config(
@@ -129,37 +176,26 @@ def _execute_worker(config: RunConfig) -> RunRecord:
     return execute_config(config)
 
 
-def _prewarm_dataset_cache(configs: Sequence[RunConfig]) -> None:
-    """Generate each unique dataset once in the parent before fanning out.
-
-    Without this, a cold parallel sweep has every worker miss the disk
-    cache simultaneously and regenerate the same synthetic matrix; one
-    parent-side load populates the cache so workers only do file reads.
-    """
-    from ..matrices.cache import dataset_cache_enabled
-
-    if not dataset_cache_enabled():
-        return
-    for dataset, scale in sorted({
-        (c.dataset, c.scale) for c in configs if not c.matrix
-    }):
-        load_dataset(dataset, scale=scale)
+def _progress_interval() -> float:
+    raw = os.environ.get(PROGRESS_INTERVAL_ENV, "").strip()
+    if not raw:
+        return DEFAULT_PROGRESS_INTERVAL
+    try:
+        return max(0.1, float(raw))
+    except ValueError:
+        return DEFAULT_PROGRESS_INTERVAL
 
 
-def _collect(produced, store: Optional[ResultStore]) -> List[RunRecord]:
-    """Drain records, persisting each as it arrives.
-
-    Appending incrementally (instead of once at the end) is what makes an
-    interrupted or partially-failing sweep resumable: every record that
-    finished before the abort is already in the store, so the re-run skips
-    it as a cache hit.
-    """
-    fresh: List[RunRecord] = []
-    for record in produced:
-        if store is not None:
-            store.append([record])
-        fresh.append(record)
-    return fresh
+def _progress_line(handle, t0: float) -> str:
+    """One helianthus-scan-planner-style status line for a running sweep."""
+    c = handle.counters.snapshot()
+    finished = c["cached"] + c["done"]
+    return (
+        f"progress: {finished}/{c['unique']} unique configs done · "
+        f"executed {c['done']}/{c['executed']} · cached {c['cached']} · "
+        f"deduped {c['deduped']} · serial-lane {c['serial_lane']} · "
+        f"running {c['running']} · {time.perf_counter() - t0:.1f}s elapsed"
+    )
 
 
 def run_grid(
@@ -169,14 +205,24 @@ def run_grid(
     store: Optional[Union[ResultStore, str]] = None,
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    priority: int = 0,
+    budget: Optional[int] = None,
+    max_inflight_configs: Optional[int] = None,
 ) -> SweepResult:
     """Execute every config of ``grid``, reusing cached records.
+
+    A thin blocking client of the scheduler: expands the grid, submits it
+    as one job to an ephemeral :class:`Scheduler`, streams periodic
+    progress lines while waiting, and returns the records (one per unique
+    config hash, first-occurrence order — a grid that names the same
+    canonical config twice executes and returns it once).
 
     Parameters
     ----------
     workers:
-        ``0``/``1`` runs serially in-process; ``N > 1`` fans the cache
-        misses out over a ``multiprocessing`` pool of ``N`` workers.
+        ``0``/``1`` runs serially in-process; ``N > 1`` fans the pool-safe
+        cache misses out over a ``multiprocessing`` pool of ``N`` workers
+        (non-pool-safe backends always take the serial lane).
     store:
         A :class:`ResultStore` (or path) consulted for cache hits before
         executing and appended to afterwards.  ``None`` disables
@@ -184,67 +230,64 @@ def run_grid(
     force:
         Re-execute even on a cache hit; fresh records shadow the old rows.
     progress:
-        Optional callback receiving human-readable status lines.
+        Optional callback receiving human-readable status lines, including
+        a periodic one-line progress update during long sweeps
+        (``REPRO_PROGRESS_INTERVAL`` seconds, default 10).
+    budget / max_inflight_configs:
+        Admission control forwarded to the scheduler; when the job is
+        rejected, :class:`JobRejected` is raised (with the reason) before
+        anything executes.
     """
     t0 = time.perf_counter()
     configs = grid.expand() if isinstance(grid, ExperimentGrid) else list(grid)
-    if store is not None and not isinstance(store, ResultStore):
-        store = ResultStore(store)
-
     say = progress if progress is not None else (lambda _msg: None)
-    cached: Dict[str, RunRecord] = {}
-    if store is not None and not force:
-        cached = store.load()
 
-    hashes = [c.config_hash() for c in configs]
-    pending = [
-        (i, c) for i, (c, h) in enumerate(zip(configs, hashes)) if h not in cached
-    ]
-    stats = SweepStats(
-        total=len(configs),
-        cached=len(configs) - len(pending),
-        executed=len(pending),
-        workers=max(1, workers),
+    scheduler = Scheduler(
+        workers=workers,
+        store=store,
+        max_inflight_configs=max_inflight_configs,
     )
-    if stats.cached:
-        say(f"cache: reusing {stats.cached}/{stats.total} records")
-
-    fresh: List[RunRecord] = []
-    executed: List = []
-    if pending:
-        say(f"executing {len(pending)} configs with {stats.workers} worker(s)")
-        # Non-simulated backends fork transport helper processes of their
-        # own, which daemonic pool workers are not allowed to do — those
-        # configs always run serially in the parent, whatever ``workers``
-        # says.  Pool-vs-parent placement never changes modelled counters.
-        pooled = [(i, c) for i, c in pending if c.backend == "simulated"]
-        serial = [(i, c) for i, c in pending if c.backend != "simulated"]
-        if workers > 1 and len(pooled) > 1:
-            if serial:
+    try:
+        handle = scheduler.submit(
+            configs, priority=priority, budget=budget, force=force
+        )
+        counters = handle.counters
+        if counters.cached:
+            say(f"cache: reusing {counters.cached}/{counters.total} records")
+        if counters.deduped:
+            say(
+                f"dedup: {counters.deduped} duplicate config(s) collapsed "
+                "onto one execution each"
+            )
+        if counters.executed:
+            say(
+                f"executing {counters.executed} configs with "
+                f"{max(1, workers)} worker(s)"
+            )
+            if counters.serial_lane:
                 say(
-                    f"{len(serial)} config(s) on non-simulated backends run "
-                    "in the parent process"
+                    f"{counters.serial_lane} config(s) on non-pool-safe "
+                    "backends run on the serial lane"
                 )
-            _prewarm_dataset_cache([c for _, c in pooled])
-            with multiprocessing.Pool(processes=workers) as pool:
-                produced = pool.imap(
-                    _execute_worker, [c for _, c in pooled], chunksize=1
-                )
-                fresh = _collect(produced, store)
-            fresh += _collect((execute_config(c) for _, c in serial), store)
-            executed = pooled + serial
-        else:
-            executed = pending
-            fresh = _collect((execute_config(c) for _, c in executed), store)
-        if store is not None:
-            say(f"persisted {len(fresh)} new records to {store.path}")
+        interval = _progress_interval()
+        while not handle.finished.wait(interval if progress else None):
+            say(_progress_line(handle, t0))
+        records = handle.wait()
+        if store is not None and counters.executed:
+            say(
+                f"persisted {scheduler.persisted} new records to "
+                f"{scheduler.store.path}"
+            )
+    finally:
+        scheduler.shutdown()
 
-    # Assemble in grid order: cached rows fill the gaps between fresh ones.
-    by_index: Dict[int, RunRecord] = {i: r for (i, _), r in zip(executed, fresh)}
-    records = [
-        by_index[i] if i in by_index else cached[h]
-        for i, h in enumerate(hashes)
-    ]
-
-    stats.wall_seconds = time.perf_counter() - t0
+    stats = SweepStats(
+        total=counters.total,
+        cached=counters.cached,
+        executed=counters.executed,
+        workers=max(1, workers),
+        deduped=counters.deduped,
+        serial_lane=counters.serial_lane,
+        wall_seconds=time.perf_counter() - t0,
+    )
     return SweepResult(records=records, stats=stats)

@@ -1,0 +1,729 @@
+"""The experiment scheduler: jobs, lanes, admission control, dedup.
+
+PR 2's ``run_grid`` hard-wired its scheduling policy — pool sizing, the
+serial-in-parent routing of non-daemonic backends, dataset prewarm,
+incremental persistence — into one function, so nothing else (the
+long-lived ``repro serve`` service, concurrent sweeps sharing a store)
+could reuse it.  This module carves that policy out into a reusable
+subsystem:
+
+:class:`Job`
+    A frozen batch of :class:`RunConfig` points plus a priority and an
+    optional per-job budget (the maximum number of *fresh* executions the
+    job may trigger).
+
+:class:`Scheduler`
+    Owns the worker pool and a dedicated **serial lane**.  ``submit``
+    plans a job synchronously — store-backed cache hits are short-circuited,
+    duplicate config hashes inside the job collapse onto one task, and
+    hashes already in flight (from any job) attach to the existing task's
+    future so **each unique hash executes exactly once** — then dispatches
+    the misses: pool-safe backends fan out over a ``multiprocessing`` pool,
+    backends that fork helper processes of their own (shm — see
+    ``Backend.pool_safe``) run on the serial lane.  Admission control
+    rejects a job *with a reason* (:class:`JobRejected`) when the scheduler
+    is saturated (``max_inflight_jobs`` / ``max_inflight_configs``) or the
+    job exceeds its budget, before anything executes.
+
+:class:`JobHandle`
+    The submitted job's live view: thread-safe counters
+    (cached/deduped/executed/serial-lane/running/done), a subscription API
+    streaming progress events (the service forwards these over its
+    socket), ``wait()`` for the records, and ``cancel()``.
+
+Determinism contract — unchanged from the engine it replaces: records are
+persisted by a per-job collector in the *legacy drain order* (pool-lane
+tasks in submission order, then serial-lane tasks), each appended as it
+completes, so (a) a store written through the scheduler is byte-identical
+to one written by the pre-scheduler engine, and (b) an interrupted job
+resumes from the clean prefix it already persisted.  Cache hits and
+attached duplicates are never re-appended; the task's *owning* job appends
+each executed record exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..runtime.backend import resolve_backend
+from .config import ExperimentGrid, RunConfig
+from .records import RunRecord
+from .store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobCounters",
+    "JobHandle",
+    "JobRejected",
+    "Scheduler",
+]
+
+
+class JobRejected(RuntimeError):
+    """Admission control refused a job; ``reason`` says why.
+
+    Raised by :meth:`Scheduler.submit` *before* anything executes or is
+    persisted, so a rejected job has no partial side effects to clean up.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Job:
+    """A frozen batch of configs submitted to the scheduler."""
+
+    job_id: str
+    configs: Tuple[RunConfig, ...]
+    #: higher runs first when lanes are contended
+    priority: int = 0
+    #: max fresh executions this job may trigger (None = unlimited)
+    budget: Optional[int] = None
+    #: re-execute even on cache hits (fresh rows shadow old store rows)
+    force: bool = False
+
+
+@dataclass
+class JobCounters:
+    """Thread-safe-by-convention counters (mutated under the scheduler lock)."""
+
+    #: configs submitted, duplicates included
+    total: int = 0
+    #: unique config hashes in the job
+    unique: int = 0
+    #: unique hashes served straight from the store / completed-task cache
+    cached: int = 0
+    #: duplicate submissions collapsed onto one execution: within-job
+    #: repeats plus attachments to hashes already in flight from other jobs
+    deduped: int = 0
+    #: fresh executions this job owns (its misses)
+    executed: int = 0
+    #: of those, how many were routed to the dedicated serial lane because
+    #: their backend cannot run inside daemonic pool workers
+    serial_lane: int = 0
+    #: tasks currently executing (owned + attached)
+    running: int = 0
+    #: owned + attached tasks that finished executing
+    done: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "unique": self.unique,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "executed": self.executed,
+            "serial_lane": self.serial_lane,
+            "running": self.running,
+            "done": self.done,
+        }
+
+
+class _Task:
+    """One unique config hash in flight (shared by every job that submitted it)."""
+
+    __slots__ = (
+        "config", "hash", "lane", "owner", "priority", "seq",
+        "state", "record", "error", "cancelled", "done",
+    )
+
+    def __init__(self, config: RunConfig, hash_: str, lane: str, owner: str,
+                 priority: int, seq: int):
+        self.config = config
+        self.hash = hash_
+        self.lane = lane                  # "pool" | "serial"
+        self.owner = owner                # job_id responsible for persistence
+        self.priority = priority
+        self.seq = seq
+        self.state = "queued"             # queued|running|done|failed|cancelled
+        self.record: Optional[RunRecord] = None
+        self.error: Optional[BaseException] = None
+        self.cancelled = False
+        self.done = threading.Event()
+
+
+def _execute_task(config: RunConfig) -> RunRecord:
+    """Serial-lane executor.
+
+    The late ``from .engine import execute_config`` re-reads the engine
+    module's *current* attribute on every call, so tests that monkeypatch
+    ``engine.execute_config`` keep working through the scheduler.
+    """
+    from .engine import execute_config
+
+    return execute_config(config)
+
+
+class JobHandle:
+    """Live view of a submitted job: counters, events, results."""
+
+    def __init__(self, job: Job, scheduler: "Scheduler",
+                 unique_order: Sequence[str],
+                 cached: Dict[str, RunRecord],
+                 owned: Dict[str, _Task],
+                 attached: Dict[str, _Task],
+                 drain_order: Sequence[str]):
+        self.job = job
+        self.job_id = job.job_id
+        self._scheduler = scheduler
+        #: unique hashes in first-occurrence order — the result order
+        self.unique_order = list(unique_order)
+        self.cached = cached
+        self.owned = owned
+        self.attached = attached
+        #: hashes of owned tasks in legacy persistence order
+        self.drain_order = list(drain_order)
+        self.counters = JobCounters()
+        self.state = "running"            # running|done|failed|cancelled
+        self.error: Optional[BaseException] = None
+        self.finished = threading.Event()
+        self._subscribers: List[Callable[[Dict[str, object]], None]] = []
+        self._sub_lock = threading.Lock()
+        self.submitted_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[Dict[str, object]], None]) -> None:
+        """Register a progress callback; replays the current state so a
+        subscriber that arrives after events fired still sees a terminal
+        event (no lost ``done``)."""
+        with self._sub_lock:
+            self._subscribers.append(callback)
+            callback(self._event("progress"))
+            if self.finished.is_set():
+                callback(self._event(self.state))
+
+    def _event(self, kind: str) -> Dict[str, object]:
+        event: Dict[str, object] = {
+            "event": kind,
+            "job_id": self.job_id,
+            "state": self.state,
+            "counters": self.counters.snapshot(),
+        }
+        if self.error is not None:
+            event["error"] = str(self.error)
+        return event
+
+    def _emit(self, kind: str) -> None:
+        with self._sub_lock:
+            for callback in list(self._subscribers):
+                try:
+                    callback(self._event(kind))
+                except Exception:       # pragma: no cover - subscriber bug
+                    pass
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def is_finished(self) -> bool:
+        return self.finished.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> List[RunRecord]:
+        """Block until the job finishes; return one record per unique hash
+        (first-occurrence order).  Re-raises the first task failure."""
+        if not self.finished.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} did not finish within {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.records()
+
+    def records(self) -> List[RunRecord]:
+        """One record per unique hash, in first-occurrence order (only
+        meaningful once finished; cancelled/unfinished hashes are skipped)."""
+        out: List[RunRecord] = []
+        for h in self.unique_order:
+            if h in self.cached:
+                out.append(self.cached[h])
+                continue
+            task = self.owned.get(h) or self.attached.get(h)
+            if task is not None and task.record is not None:
+                out.append(task.record)
+        return out
+
+    def cancel(self) -> None:
+        """Cancel the job: owned tasks that have not started and are not
+        shared with another job are skipped; running tasks finish."""
+        self._scheduler._cancel_job(self)
+
+
+class Scheduler:
+    """Owns the worker pool + serial lane; schedules jobs of configs.
+
+    Parameters
+    ----------
+    workers:
+        ``0``/``1`` executes everything on the serial lane (in-process);
+        ``N > 1`` fans pool-safe misses out over a ``multiprocessing`` pool
+        of ``N`` workers (created lazily on first use).
+    store:
+        Shared :class:`ResultStore` (or path).  Consulted for cache hits at
+        submit time; each executed record is appended exactly once by its
+        owning job, in the job's deterministic drain order.
+    max_inflight_jobs / max_inflight_configs:
+        Admission control.  ``submit`` raises :class:`JobRejected` when
+        accepting the job would exceed either limit (``None`` = unlimited).
+    prewarm:
+        Generate each unique dataset once in the parent before pool
+        fan-out (the engine's historic cold-cache optimisation).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        store: Optional[Union[ResultStore, str, Path]] = None,
+        max_inflight_jobs: Optional[int] = None,
+        max_inflight_configs: Optional[int] = None,
+        prewarm: bool = True,
+    ):
+        self.workers = max(0, int(workers))
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.max_inflight_jobs = max_inflight_jobs
+        self.max_inflight_configs = max_inflight_configs
+        self.prewarm = prewarm
+
+        self._lock = threading.RLock()
+        self._tasks: Dict[str, _Task] = {}          # hash -> in-flight task
+        self._done: Dict[str, RunRecord] = {}       # completed this lifetime
+        self._jobs: Dict[str, JobHandle] = {}
+        self._seq = itertools.count()
+        self._job_seq = itertools.count(1)
+        self._closed = False
+
+        self._serial_queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._serial_thread: Optional[threading.Thread] = None
+        self._pool = None
+        self._pool_queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._pool_thread: Optional[threading.Thread] = None
+        self._collectors: List[threading.Thread] = []
+        #: executed records appended to the store by this scheduler
+        self.persisted = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        configs: Union[ExperimentGrid, Sequence[RunConfig]],
+        *,
+        priority: int = 0,
+        budget: Optional[int] = None,
+        force: bool = False,
+        job_id: Optional[str] = None,
+    ) -> JobHandle:
+        """Plan and dispatch a job; raises :class:`JobRejected` when saturated.
+
+        Planning is synchronous (cache lookup, dedup, admission, routing);
+        execution is asynchronous — use the returned handle to stream
+        progress or ``wait()`` for the records.
+        """
+        config_list = (
+            configs.expand() if isinstance(configs, ExperimentGrid)
+            else list(configs)
+        )
+        with self._lock:
+            if self._closed:
+                raise JobRejected("scheduler is shut down")
+            active = [j for j in self._jobs.values() if not j.is_finished]
+            if (
+                self.max_inflight_jobs is not None
+                and len(active) >= self.max_inflight_jobs
+            ):
+                raise JobRejected(
+                    f"admission control: {len(active)} job(s) already in "
+                    f"flight (max {self.max_inflight_jobs}); retry when one "
+                    "finishes"
+                )
+            # Bound the finished-job history so a long-lived service never
+            # grows without limit (status/results stay queryable for the
+            # most recent jobs).
+            if len(self._jobs) > 1024:
+                for jid in [
+                    j.job_id for j in self._jobs.values() if j.is_finished
+                ][: len(self._jobs) - 1024]:
+                    self._jobs.pop(jid, None)
+            if job_id is None:
+                job_id = f"job-{next(self._job_seq)}"
+            job = Job(
+                job_id=job_id,
+                configs=tuple(config_list),
+                priority=priority,
+                budget=budget,
+                force=force,
+            )
+
+            hashes = [c.config_hash() for c in config_list]
+            unique: Dict[str, RunConfig] = {}
+            for c, h in zip(config_list, hashes):
+                unique.setdefault(h, c)
+
+            cached: Dict[str, RunRecord] = {}
+            if not force:
+                store_cache = self.store.load() if self.store is not None else {}
+                for h in unique:
+                    if h in self._done:
+                        cached[h] = self._done[h]
+                    elif h in store_cache:
+                        cached[h] = store_cache[h]
+
+            attached: Dict[str, _Task] = {}
+            misses: List[Tuple[str, RunConfig]] = []
+            for h, c in unique.items():
+                if h in cached:
+                    continue
+                task = self._tasks.get(h)
+                if task is not None and not task.cancelled:
+                    # In-flight collision: this job rides the existing
+                    # future instead of executing the hash a second time.
+                    attached[h] = task
+                else:
+                    misses.append((h, c))
+
+            inflight = len(self._tasks)
+            if (
+                self.max_inflight_configs is not None
+                and inflight + len(misses) > self.max_inflight_configs
+            ):
+                raise JobRejected(
+                    f"admission control: job needs {len(misses)} new "
+                    f"config(s) but {inflight} are already in flight "
+                    f"(max {self.max_inflight_configs}); split the grid or "
+                    "retry when the queue drains"
+                )
+            if budget is not None and len(misses) > budget:
+                raise JobRejected(
+                    f"budget: job requires {len(misses)} fresh execution(s) "
+                    f"but its budget allows {budget}"
+                )
+
+            # Lane routing, mirroring the legacy engine: the pool is used
+            # only when it exists (workers > 1) and more than one of this
+            # job's misses can actually ride it; otherwise everything runs
+            # on the serial lane in submission order.
+            pool_candidates = [
+                (h, c) for h, c in misses if resolve_backend(c.backend).pool_safe
+            ]
+            use_pool = self.workers > 1 and len(pool_candidates) > 1
+            owned: Dict[str, _Task] = {}
+            pool_order: List[str] = []
+            serial_order: List[str] = []
+            for h, c in misses:
+                pool_ok = resolve_backend(c.backend).pool_safe
+                lane = "pool" if (use_pool and pool_ok) else "serial"
+                task = _Task(c, h, lane, owner=job_id, priority=priority,
+                             seq=next(self._seq))
+                self._tasks[h] = task
+                owned[h] = task
+                (pool_order if lane == "pool" else serial_order).append(h)
+
+            handle = JobHandle(
+                job,
+                self,
+                unique_order=list(unique),
+                cached=cached,
+                owned=owned,
+                attached=attached,
+                # Legacy persistence order: pooled configs first (submission
+                # order — pool.imap drained in order), then the serial lane.
+                drain_order=pool_order + serial_order,
+            )
+            c = handle.counters
+            c.total = len(config_list)
+            c.unique = len(unique)
+            c.cached = len(cached)
+            c.deduped = (len(config_list) - len(unique)) + len(attached)
+            c.executed = len(owned)
+            c.serial_lane = sum(
+                1 for t in owned.values()
+                if not resolve_backend(t.config.backend).pool_safe
+            )
+            self._jobs[job_id] = handle
+
+        # Dispatch outside the lock: prewarm can generate datasets.
+        if pool_order:
+            self._ensure_pool()
+            if self.prewarm:
+                self._prewarm([owned[h].config for h in pool_order])
+        if serial_order:
+            self._ensure_serial_lane()
+        for h in pool_order:
+            task = owned[h]
+            self._pool_queue.put((-task.priority, task.seq, task))
+        for h in serial_order:
+            task = owned[h]
+            self._serial_queue.put((-task.priority, task.seq, task))
+
+        collector = threading.Thread(
+            target=self._collect_job, args=(handle,),
+            name=f"repro-sched-{job_id}", daemon=True,
+        )
+        with self._lock:
+            self._collectors.append(collector)
+        collector.start()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Scheduler-wide counters (the service's ``stats`` op)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            return {
+                "workers": self.workers,
+                "jobs_submitted": len(jobs),
+                "jobs_active": sum(1 for j in jobs if not j.is_finished),
+                "configs_inflight": len(self._tasks),
+                "configs_completed": len(self._done),
+                "records_persisted": self.persisted,
+                "max_inflight_jobs": self.max_inflight_jobs,
+                "max_inflight_configs": self.max_inflight_configs,
+            }
+
+    def job(self, job_id: str) -> Optional[JobHandle]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop the lanes and the pool.  Idempotent.
+
+        ``wait=True`` joins the per-job collectors first so records that
+        already finished executing are persisted before the pool dies.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            collectors = list(self._collectors)
+        if wait:
+            deadline = time.monotonic() + timeout
+            for thread in collectors:
+                thread.join(max(0.0, deadline - time.monotonic()))
+        if self._serial_thread is not None:
+            self._serial_queue.put((float("inf"), -1, None))   # sentinel
+            self._serial_thread.join(timeout=5.0)
+        if self._pool_thread is not None:
+            self._pool_queue.put((float("inf"), -1, None))     # sentinel
+            self._pool_thread.join(timeout=5.0)
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Internal: lanes
+    # ------------------------------------------------------------------
+    def _ensure_serial_lane(self) -> None:
+        with self._lock:
+            if self._serial_thread is None:
+                self._serial_thread = threading.Thread(
+                    target=self._serial_loop, name="repro-sched-serial",
+                    daemon=True,
+                )
+                self._serial_thread.start()
+
+    def _ensure_pool(self) -> None:
+        with self._lock:
+            if self._pool is None:
+                import multiprocessing
+
+                self._pool = multiprocessing.Pool(processes=self.workers)
+                self._pool_thread = threading.Thread(
+                    target=self._pool_loop, name="repro-sched-pool",
+                    daemon=True,
+                )
+                self._pool_thread.start()
+
+    def _serial_loop(self) -> None:
+        while True:
+            _, _, task = self._serial_queue.get()
+            if task is None:
+                return
+            self._run_inline(task)
+
+    def _pool_loop(self) -> None:
+        from .engine import _execute_worker
+
+        while True:
+            _, _, task = self._pool_queue.get()
+            if task is None:
+                return
+            with self._lock:
+                if task.cancelled:
+                    self._resolve(task, state="cancelled")
+                    continue
+                task.state = "running"
+                self._note_running(task)
+            try:
+                self._pool.apply_async(
+                    _execute_worker,
+                    (task.config,),
+                    callback=self._pool_callback(task),
+                    error_callback=self._pool_errback(task),
+                )
+            except Exception as exc:     # pool already terminated
+                with self._lock:
+                    task.error = exc
+                    self._resolve(task, state="failed")
+
+    def _pool_callback(self, task: _Task):
+        def on_done(record: RunRecord) -> None:
+            with self._lock:
+                task.record = record
+                self._resolve(task, state="done")
+        return on_done
+
+    def _pool_errback(self, task: _Task):
+        def on_error(exc: BaseException) -> None:
+            with self._lock:
+                task.error = exc
+                self._resolve(task, state="failed")
+        return on_error
+
+    def _run_inline(self, task: _Task) -> None:
+        with self._lock:
+            if task.cancelled:
+                self._resolve(task, state="cancelled")
+                return
+            task.state = "running"
+            self._note_running(task)
+        try:
+            record = _execute_task(task.config)
+        except BaseException as exc:
+            with self._lock:
+                task.error = exc
+                self._resolve(task, state="failed")
+        else:
+            with self._lock:
+                task.record = record
+                self._resolve(task, state="done")
+
+    def _note_running(self, task: _Task) -> None:
+        for handle in self._handles_of(task):
+            handle.counters.running += 1
+
+    def _resolve(self, task: _Task, *, state: str) -> None:
+        """Finalise a task (caller holds the lock)."""
+        was_running = task.state == "running"
+        task.state = state
+        self._tasks.pop(task.hash, None)
+        if state == "done" and task.record is not None:
+            self._done[task.hash] = task.record
+        for handle in self._handles_of(task):
+            if was_running:
+                handle.counters.running -= 1
+            if state == "done":
+                handle.counters.done += 1
+        task.done.set()
+
+    def _handles_of(self, task: _Task) -> List[JobHandle]:
+        return [
+            h for h in self._jobs.values()
+            if task.hash in h.owned or task.hash in h.attached
+        ]
+
+    # ------------------------------------------------------------------
+    # Internal: per-job collection (ordered persistence + events)
+    # ------------------------------------------------------------------
+    def _collect_job(self, handle: JobHandle) -> None:
+        try:
+            for h in handle.drain_order:
+                task = handle.owned[h]
+                task.done.wait()
+                if task.error is not None:
+                    self._fail_job(handle, task.error)
+                    return
+                if task.state == "cancelled":
+                    continue
+                if (
+                    task.owner == handle.job_id
+                    and self.store is not None
+                    and task.record is not None
+                ):
+                    # Exactly-once, in drain order: this is what keeps the
+                    # store byte-identical to the pre-scheduler engine and
+                    # resumable after an interrupt.
+                    self.store.append([task.record])
+                    with self._lock:
+                        self.persisted += 1
+                handle._emit("progress")
+            for h, task in handle.attached.items():
+                task.done.wait()
+                if task.error is not None:
+                    self._fail_job(handle, task.error)
+                    return
+                handle._emit("progress")
+        except BaseException as exc:      # pragma: no cover - defensive
+            self._fail_job(handle, exc)
+            return
+        with self._lock:
+            handle.state = (
+                "cancelled"
+                if any(t.state == "cancelled" for t in handle.owned.values())
+                else "done"
+            )
+        handle.finished.set()
+        handle._emit(handle.state)
+
+    def _fail_job(self, handle: JobHandle, error: BaseException) -> None:
+        with self._lock:
+            handle.state = "failed"
+            handle.error = error
+        handle.finished.set()
+        handle._emit("failed")
+
+    def _cancel_job(self, handle: JobHandle) -> None:
+        with self._lock:
+            if handle.is_finished:
+                return
+            shared = set()
+            for other in self._jobs.values():
+                if other.job_id == handle.job_id:
+                    continue
+                shared.update(other.owned)
+                shared.update(other.attached)
+            for task in handle.owned.values():
+                if task.state == "queued" and task.hash not in shared:
+                    task.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Internal: prewarm
+    # ------------------------------------------------------------------
+    def _prewarm(self, configs: Sequence[RunConfig]) -> None:
+        """Generate each unique dataset once in the parent before fan-out.
+
+        Without this, a cold parallel job has every pool worker miss the
+        disk cache simultaneously and regenerate the same synthetic matrix.
+        """
+        from ..matrices import load_dataset
+        from ..matrices.cache import dataset_cache_enabled
+
+        if not dataset_cache_enabled():
+            return
+        for dataset, scale in sorted({
+            (c.dataset, c.scale) for c in configs if not c.matrix
+        }):
+            load_dataset(dataset, scale=scale)

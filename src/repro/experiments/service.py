@@ -1,0 +1,515 @@
+"""The long-lived experiment service behind ``repro serve``.
+
+A sweep through :func:`~repro.experiments.run_grid` pays its fixed costs on
+every invocation: a fresh process, a fresh worker pool, and a cold operand
+cache — every dataset is regenerated or re-read from disk, every
+distribution rebuilt.  :class:`ExperimentService` keeps one
+:class:`~repro.experiments.scheduler.Scheduler` alive behind a socket so a
+sequence of experiment requests shares the pool, the store-backed result
+cache, the in-flight dedup table, *and* a process-wide
+:class:`~repro.core.pipeline.OperandCache` holding recently used datasets
+and distribution layouts resident between requests (host-side state only —
+modelled counters are invariant under caching, so records stay
+byte-identical to batch runs).
+
+Protocol — one JSON object per line, over a unix socket or localhost TCP::
+
+    → {"op": "submit", "configs": [{...RunConfig dict...}, ...],
+       "grid": {...ExperimentGrid kwargs...},          # either or both
+       "priority": 0, "budget": null, "force": false,
+       "stream": false}
+    ← {"ok": true, "job_id": "job-1", "counters": {...}}
+      # with "stream": true, progress/terminal event lines follow the ack:
+    ← {"event": "progress", "job_id": ..., "state": ..., "counters": {...}}
+    ← {"event": "done", ...}                           # terminal
+
+    → {"op": "status",  "job_id": "job-1"}
+    ← {"ok": true, "job_id": ..., "state": ..., "counters": {...}}
+
+    → {"op": "results", "job_id": "job-1", "wait": true}
+    ← {"ok": true, "job_id": ..., "records": [{...RunRecord dict...}]}
+
+    → {"op": "cancel",  "job_id": "job-1"}
+    → {"op": "stats"}        # scheduler + operand cache + store counters
+    → {"op": "ping"}
+    → {"op": "shutdown"}     # ack, then the server stops
+
+Admission-control rejections come back as
+``{"ok": false, "rejected": true, "error": "<reason>"}`` — the job had no
+side effects (see :class:`~repro.experiments.scheduler.JobRejected`).
+Errors in a request never kill the connection; they come back as
+``{"ok": false, "error": ...}``.
+
+:class:`ServiceClient` is the matching synchronous client (plain sockets,
+no asyncio) used by the CLI smoke tests and CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..core.pipeline import OperandCache, install_operand_cache
+from .config import ExperimentGrid, RunConfig
+from .scheduler import JobHandle, JobRejected, Scheduler
+from .store import ResultStore
+
+__all__ = [
+    "DEFAULT_OPERAND_CACHE_MB",
+    "ExperimentService",
+    "ServiceClient",
+]
+
+#: default operand-cache budget (MiB) when ``repro serve`` does not override
+DEFAULT_OPERAND_CACHE_MB = 256
+
+#: events that end a ``"stream": true`` submit response
+_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+
+def _json_line(payload: Dict[str, object]) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def parse_submit_configs(message: Dict[str, object]) -> List[RunConfig]:
+    """Decode a submit payload's ``configs`` + ``grid`` into RunConfigs."""
+    configs: List[RunConfig] = []
+    for entry in message.get("configs") or []:
+        if not isinstance(entry, dict):
+            raise ValueError(f"config entries must be objects, got {entry!r}")
+        configs.append(RunConfig.from_dict(entry))
+    grid = message.get("grid")
+    if grid is not None:
+        if not isinstance(grid, dict):
+            raise ValueError(f"'grid' must be an object, got {grid!r}")
+        configs.extend(ExperimentGrid(**grid).expand())
+    if not configs:
+        raise ValueError("submit needs 'configs' and/or 'grid'")
+    return configs
+
+
+class ExperimentService:
+    """A scheduler wrapped in an asyncio JSON-line server.
+
+    Construction is cheap; :meth:`run` (or :meth:`start` / :meth:`stop`)
+    owns the lifecycle: it installs the process-wide operand cache, serves
+    until a ``shutdown`` request (or :meth:`stop`), then shuts the
+    scheduler down and restores the previously installed cache.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        store: Optional[Union[ResultStore, str, Path]] = None,
+        max_inflight_jobs: Optional[int] = None,
+        max_inflight_configs: Optional[int] = None,
+        operand_cache_mb: int = DEFAULT_OPERAND_CACHE_MB,
+    ):
+        self.scheduler = Scheduler(
+            workers=workers,
+            store=store,
+            max_inflight_jobs=max_inflight_jobs,
+            max_inflight_configs=max_inflight_configs,
+        )
+        self.operand_cache = (
+            OperandCache(max_bytes=operand_cache_mb * 1024 * 1024)
+            if operand_cache_mb > 0
+            else None
+        )
+        self._previous_cache: Optional[OperandCache] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+        self.address: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self,
+        *,
+        socket_path: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> str:
+        """Bind and start serving; returns the printable address.
+
+        ``socket_path`` selects a unix socket; otherwise localhost TCP on
+        ``host:port`` (``port=0`` picks a free one — read the returned
+        address).
+        """
+        self._previous_cache = install_operand_cache(self.operand_cache)
+        if socket_path is not None:
+            path = Path(socket_path)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(path)
+            )
+            self.address = f"unix:{path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=host, port=port
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.address = f"tcp:{bound[0]}:{bound[1]}"
+        return self.address
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` request)."""
+        try:
+            await self._stop.wait()
+        finally:
+            await self._close()
+
+    async def run(
+        self,
+        *,
+        socket_path: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready=None,
+    ) -> None:
+        """Start, announce via ``ready(address)``, serve until stopped."""
+        address = await self.start(socket_path=socket_path, host=host, port=port)
+        if ready is not None:
+            ready(address)
+        await self.serve_until_stopped()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    async def _close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await asyncio.to_thread(self.scheduler.shutdown)
+        install_operand_cache(self._previous_cache)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stop.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    writer.write(
+                        _json_line({"ok": False, "error": f"invalid request: {exc}"})
+                    )
+                    await writer.drain()
+                    continue
+                stop_after = await self._dispatch(message, writer)
+                await writer.drain()
+                if stop_after:
+                    self.stop()
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(
+        self, message: Dict[str, object], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one request; returns True when the server should stop."""
+        op = message.get("op")
+        if op == "submit":
+            await self._op_submit(message, writer)
+        elif op == "status":
+            writer.write(_json_line(self._op_status(message)))
+        elif op == "results":
+            writer.write(_json_line(await self._op_results(message)))
+        elif op == "cancel":
+            writer.write(_json_line(self._op_cancel(message)))
+        elif op == "stats":
+            writer.write(_json_line(self._op_stats()))
+        elif op == "ping":
+            writer.write(_json_line({"ok": True, "pong": True}))
+        elif op == "shutdown":
+            writer.write(_json_line({"ok": True, "stopping": True}))
+            return True
+        else:
+            writer.write(
+                _json_line(
+                    {
+                        "ok": False,
+                        "error": (
+                            f"unknown op {op!r}; valid ops: submit, status, "
+                            "results, cancel, stats, ping, shutdown"
+                        ),
+                    }
+                )
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    async def _op_submit(
+        self, message: Dict[str, object], writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            configs = parse_submit_configs(message)
+            priority = int(message.get("priority") or 0)
+            budget = message.get("budget")
+            budget = None if budget is None else int(budget)
+            force = bool(message.get("force", False))
+        except (ValueError, TypeError) as exc:
+            writer.write(_json_line({"ok": False, "error": str(exc)}))
+            return
+
+        loop = asyncio.get_running_loop()
+        events: "asyncio.Queue[Dict[str, object]]" = asyncio.Queue()
+        stream = bool(message.get("stream", False))
+        try:
+            # submit() plans synchronously (store load, prewarm): off-loop.
+            handle = await asyncio.to_thread(
+                self.scheduler.submit,
+                configs,
+                priority=priority,
+                budget=budget,
+                force=force,
+            )
+        except JobRejected as exc:
+            writer.write(
+                _json_line(
+                    {"ok": False, "rejected": True, "error": exc.reason}
+                )
+            )
+            return
+        except Exception as exc:
+            writer.write(_json_line({"ok": False, "error": str(exc)}))
+            return
+
+        writer.write(
+            _json_line(
+                {
+                    "ok": True,
+                    "job_id": handle.job_id,
+                    "counters": handle.counters.snapshot(),
+                }
+            )
+        )
+        if not stream:
+            return
+        await writer.drain()
+
+        # Scheduler threads emit events; bridge them onto the loop.  The
+        # subscription replays current state + any terminal event, so a
+        # stream opened after the job finished still terminates cleanly.
+        def forward(event: Dict[str, object]) -> None:
+            loop.call_soon_threadsafe(events.put_nowait, event)
+
+        handle.subscribe(forward)
+        while True:
+            event = await events.get()
+            writer.write(_json_line(event))
+            await writer.drain()
+            if event.get("event") in _TERMINAL_EVENTS:
+                break
+
+    def _handle_or_error(
+        self, message: Dict[str, object]
+    ) -> Union[JobHandle, Dict[str, object]]:
+        job_id = message.get("job_id")
+        if not isinstance(job_id, str):
+            return {"ok": False, "error": "missing 'job_id'"}
+        handle = self.scheduler.job(job_id)
+        if handle is None:
+            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        return handle
+
+    def _op_status(self, message: Dict[str, object]) -> Dict[str, object]:
+        handle = self._handle_or_error(message)
+        if isinstance(handle, dict):
+            return handle
+        status: Dict[str, object] = {
+            "ok": True,
+            "job_id": handle.job_id,
+            "state": handle.state,
+            "counters": handle.counters.snapshot(),
+        }
+        if handle.error is not None:
+            status["error"] = str(handle.error)
+        return status
+
+    async def _op_results(self, message: Dict[str, object]) -> Dict[str, object]:
+        handle = self._handle_or_error(message)
+        if isinstance(handle, dict):
+            return handle
+        if message.get("wait"):
+            try:
+                timeout = message.get("timeout")
+                await asyncio.to_thread(
+                    handle.finished.wait,
+                    None if timeout is None else float(timeout),
+                )
+            except (ValueError, TypeError) as exc:
+                return {"ok": False, "error": str(exc)}
+        if not handle.is_finished:
+            return {
+                "ok": False,
+                "job_id": handle.job_id,
+                "state": handle.state,
+                "error": "job still running; pass \"wait\": true to block",
+            }
+        reply: Dict[str, object] = {
+            "ok": handle.state != "failed",
+            "job_id": handle.job_id,
+            "state": handle.state,
+            "records": [r.to_dict() for r in handle.records()],
+        }
+        if handle.error is not None:
+            reply["error"] = str(handle.error)
+        return reply
+
+    def _op_cancel(self, message: Dict[str, object]) -> Dict[str, object]:
+        handle = self._handle_or_error(message)
+        if isinstance(handle, dict):
+            return handle
+        handle.cancel()
+        return {"ok": True, "job_id": handle.job_id, "state": handle.state}
+
+    def _op_stats(self) -> Dict[str, object]:
+        stats: Dict[str, object] = {"ok": True, "scheduler": self.scheduler.stats()}
+        if self.operand_cache is not None:
+            stats["operand_cache"] = self.operand_cache.stats()
+        if self.scheduler.store is not None:
+            stats["store"] = self.scheduler.store.stats()
+        return stats
+
+
+class ServiceClient:
+    """Synchronous JSON-line client for :class:`ExperimentService`.
+
+    One client holds one connection; requests are strictly sequential on
+    it (run concurrent jobs from separate clients).  Usable as a context
+    manager.
+    """
+
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 300.0,
+    ):
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        elif port is not None:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            raise ValueError("need socket_path or port")
+        self._fh = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _send(self, payload: Dict[str, object]) -> None:
+        self._fh.write(_json_line(payload))
+        self._fh.flush()
+
+    def _recv(self) -> Dict[str, object]:
+        line = self._fh.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """One request, one reply (do not use for streaming submits)."""
+        self._send(payload)
+        return self._recv()
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        *,
+        configs: Optional[List[Dict[str, object]]] = None,
+        grid: Optional[Dict[str, object]] = None,
+        priority: int = 0,
+        budget: Optional[int] = None,
+        force: bool = False,
+        stream: bool = False,
+    ) -> Dict[str, object]:
+        """Submit; returns the ack.  With ``stream=True``, follow with
+        :meth:`events` to drain the progress stream."""
+        payload: Dict[str, object] = {"op": "submit", "stream": stream}
+        if configs is not None:
+            payload["configs"] = configs
+        if grid is not None:
+            payload["grid"] = grid
+        if priority:
+            payload["priority"] = priority
+        if budget is not None:
+            payload["budget"] = budget
+        if force:
+            payload["force"] = force
+        return self.request(payload)
+
+    def events(self) -> Iterator[Dict[str, object]]:
+        """Progress events of the last ``stream=True`` submit, up to and
+        including the terminal event."""
+        while True:
+            event = self._recv()
+            yield event
+            if event.get("event") in _TERMINAL_EVENTS:
+                return
+
+    def submit_and_wait(self, **kwargs) -> Dict[str, object]:
+        """Streamed submit, drain events, fetch results.  Returns the
+        ``results`` reply (``records`` key holds the record dicts)."""
+        ack = self.submit(stream=True, **kwargs)
+        if not ack.get("ok"):
+            return ack
+        for _event in self.events():
+            pass
+        return self.results(ack["job_id"], wait=True)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self.request({"op": "status", "job_id": job_id})
+
+    def results(self, job_id: str, *, wait: bool = False) -> Dict[str, object]:
+        return self.request({"op": "results", "job_id": job_id, "wait": wait})
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "shutdown"})

@@ -84,6 +84,22 @@ class ResultStore:
             os.close(fd)
         return len(records)
 
+    def stats(self) -> Dict[str, object]:
+        """Store summary for the service's ``stats`` op.
+
+        ``rows`` counts every parseable line (duplicates included);
+        ``unique`` counts distinct config hashes, i.e. what ``load()``
+        would serve as cache hits.
+        """
+        records = self.load_records()
+        return {
+            "path": str(self.path),
+            "exists": self.path.is_file(),
+            "rows": len(records),
+            "unique": len({r.config_hash for r in records}),
+            "bytes": self.path.stat().st_size if self.path.is_file() else 0,
+        }
+
     def __len__(self) -> int:
         return len(self.load_records())
 

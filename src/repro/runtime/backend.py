@@ -53,6 +53,13 @@ class Backend(ABC):
     #: registry key; also the value carried in ``RunConfig.backend``
     name: str = ""
 
+    #: routing metadata for the experiment scheduler: can configs on this
+    #: backend run inside daemonic ``multiprocessing`` pool workers?
+    #: Backends that fork transport helper processes of their own (shm)
+    #: cannot — a daemonic worker is not allowed to have children — so the
+    #: scheduler routes them onto its dedicated serial lane instead.
+    pool_safe: bool = True
+
     @abstractmethod
     def create_cluster(
         self,
@@ -93,6 +100,9 @@ class ShmBackend(Backend):
     """The multiprocessing shared-memory backend (real inter-process bytes)."""
 
     name = "shm"
+    # The shm transport forks a peer process per cluster, which a daemonic
+    # pool worker may not do: shm configs belong on the serial lane.
+    pool_safe = False
 
     def create_cluster(
         self,

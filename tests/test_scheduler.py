@@ -1,0 +1,330 @@
+"""Tests for the experiment scheduler: jobs, lanes, dedup, admission
+control, and the byte-identity / resume contracts it inherits from the
+engine it replaced."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments import (
+    ExperimentGrid,
+    JobRejected,
+    ResultStore,
+    RunConfig,
+    Scheduler,
+    SweepStats,
+    run_grid,
+)
+
+
+def _configs(n: int = 4) -> list:
+    """n distinct tiny configs (distinct nprocs on one dataset)."""
+    return [
+        RunConfig(dataset="hv15r", nprocs=p, block_split=16, scale=0.05)
+        for p in (2, 4, 8, 16, 32, 64)[:n]
+    ]
+
+
+class TestDedup:
+    def test_duplicate_configs_execute_once(self, tmp_path, monkeypatch):
+        """Satellite: a grid naming the same canonical config twice executes
+        it once and persists one record."""
+        import repro.experiments.engine as engine_mod
+
+        calls = []
+        real = engine_mod.execute_config
+
+        def counting(config, **kwargs):
+            calls.append(config.config_hash())
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "execute_config", counting)
+        a, b = _configs(2)
+        store = ResultStore(tmp_path / "records.jsonl")
+        result = run_grid([a, b, a, a, b], workers=0, store=store)
+
+        assert len(calls) == len(set(calls)) == 2
+        assert result.stats.total == 5
+        assert result.stats.executed == 2
+        assert result.stats.deduped == 3
+        assert len(result.records) == 2          # one per unique hash
+        assert len(store.load_records()) == 2    # one row per unique hash
+
+    def test_result_order_is_first_occurrence(self):
+        a, b = _configs(2)
+        result = run_grid([b, a, b], workers=0)
+        assert [r.config.nprocs for r in result.records] == [b.nprocs, a.nprocs]
+
+    def test_inflight_collision_attaches_across_jobs(self, monkeypatch):
+        """A hash already executing for job A never re-executes for job B."""
+        import repro.experiments.engine as engine_mod
+
+        release = threading.Event()
+        calls = []
+        real = engine_mod.execute_config
+
+        def gated(config, **kwargs):
+            calls.append(config.config_hash())
+            release.wait(timeout=30)
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "execute_config", gated)
+        a, b = _configs(2)
+        with Scheduler(workers=0) as scheduler:
+            first = scheduler.submit([a, b])
+            # Wait for the serial lane to pick up the first task, then
+            # submit an overlapping job while both hashes are in flight.
+            deadline = threading.Event()
+            while not calls:
+                deadline.wait(0.01)
+            second = scheduler.submit([a, b])
+            assert second.counters.executed == 0
+            assert second.counters.deduped == 2
+            release.set()
+            records_first = first.wait(timeout=60)
+            records_second = second.wait(timeout=60)
+
+        assert len(calls) == 2                    # each hash ran exactly once
+        assert len(records_first) == len(records_second) == 2
+        hashes = lambda records: [r.config_hash for r in records]  # noqa: E731
+        assert hashes(records_first) == hashes(records_second)
+
+    def test_completed_hashes_are_cached_across_jobs(self):
+        """A long-lived scheduler serves later jobs from memory even
+        without a store."""
+        with Scheduler(workers=0) as scheduler:
+            first = scheduler.submit(_configs(2))
+            first.wait(timeout=60)
+            second = scheduler.submit(_configs(2))
+            records = second.wait(timeout=60)
+        assert second.counters.cached == 2
+        assert second.counters.executed == 0
+        assert len(records) == 2
+
+
+class TestAdmissionControl:
+    def test_budget_rejects_before_side_effects(self, tmp_path):
+        store = ResultStore(tmp_path / "records.jsonl")
+        with Scheduler(workers=0, store=store) as scheduler:
+            with pytest.raises(JobRejected) as exc:
+                scheduler.submit(_configs(3), budget=2)
+            assert "budget" in exc.value.reason
+            assert scheduler.stats()["jobs_submitted"] == 0
+        assert not store.exists()                 # nothing persisted
+
+    def test_budget_counts_only_fresh_executions(self, tmp_path):
+        store = ResultStore(tmp_path / "records.jsonl")
+        run_grid(_configs(2), workers=0, store=store)
+        # Cache hits are free: the same grid re-submits under a 0 budget.
+        result = run_grid(_configs(2), workers=0, store=store, budget=0)
+        assert result.stats.cached == 2
+
+    def test_max_inflight_configs(self):
+        with Scheduler(workers=0, max_inflight_configs=2) as scheduler:
+            with pytest.raises(JobRejected) as exc:
+                scheduler.submit(_configs(3))
+            assert "admission control" in exc.value.reason
+
+    def test_max_inflight_jobs(self, monkeypatch):
+        import repro.experiments.engine as engine_mod
+
+        release = threading.Event()
+        started = threading.Event()
+        real = engine_mod.execute_config
+
+        def gated(config, **kwargs):
+            started.set()
+            release.wait(timeout=30)
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "execute_config", gated)
+        a, b = _configs(2)
+        with Scheduler(workers=0, max_inflight_jobs=1) as scheduler:
+            handle = scheduler.submit([a])
+            assert started.wait(timeout=30)
+            with pytest.raises(JobRejected) as exc:
+                scheduler.submit([b])
+            assert "in flight" in exc.value.reason
+            release.set()
+            handle.wait(timeout=60)
+            # Capacity frees up once the first job finishes.
+            scheduler.submit([b]).wait(timeout=60)
+
+    def test_run_grid_forwards_admission_control(self):
+        with pytest.raises(JobRejected):
+            run_grid(_configs(2), workers=0, budget=1)
+
+
+class TestByteIdentity:
+    def test_serial_equals_parallel_with_duplicates(self, tmp_path):
+        configs = _configs(3)
+        configs = configs + [configs[0]]          # a duplicate in the mix
+        serial = ResultStore(tmp_path / "serial.jsonl")
+        parallel = ResultStore(tmp_path / "parallel.jsonl")
+        run_grid(configs, workers=0, store=serial)
+        run_grid(configs, workers=2, store=parallel)
+        assert serial.path.read_bytes() == parallel.path.read_bytes()
+
+    def test_interrupted_job_resumes_byte_identical(self, tmp_path, monkeypatch):
+        """Satellite: kill a job mid-grid, resubmit, and the final store is
+        byte-identical to an uninterrupted run — only the unfinished
+        configs execute on resume."""
+        import repro.experiments.engine as engine_mod
+
+        configs = _configs(4)
+        reference = ResultStore(tmp_path / "reference.jsonl")
+        run_grid(configs, workers=0, store=reference)
+
+        interrupted = ResultStore(tmp_path / "interrupted.jsonl")
+        calls = {"n": 0}
+        real = engine_mod.execute_config
+
+        def flaky(config, **kwargs):
+            if calls["n"] == 2:
+                raise RuntimeError("simulated kill mid-grid")
+            calls["n"] += 1
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "execute_config", flaky)
+        with pytest.raises(RuntimeError):
+            run_grid(configs, workers=0, store=interrupted)
+        assert len(interrupted.load()) == 2       # the clean prefix survived
+
+        monkeypatch.setattr(engine_mod, "execute_config", real)
+        calls2 = []
+
+        def counting(config, **kwargs):
+            calls2.append(config.config_hash())
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "execute_config", counting)
+        result = run_grid(configs, workers=0, store=interrupted)
+        assert len(calls2) == 2                   # only the remainder ran
+        assert result.stats.cached == 2 and result.stats.executed == 2
+        assert interrupted.path.read_bytes() == reference.path.read_bytes()
+
+    def test_scheduler_records_match_run_grid(self, tmp_path):
+        """The same grid through an explicit Scheduler and through run_grid
+        persists identical bytes."""
+        configs = _configs(3)
+        via_run_grid = ResultStore(tmp_path / "run_grid.jsonl")
+        via_scheduler = ResultStore(tmp_path / "scheduler.jsonl")
+        run_grid(configs, workers=0, store=via_run_grid)
+        with Scheduler(workers=0, store=via_scheduler) as scheduler:
+            scheduler.submit(configs).wait(timeout=60)
+        assert (
+            via_run_grid.path.read_bytes() == via_scheduler.path.read_bytes()
+        )
+
+
+class TestLanesAndCounters:
+    def test_shm_configs_take_the_serial_lane(self, tmp_path):
+        """Non-pool-safe backends are counted and routed onto the serial
+        lane even when a pool exists."""
+        simulated = _configs(2)
+        shm = RunConfig(
+            dataset="hv15r", nprocs=2, block_split=16, scale=0.05,
+            backend="shm",
+        )
+        store = ResultStore(tmp_path / "records.jsonl")
+        result = run_grid(simulated + [shm], workers=2, store=store)
+        assert result.stats.executed == 3
+        assert result.stats.serial_lane == 1
+        assert len(store.load_records()) == 3
+
+    def test_summary_mentions_scheduler_counters(self):
+        stats = SweepStats(
+            total=6, cached=1, executed=3, workers=2, deduped=2,
+            serial_lane=1, wall_seconds=1.0,
+        )
+        text = stats.summary()
+        assert "2 deduped" in text and "1 serial-lane" in text
+        # The quiet case stays quiet: no noise when nothing was deduped.
+        quiet = SweepStats(total=2, cached=0, executed=2, workers=1)
+        assert "deduped" not in quiet.summary()
+        assert "serial-lane" not in quiet.summary()
+
+    def test_progress_callback_sees_scheduler_messages(self):
+        lines = []
+        a, *_ = _configs(1)
+        run_grid([a, a], workers=0, progress=lines.append)
+        text = "\n".join(lines)
+        assert "dedup: 1 duplicate config(s)" in text
+        assert "executing 1 configs" in text
+
+    def test_stats_reflect_scheduler_state(self, tmp_path):
+        store = ResultStore(tmp_path / "records.jsonl")
+        with Scheduler(workers=0, store=store) as scheduler:
+            scheduler.submit(_configs(2)).wait(timeout=60)
+            stats = scheduler.stats()
+        assert stats["jobs_submitted"] == 1
+        assert stats["jobs_active"] == 0
+        assert stats["configs_completed"] == 2
+        assert stats["records_persisted"] == 2
+
+
+class TestCancellation:
+    def test_cancel_skips_queued_tasks(self, monkeypatch):
+        import repro.experiments.engine as engine_mod
+
+        release = threading.Event()
+        started = threading.Event()
+        real = engine_mod.execute_config
+
+        def gated(config, **kwargs):
+            started.set()
+            release.wait(timeout=30)
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "execute_config", gated)
+        with Scheduler(workers=0) as scheduler:
+            handle = scheduler.submit(_configs(3))
+            assert started.wait(timeout=30)
+            handle.cancel()
+            release.set()
+            handle.finished.wait(timeout=60)
+        assert handle.state == "cancelled"
+        # The running task finished; the queued ones were skipped.
+        assert 1 <= len(handle.records()) < 3
+
+    def test_submit_after_shutdown_is_rejected(self):
+        scheduler = Scheduler(workers=0)
+        scheduler.shutdown()
+        with pytest.raises(JobRejected):
+            scheduler.submit(_configs(1))
+
+
+class TestEvents:
+    def test_subscribe_replays_terminal_event(self):
+        """A subscriber arriving after the job finished still sees a
+        terminal event — streams can never hang on a finished job."""
+        with Scheduler(workers=0) as scheduler:
+            handle = scheduler.submit(_configs(1))
+            handle.wait(timeout=60)
+            events = []
+            handle.subscribe(events.append)
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "done"
+        assert all(e["job_id"] == handle.job_id for e in events)
+
+    def test_progress_events_carry_counters(self):
+        events = []
+        with Scheduler(workers=0) as scheduler:
+            handle = scheduler.submit(_configs(2))
+            handle.subscribe(events.append)
+            handle.wait(timeout=60)
+        terminal = [e for e in events if e["event"] == "done"]
+        assert terminal and terminal[-1]["counters"]["done"] == 2
+
+
+class TestGridSubmission:
+    def test_scheduler_accepts_a_grid(self):
+        grid = ExperimentGrid(
+            datasets=("hv15r",), process_counts=(4, 16), scale=0.05,
+            block_splits=(16,),
+        )
+        with Scheduler(workers=0) as scheduler:
+            records = scheduler.submit(grid).wait(timeout=60)
+        assert len(records) == 2
