@@ -150,6 +150,7 @@ def test_ablation_costmodel_sensitivity(benchmark):
 
     orderings = benchmark.pedantic(_run, rounds=1, iterations=1)
     header("Ablation: cost-model sensitivity of the 1D-vs-2D ordering (queen, P=16)")
-    print(format_table([{"machine model": k, "fastest algorithm": v} for k, v in orderings.items()]))
+    rows = [{"machine model": k, "fastest algorithm": v} for k, v in orderings.items()]
+    print(format_table(rows))
     # The winner must not depend on the machine constants.
     assert orderings["perlmutter"] == orderings["laptop"] == "1d"

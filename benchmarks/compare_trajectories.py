@@ -10,10 +10,19 @@ and machine-independent, so any drift means the accounting changed::
     PYTHONPATH=src python benchmarks/compare_trajectories.py \
         BENCH_PR3.json BENCH_PR4.json
 
+``--walls`` additionally diffs the ``kernel_walls`` sections (written by
+``kernel_walls.py`` / ``trajectory.py --kernel-walls``).  Absolute wall
+seconds are machine-dependent, so the regression gate compares each
+variant's *speedup over the pure-python reference* — both sides of that
+ratio come from the same host and job, which makes the gate portable across
+differently-sized runners.  A candidate speedup more than
+``--max-wall-regression`` percent below the baseline's fails the gate; the
+absolute walls are printed as an informational table either way.
+
 Exits 0 when every overlapping config matches (and at least one overlaps),
-1 on a counter mismatch, 2 on usage/file errors.  New configs appearing only
-in the newer snapshot (new workloads, new axes) are reported but never fail
-the comparison.
+1 on a counter mismatch or wall regression, 2 on usage/file errors.  New
+configs appearing only in the newer snapshot (new workloads, new axes) are
+reported but never fail the comparison.
 """
 
 from __future__ import annotations
@@ -28,15 +37,81 @@ STRICT_FIELDS = ("communication_volume", "message_count")
 TIME_FIELDS = ("elapsed_time",)
 
 
-def _rows_by_hash(path: str) -> dict:
+def _load(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
-        document = json.load(fh)
+        return json.load(fh)
+
+
+def _rows_by_hash(document: dict) -> dict:
     rows = {}
     for row in document.get("records", []):
         h = row.get("config_hash")
         if h:  # override-produced records carry an empty hash — skip them
             rows[h] = row
     return rows
+
+
+def _compare_walls(base_doc: dict, cand_doc: dict, max_regression_pct: float,
+                   table_out: str | None) -> list:
+    """Diff the kernel_walls sections; return gate failures (possibly empty).
+
+    Writes the informational wall table (markdown) to ``table_out`` when
+    given.  Wall *seconds* never gate — only speedup ratios do.
+    """
+    failures = []
+    base = base_doc.get("kernel_walls")
+    cand = cand_doc.get("kernel_walls")
+    if not base:
+        failures.append("baseline trajectory has no kernel_walls section")
+    if not cand:
+        failures.append("candidate trajectory has no kernel_walls section")
+    if failures:
+        return failures
+
+    base_speed = base.get("speedup_vs_python", {})
+    cand_speed = cand.get("speedup_vs_python", {})
+    lines = [
+        "| variant | baseline wall (s) | candidate wall (s) | "
+        "baseline speedup | candidate speedup |",
+        "|---|---|---|---|---|",
+    ]
+    for variant in sorted(set(base.get("walls", {})) | set(cand.get("walls", {}))):
+        bw = base.get("walls", {}).get(variant, {}).get("wall_seconds")
+        cw = cand.get("walls", {}).get(variant, {}).get("wall_seconds")
+        bs = base_speed.get(variant)
+        cs = cand_speed.get(variant)
+        lines.append(
+            f"| {variant} "
+            f"| {'-' if bw is None else f'{bw:.2f}'} "
+            f"| {'-' if cw is None else f'{cw:.2f}'} "
+            f"| {'-' if bs is None else f'{bs}x'} "
+            f"| {'-' if cs is None else f'{cs}x'} |"
+        )
+    table = "\n".join(lines)
+    print(table)
+    if table_out:
+        with open(table_out, "w", encoding="utf-8") as fh:
+            fh.write("# Kernel wall-clock trajectory\n\n")
+            fh.write(f"Harness: `{cand.get('harness')}` "
+                     f"P={cand.get('nprocs')} scale={cand.get('scale')}\n\n")
+            fh.write(table + "\n")
+
+    floor = 1.0 - max_regression_pct / 100.0
+    for variant, baseline_speedup in sorted(base_speed.items()):
+        candidate_speedup = cand_speed.get(variant)
+        if candidate_speedup is None:
+            failures.append(
+                f"{variant}: candidate measured no speedup (baseline "
+                f"{baseline_speedup}x)"
+            )
+            continue
+        if candidate_speedup < baseline_speedup * floor:
+            failures.append(
+                f"{variant}: speedup vs python regressed "
+                f"{baseline_speedup}x -> {candidate_speedup}x "
+                f"(> {max_regression_pct:.0f}% below baseline)"
+            )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -47,14 +122,25 @@ def main(argv=None) -> int:
     parser.add_argument("candidate", help="newer BENCH_*.json")
     parser.add_argument("--times", action="store_true",
                         help="additionally require modelled times to match")
+    parser.add_argument("--walls", action="store_true",
+                        help="diff kernel_walls sections and gate on speedup "
+                             "regression")
+    parser.add_argument("--max-wall-regression", type=float, default=25.0,
+                        help="allowed %% drop of a variant's speedup vs the "
+                             "python reference (default 25)")
+    parser.add_argument("--wall-table", default=None,
+                        help="write the wall comparison as a markdown table "
+                             "to this path (CI artifact)")
     args = parser.parse_args(argv)
 
     try:
-        baseline = _rows_by_hash(args.baseline)
-        candidate = _rows_by_hash(args.candidate)
+        base_doc = _load(args.baseline)
+        cand_doc = _load(args.candidate)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"cannot load trajectory: {exc}", file=sys.stderr)
         return 2
+    baseline = _rows_by_hash(base_doc)
+    candidate = _rows_by_hash(cand_doc)
 
     overlap = sorted(set(baseline) & set(candidate))
     only_new = len(set(candidate) - set(baseline))
@@ -91,6 +177,20 @@ def main(argv=None) -> int:
         f"{len(overlap)} overlapping configs: all modelled counters unchanged "
         f"({', '.join(fields)}); {only_new} new-only, {only_old} baseline-only"
     )
+
+    if args.walls:
+        failures = _compare_walls(
+            base_doc, cand_doc, args.max_wall_regression, args.wall_table
+        )
+        if failures:
+            print(f"{len(failures)} wall-gate failures:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"kernel walls within {args.max_wall_regression:.0f}% speedup "
+            f"regression budget"
+        )
     return 0
 
 

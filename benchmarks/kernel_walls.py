@@ -1,0 +1,119 @@
+"""Measure per-kernel-variant wall-clock of the fig9 strong-scaling harness.
+
+Runs ``bench_fig9_squaring_strong_scaling.py`` once per requested
+``REPRO_KERNEL`` variant in a subprocess (records disabled — this measures
+host wall-clock, not modelled counters), and writes a JSON fragment with the
+wall fields plus each variant's speedup over the pure-python reference::
+
+    PYTHONPATH=src python benchmarks/kernel_walls.py \
+        --variants python,numpy --nprocs 1024 --out kernel_walls.json
+
+The fragment is what ``trajectory.py --kernel-walls`` embeds into the
+committed ``BENCH_PRn.json`` and what the CI wall-trajectory job diffs with
+``compare_trajectories.py --walls``.  Wall seconds are machine-dependent;
+the speedup *ratios* are what the regression gate compares, because both
+sides of a ratio are measured on the same host in the same job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+HARNESS = "bench_fig9_squaring_strong_scaling.py"
+REFERENCE = "python"
+
+
+def run_harness(variant: str, nprocs: int, scale: float, runs: int) -> dict:
+    """Time ``runs`` executions of the fig9 harness under one kernel variant."""
+    bench_dir = pathlib.Path(__file__).resolve().parent
+    env = dict(os.environ)
+    env.update(
+        REPRO_KERNEL=variant,
+        REPRO_BENCH_PROCS=str(nprocs),
+        REPRO_BENCH_SCALE=str(scale),
+        REPRO_BENCH_RECORDS="",  # wall measurement only; never touch the store
+        REPRO_BENCH_WORKERS="0",
+    )
+    walls = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(bench_dir / HARNESS),
+             "-q", "-p", "no:cacheprovider"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        wall = time.perf_counter() - start
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout.decode(errors="replace"))
+            raise SystemExit(
+                f"fig9 harness failed under REPRO_KERNEL={variant} "
+                f"(exit {proc.returncode})"
+            )
+        walls.append(wall)
+    return {
+        "wall_seconds": min(walls),
+        "all_runs_seconds": [round(w, 3) for w in walls],
+        "runs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="per-kernel-variant wall-clock of the fig9 harness"
+    )
+    parser.add_argument("--variants", default="python,numpy",
+                        help="comma-separated REPRO_KERNEL values to time")
+    parser.add_argument("--nprocs", type=int, default=1024,
+                        help="simulated process count (REPRO_BENCH_PROCS)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale (REPRO_BENCH_SCALE)")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="timed runs per variant (best is recorded)")
+    parser.add_argument("--out", required=True,
+                        help="path of the kernel_walls JSON fragment")
+    args = parser.parse_args(argv)
+
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    walls: dict = {}
+    for variant in variants:
+        print(f"timing {HARNESS} under REPRO_KERNEL={variant} "
+              f"(P={args.nprocs}, scale={args.scale}, runs={args.runs})...",
+              flush=True)
+        walls[variant] = run_harness(variant, args.nprocs, args.scale, args.runs)
+        print(f"  {variant}: best {walls[variant]['wall_seconds']:.2f}s "
+              f"over {args.runs} run(s)", flush=True)
+
+    fragment = {
+        "harness": HARNESS,
+        "nprocs": args.nprocs,
+        "scale": args.scale,
+        "reference_variant": REFERENCE,
+        "walls": walls,
+    }
+    if REFERENCE in walls:
+        ref = walls[REFERENCE]["wall_seconds"]
+        fragment["speedup_vs_python"] = {
+            v: round(ref / w["wall_seconds"], 3)
+            for v, w in walls.items()
+            if v != REFERENCE and w["wall_seconds"] > 0
+        }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(fragment, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    for v, s in fragment.get("speedup_vs_python", {}).items():
+        print(f"  {v}: {s}x vs pure-python reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

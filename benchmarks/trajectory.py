@@ -16,6 +16,7 @@ from the built-in representative grid instead of the full harness store.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -35,6 +36,9 @@ def main(argv=None) -> int:
                         help="path of the trajectory JSON to write")
     parser.add_argument("--label", default=None,
                         help="trajectory label (default: the --out file stem)")
+    parser.add_argument("--kernel-walls", default=None,
+                        help="kernel_walls JSON fragment (from kernel_walls.py) "
+                             "to embed as the document's kernel_walls section")
     args = parser.parse_args(argv)
 
     store = ResultStore(args.records)
@@ -49,13 +53,27 @@ def main(argv=None) -> int:
         print(f"record store at {args.records} holds no parseable records",
               file=sys.stderr)
         return 2
+    extra = None
+    if args.kernel_walls:
+        try:
+            fragment = json.loads(
+                pathlib.Path(args.kernel_walls).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot load kernel walls fragment: {exc}", file=sys.stderr)
+            return 2
+        extra = {"kernel_walls": fragment}
     label = args.label or pathlib.Path(args.out).stem
-    document = write_trajectory(args.out, records, label=label)
+    document = write_trajectory(args.out, records, label=label, extra_sections=extra)
     workloads = ", ".join(
         f"{name}={agg['configs']}" for name, agg in document["workloads"].items()
     )
     print(f"{args.out}: {document['total_records']} records ({workloads}), "
           f"all_conserved={document['all_conserved']}")
+    if "kernel_walls" in document:
+        speedups = document["kernel_walls"].get("speedup_vs_python", {})
+        pretty = ", ".join(f"{v}={s}x" for v, s in sorted(speedups.items()))
+        print(f"kernel walls embedded ({pretty or 'no speedups'})")
     return 0
 
 

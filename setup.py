@@ -1,11 +1,39 @@
 """Setuptools entry point.
 
-A plain ``setup.py`` is kept alongside ``pyproject.toml`` so that
-``pip install -e .`` works in fully offline environments where the ``wheel``
-package (needed for PEP 517 editable installs) may not be available — pip
-falls back to the legacy ``setup.py develop`` path in that case.
+A plain ``setup.py`` is kept so that ``pip install -e .`` works in fully
+offline environments where the ``wheel`` package (needed for PEP 517
+editable installs) may not be available — pip falls back to the legacy
+``setup.py develop`` path in that case.
+
+Extras
+------
+``fast``
+    Pulls in :mod:`numba` so ``REPRO_KERNEL=auto`` (the default) can select
+    the jitted local-SpGEMM kernels.  Everything works without it — the
+    selector degrades to the vectorised numpy kernels, which produce
+    bit-identical results (see ``docs/kernels.md``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-spgemm",
+    version="0.8.0",
+    description=(
+        "Reproduction of sparsity-aware distributed-memory SpGEMM: "
+        "modelled communication counters, simulated and shm backends, "
+        "and a cached experiment engine"
+    ),
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        # Optional jitted kernels; results are bit-identical with or
+        # without it, only host wall-clock changes.
+        "fast": ["numba>=0.59"],
+    },
+)

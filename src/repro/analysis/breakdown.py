@@ -9,12 +9,10 @@ that data from a :class:`~repro.runtime.PhaseLedger` (or an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
-
-import numpy as np
+from typing import List
 
 from ..core.base import SpGEMMResult
-from ..runtime import CATEGORIES, PhaseLedger
+from ..runtime import PhaseLedger
 from .reporting import format_bar_chart, format_table, seconds
 
 __all__ = [

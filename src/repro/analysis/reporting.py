@@ -8,7 +8,7 @@ simple text bar charts from lists of dictionaries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -86,7 +86,9 @@ def format_bar_chart(
     return "\n".join(lines)
 
 
-def format_grid(grid: np.ndarray, *, title: Optional[str] = None, shades: str = " .:-=+*#%@") -> str:
+def format_grid(
+    grid: np.ndarray, *, title: Optional[str] = None, shades: str = " .:-=+*#%@"
+) -> str:
     """Render a 2-D density grid as ASCII art (the text-mode spy plot of Figs 2-3)."""
     grid = np.asarray(grid, dtype=np.float64)
     lines = []

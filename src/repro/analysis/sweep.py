@@ -17,7 +17,7 @@ matrix-in-hand API for tests and small scripts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ per-batch accumulators (``σ`` path counts and ``δ`` dependencies).
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -43,7 +43,7 @@ from .experiments import (
 )
 from .matrices import dataset_names, load_dataset, matrix_stats, read_matrix_market
 from .runtime import PERLMUTTER, available_backends
-from .sparse import CSCMatrix
+from .sparse import CSCMatrix, KERNEL_VARIANTS, set_kernel_variant
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +59,17 @@ def _input_label(args) -> str:
     if getattr(args, "matrix", None):
         return pathlib.Path(args.matrix).stem
     return args.dataset
+
+
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", default=None, metavar="VARIANT",
+        help="local-kernel implementation variant "
+             f"({', '.join(KERNEL_VARIANTS)}); results and modelled "
+             "counters are identical across variants — only host "
+             "wall-clock changes (default: the REPRO_KERNEL env var, "
+             "else auto)",
+    )
 
 
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_square.add_argument("--backend", default="simulated",
                           help="execution backend (simulated = modelled only; "
                                "shm = real shared-memory transfers)")
+    _add_kernel_argument(p_square)
 
     p_est = sub.add_parser("estimate", help="CV/memA partitioning criterion (§V-A)")
     _add_input_arguments(p_est)
@@ -222,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="admission control: reject the sweep when it "
                               "would put more than this many configs in "
                               "flight")
+    _add_kernel_argument(p_sweep)
 
     p_bench = sub.add_parser(
         "bench",
@@ -248,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="force one execution backend for every bench "
                               "config (default: the built-in mix — simulated "
                               "plus one shm validation run per workload)")
+    _add_kernel_argument(p_bench)
 
     p_serve = sub.add_parser(
         "serve",
@@ -294,8 +308,28 @@ def _check_backend(name: Optional[str]) -> Optional[str]:
     )
 
 
+def _activate_kernel(name: Optional[str]) -> Optional[str]:
+    """Validate and activate a ``--kernel`` value (``None`` = leave as-is).
+
+    Returns the validation message on an unknown variant (for a clean exit 2
+    before anything runs).  An *unavailable* variant (``numba`` without the
+    package) is not an error: the selector degrades to numpy with one
+    warning, per the fallback policy in ``docs/kernels.md``.
+    """
+    if name is None:
+        return None
+    if name not in KERNEL_VARIANTS:
+        return (
+            f"unknown kernel variant {name!r}; valid variants: "
+            f"{', '.join(KERNEL_VARIANTS)}"
+        )
+    # Writes REPRO_KERNEL, so pool workers of a sweep inherit the choice.
+    set_kernel_variant(name)
+    return None
+
+
 def _cmd_square(args) -> int:
-    problem = _check_backend(args.backend)
+    problem = _check_backend(args.backend) or _activate_kernel(args.kernel)
     if problem:
         print(problem, file=sys.stderr)
         return 2
@@ -641,6 +675,9 @@ def _cmd_sweep(args) -> int:
         backends=(args.backend,),
     )
     problems = _validate_grid(grid)
+    kernel_problem = _activate_kernel(args.kernel)
+    if kernel_problem:
+        problems.append(kernel_problem)
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
@@ -728,7 +765,7 @@ def _cmd_bench(args) -> int:
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    problem = _check_backend(args.backend)
+    problem = _check_backend(args.backend) or _activate_kernel(args.kernel)
     if problem:
         print(problem, file=sys.stderr)
         return 2

@@ -10,6 +10,8 @@ from .pipeline import (
 )
 from .block_fetch import (
     BlockFetchPlan,
+    BlockFetchPlanner,
+    CompactFetchPlans,
     plan_block_fetch,
     plan_block_fetch_all,
     split_into_groups,
@@ -46,6 +48,8 @@ __all__ = [
     "prune",
     "scale_columns",
     "BlockFetchPlan",
+    "BlockFetchPlanner",
+    "CompactFetchPlans",
     "plan_block_fetch",
     "plan_block_fetch_all",
     "split_into_groups",

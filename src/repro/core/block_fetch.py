@@ -24,6 +24,8 @@ import numpy as np
 
 __all__ = [
     "BlockFetchPlan",
+    "BlockFetchPlanner",
+    "CompactFetchPlans",
     "plan_block_fetch",
     "plan_block_fetch_all",
     "split_into_groups",
@@ -36,25 +38,39 @@ _INDEX_DTYPE = np.int64
 class BlockFetchPlan:
     """The fetch plan for one remote process.
 
-    ``intervals`` are half-open ``[start, stop)`` ranges over *positions in
-    the remote process's nonzero-column list* (not global column ids): the
-    remote data is stored compressed (DCSC), so a contiguous run of nonzero
-    columns is contiguous in the exposed row-id/value windows.  ``M`` is the
-    number of RDMA calls (== len(intervals)), bounded by the split count K.
+    ``interval_starts``/``interval_stops`` are half-open ``[start, stop)``
+    ranges over *positions in the remote process's nonzero-column list* (not
+    global column ids): the remote data is stored compressed (DCSC), so a
+    contiguous run of nonzero columns is contiguous in the exposed
+    row-id/value windows.  ``M`` is the number of RDMA calls
+    (== number of intervals), bounded by the split count K.
     """
 
-    intervals: List[Tuple[int, int]]
+    #: start positions of the planned ``[start, stop)`` fetch intervals
+    interval_starts: np.ndarray
+    #: stop positions of the planned fetch intervals
+    interval_stops: np.ndarray
     #: positions (into the remote nonzero-column list) actually required
     required_positions: np.ndarray
     #: positions covered by the planned intervals (superset of required)
     covered_positions: np.ndarray
+    #: boolean mask over ``covered_positions``: which covered columns are hit
+    covered_required: np.ndarray
     #: the split parameter K used
     K: int
 
     @property
+    def intervals(self) -> List[Tuple[int, int]]:
+        """The fetch intervals as ``(start, stop)`` tuples (built on demand)."""
+        return [
+            (int(s), int(e))
+            for s, e in zip(self.interval_starts, self.interval_stops)
+        ]
+
+    @property
     def M(self) -> int:
         """Number of RDMA calls after grouping (Algorithm 2's output M ≤ K)."""
-        return len(self.intervals)
+        return int(self.interval_starts.size)
 
     @property
     def fetched_columns(self) -> int:
@@ -128,7 +144,12 @@ def plan_block_fetch(
     if ncols == 0:
         empty = np.zeros(0, dtype=_INDEX_DTYPE)
         return BlockFetchPlan(
-            intervals=[], required_positions=empty, covered_positions=empty, K=K
+            interval_starts=empty,
+            interval_stops=empty,
+            required_positions=empty,
+            covered_positions=empty,
+            covered_required=np.zeros(0, dtype=bool),
+            K=K,
         )
 
     hits = hit_mask[remote_nonzero_columns]
@@ -140,13 +161,14 @@ def plan_block_fetch(
     group_hits = np.add.reduceat(hits.astype(np.int64), starts) > 0
     sel_starts = starts[group_hits]
     sel_stops = stops[group_hits]
-    intervals = [(int(s), int(e)) for s, e in zip(sel_starts, sel_stops)]
     covered = _expand_ranges(sel_starts, sel_stops)
 
     plan = BlockFetchPlan(
-        intervals=intervals,
+        interval_starts=sel_starts,
+        interval_stops=sel_stops,
         required_positions=required,
         covered_positions=covered,
+        covered_required=hits[covered],
         K=K,
     )
     # Invariant from Algorithm 2: the union of planned intervals must cover
@@ -170,6 +192,251 @@ def _expand_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     return offsets + (within - seg_start)
 
 
+@dataclass
+class CompactFetchPlans:
+    """One origin rank's plans against every target, hot targets only.
+
+    ``hot_targets`` lists (ascending) the targets with at least one hit
+    group — the only ones an origin rank must talk to — and ``plans`` is
+    aligned with it.  The per-target summary arrays are aligned with the
+    planner's ``nonempty_targets`` so symbolic consumers (the communication
+    estimator) never materialise per-target plan objects at all.
+    """
+
+    hot_targets: np.ndarray
+    plans: List[BlockFetchPlan]
+    #: Σ over *all* targets of required (hit) columns
+    required_total: int
+    #: Σ over *all* targets of block-covered columns
+    fetched_total: int
+    #: required columns per nonempty target
+    required_per_target: np.ndarray
+    #: RDMA messages (hit groups, Algorithm 2's M) per nonempty target
+    messages_per_target: np.ndarray
+    #: Σ of the planner's ``col_weights`` over covered columns per nonempty
+    #: target; ``None`` when the planner was built without weights
+    fetched_weight_per_target: Optional[np.ndarray]
+
+    def iter_hot(self):
+        """Iterate ``(target, plan)`` pairs for the hot targets."""
+        return zip((int(t) for t in self.hot_targets), self.plans)
+
+
+class BlockFetchPlanner:
+    """Reusable Algorithm-2 planner for one set of remote column lists.
+
+    The 1D algorithm plans fetches for ``P`` origin ranks against the *same*
+    remote layout (the allgathered ``D`` vector), and only the hit mask
+    differs between origins.  Everything hit-independent — the concatenated
+    column-id array, per-target offsets, and the group boundaries of
+    Algorithm 2 — is computed here once, turning P quadratic planning passes
+    into one; :meth:`plan_compact` then costs a couple of numpy calls per
+    origin rank and touches only the hot targets.
+
+    ``col_weights_per_target`` (optional, e.g. per-column nnz) enables the
+    precomputed group-weight prefix sums behind
+    :attr:`CompactFetchPlans.fetched_weight_per_target`.
+    """
+
+    def __init__(
+        self,
+        remote_columns_per_target: Sequence[np.ndarray],
+        K: int,
+        *,
+        col_weights_per_target: Optional[Sequence[np.ndarray]] = None,
+    ):
+        if K <= 0:
+            raise ValueError("K must be positive")
+        self.K = int(K)
+        self.ntargets = len(remote_columns_per_target)
+        ncols_per_target = np.fromiter(
+            (np.asarray(c).shape[0] for c in remote_columns_per_target),
+            dtype=_INDEX_DTYPE,
+            count=self.ntargets,
+        )
+        #: targets owning at least one nonzero column (the others never plan)
+        self.nonempty_targets = np.nonzero(ncols_per_target)[0].astype(_INDEX_DTYPE)
+        nonempty = self.nonempty_targets
+        if nonempty.size == 0:
+            self._all_cols = np.zeros(0, dtype=_INDEX_DTYPE)
+            self._max_col = -1
+            self._group_weight = (
+                None if col_weights_per_target is None else np.zeros(0, dtype=np.int64)
+            )
+            return
+        sizes = ncols_per_target[nonempty]
+        self._sizes = sizes
+        self._all_cols = np.concatenate(
+            [
+                np.asarray(remote_columns_per_target[t], dtype=_INDEX_DTYPE)
+                for t in nonempty
+            ]
+        )
+        self._max_col = int(self._all_cols.max()) if self._all_cols.size else -1
+
+        # Group boundaries of *every* target at once, shifted into the
+        # concatenated index space: target with n columns gets min(K, n)
+        # groups, the first n % groups of them one element wider (same
+        # arithmetic as :func:`split_into_groups`, all targets in one shot).
+        col_offsets = np.zeros(nonempty.size, dtype=_INDEX_DTYPE)
+        col_offsets[1:] = np.cumsum(sizes)[:-1]
+        self._col_offsets = col_offsets
+        groups_per_target = np.minimum(self.K, sizes)
+        group_offsets = np.zeros(nonempty.size + 1, dtype=_INDEX_DTYPE)
+        np.cumsum(groups_per_target, out=group_offsets[1:])
+        self._group_offsets = group_offsets
+        total_groups = int(group_offsets[-1])
+        owner = np.repeat(
+            np.arange(nonempty.size, dtype=_INDEX_DTYPE), groups_per_target
+        )
+        self._owner = owner
+        js = np.arange(total_groups, dtype=_INDEX_DTYPE) - group_offsets[owner]
+        base = (sizes // groups_per_target)[owner]
+        extra = (sizes % groups_per_target)[owner]
+        self._rel_starts = js * base + np.minimum(js, extra)
+        self._g_starts = self._rel_starts + col_offsets[owner]
+        self._g_widths = base + (js < extra)
+
+        self._group_weight = None
+        if col_weights_per_target is not None:
+            wprefix = np.zeros(self._all_cols.size + 1, dtype=np.int64)
+            np.cumsum(
+                np.concatenate(
+                    [
+                        np.asarray(col_weights_per_target[t], dtype=np.int64)
+                        for t in nonempty
+                    ]
+                ),
+                out=wprefix[1:],
+            )
+            self._group_weight = (
+                wprefix[self._g_starts + self._g_widths] - wprefix[self._g_starts]
+            )
+
+    # ------------------------------------------------------------------
+    def plan_compact(
+        self, hit_mask: np.ndarray, *, build_plans: bool = True
+    ) -> CompactFetchPlans:
+        """Evaluate Algorithm 2 against ``hit_mask``, returning hot targets only.
+
+        ``build_plans=False`` skips materialising the per-target
+        :class:`BlockFetchPlan` objects (``plans`` comes back empty) for
+        symbolic consumers such as the communication estimator that only read
+        the aggregate summary arrays.
+        """
+        hit_mask = np.asarray(hit_mask, dtype=bool)
+        if self._max_col >= hit_mask.shape[0]:
+            raise ValueError("hit mask shorter than the largest remote column id")
+        nonempty = self.nonempty_targets
+        empty_i64 = np.zeros(0, dtype=_INDEX_DTYPE)
+        if nonempty.size == 0:
+            return CompactFetchPlans(
+                hot_targets=empty_i64,
+                plans=[],
+                required_total=0,
+                fetched_total=0,
+                required_per_target=empty_i64,
+                messages_per_target=empty_i64,
+                fetched_weight_per_target=(
+                    None if self._group_weight is None else empty_i64
+                ),
+            )
+        all_hits = hit_mask[self._all_cols]
+        # One reduceat over every group of every target at once ("choose" a
+        # group as soon as any of its columns is hit, Algorithm 2 lines 3-11).
+        group_hit = np.add.reduceat(all_hits.astype(np.int8), self._g_starts) > 0
+        hit_groups_per_target = np.add.reduceat(
+            group_hit.astype(np.int64), self._group_offsets[:-1]
+        )
+        required_per_target = np.add.reduceat(
+            all_hits.astype(np.int64), self._col_offsets
+        )
+        fetched_weight = None
+        if self._group_weight is not None:
+            fetched_weight = np.add.reduceat(
+                np.where(group_hit, self._group_weight, 0), self._group_offsets[:-1]
+            )
+        required_all = np.nonzero(all_hits)[0].astype(_INDEX_DTYPE)
+        req_bounds = np.searchsorted(required_all, self._col_offsets)
+
+        hot = np.nonzero(hit_groups_per_target)[0]
+        plans: List[BlockFetchPlan] = []
+        if build_plans and hot.size:
+            # Expand every hit group of every hot target in one pass, then
+            # hand each plan zero-copy views.  Hit groups are stored in
+            # ascending target order, so each target's groups (and covered
+            # columns) are contiguous runs sliced by prefix offsets; the
+            # values are identical to the old per-target expansion.
+            idx = np.nonzero(group_hit)[0]
+            starts_rel = self._rel_starts[idx]
+            widths = self._g_widths[idx]
+            stops_rel = starts_rel + widths
+            abs_starts = self._g_starts[idx]
+            abs_cov = _expand_ranges(abs_starts, abs_starts + widths)
+            cov_req_all = all_hits[abs_cov]
+            rel_cov = abs_cov - np.repeat(self._col_offsets[self._owner[idx]], widths)
+            g_bounds = np.zeros(hot.size + 1, dtype=_INDEX_DTYPE)
+            np.cumsum(hit_groups_per_target[hot], out=g_bounds[1:])
+            cov_prefix = np.zeros(widths.size + 1, dtype=_INDEX_DTYPE)
+            np.cumsum(widths, out=cov_prefix[1:])
+            cov_bounds = cov_prefix[g_bounds]
+            base_offs = self._col_offsets[hot]
+            for n in range(hot.size):
+                pos = int(hot[n])
+                lo, hi = int(g_bounds[n]), int(g_bounds[n + 1])
+                clo, chi = int(cov_bounds[n]), int(cov_bounds[n + 1])
+                base_off = int(base_offs[n])
+                req_lo = int(req_bounds[pos])
+                req_hi = (
+                    int(req_bounds[pos + 1])
+                    if pos + 1 < req_bounds.size
+                    else required_all.size
+                )
+                plans.append(
+                    BlockFetchPlan(
+                        interval_starts=starts_rel[lo:hi],
+                        interval_stops=stops_rel[lo:hi],
+                        required_positions=required_all[req_lo:req_hi] - base_off,
+                        covered_positions=rel_cov[clo:chi],
+                        covered_required=cov_req_all[clo:chi],
+                        K=self.K,
+                    )
+                )
+        return CompactFetchPlans(
+            hot_targets=nonempty[hot],
+            plans=plans,
+            required_total=int(required_all.size),
+            fetched_total=int(self._g_widths[group_hit].sum()),
+            required_per_target=required_per_target,
+            messages_per_target=hit_groups_per_target,
+            fetched_weight_per_target=fetched_weight,
+        )
+
+    def plan(self, hit_mask: np.ndarray) -> List[Optional[BlockFetchPlan]]:
+        """Full per-target plan list (``None`` for targets with no columns).
+
+        Identical to calling :func:`plan_block_fetch` once per target; cold
+        nonempty targets share one empty plan so the common P ≫ hits case
+        allocates nothing per target.
+        """
+        plans: List[Optional[BlockFetchPlan]] = [None] * self.ntargets
+        compact = self.plan_compact(hit_mask)
+        empty = np.zeros(0, dtype=_INDEX_DTYPE)
+        cold_plan = BlockFetchPlan(
+            interval_starts=empty,
+            interval_stops=empty,
+            required_positions=empty,
+            covered_positions=empty,
+            covered_required=np.zeros(0, dtype=bool),
+            K=self.K,
+        )
+        for t in self.nonempty_targets:
+            plans[t] = cold_plan
+        for target, plan in compact.iter_hot():
+            plans[target] = plan
+        return plans
+
+
 def plan_block_fetch_all(
     remote_columns_per_target: Sequence[np.ndarray],
     hit_mask: np.ndarray,
@@ -177,84 +444,9 @@ def plan_block_fetch_all(
 ) -> List[Optional[BlockFetchPlan]]:
     """Plan the fetches from *all* remote processes in one vectorised pass.
 
-    Concatenates every target's nonzero-column list, evaluates the group "any
-    column hit" predicate with a single ``np.add.reduceat`` over the combined
-    hit counts, and splits the result back into one :class:`BlockFetchPlan`
-    per target.  Targets with no nonzero columns yield ``None``.  Produces
-    plans identical to calling :func:`plan_block_fetch` per target — this is
-    the O(1)-numpy-calls path the 1D algorithm and the symbolic estimator use
-    so planning stays cheap at P = 1024.
+    Convenience wrapper over :class:`BlockFetchPlanner` for one-shot use;
+    callers planning for many origin ranks against the same layout should
+    construct the planner once and call :meth:`BlockFetchPlanner.plan_compact`
+    per origin instead.
     """
-    if K <= 0:
-        raise ValueError("K must be positive")
-    hit_mask = np.asarray(hit_mask, dtype=bool)
-    ntargets = len(remote_columns_per_target)
-    ncols_per_target = np.fromiter(
-        (np.asarray(c).shape[0] for c in remote_columns_per_target),
-        dtype=_INDEX_DTYPE,
-        count=ntargets,
-    )
-    plans: List[Optional[BlockFetchPlan]] = [None] * ntargets
-    nonempty = np.nonzero(ncols_per_target)[0]
-    if nonempty.size == 0:
-        return plans
-
-    sizes = ncols_per_target[nonempty]
-    all_cols = np.concatenate(
-        [np.asarray(remote_columns_per_target[t], dtype=_INDEX_DTYPE) for t in nonempty]
-    )
-    if all_cols.size and all_cols.max() >= hit_mask.shape[0]:
-        raise ValueError("hit mask shorter than the largest remote column id")
-    all_hits = hit_mask[all_cols]
-
-    # Group boundaries of *every* target at once, shifted into the
-    # concatenated index space: target with n columns gets min(K, n) groups,
-    # the first n % groups of them one element wider (same arithmetic as
-    # :func:`split_into_groups`, evaluated for all targets in one shot).
-    col_offsets = np.zeros(nonempty.size, dtype=_INDEX_DTYPE)
-    col_offsets[1:] = np.cumsum(sizes)[:-1]
-    groups_per_target = np.minimum(K, sizes)
-    group_offsets = np.zeros(nonempty.size + 1, dtype=_INDEX_DTYPE)
-    np.cumsum(groups_per_target, out=group_offsets[1:])
-    total_groups = int(group_offsets[-1])
-    owner = np.repeat(np.arange(nonempty.size, dtype=_INDEX_DTYPE), groups_per_target)
-    js = np.arange(total_groups, dtype=_INDEX_DTYPE) - group_offsets[owner]
-    base = (sizes // groups_per_target)[owner]
-    extra = (sizes % groups_per_target)[owner]
-    rel_starts = js * base + np.minimum(js, extra)
-    g_starts = rel_starts + col_offsets[owner]
-    g_widths = base + (js < extra)
-
-    # One reduceat over every group of every target at once ("choose" a group
-    # as soon as any of its columns is hit, Algorithm 2 lines 3-11).
-    group_hit = np.add.reduceat(all_hits.astype(np.int8), g_starts) > 0
-    hit_groups_per_target = np.add.reduceat(
-        group_hit.astype(np.int64), group_offsets[:-1]
-    )
-    required_all = np.nonzero(all_hits)[0].astype(_INDEX_DTYPE)
-    req_bounds = np.searchsorted(required_all, col_offsets)
-
-    empty = np.zeros(0, dtype=_INDEX_DTYPE)
-    # Targets whose groups are all cold share one empty plan (no hit group
-    # implies no required column), so the common P≫hits case allocates
-    # nothing per target.
-    cold_plan = BlockFetchPlan(
-        intervals=[], required_positions=empty, covered_positions=empty, K=K
-    )
-    for pos in np.nonzero(hit_groups_per_target == 0)[0]:
-        plans[nonempty[pos]] = cold_plan
-    for pos in np.nonzero(hit_groups_per_target)[0]:
-        lo, hi = int(group_offsets[pos]), int(group_offsets[pos + 1])
-        sel = group_hit[lo:hi]
-        base_off = int(col_offsets[pos])
-        sel_starts = rel_starts[lo:hi][sel]
-        sel_stops = sel_starts + g_widths[lo:hi][sel]
-        req_lo = int(req_bounds[pos])
-        req_hi = int(req_bounds[pos + 1]) if pos + 1 < req_bounds.size else required_all.size
-        plans[nonempty[pos]] = BlockFetchPlan(
-            intervals=[(int(s), int(e)) for s, e in zip(sel_starts, sel_stops)],
-            required_positions=required_all[req_lo:req_hi] - base_off,
-            covered_positions=_expand_ranges(sel_starts, sel_stops),
-            K=K,
-        )
-    return plans
+    return BlockFetchPlanner(remote_columns_per_target, K).plan(hit_mask)

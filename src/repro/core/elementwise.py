@@ -98,13 +98,19 @@ def _map_locals(
     transform: Callable[[int, CSCMatrix], CSCMatrix],
     flops: Callable[[int, CSCMatrix], int],
 ) -> DistributedOperand:
-    """Apply ``transform`` to every rank's piece inside one compute-only phase."""
+    """Apply ``transform`` to every rank's piece inside one compute-only phase.
+
+    Flops are collected into one per-rank vector and charged in a single
+    batched pass (bit-identical to charging each rank in turn — see
+    :meth:`SimulatedCluster.charge_compute_bulk`).
+    """
     pieces: List[CSCMatrix] = []
+    flops_per_rank = np.zeros(cluster.nprocs, dtype=np.int64)
     with cluster.phase(phase):
         for rank, local in iter_local_pieces(op):
-            out = transform(rank, local)
-            cluster.charge_compute(rank, flops(rank, local))
-            pieces.append(out)
+            pieces.append(transform(rank, local))
+            flops_per_rank[rank] += int(flops(rank, local))
+        cluster.charge_compute_bulk(flops_per_rank)
     return _rebuild(op, pieces)
 
 
@@ -263,6 +269,7 @@ def column_sums(
     """
     _require_columns_1d(op, "column_sums")
     out = np.zeros(op.ncols, dtype=np.float64)
+    flops_per_rank = np.zeros(cluster.nprocs, dtype=np.int64)
     with cluster.phase(phase):
         per_rank = {}
         for rank, local in iter_local_pieces(op):
@@ -272,8 +279,9 @@ def column_sums(
                 np.arange(local.ncols, dtype=np.int64), np.diff(local.indptr)
             )
             np.add.at(sums, col_of_entry, local.data)
-            cluster.charge_compute(rank, local.nnz)
+            flops_per_rank[rank] += local.nnz
             out[s:e] = sums
             per_rank[rank] = sums
+        cluster.charge_compute_bulk(flops_per_rank)
         cluster.comm.allgather(per_rank)
     return out

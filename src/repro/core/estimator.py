@@ -26,7 +26,7 @@ import numpy as np
 
 from ..distribution import DistributedColumns1D
 from ..sparse import as_csc
-from .block_fetch import plan_block_fetch_all
+from .block_fetch import BlockFetchPlanner
 
 __all__ = [
     "CommunicationEstimate",
@@ -114,20 +114,23 @@ def estimate_communication(
     per_rank_bytes = np.zeros(nprocs, dtype=np.int64)
     per_rank_columns = np.zeros(nprocs, dtype=np.int64)
     per_rank_messages = np.zeros(nprocs, dtype=np.int64)
+    # One shared Algorithm-2 planner (the geometry only depends on A's
+    # layout); per origin the summary arrays are enough — plan objects are
+    # never built.  Bytes follow the *fetched* (block-covered) columns,
+    # matching what the RDMA calls would actually move.
+    planner = BlockFetchPlanner(
+        rank_cols, block_split, col_weights_per_target=rank_col_nnz
+    )
+    nonempty = planner.nonempty_targets
     for rank in range(nprocs):
         hit = dist_b.local(rank).nonzero_rows_mask()
-        # One vectorised Algorithm-2 planning pass over all P targets.
-        plans = plan_block_fetch_all(rank_cols, hit, block_split)
-        for target in range(nprocs):
-            plan = plans[target]
-            if target == rank or plan is None or plan.M == 0:
-                continue
-            # Bytes follow the *fetched* (block-covered) columns, matching
-            # what the RDMA calls would actually move.
-            fetched_nnz = int(rank_col_nnz[target][plan.covered_positions].sum())
-            per_rank_bytes[rank] += fetched_nnz * BYTES_PER_ENTRY
-            per_rank_columns[rank] += int(plan.required_positions.size)
-            per_rank_messages[rank] += plan.M
+        compact = planner.plan_compact(hit, build_plans=False)
+        remote = nonempty != rank
+        per_rank_bytes[rank] = (
+            int(compact.fetched_weight_per_target[remote].sum()) * BYTES_PER_ENTRY
+        )
+        per_rank_columns[rank] = int(compact.required_per_target[remote].sum())
+        per_rank_messages[rank] = int(compact.messages_per_target[remote].sum())
 
     mem_a = int(A.nnz) * BYTES_PER_ENTRY
     return CommunicationEstimate(

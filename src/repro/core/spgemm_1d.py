@@ -41,7 +41,7 @@ from ..runtime import SimulatedCluster
 from ..sparse import CSCMatrix, local_spgemm, SpGEMMKernelStats
 from ..sparse.flops import per_column_flops
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
-from .block_fetch import plan_block_fetch_all
+from .block_fetch import BlockFetchPlanner
 from .estimator import BYTES_PER_ENTRY
 from .masking import (
     apply_mask,
@@ -207,6 +207,12 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
         total_required_cols = 0
         total_fetched_cols = 0
         mask_early = prepared.mask is not None and prepared.mask_mode == "early"
+        # The remote layout is identical for every origin rank, so the
+        # Algorithm-2 geometry is hoisted into one planner shared by all P
+        # planning passes; each origin then touches only its hot targets.
+        planner = BlockFetchPlanner(rank_nonzero_cols, self.block_split)
+        # Per-target nnz per nonzero column, shared by every origin rank.
+        rank_col_nnz = [np.diff(prefix) for prefix in rank_col_prefix]
         with cluster.phase("fetch"):
             with window.epoch():
                 for rank in range(P):
@@ -223,21 +229,12 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                         ).nonzero_rows_mask()
                     else:
                         hit = local_b.nonzero_rows_mask()
-                    # One vectorised planning pass over all P targets
-                    # (Algorithm 2 for every remote process at once).
-                    plans = plan_block_fetch_all(
-                        rank_nonzero_cols, hit, self.block_split
-                    )
-                    for target in range(P):
-                        plan = plans[target]
-                        if plan is None:
-                            continue
+                    compact = planner.plan_compact(hit)
+                    total_required_cols += compact.required_total
+                    total_fetched_cols += compact.fetched_total
+                    for target, plan in compact.iter_hot():
                         remote_cols = rank_nonzero_cols[target]
                         prefix = rank_col_prefix[target]
-                        total_required_cols += int(plan.required_positions.size)
-                        total_fetched_cols += plan.fetched_columns
-                        if plan.M == 0:
-                            continue
                         covered = plan.covered_positions
                         if target == rank:
                             # Local columns need no RDMA; the local A_i is at
@@ -258,19 +255,21 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                         # Translate column-position intervals into exposed-array
                         # ranges using the remote prefix sums (no communication:
                         # every rank owns the metadata).
-                        data_ranges = [
-                            (int(prefix[s]), int(prefix[e])) for s, e in plan.intervals
-                        ]
-                        rowids = window.get_concat(rank, target, "rowids", data_ranges)
-                        values = window.get_concat(rank, target, "values", data_ranges)
+                        data_ranges = list(
+                            zip(
+                                prefix[plan.interval_starts].tolist(),
+                                prefix[plan.interval_stops].tolist(),
+                            )
+                        )
+                        rowids, values = window.get_concat_many(
+                            rank, target, ("rowids", "values"), data_ranges
+                        )
                         # Reconstruct which global column each fetched entry
                         # belongs to, then keep only the required ones for Ã.
-                        per_col_nnz = np.diff(prefix)[covered]
+                        per_col_nnz = rank_col_nnz[target][covered]
                         col_ids = np.repeat(remote_cols[covered], per_col_nnz)
                         if self.compact:
-                            keep = np.repeat(
-                                np.isin(covered, plan.required_positions), per_col_nnz
-                            )
+                            keep = np.repeat(plan.covered_required, per_col_nnz)
                             col_ids, rowids, values = (
                                 col_ids[keep],
                                 rowids[keep],
@@ -284,6 +283,8 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
         # --------------------------------------------------------------
         c_locals: List[CSCMatrix] = []
         kernel_stats = SpGEMMKernelStats()
+        other_bytes_per_rank = np.zeros(P, dtype=np.int64)
+        flops_per_rank = np.zeros(P, dtype=np.int64)
         with cluster.phase("multiply"):
             for rank in range(P):
                 local_b = dist_b.local(rank)
@@ -301,19 +302,18 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                 a_tilde = CSCMatrix.from_coo(
                     dist_a.nrows, k_inner, rows, cols, vals, sum_duplicates=False
                 )
-                cluster.charge_other_bytes(rank, a_tilde.memory_bytes())
+                other_bytes_per_rank[rank] = a_tilde.memory_bytes()
                 cluster.charge_memory(
                     rank,
                     dist_a.local(rank).memory_bytes()
                     + local_b.memory_bytes()
                     + a_tilde.memory_bytes(),
                 )
-                flops = int(per_column_flops(a_tilde, local_b).sum())
+                flops_per_rank[rank] = int(per_column_flops(a_tilde, local_b).sum())
                 with cluster.measured(rank, "comp"):
                     c_local = local_spgemm(
                         a_tilde, local_b, kernel=self.kernel, stats=kernel_stats
                     )
-                cluster.charge_compute(rank, flops)
                 cluster.charge_memory(
                     rank,
                     dist_a.local(rank).memory_bytes()
@@ -322,6 +322,10 @@ class SparsityAware1D(DistributedSpGEMMAlgorithm):
                     + c_local.memory_bytes(),
                 )
                 c_locals.append(c_local)
+            # Batched charge passes — bit-identical to the per-rank calls the
+            # loop used to make (each rank is charged exactly once).
+            cluster.charge_other_bytes_bulk(other_bytes_per_rank)
+            cluster.charge_compute_bulk(flops_per_rank)
 
         # C is naturally 1D distributed in B's column layout — no communication
         # is ever needed for the output (Algorithm 1), and the global matrix

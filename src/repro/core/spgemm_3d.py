@@ -28,8 +28,8 @@ from ..distribution import (
     valid_layer_counts,
 )
 from ..runtime import SimulatedCluster
-from ..sparse import CSCMatrix, add_matrices, local_spgemm
-from ..sparse.flops import per_column_flops
+from ..sparse import CSCMatrix, add_matrices, local_spgemm, stack_columns
+from ..sparse.csc import build_csc_unchecked
 from ..sparse.ops import column_blocks
 from .base import DistributedSpGEMMAlgorithm, SpGEMMResult
 from .masking import (
@@ -119,6 +119,11 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
             {(i, j): [] for i in range(grid.prows) for j in range(grid.pcols)}
             for _ in range(grid.layers)
         ]
+        # Running byte totals of each block's partial list — the same
+        # integers the loop used to recompute from scratch every stage.
+        partial_bytes: List[Dict[Tuple[int, int], int]] = [
+            {key: 0 for key in layer} for layer in partial_blocks
+        ]
         stages = layer_grid.pcols
         for l in range(grid.layers):
             dist_a = split.a_layers[l]
@@ -145,27 +150,60 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
                             for j in range(grid.pcols)
                         ]
                     )
+                    # Concatenate the layer-stage's B block row once; each
+                    # A(i, s) multiplies it in a single kernel call and the
+                    # result is sliced back into per-(i, j) partials —
+                    # bit-identical per column in every kernel variant.
+                    b_blocks = [dist_b.block(s, j) for j in range(grid.pcols)]
+                    b_bytes = [b.memory_bytes() for b in b_blocks]
+                    b_row = stack_columns(b_blocks, nrows=b_blocks[0].nrows)
+                    col_offsets = np.cumsum([0] + [b.ncols for b in b_blocks])
+                    # nnz boundaries of each B(s, j) inside the stacked row.
+                    b_ent_offsets = b_row.indptr[col_offsets]
+                    layer_partials = partial_blocks[l]
+                    layer_bytes = partial_bytes[l]
+                    layer_base = l * (grid.prows * grid.pcols)
                     for i in range(grid.prows):
                         a_block = dist_a.block(i, s)
+                        if a_block.nnz == 0:
+                            continue
+                        a_bytes = a_block.memory_bytes()
+                        a_col_nnz = a_block.column_nnz()
+                        with cluster.measured(grid.rank_of(i, s, l), "comp"):
+                            c_row = local_spgemm(
+                                a_block, b_row, kernel=self.kernel
+                            )
+                        # Σ over B(s, j) entries of nnz(A(:,k)) for every j
+                        # at once — the same integers
+                        # per_column_flops(...).sum() produces, via exact
+                        # int64 prefix-sum differences.
+                        fl_prefix = np.zeros(b_row.nnz + 1, dtype=np.int64)
+                        np.cumsum(a_col_nnz[b_row.indices], out=fl_prefix[1:])
+                        flops_by_j = (
+                            fl_prefix[b_ent_offsets[1:]]
+                            - fl_prefix[b_ent_offsets[:-1]]
+                        )
+                        row_base = layer_base + i * grid.pcols
                         for j in range(grid.pcols):
-                            rank = grid.rank_of(i, j, l)
-                            b_block = dist_b.block(s, j)
-                            if a_block.nnz == 0 or b_block.nnz == 0:
+                            b_block = b_blocks[j]
+                            if b_block.nnz == 0:
                                 continue
-                            flops = int(per_column_flops(a_block, b_block).sum())
-                            with cluster.measured(rank, "comp"):
-                                partial = local_spgemm(
-                                    a_block, b_block, kernel=self.kernel
-                                )
-                            cluster.charge_compute(rank, flops)
-                            partial_blocks[l][(i, j)].append(partial)
-                            cluster.charge_memory(
-                                rank,
-                                a_block.memory_bytes()
-                                + b_block.memory_bytes()
-                                + sum(
-                                    p.memory_bytes() for p in partial_blocks[l][(i, j)]
-                                ),
+                            cs, ce = col_offsets[j], col_offsets[j + 1]
+                            lo, hi = c_row.indptr[cs], c_row.indptr[ce]
+                            partial = build_csc_unchecked(
+                                c_row.nrows,
+                                b_block.ncols,
+                                c_row.indptr[cs : ce + 1] - lo,
+                                c_row.indices[lo:hi],
+                                c_row.data[lo:hi],
+                            )
+                            key = (i, j)
+                            layer_partials[key].append(partial)
+                            layer_bytes[key] += partial.memory_bytes()
+                            cluster.charge_compute_and_memory(
+                                row_base + j,
+                                int(flops_by_j[j]),
+                                a_bytes + b_bytes[j] + layer_bytes[key],
                             )
 
         # ------------------------------------------------------------------
@@ -220,8 +258,6 @@ class SplitSpGEMM3D(DistributedSpGEMMAlgorithm):
                                 row_bounds[i][1] - row_bounds[i][0], che - chs
                             )
                         chunks_in_order.append(merged)
-                    from ..sparse import stack_columns
-
                     c_blocks[(i, j)] = [stack_columns(chunks_in_order,
                                                       nrows=row_bounds[i][1] - row_bounds[i][0])]
 

@@ -17,7 +17,7 @@ outer-product algorithm to redistribute ``B`` by row blocks) via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -16,11 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-import numpy as np
-
-from ..sparse import CSCMatrix, as_csc
+from ..sparse import as_csc
 from ..sparse.ops import column_blocks, extract_rows
 from .dist2d import DistributedBlocks2D, ProcessGrid2D
 

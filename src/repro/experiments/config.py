@@ -27,7 +27,7 @@ import itertools
 import json
 import os
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..runtime import LAPTOP, PERLMUTTER, ZERO_COST, CostModel
 
@@ -257,7 +257,8 @@ class ExperimentGrid:
 
     def expand(self) -> List[RunConfig]:
         configs = []
-        for dataset, workload, backend, algorithm, strategy, nprocs, block_split, layers, threads, seed in (
+        for (dataset, workload, backend, algorithm, strategy, nprocs,
+             block_split, layers, threads, seed) in (
             itertools.product(
                 self.datasets,
                 self.workloads,

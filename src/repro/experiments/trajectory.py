@@ -21,7 +21,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from .records import RunRecord
 
@@ -98,12 +98,16 @@ def rollup_records(
     label: str = "trajectory",
     wall_seconds: Optional[float] = None,
     sweep_stats: Optional[Dict[str, int]] = None,
+    extra_sections: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Aggregate records into the trajectory document (one dict, JSON-ready).
 
     ``wall_seconds`` is the measured host time of producing the records
     (machine-dependent, reported under the machine tag); ``sweep_stats``
     optionally carries the engine's cached/executed split.
+    ``extra_sections`` merges additional top-level sections into the document
+    (e.g. the ``kernel_walls`` per-variant wall-clock table) — they may not
+    collide with the core schema keys.
     """
     records = list(records)
     workloads: Dict[str, Dict[str, object]] = {}
@@ -137,6 +141,11 @@ def rollup_records(
         document["wall_seconds"] = wall_seconds
     if sweep_stats is not None:
         document["sweep"] = dict(sweep_stats)
+    if extra_sections:
+        clash = sorted(set(extra_sections) & set(document))
+        if clash:
+            raise ValueError(f"extra sections collide with schema keys: {clash}")
+        document.update(extra_sections)
     return document
 
 
@@ -147,10 +156,15 @@ def write_trajectory(
     label: str = "trajectory",
     wall_seconds: Optional[float] = None,
     sweep_stats: Optional[Dict[str, int]] = None,
+    extra_sections: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Write the rolled-up trajectory JSON to ``path`` and return it."""
     document = rollup_records(
-        records, label=label, wall_seconds=wall_seconds, sweep_stats=sweep_stats
+        records,
+        label=label,
+        wall_seconds=wall_seconds,
+        sweep_stats=sweep_stats,
+        extra_sections=extra_sections,
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -120,13 +120,21 @@ def _measured_stats(config: RunConfig, ledger) -> Optional[MeasuredStats]:
     return MeasuredStats.from_ledger(ledger, config.backend, machine=machine_tag())
 
 
-def _per_rank_times(ledger: PhaseLedger) -> Dict[str, List[float]]:
-    per_rank = ledger.per_rank_totals()
-    return {
-        "comm": [st.time["comm"] for st in per_rank],
-        "comp": [st.time["comp"] for st in per_rank],
-        "other": [st.time["other"] for st in per_rank],
+def _per_rank_times(ledger: PhaseLedger) -> Dict[str, object]:
+    arrs = ledger.per_rank_time_arrays()
+    times: Dict[str, object] = {
+        "comm": arrs["comm"].tolist(),
+        "comp": arrs["comp"].tolist(),
+        "other": arrs["other"].tolist(),
     }
+    # Same totals, same formula as PhaseLedger.load_imbalance — computed here
+    # so the record extraction sweeps the ledger once, not twice.  The
+    # elementwise sum applies the category additions in dict order, matching
+    # RankStats.total_time bit for bit.
+    totals = arrs["comm"] + arrs["comp"] + arrs["other"]
+    mean = float(np.mean(totals)) if totals.size else 0.0
+    times["load_imbalance"] = 1.0 if mean == 0.0 else float(np.max(totals)) / mean
+    return times
 
 
 # ----------------------------------------------------------------------
@@ -161,7 +169,7 @@ def _execute_squaring(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunR
         communication_volume=run.result.communication_volume,
         message_count=run.result.message_count,
         rdma_gets=run.result.rdma_gets,
-        load_imbalance=run.result.load_imbalance,
+        load_imbalance=ranks["load_imbalance"],
         cv_over_mema=run.cv_over_mema,
         permutation_seconds=run.permutation_seconds,
         permutation_bytes=run.permutation_bytes,
@@ -231,7 +239,7 @@ def _execute_chained_squaring(
         communication_volume=ledger.total_bytes(),
         message_count=ledger.total_messages(),
         rdma_gets=ledger.total_rdma_gets(),
-        load_imbalance=ledger.load_imbalance(),
+        load_imbalance=ranks["load_imbalance"],
         cv_over_mema=run.cv_over_mema,
         permutation_seconds=run.permutation_seconds,
         permutation_bytes=run.permutation_bytes,
@@ -340,7 +348,7 @@ def _execute_amg(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         communication_volume=combined.total_bytes(),
         message_count=combined.total_messages(),
         rdma_gets=combined.total_rdma_gets(),
-        load_imbalance=combined.load_imbalance(),
+        load_imbalance=ranks["load_imbalance"],
         cv_over_mema=0.0,
         permutation_seconds=model.beta * perm_bytes,
         permutation_bytes=perm_bytes,
@@ -496,7 +504,7 @@ def _execute_triangles(config: RunConfig, A: CSCMatrix, model: CostModel) -> Run
         communication_volume=ledger.total_bytes(),
         message_count=ledger.total_messages(),
         rdma_gets=ledger.total_rdma_gets(),
-        load_imbalance=ledger.load_imbalance(),
+        load_imbalance=ranks["load_imbalance"],
         cv_over_mema=0.0,
         permutation_seconds=model.beta * perm_bytes,
         permutation_bytes=perm_bytes,
@@ -572,7 +580,7 @@ def _execute_mcl(config: RunConfig, A: CSCMatrix, model: CostModel) -> RunRecord
         communication_volume=ledger.total_bytes(),
         message_count=ledger.total_messages(),
         rdma_gets=ledger.total_rdma_gets(),
-        load_imbalance=ledger.load_imbalance(),
+        load_imbalance=ranks["load_imbalance"],
         cv_over_mema=0.0,
         permutation_seconds=model.beta * perm_bytes,
         permutation_bytes=perm_bytes,

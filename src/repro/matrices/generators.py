@@ -23,7 +23,7 @@ The generators cover the structural regimes the paper's analysis depends on:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -227,8 +227,8 @@ def rmat_graph(
     nedges = n * edge_factor
     rows = np.zeros(nedges, dtype=_INDEX_DTYPE)
     cols = np.zeros(nedges, dtype=_INDEX_DTYPE)
-    # Vectorised RMAT: draw one quadrant decision per bit level for all edges.
-    d = 1.0 - (a + b + c)
+    # Vectorised RMAT: draw one quadrant decision per bit level for all edges
+    # (the implicit fourth-quadrant probability is 1 - a - b - c).
     for level in range(scale):
         r = rng.random(nedges)
         # quadrant: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)

@@ -10,7 +10,7 @@ partitioner or when matching stops making progress.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
@@ -109,7 +109,10 @@ def coarsen_graph(graph: AdjacencyGraph, seed: int = 0) -> CoarseningLevel:
         cdst = cdst[new_run]
         w = merged_w
     xadj = np.zeros(n_coarse + 1, dtype=_INDEX_DTYPE)
-    counts = np.bincount(csrc, minlength=n_coarse) if csrc.size else np.zeros(n_coarse, dtype=_INDEX_DTYPE)
+    if csrc.size:
+        counts = np.bincount(csrc, minlength=n_coarse)
+    else:
+        counts = np.zeros(n_coarse, dtype=_INDEX_DTYPE)
     xadj[1:] = np.cumsum(counts)
     coarse = AdjacencyGraph(xadj=xadj, adjncy=cdst, adjwgt=w, vwgt=coarse_vwgt)
     return CoarseningLevel(fine_graph=graph, coarse_graph=coarse, fine_to_coarse=fine_to_coarse)

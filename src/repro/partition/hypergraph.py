@@ -47,7 +47,9 @@ class ColumnNetHypergraph:
     vertex_weights: np.ndarray
 
     @classmethod
-    def from_matrix(cls, A, *, vertex_weights: Optional[np.ndarray] = None) -> "ColumnNetHypergraph":
+    def from_matrix(
+        cls, A, *, vertex_weights: Optional[np.ndarray] = None
+    ) -> "ColumnNetHypergraph":
         A = as_csc(A)
         rows, cols, _ = A.to_coo()
         order = np.lexsort((cols, rows))

@@ -28,7 +28,7 @@ import numpy as np
 
 from .coarsen import coarsen_to_size
 from .graph import AdjacencyGraph
-from .refine import greedy_kway_refine, is_balanced, partition_weights
+from .refine import greedy_kway_refine, partition_weights
 from .weights import squaring_vertex_weights
 from ..sparse import as_csc
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
@@ -64,7 +64,6 @@ def identity_ordering(n: int, nparts: int) -> Ordering:
 def ordering_from_partition(result: PartitionResult) -> Ordering:
     """Group each part's vertices contiguously (stable within a part)."""
     parts = np.asarray(result.parts, dtype=_INDEX_DTYPE)
-    n = parts.shape[0]
     perm = np.argsort(parts, kind="stable").astype(_INDEX_DTYPE)
     sizes = np.bincount(parts, minlength=result.nparts).astype(int).tolist()
     return Ordering(perm=perm, block_sizes=sizes, name="metis")

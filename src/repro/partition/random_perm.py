@@ -10,7 +10,7 @@ worst choice for Algorithm 1 but (often) the right choice for 2D/3D SUMMA.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

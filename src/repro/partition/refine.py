@@ -10,7 +10,7 @@ the number of boundary vertices.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -28,7 +28,9 @@ see ``benchmarks/bench_ablation_costmodel.py``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 __all__ = ["CostModel", "PERLMUTTER", "LAPTOP", "ZERO_COST"]
 
@@ -73,6 +75,18 @@ class CostModel:
         serial = self.serial_fraction
         speedup = 1.0 / (serial + (1.0 - serial) / t)
         return self.gamma * float(flops) / speedup
+
+    def pack_cost_bulk(self, nbytes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`pack_cost` — same per-element arithmetic, so the
+        modelled seconds are bit-identical to charging one rank at a time."""
+        return self.pack_per_byte * np.asarray(nbytes, dtype=np.float64)
+
+    def compute_cost_bulk(self, flops: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`compute_cost` (identical per-element float ops)."""
+        t = max(1, int(self.threads_per_process))
+        serial = self.serial_fraction
+        speedup = 1.0 / (serial + (1.0 - serial) / t)
+        return self.gamma * np.asarray(flops, dtype=np.float64) / speedup
 
     def with_threads(self, threads: int) -> "CostModel":
         """A copy of this model with a different thread count per process."""

@@ -598,17 +598,22 @@ class ShmRdmaWindow(RdmaWindow):
             return data
         return self._roundtrip_array(data, origin, target)
 
-    def get_concat(
+    def get_concat_many(
         self,
         origin: int,
         target: int,
-        key: str,
-        ranges: list,
-    ) -> np.ndarray:
-        data = super().get_concat(origin, target, key, ranges)
-        if origin == target or data.nbytes == 0:
-            return data
-        return self._roundtrip_array(data, origin, target)
+        keys,
+        ranges,
+    ) -> list:
+        # ``get_concat`` delegates here in the base class, so overriding the
+        # batched primitive covers both entry points exactly once.
+        datas = super().get_concat_many(origin, target, keys, ranges)
+        if origin == target:
+            return datas
+        return [
+            data if data.nbytes == 0 else self._roundtrip_array(data, origin, target)
+            for data in datas
+        ]
 
 
 # ----------------------------------------------------------------------

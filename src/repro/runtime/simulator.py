@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -81,6 +81,7 @@ class SimulatedCluster:
     ledger: PhaseLedger = field(init=False)
     _current_phase: str = field(default="default", init=False)
     _phase_prefix: str = field(default="", init=False)
+    _stats_cache: Optional[tuple] = field(default=None, init=False, repr=False)
 
     #: registry name of the backend this cluster runs on (see
     #: :mod:`repro.runtime.backend`); subclasses override.
@@ -143,7 +144,16 @@ class SimulatedCluster:
         """Per-rank stats record of the *current* phase."""
         if not 0 <= rank < self.nprocs:
             raise IndexError(f"rank {rank} outside 0..{self.nprocs - 1}")
-        return self.ledger.rank(self._current_phase, rank)
+        # Cache the current phase's stats list: the charge paths resolve a
+        # rank on every event, and the phase only changes at phase()
+        # boundaries.  The list object is stable once the ledger creates it,
+        # so keying the cache on the phase name is sufficient.
+        cache = self._stats_cache
+        if cache is not None and cache[0] == self._current_phase:
+            return cache[1][rank]
+        stats_list = self.ledger.phase(self._current_phase)
+        self._stats_cache = (self._current_phase, stats_list)
+        return stats_list[rank]
 
     # ------------------------------------------------------------------
     # Charging local work
@@ -165,6 +175,67 @@ class SimulatedCluster:
         cap = self.cost_model.memory_capacity_bytes
         if cap and nbytes > cap:
             raise MemoryLimitExceeded(rank, int(nbytes), cap)
+
+    def charge_compute_and_memory(self, rank: int, flops: int, nbytes: int) -> None:
+        """Fused :meth:`charge_compute` + :meth:`charge_memory` for one rank.
+
+        Applies the exact per-call operations in the same order with a single
+        stats lookup — the hot per-(block, stage) path of the 2D/3D stage
+        loops charges both on every iteration.
+        """
+        st = self.stats(rank)
+        st.flops += int(flops)
+        st.charge_time("comp", self.cost_model.compute_cost(int(flops)))
+        st.note_memory(int(nbytes))
+        cap = self.cost_model.memory_capacity_bytes
+        if cap and nbytes > cap:
+            raise MemoryLimitExceeded(rank, int(nbytes), cap)
+
+    # ------------------------------------------------------------------
+    # Batched charging (one vectorised pass instead of a per-rank loop)
+    # ------------------------------------------------------------------
+    def _per_rank_array(self, values, what: str) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.shape != (self.nprocs,):
+            raise ValueError(
+                f"{what} expects one value per rank (shape ({self.nprocs},)), "
+                f"got shape {arr.shape}"
+            )
+        return arr
+
+    def charge_compute_bulk(self, flops_per_rank) -> None:
+        """Charge per-rank flops to the current phase in one vectorised pass.
+
+        Bit-identical to calling :meth:`charge_compute` once per rank: the
+        cost model's arithmetic is applied elementwise and ranks with zero
+        flops are no-ops either way.  This is the batched path the SPMD
+        per-rank loops use so charging stays O(numpy) at P = 1024.
+        """
+        arr = self._per_rank_array(flops_per_rank, "charge_compute_bulk")
+        costs = self.cost_model.compute_cost_bulk(arr)
+        stats_list = self.ledger.phase(self._current_phase)
+        for r in np.nonzero(arr)[0]:
+            st = stats_list[r]
+            st.flops += int(arr[r])
+            st.time["comp"] += float(costs[r])
+
+    def charge_other_bytes_bulk(self, nbytes_per_rank) -> None:
+        """Vectorised :meth:`charge_other_bytes` (one value per rank)."""
+        arr = self._per_rank_array(nbytes_per_rank, "charge_other_bytes_bulk")
+        costs = self.cost_model.pack_cost_bulk(arr)
+        stats_list = self.ledger.phase(self._current_phase)
+        for r in np.nonzero(arr)[0]:
+            stats_list[r].time["other"] += float(costs[r])
+
+    def charge_memory_bulk(self, nbytes_per_rank) -> None:
+        """Vectorised :meth:`charge_memory`; raises for the lowest offending rank."""
+        arr = self._per_rank_array(nbytes_per_rank, "charge_memory_bulk")
+        cap = self.cost_model.memory_capacity_bytes
+        stats_list = self.ledger.phase(self._current_phase)
+        for r in np.nonzero(arr)[0]:
+            stats_list[r].note_memory(int(arr[r]))
+            if cap and arr[r] > cap:
+                raise MemoryLimitExceeded(int(r), int(arr[r]), cap)
 
     @contextmanager
     def measured(self, rank: int, category: str) -> Iterator[None]:

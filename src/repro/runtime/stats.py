@@ -39,7 +39,7 @@ O(ranks), not O(messages).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -62,10 +62,16 @@ class RankStats:
     """
 
     rank: int
-    #: modelled seconds by category ("comm" / "comp" / "other")
-    time: Dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+    #: modelled seconds by category (literal spelling of ``CATEGORIES`` —
+    #: a dict literal is much cheaper than a comprehension and P×phases
+    #: instances are created per run)
+    time: Dict[str, float] = field(
+        default_factory=lambda: {"comm": 0.0, "comp": 0.0, "other": 0.0}
+    )
     #: measured wall-clock seconds by category (real Python work that ran)
-    measured: Dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+    measured: Dict[str, float] = field(
+        default_factory=lambda: {"comm": 0.0, "comp": 0.0, "other": 0.0}
+    )
     #: number of point-to-point / one-sided messages this rank originated
     messages_sent: int = 0
     #: number of RDMA Get operations this rank issued
@@ -78,6 +84,26 @@ class RankStats:
     flops: int = 0
     #: peak modelled memory in bytes (local inputs + fetched data + output)
     peak_memory_bytes: int = 0
+
+    @classmethod
+    def fresh(cls, rank: int) -> "RankStats":
+        """Zeroed instance, skipping dataclass-init overhead.
+
+        Identical to ``RankStats(rank=rank)``; the ledger creates P of these
+        per phase, which makes the generated ``__init__`` (plus two factory
+        calls) measurable at P = 1024.
+        """
+        st = object.__new__(cls)
+        st.rank = rank
+        st.time = {"comm": 0.0, "comp": 0.0, "other": 0.0}
+        st.measured = {"comm": 0.0, "comp": 0.0, "other": 0.0}
+        st.messages_sent = 0
+        st.rdma_gets = 0
+        st.bytes_sent = 0
+        st.bytes_received = 0
+        st.flops = 0
+        st.peak_memory_bytes = 0
+        return st
 
     def charge_time(self, category: str, seconds: float) -> None:
         if category not in self.time:
@@ -177,7 +203,8 @@ class PhaseLedger:
     def phase(self, name: str) -> List[RankStats]:
         """Return (creating if needed) the per-rank stats of phase ``name``."""
         if name not in self.phases:
-            self.phases[name] = [RankStats(rank=r) for r in range(self.nprocs)]
+            fresh = RankStats.fresh
+            self.phases[name] = [fresh(r) for r in range(self.nprocs)]
             self.phase_order.append(name)
         return self.phases[name]
 
@@ -301,6 +328,25 @@ class PhaseLedger:
                 )
         return totals
 
+    def per_rank_time_arrays(self) -> Dict[str, np.ndarray]:
+        """Per-rank modelled seconds by category, summed across phases.
+
+        The record-extraction fast path: same values as reading ``time`` off
+        :meth:`per_rank_totals` without materialising RankStats objects.
+        Each rank's float accumulation happens in phase-insertion order, one
+        addition per phase — exactly the order the RankStats loop applies —
+        so every entry is bit-identical.
+        """
+        acc = {c: np.zeros(self.nprocs, dtype=np.float64) for c in CATEGORIES}
+        for stats_list in self.phases.values():
+            for c in CATEGORIES:
+                acc[c] += np.fromiter(
+                    (st.time[c] for st in stats_list),
+                    dtype=np.float64,
+                    count=len(stats_list),
+                )
+        return acc
+
     def elapsed_time(self) -> float:
         """Modelled elapsed time: Σ over phases of the slowest rank in that phase."""
         total = 0.0
@@ -353,6 +399,44 @@ class PhaseLedger:
             (st.peak_memory_bytes for stats_list in self.phases.values() for st in stats_list),
             default=0,
         )
+
+    def scalar_summary(self) -> Dict[str, object]:
+        """Every scalar aggregate of the record schema in one ledger sweep.
+
+        Computes exactly what :meth:`elapsed_time`,
+        :meth:`elapsed_time_by_category`, :meth:`total_bytes`,
+        :meth:`total_messages` and :meth:`total_rdma_gets` return — same
+        iteration order, same accumulation order, so every value is
+        bit-identical to the individual methods — but visits each
+        ``RankStats`` once instead of once per aggregate.
+        """
+        elapsed = 0.0
+        by_category = {c: 0.0 for c in CATEGORIES}
+        total_bytes = 0
+        total_messages = 0
+        total_gets = 0
+        for name in self.phase_order:
+            critical = None
+            critical_total = 0.0
+            for st in self.phases[name]:
+                t = st.total_time
+                # Strict > keeps the first maximal rank, matching max().
+                if critical is None or t > critical_total:
+                    critical, critical_total = st, t
+                total_bytes += st.bytes_received
+                total_messages += st.messages_sent + st.rdma_gets
+                total_gets += st.rdma_gets
+            if critical is not None:
+                elapsed += critical_total
+                for c in CATEGORIES:
+                    by_category[c] += critical.time[c]
+        return {
+            "elapsed_time": elapsed,
+            "elapsed_time_by_category": by_category,
+            "total_bytes": total_bytes,
+            "total_messages": total_messages,
+            "total_rdma_gets": total_gets,
+        }
 
     def load_imbalance(self) -> float:
         """max/mean ratio of per-rank total modelled time (1.0 = perfectly balanced)."""

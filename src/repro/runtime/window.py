@@ -23,7 +23,7 @@ keeps algorithm code honest about where synchronisation happens.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 import numpy as np
 
@@ -125,50 +125,76 @@ class RdmaWindow:
         origin: int,
         target: int,
         key: str,
-        ranges: list[tuple[int, int]],
+        ranges,
     ) -> np.ndarray:
         """Issue one ``get`` per ``(start, stop)`` range and concatenate the results.
 
-        Used by the block-fetch strategy, which issues at most ``K`` gets per
-        remote process.  The accounting is batched: the ``M`` gets are charged
-        in one bulk update (``M·α_rdma + β·total_bytes`` of modelled time,
-        ``M`` RDMA messages, the summed byte counters on both sides) instead
-        of ``M`` separate Python-level stat updates — byte-for-byte identical
-        to looping :meth:`get`.
+        ``ranges`` is a sequence of ``(start, stop)`` pairs — a list of tuples
+        or an ``(M, 2)`` integer array.  Used by the block-fetch strategy,
+        which issues at most ``K`` gets per remote process.  The accounting is
+        batched: the ``M`` gets are charged in one bulk update
+        (``M·α_rdma + β·total_bytes`` of modelled time, ``M`` RDMA messages,
+        the summed byte counters on both sides) instead of ``M`` separate
+        Python-level stat updates — byte-for-byte identical to looping
+        :meth:`get`.
         """
-        arr = self._lookup(target, key)
-        if not ranges:
-            return np.zeros(0, dtype=arr.dtype)
-        if origin == target:
-            # Local access: no messages, just view copies (matches `get`).
-            if not self._epoch_open:
-                raise WindowError("RDMA get outside of an access epoch")
-            return np.concatenate([arr[start:stop] for start, stop in ranges])
+        return self.get_concat_many(origin, target, (key,), ranges)[0]
+
+    def get_concat_many(
+        self,
+        origin: int,
+        target: int,
+        keys,
+        ranges,
+    ) -> list[np.ndarray]:
+        """Fetch the same ranges from several exposed arrays of one target.
+
+        Returns one concatenated array per key, in order.  The accounting is
+        byte-for-byte identical to calling :meth:`get_concat` once per key
+        (each key charges its own ``M`` gets and byte totals); batching the
+        keys only saves the host-side range translation and bounds checks.
+        """
+        arrs = [self._lookup(target, key) for key in keys]
+        m = len(ranges)
+        if m == 0:
+            return [np.zeros(0, dtype=arr.dtype) for arr in arrs]
         if not self._epoch_open:
             raise WindowError("RDMA get outside of an access epoch")
-        bounds = np.asarray(ranges, dtype=np.int64)
-        if bounds.size and not (
-            np.all(0 <= bounds[:, 0])
-            and np.all(bounds[:, 0] <= bounds[:, 1])
-            and np.all(bounds[:, 1] <= arr.shape[0])
-        ):
-            raise WindowError("get range outside exposed array")
-        data = np.concatenate([arr[start:stop] for start, stop in ranges])
-        nbytes = int(data.nbytes)
-        m = len(ranges)
+        if isinstance(ranges, np.ndarray):
+            pairs = ranges.tolist()
+        else:
+            pairs = [(int(s), int(e)) for s, e in ranges]
+        if origin == target:
+            # Local access: no messages, just view copies (matches `get`).
+            return [
+                np.concatenate([arr[start:stop] for start, stop in pairs])
+                for arr in arrs
+            ]
+        # M is small (at most K per fetch), so a Python sweep beats three
+        # numpy reductions over a tiny array.
+        min_start = min(s for s, _ in pairs)
+        max_stop = max(e for _, e in pairs)
+        ordered = all(s <= e for s, e in pairs)
         model = self.cluster.cost_model
         origin_stats = self.cluster.stats(origin)
         target_stats = self.cluster.stats(target)
-        origin_stats.charge_bulk(
-            rdma_gets=m,
-            bytes_received=nbytes,
-            comm_seconds=m * model.alpha_rdma + model.beta * nbytes,
-            # Only the origin pays to land/unpack the data — the point of RDMA.
-            other_seconds=model.pack_cost(nbytes),
-        )
-        target_stats.charge_bulk(bytes_sent=nbytes)
-        self._gets_issued += m
-        return data
+        out: list[np.ndarray] = []
+        for arr in arrs:
+            if not (ordered and 0 <= min_start and max_stop <= arr.shape[0]):
+                raise WindowError("get range outside exposed array")
+            data = np.concatenate([arr[start:stop] for start, stop in pairs])
+            nbytes = int(data.nbytes)
+            origin_stats.charge_bulk(
+                rdma_gets=m,
+                bytes_received=nbytes,
+                comm_seconds=m * model.alpha_rdma + model.beta * nbytes,
+                # Only the origin pays to land/unpack — the point of RDMA.
+                other_seconds=model.pack_cost(nbytes),
+            )
+            target_stats.charge_bulk(bytes_sent=nbytes)
+            self._gets_issued += m
+            out.append(data)
+        return out
 
     # ------------------------------------------------------------------
     def _lookup(self, rank: int, key: str) -> np.ndarray:

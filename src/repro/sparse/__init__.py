@@ -13,6 +13,14 @@ from .flops import (
     per_column_flops,
     spgemm_flops,
 )
+from .kernels import (
+    KERNEL_VARIANTS,
+    kernel_variant,
+    numba_available,
+    requested_kernel_variant,
+    resolve_kernel_variant,
+    set_kernel_variant,
+)
 from .local_spgemm import (
     KERNELS,
     SpGEMMKernelStats,
@@ -43,6 +51,12 @@ __all__ = [
     "spgemm_dense_accumulator",
     "spgemm_hybrid",
     "KERNELS",
+    "KERNEL_VARIANTS",
+    "kernel_variant",
+    "numba_available",
+    "requested_kernel_variant",
+    "resolve_kernel_variant",
+    "set_kernel_variant",
     "add_matrices",
     "kway_merge_columns",
     "stack_columns",

@@ -1,0 +1,92 @@
+"""Optional numba-jitted local SpGEMM (the ``REPRO_KERNEL=numba`` fast path).
+
+This module must stay importable without numba installed: the selector in
+:mod:`repro.sparse.kernels` checks :data:`NUMBA_AVAILABLE` and never routes
+work here when the import failed, and the decorator below degrades to a
+no-op so the module body still parses.
+
+Counter-invariance rule (see ``docs/kernels.md``): the jitted loop
+accumulates the contributions to each output entry ``(i, j)`` in *segment
+order* — the order of ``k`` within column ``B(:, j)`` — exactly like the
+pure-python heap/hash/dense references and the numpy sort-and-reduce, so
+floating-point results are bit-identical across variants.  Cancellation
+zeros are stored, never pruned (CombBLAS pattern semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csc import CSCMatrix
+
+__all__ = ["NUMBA_AVAILABLE", "spgemm_numba"]
+
+try:  # pragma: no cover - exercised only on hosts with the [fast] extra
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default CI leg
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """Identity decorator so the jitted source still parses without numba."""
+        if len(args) == 1 and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+@njit(cache=True)
+def _spgemm_csc(
+    a_indptr, a_indices, a_data, b_indptr, b_indices, b_data, nrows, ncols_out
+):  # pragma: no cover - compiled; covered via the numba CI leg
+    # Upper bound on output entries: Σ_j Σ_{k∈B(:,j)} nnz(A(:,k)).
+    ub = 0
+    for j in range(ncols_out):
+        for t in range(b_indptr[j], b_indptr[j + 1]):
+            k = b_indices[t]
+            ub += a_indptr[k + 1] - a_indptr[k]
+    out_indptr = np.zeros(ncols_out + 1, np.int64)
+    out_indices = np.empty(ub, np.int64)
+    out_data = np.empty(ub, a_data.dtype)
+    # Column-stamped SPA: no O(nrows) clearing between columns.
+    acc = np.zeros(nrows, a_data.dtype)
+    stamp = np.full(nrows, -1, np.int64)
+    touched = np.empty(nrows, np.int64)
+    pos = 0
+    for j in range(ncols_out):
+        n_touched = 0
+        for t in range(b_indptr[j], b_indptr[j + 1]):
+            k = b_indices[t]
+            bv = b_data[t]
+            for s in range(a_indptr[k], a_indptr[k + 1]):
+                i = a_indices[s]
+                contrib = a_data[s] * bv
+                if stamp[i] != j:
+                    stamp[i] = j
+                    acc[i] = contrib
+                    touched[n_touched] = i
+                    n_touched += 1
+                else:
+                    acc[i] += contrib
+        ordered = np.sort(touched[:n_touched])
+        for idx in range(n_touched):
+            i = ordered[idx]
+            out_indices[pos] = i
+            out_data[pos] = acc[i]
+            pos += 1
+        out_indptr[j + 1] = pos
+    return out_indptr, out_indices[:pos], out_data[:pos]
+
+
+def spgemm_numba(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
+    """Jitted Gustavson SpGEMM; inputs must already share a value dtype."""
+    indptr, indices, data = _spgemm_csc(
+        A.indptr, A.indices, A.data, B.indptr, B.indices, B.data, A.nrows, B.ncols
+    )
+    return CSCMatrix(
+        nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data
+    )

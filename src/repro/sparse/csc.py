@@ -80,7 +80,7 @@ class CSCMatrix:
             raise ValueError("indices and data must have the same length")
         if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
             raise ValueError("indptr must start at 0 and end at nnz")
-        if np.any(np.diff(self.indptr) < 0):
+        if np.any(self.indptr[1:] < self.indptr[:-1]):
             raise ValueError("indptr must be non-decreasing")
         if self.indices.size and (
             self.indices.min() < 0 or self.indices.max() >= self.nrows
@@ -196,7 +196,7 @@ class CSCMatrix:
 
     def column_nnz(self) -> np.ndarray:
         """Per-column stored-entry counts (length ``ncols``)."""
-        return np.diff(self.indptr)
+        return self.indptr[1:] - self.indptr[:-1]
 
     def row_nnz(self) -> np.ndarray:
         """Per-row stored-entry counts (length ``nrows``)."""
@@ -358,10 +358,19 @@ class CSCMatrix:
     def prune_explicit_zeros(self, tol: float = 0.0) -> "CSCMatrix":
         """Drop stored entries whose magnitude is <= ``tol``."""
         keep = np.abs(self.data) > tol
-        rows, cols, vals = self.to_coo()
-        return CSCMatrix.from_coo(
-            self.nrows, self.ncols, rows[keep], cols[keep], vals[keep],
-            sum_duplicates=False,
+        if keep.all():
+            return self.copy()
+        cols = np.repeat(
+            np.arange(self.ncols, dtype=_INDEX_DTYPE), np.diff(self.indptr)
+        )
+        indptr = np.zeros(self.ncols + 1, dtype=_INDEX_DTYPE)
+        indptr[1:] = np.cumsum(np.bincount(cols[keep], minlength=self.ncols))
+        return CSCMatrix(
+            nrows=self.nrows,
+            ncols=self.ncols,
+            indptr=indptr,
+            indices=self.indices[keep],
+            data=self.data[keep],
         )
 
     # ------------------------------------------------------------------
@@ -378,3 +387,21 @@ class CSCMatrix:
             f"CSCMatrix(shape={self.shape}, nnz={self.nnz}, "
             f"nzc={self.nzc()}, dtype={self.data.dtype})"
         )
+
+
+def build_csc_unchecked(nrows, ncols, indptr, indices, data) -> CSCMatrix:
+    """Construct a :class:`CSCMatrix` without running validation.
+
+    Internal fast path for kernels whose outputs satisfy the CSC invariants
+    by construction (sorted, in-range, consistent indptr) — the per-call
+    validation in ``__post_init__`` is measurable when a driver assembles
+    tens of thousands of tiny blocks per run.  Callers outside this package
+    should use the ordinary constructors.
+    """
+    m = object.__new__(CSCMatrix)
+    m.nrows = int(nrows)
+    m.ncols = int(ncols)
+    m.indptr = indptr
+    m.indices = indices
+    m.data = data
+    return m

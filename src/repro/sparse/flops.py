@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .csc import CSCMatrix
 from .conversion import as_csc
 
 __all__ = [

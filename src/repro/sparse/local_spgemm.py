@@ -32,24 +32,32 @@ Four kernels are provided, all producing identical results:
     with the dense accumulator taking over when the estimated density of the
     output column is high.
 
-All kernels are implemented with numpy-vectorised inner loops where that does
-not change the algorithmic structure being reproduced (guides in
-``/opt/skills/guides/python/hpc-parallel`` — vectorise the inner loops, avoid
-needless copies).  The *semantics* (which column does how many flops, which
-accumulator is selected) match the cited algorithms.
+Every kernel exists in up to three *variants* selected process-wide by
+``REPRO_KERNEL`` (see :mod:`repro.sparse.kernels`): the literal pure-python
+loops below (``python`` — the semantic oracle), a vectorised
+sort-and-reduce (``numpy``), and a jitted Gustavson loop (``numba``,
+optional).  All three accumulate the contributions to each output entry in
+**segment order** (the order of ``k`` within ``B(:, j)``) so results are
+bit-identical; cancellation zeros are always stored (CombBLAS pattern
+semantics — which is also why scipy's matmul, which prunes them, is not
+used here).  The kernel *name* decides only the routing counters recorded
+in :class:`SpGEMMKernelStats`; those counters come from the same
+:func:`per_column_flops` pass under every variant, keeping every modelled
+counter variant-invariant.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .csc import CSCMatrix
+from .csc import CSCMatrix, build_csc_unchecked
 from .conversion import as_csc
 from .flops import per_column_flops
+from .kernels import resolve_kernel_variant
 
 __all__ = [
     "SpGEMMKernelStats",
@@ -106,8 +114,28 @@ class SpGEMMKernelStats:
 
 
 # ----------------------------------------------------------------------
-# Column gather common to all kernels
+# Common helpers
 # ----------------------------------------------------------------------
+
+def _coerce_operands(A, B) -> Tuple[CSCMatrix, CSCMatrix]:
+    """Validate shapes and promote both value arrays to the common dtype.
+
+    Promoting up front (instead of inside the accumulators) keeps every
+    variant's arithmetic in the same dtype, so e.g. float32×float64 products
+    are bit-identical whether computed by the heap loop or the vectorised
+    path.
+    """
+    A = as_csc(A)
+    B = as_csc(B)
+    if A.ncols != B.nrows:
+        raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+    dt = np.result_type(A.data.dtype, B.data.dtype)
+    if A.data.dtype != dt:
+        A = A.astype(dt)
+    if B.data.dtype != dt:
+        B = B.astype(dt)
+    return A, B
+
 
 def _gather_column_products(
     A: CSCMatrix, b_rows: np.ndarray, b_vals: np.ndarray
@@ -136,22 +164,40 @@ def _gather_column_products(
     return rows, vals
 
 
+def _assemble_columns(
+    A: CSCMatrix,
+    B: CSCMatrix,
+    rows_per_col: List[np.ndarray],
+    vals_per_col: List[np.ndarray],
+    indptr: np.ndarray,
+) -> CSCMatrix:
+    indices = (
+        np.concatenate(rows_per_col) if rows_per_col else np.zeros(0, dtype=_INDEX_DTYPE)
+    )
+    data = (
+        np.concatenate(vals_per_col) if vals_per_col else np.zeros(0, dtype=A.data.dtype)
+    )
+    return CSCMatrix(
+        nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data
+    )
+
+
 # ----------------------------------------------------------------------
-# Heap-based accumulator (Azad et al. 2016)
+# Pure-python reference accumulators (the semantic oracle)
 # ----------------------------------------------------------------------
 
 def _heap_merge_column(
     A: CSCMatrix, b_rows: np.ndarray, b_vals: np.ndarray
-) -> Tuple[List[int], List[float]]:
+) -> Tuple[np.ndarray, np.ndarray]:
     """Merge the participating columns of A with an explicit binary heap.
 
     Each heap entry is ``(row, list_index, position)``; advancing an entry
     pushes the next element of that column.  This is the textbook k-way merge
     of the heap SpGEMM formulation and is kept deliberately literal — the
-    vectorised kernels are the fast path, this one is the reference path.
+    vectorised/jitted kernels are the fast paths, this one is the reference.
     """
     heap: List[Tuple[int, int, int]] = []
-    segments: List[Tuple[np.ndarray, np.ndarray, float]] = []
+    segments: List[Tuple[np.ndarray, np.ndarray, np.generic]] = []
     for t in range(b_rows.shape[0]):
         k = int(b_rows[t])
         lo, hi = int(A.indptr[k]), int(A.indptr[k + 1])
@@ -159,60 +205,29 @@ def _heap_merge_column(
             continue
         seg_rows = A.indices[lo:hi]
         seg_vals = A.data[lo:hi]
-        segments.append((seg_rows, seg_vals, float(b_vals[t])))
+        # Keep the scale as a numpy scalar so the product stays in the
+        # operands' common dtype (a python float would promote float32).
+        segments.append((seg_rows, seg_vals, b_vals[t]))
         heapq.heappush(heap, (int(seg_rows[0]), len(segments) - 1, 0))
 
     out_rows: List[int] = []
-    out_vals: List[float] = []
+    out_vals: List[np.generic] = []
     while heap:
         row, seg_id, pos = heapq.heappop(heap)
         seg_rows, seg_vals, scale = segments[seg_id]
         contribution = seg_vals[pos] * scale
         if out_rows and out_rows[-1] == row:
-            out_vals[-1] += contribution
+            out_vals[-1] = out_vals[-1] + contribution
         else:
             out_rows.append(row)
             out_vals.append(contribution)
         if pos + 1 < seg_rows.shape[0]:
             heapq.heappush(heap, (int(seg_rows[pos + 1]), seg_id, pos + 1))
-    return out_rows, out_vals
-
-
-def spgemm_heap(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix:
-    """Heap-based (k-way merge) local SpGEMM: exact column-by-column merge."""
-    A = as_csc(A)
-    B = as_csc(B)
-    if A.ncols != B.nrows:
-        raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
-    indptr = np.zeros(B.ncols + 1, dtype=_INDEX_DTYPE)
-    rows_per_col: List[np.ndarray] = []
-    vals_per_col: List[np.ndarray] = []
-    for j in range(B.ncols):
-        b_rows, b_vals = B.column(j)
-        out_rows, out_vals = _heap_merge_column(A, b_rows, b_vals)
-        rows_per_col.append(np.asarray(out_rows, dtype=_INDEX_DTYPE))
-        vals_per_col.append(np.asarray(out_vals, dtype=A.data.dtype))
-        indptr[j + 1] = indptr[j] + len(out_rows)
-    indices = (
-        np.concatenate(rows_per_col) if rows_per_col else np.zeros(0, dtype=_INDEX_DTYPE)
+    return (
+        np.asarray(out_rows, dtype=_INDEX_DTYPE),
+        np.asarray(out_vals, dtype=A.data.dtype),
     )
-    data = (
-        np.concatenate(vals_per_col) if vals_per_col else np.zeros(0, dtype=A.data.dtype)
-    )
-    result = CSCMatrix(nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data)
-    if stats is not None:
-        # The flops pass is pure counter bookkeeping on this path — only pay
-        # for it when someone is actually collecting stats.
-        col_flops = per_column_flops(A, B)
-        stats.flops += int(col_flops.sum())
-        stats.output_nnz += result.nnz
-        stats.columns_heap += int(np.count_nonzero(col_flops > 0))
-    return result
 
-
-# ----------------------------------------------------------------------
-# Hash-based accumulator (Nagasaka et al. 2019)
-# ----------------------------------------------------------------------
 
 def _hash_accumulate_column(
     rows: np.ndarray, vals: np.ndarray
@@ -221,8 +236,7 @@ def _hash_accumulate_column(
 
     Table size is the next power of two ≥ 2·len(rows); multiply-shift hash.
     Mirrors the per-column hash table of the hash SpGEMM kernel.  The probe
-    loop is per-entry Python, so this path is the reference implementation;
-    the vectorised equivalent used by the fast paths is a sort+reduce.
+    loop is per-entry Python — this is reference-path code by construction.
     """
     n = rows.shape[0]
     if n == 0:
@@ -253,97 +267,100 @@ def _hash_accumulate_column(
     return out_rows[order], out_vals[order]
 
 
-def spgemm_hash(A, B, *, stats: Optional[SpGEMMKernelStats] = None) -> CSCMatrix:
-    """Hash-based local SpGEMM: per-column open-addressing accumulation."""
-    A = as_csc(A)
-    B = as_csc(B)
-    if A.ncols != B.nrows:
-        raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
+def _dense_accumulate_column(
+    accumulator: np.ndarray, rows: np.ndarray, vals: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One column through the dense SPA; resets only the touched rows."""
+    np.add.at(accumulator, rows, vals)
+    touched = np.unique(rows)
+    out_vals = accumulator[touched].copy()
+    accumulator[touched] = 0
+    return touched, out_vals
+
+
+def _python_columns(
+    A: CSCMatrix,
+    B: CSCMatrix,
+    accumulate: Callable[[int, np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]],
+) -> CSCMatrix:
+    """Drive a per-column reference accumulator over every column of B."""
     indptr = np.zeros(B.ncols + 1, dtype=_INDEX_DTYPE)
     rows_per_col: List[np.ndarray] = []
     vals_per_col: List[np.ndarray] = []
     for j in range(B.ncols):
         b_rows, b_vals = B.column(j)
-        rows, vals = _gather_column_products(A, b_rows, b_vals)
-        out_rows, out_vals = _hash_accumulate_column(rows, vals)
+        out_rows, out_vals = accumulate(j, b_rows, b_vals)
         rows_per_col.append(out_rows)
         vals_per_col.append(out_vals)
         indptr[j + 1] = indptr[j] + out_rows.shape[0]
-    indices = (
-        np.concatenate(rows_per_col) if rows_per_col else np.zeros(0, dtype=_INDEX_DTYPE)
+    return _assemble_columns(A, B, rows_per_col, vals_per_col, indptr)
+
+
+def _spgemm_python_heap(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
+    return _python_columns(A, B, lambda j, br, bv: _heap_merge_column(A, br, bv))
+
+
+def _spgemm_python_hash(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
+    return _python_columns(
+        A, B, lambda j, br, bv: _hash_accumulate_column(*_gather_column_products(A, br, bv))
     )
-    data = (
-        np.concatenate(vals_per_col) if vals_per_col else np.zeros(0, dtype=A.data.dtype)
-    )
-    result = CSCMatrix(nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data)
-    if stats is not None:
-        # Lazy flops pass: only counter bookkeeping needs it on this path.
-        col_flops = per_column_flops(A, B)
-        stats.flops += int(col_flops.sum())
-        stats.output_nnz += result.nnz
-        stats.columns_hash += int(np.count_nonzero(col_flops > 0))
-    return result
 
 
-# ----------------------------------------------------------------------
-# Dense accumulator (SPA)
-# ----------------------------------------------------------------------
+def _spgemm_python_dense(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
+    accumulator = np.zeros(A.nrows, dtype=A.data.dtype)
 
-def spgemm_dense_accumulator(
-    A, B, *, stats: Optional[SpGEMMKernelStats] = None
-) -> CSCMatrix:
-    """Dense-accumulator local SpGEMM (classical Gustavson SPA, column form)."""
-    A = as_csc(A)
-    B = as_csc(B)
-    if A.ncols != B.nrows:
-        raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
-    accumulator = np.zeros(A.nrows, dtype=np.result_type(A.data.dtype, B.data.dtype))
-    indptr = np.zeros(B.ncols + 1, dtype=_INDEX_DTYPE)
-    rows_per_col: List[np.ndarray] = []
-    vals_per_col: List[np.ndarray] = []
-    for j in range(B.ncols):
-        b_rows, b_vals = B.column(j)
+    def _one(j: int, b_rows: np.ndarray, b_vals: np.ndarray):
         rows, vals = _gather_column_products(A, b_rows, b_vals)
         if rows.size == 0:
-            rows_per_col.append(np.zeros(0, dtype=_INDEX_DTYPE))
-            vals_per_col.append(np.zeros(0, dtype=accumulator.dtype))
-            indptr[j + 1] = indptr[j]
-            continue
-        np.add.at(accumulator, rows, vals)
-        touched = np.unique(rows)
-        out_vals = accumulator[touched]
-        accumulator[touched] = 0  # reset only touched rows, not the whole SPA
-        rows_per_col.append(touched)
-        vals_per_col.append(out_vals.copy())
-        indptr[j + 1] = indptr[j] + touched.shape[0]
-    indices = (
-        np.concatenate(rows_per_col) if rows_per_col else np.zeros(0, dtype=_INDEX_DTYPE)
-    )
-    data = (
-        np.concatenate(vals_per_col)
-        if vals_per_col
-        else np.zeros(0, dtype=accumulator.dtype)
-    )
-    result = CSCMatrix(nrows=A.nrows, ncols=B.ncols, indptr=indptr, indices=indices, data=data)
-    if stats is not None:
-        # Lazy flops pass: only counter bookkeeping needs it on this path.
-        col_flops = per_column_flops(A, B)
-        stats.flops += int(col_flops.sum())
-        stats.output_nnz += result.nnz
-        stats.columns_dense += int(np.count_nonzero(col_flops > 0))
-    return result
+            return rows, vals
+        return _dense_accumulate_column(accumulator, rows, vals)
+
+    return _python_columns(A, B, _one)
+
+
+def _spgemm_python_hybrid(
+    A: CSCMatrix,
+    B: CSCMatrix,
+    col_flops: np.ndarray,
+    heap_flops_threshold: int,
+    dense_density_threshold: float,
+) -> CSCMatrix:
+    """Literal hybrid: route each column to its chosen reference accumulator.
+
+    The routing rule is exactly the one the stats pass records, and every
+    accumulator produces bit-identical column results, so this oracle equals
+    the fast paths entry-for-entry.
+    """
+    accumulator = np.zeros(A.nrows, dtype=A.data.dtype)
+    nrows = max(1, A.nrows)
+
+    def _one(j: int, b_rows: np.ndarray, b_vals: np.ndarray):
+        flops = int(col_flops[j])
+        if flops == 0:
+            return (
+                np.zeros(0, dtype=_INDEX_DTYPE),
+                np.zeros(0, dtype=A.data.dtype),
+            )
+        if flops < heap_flops_threshold:
+            return _heap_merge_column(A, b_rows, b_vals)
+        rows, vals = _gather_column_products(A, b_rows, b_vals)
+        if flops / nrows > dense_density_threshold:
+            return _dense_accumulate_column(accumulator, rows, vals)
+        return _hash_accumulate_column(rows, vals)
+
+    return _python_columns(A, B, _one)
 
 
 # ----------------------------------------------------------------------
-# Hybrid kernel (the paper's default) and the fast vectorised path
+# Fast paths: vectorised sort-and-reduce (numpy) and jitted SPA (numba)
 # ----------------------------------------------------------------------
 
 def _vectorised_spgemm(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
-    """Sort-and-reduce SpGEMM over all columns at once (the fast path).
+    """Sort-and-reduce SpGEMM over all columns at once (the numpy variant).
 
-    Produces exactly the same result as the per-column kernels; used by the
-    hybrid kernel for the bulk of the columns so that laptop-scale benchmark
-    runs finish in seconds.
+    The stable lexsort + in-order reduction accumulates each output entry's
+    contributions in segment order, hence bit-identical results to the
+    per-column references.
     """
     if B.nnz == 0 or A.nnz == 0:
         return CSCMatrix.empty(A.nrows, B.ncols, dtype=np.result_type(A.dtype, B.dtype))
@@ -363,9 +380,92 @@ def _vectorised_spgemm(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
     out_rows = A.indices[gather]
     out_cols = np.repeat(b_cols, lengths)
     out_vals = A.data[gather] * np.repeat(b_vals, lengths)
-    return CSCMatrix.from_coo(
-        A.nrows, B.ncols, out_rows, out_cols, out_vals, sum_duplicates=True
-    )
+    # Inlined from_coo(sum_duplicates=True): same stable lexsort, same
+    # in-order np.add.at accumulation, minus the validation passes — the
+    # result is bit-identical but the per-call overhead matters when a 2D/3D
+    # driver multiplies tens of thousands of tiny blocks.
+    order = np.lexsort((out_rows, out_cols))
+    rows = out_rows[order]
+    cols = out_cols[order]
+    vals = out_vals[order]
+    new_run = np.empty(rows.shape[0], dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    group_ids = np.cumsum(new_run) - 1
+    unique_rows = rows[new_run]
+    summed = np.zeros(unique_rows.shape[0], dtype=vals.dtype)
+    np.add.at(summed, group_ids, vals)
+    indptr = np.zeros(B.ncols + 1, dtype=_INDEX_DTYPE)
+    indptr[1:] = np.cumsum(np.bincount(cols[new_run], minlength=B.ncols))
+    return build_csc_unchecked(A.nrows, B.ncols, indptr, unique_rows, summed)
+
+
+def _spgemm_fast(A: CSCMatrix, B: CSCMatrix, variant: str) -> CSCMatrix:
+    if variant == "numba":
+        from ._numba_kernels import spgemm_numba
+
+        return spgemm_numba(A, B)
+    return _vectorised_spgemm(A, B)
+
+
+# ----------------------------------------------------------------------
+# Public kernels: name = routing counters, variant = execution strategy
+# ----------------------------------------------------------------------
+
+def _account(
+    stats: Optional[SpGEMMKernelStats],
+    A: CSCMatrix,
+    B: CSCMatrix,
+    result: CSCMatrix,
+    which: str,
+) -> None:
+    if stats is None:
+        # The flops pass is pure counter bookkeeping — only pay for it when
+        # someone is actually collecting stats.
+        return
+    col_flops = per_column_flops(A, B)
+    stats.flops += int(col_flops.sum())
+    stats.output_nnz += result.nnz
+    active = int(np.count_nonzero(col_flops > 0))
+    if which == "heap":
+        stats.columns_heap += active
+    elif which == "hash":
+        stats.columns_hash += active
+    else:
+        stats.columns_dense += active
+
+
+def spgemm_heap(
+    A, B, *, stats: Optional[SpGEMMKernelStats] = None, variant: Optional[str] = None
+) -> CSCMatrix:
+    """Heap-based (k-way merge) local SpGEMM: exact column-by-column merge."""
+    A, B = _coerce_operands(A, B)
+    v = resolve_kernel_variant(variant)
+    result = _spgemm_python_heap(A, B) if v == "python" else _spgemm_fast(A, B, v)
+    _account(stats, A, B, result, "heap")
+    return result
+
+
+def spgemm_hash(
+    A, B, *, stats: Optional[SpGEMMKernelStats] = None, variant: Optional[str] = None
+) -> CSCMatrix:
+    """Hash-based local SpGEMM: per-column open-addressing accumulation."""
+    A, B = _coerce_operands(A, B)
+    v = resolve_kernel_variant(variant)
+    result = _spgemm_python_hash(A, B) if v == "python" else _spgemm_fast(A, B, v)
+    _account(stats, A, B, result, "hash")
+    return result
+
+
+def spgemm_dense_accumulator(
+    A, B, *, stats: Optional[SpGEMMKernelStats] = None, variant: Optional[str] = None
+) -> CSCMatrix:
+    """Dense-accumulator local SpGEMM (classical Gustavson SPA, column form)."""
+    A, B = _coerce_operands(A, B)
+    v = resolve_kernel_variant(variant)
+    result = _spgemm_python_dense(A, B) if v == "python" else _spgemm_fast(A, B, v)
+    _account(stats, A, B, result, "dense")
+    return result
 
 
 def spgemm_hybrid(
@@ -376,23 +476,26 @@ def spgemm_hybrid(
     heap_flops_threshold: int = 64,
     dense_density_threshold: float = 0.25,
     reference_columns: int = 0,
+    variant: Optional[str] = None,
 ) -> CSCMatrix:
     """Hybrid local SpGEMM: per-column accumulator selection.
 
-    Columns whose flops are below ``heap_flops_threshold`` are (logically)
-    routed to the heap accumulator, columns whose estimated output density
-    exceeds ``dense_density_threshold`` to the dense accumulator, and the rest
-    to the hash accumulator — the same decision structure as the CombBLAS
-    hybrid kernel the paper uses.  For speed the numeric work is performed by
-    a vectorised sort-and-reduce which is algebraically identical; the first
-    ``reference_columns`` columns can be forced through the literal
-    accumulator implementations (used by tests to pin the equivalence).
+    Columns whose flops are below ``heap_flops_threshold`` are routed to the
+    heap accumulator, columns whose estimated output density exceeds
+    ``dense_density_threshold`` to the dense accumulator, and the rest to the
+    hash accumulator — the same decision structure as the CombBLAS hybrid
+    kernel the paper uses.  Under the ``python`` variant each column really
+    runs through its chosen literal accumulator; the fast variants perform
+    the numeric work in one algebraically identical pass (the routing then
+    only feeds the stats counters, which are identical either way).  The
+    first ``reference_columns`` columns can additionally be cross-checked
+    against the literal heap kernel (used by tests to pin the equivalence).
     """
-    A = as_csc(A)
-    B = as_csc(B)
-    if A.ncols != B.nrows:
-        raise ValueError(f"inner dimensions do not match: {A.shape} x {B.shape}")
-    col_flops = per_column_flops(A, B)
+    A, B = _coerce_operands(A, B)
+    v = resolve_kernel_variant(variant)
+    col_flops = (
+        per_column_flops(A, B) if (stats is not None or v == "python") else None
+    )
 
     if stats is not None:
         # Route only columns that do work (col_flops > 0) so the hybrid
@@ -412,18 +515,20 @@ def spgemm_hybrid(
         stats.columns_hash += hash_cols
         stats.flops += int(col_flops.sum())
 
-    if reference_columns > 0:
-        # Cross-check path: run the literal kernels on a prefix of columns.
-        ref = min(reference_columns, B.ncols)
-        ref_result = spgemm_heap(A, B.extract_column_range(0, ref))
-        fast_result = _vectorised_spgemm(A, B)
-        if not np.allclose(
-            ref_result.to_dense(), fast_result.to_dense()[:, :ref], rtol=1e-9, atol=1e-12
-        ):  # pragma: no cover - defensive, exercised in tests via public API
-            raise AssertionError("hybrid fast path diverged from reference heap kernel")
-        result = fast_result
+    if v == "python":
+        result = _spgemm_python_hybrid(
+            A, B, col_flops, heap_flops_threshold, dense_density_threshold
+        )
     else:
-        result = _vectorised_spgemm(A, B)
+        result = _spgemm_fast(A, B, v)
+        if reference_columns > 0:
+            # Cross-check path: run the literal kernels on a prefix of columns.
+            ref = min(reference_columns, B.ncols)
+            ref_result = _spgemm_python_heap(A, B.extract_column_range(0, ref))
+            if not np.allclose(
+                ref_result.to_dense(), result.to_dense()[:, :ref], rtol=1e-9, atol=1e-12
+            ):  # pragma: no cover - defensive, exercised in tests via public API
+                raise AssertionError("hybrid fast path diverged from reference heap kernel")
 
     if stats is not None:
         stats.output_nnz += result.nnz
@@ -456,6 +561,9 @@ def local_spgemm(
         One of ``"heap"``, ``"hash"``, ``"dense"``, ``"hybrid"`` (default).
     stats:
         Optional :class:`SpGEMMKernelStats` accumulated in place.
+    kwargs:
+        Forwarded to the kernel; every kernel accepts ``variant`` to
+        override the process-wide ``REPRO_KERNEL`` selection for one call.
     """
     if kernel not in KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; expected one of {sorted(KERNELS)}")

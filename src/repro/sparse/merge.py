@@ -18,19 +18,65 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from .csc import CSCMatrix
+from .csc import CSCMatrix, build_csc_unchecked
 from .conversion import as_csc
+from .kernels import resolve_kernel_variant
 
 __all__ = ["add_matrices", "kway_merge_columns", "stack_columns"]
 
 _INDEX_DTYPE = np.int64
 
 
+def _add_matrices_python(mats: List[CSCMatrix]) -> CSCMatrix:
+    """Per-column reference merge (the ``REPRO_KERNEL=python`` oracle).
+
+    Accumulates duplicates sequentially in matrix-list order within each
+    row — exactly the order the stable lexsort + ``np.add.at`` stream of the
+    fast path applies them in, so the two are bit-identical.
+    """
+    nrows, ncols = mats[0].shape
+    rows_out: List[np.ndarray] = []
+    cols_out: List[np.ndarray] = []
+    vals_out: List[np.ndarray] = []
+    for j in range(ncols):
+        parts = [m.column(j) for m in mats]
+        rs = np.concatenate([p[0] for p in parts])
+        if rs.size == 0:
+            continue
+        vs = np.concatenate([p[1] for p in parts])
+        order = np.argsort(rs, kind="stable")
+        rs = rs[order]
+        vs = vs[order]
+        out_rows: List[int] = []
+        out_vals: List = []
+        for t in range(rs.shape[0]):
+            if out_rows and out_rows[-1] == rs[t]:
+                out_vals[-1] = out_vals[-1] + vs[t]
+            else:
+                out_rows.append(int(rs[t]))
+                out_vals.append(vs[t])
+        rows_out.append(np.asarray(out_rows, dtype=_INDEX_DTYPE))
+        cols_out.append(np.full(len(out_rows), j, dtype=_INDEX_DTYPE))
+        vals_out.append(np.asarray(out_vals, dtype=vs.dtype))
+    if not rows_out:
+        return CSCMatrix.empty(nrows, ncols, dtype=mats[0].dtype)
+    return CSCMatrix.from_coo(
+        nrows,
+        ncols,
+        np.concatenate(rows_out),
+        np.concatenate(cols_out),
+        np.concatenate(vals_out),
+        sum_duplicates=False,
+    )
+
+
 def add_matrices(matrices: Iterable) -> CSCMatrix:
     """Elementwise sum of same-shaped sparse matrices.
 
     Duplicate entries across inputs are accumulated; the result keeps any
-    explicit zeros produced by cancellation (CombBLAS semantics).
+    explicit zeros produced by cancellation (CombBLAS semantics).  Operands
+    are promoted to a common value dtype up front so the fast and
+    ``REPRO_KERNEL=python`` paths perform identical arithmetic.
     """
     mats: List[CSCMatrix] = [as_csc(m) for m in matrices]
     if not mats:
@@ -41,15 +87,38 @@ def add_matrices(matrices: Iterable) -> CSCMatrix:
             raise ValueError(f"shape mismatch in add_matrices: {m.shape} vs {shape}")
     if len(mats) == 1:
         return mats[0].copy()
+    dt = np.result_type(*[m.dtype for m in mats])
+    mats = [m if m.dtype == dt else m.astype(dt) for m in mats]
+    if resolve_kernel_variant() == "python":
+        return _add_matrices_python(mats)
     rows = np.concatenate([m.indices for m in mats])
-    cols = np.concatenate(
-        [
-            np.repeat(np.arange(m.ncols, dtype=_INDEX_DTYPE), np.diff(m.indptr))
-            for m in mats
-        ]
+    # One repeat over the tiled column ids builds every operand's column
+    # vector at once (all operands share the same shape).
+    counts = np.concatenate([m.indptr[1:] - m.indptr[:-1] for m in mats])
+    cols = np.repeat(
+        np.tile(np.arange(shape[1], dtype=_INDEX_DTYPE), len(mats)), counts
     )
     vals = np.concatenate([m.data for m in mats])
-    return CSCMatrix.from_coo(shape[0], shape[1], rows, cols, vals, sum_duplicates=True)
+    if rows.size == 0:
+        return CSCMatrix.empty(shape[0], shape[1], dtype=dt)
+    # Inlined ``from_coo(..., sum_duplicates=True)`` assembly: the operands
+    # are valid CSC matrices of a checked common shape, so the COO triplets
+    # need no bounds validation and the result no invariant re-checks.
+    order = np.lexsort((rows, cols))
+    rows = rows[order]
+    cols = cols[order]
+    vals = vals[order]
+    new_run = np.empty(rows.shape[0], dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    group_ids = np.cumsum(new_run) - 1
+    unique_rows = rows[new_run]
+    summed = np.zeros(unique_rows.shape[0], dtype=vals.dtype)
+    np.add.at(summed, group_ids, vals)
+    indptr = np.zeros(shape[1] + 1, dtype=_INDEX_DTYPE)
+    counts = np.bincount(cols[new_run], minlength=shape[1])
+    indptr[1:] = np.cumsum(counts)
+    return build_csc_unchecked(shape[0], shape[1], indptr, unique_rows, summed)
 
 
 def stack_columns(matrices: Sequence, *, nrows: int | None = None) -> CSCMatrix:

@@ -15,6 +15,7 @@ import numpy as np
 
 from .csc import CSCMatrix
 from .conversion import as_csc
+from .kernels import resolve_kernel_variant
 
 __all__ = [
     "transpose",
@@ -61,13 +62,24 @@ def extract_rows(A, rows: Iterable[int]) -> CSCMatrix:
     )
 
 
-def elementwise_multiply(A, B) -> CSCMatrix:
-    """Hadamard (elementwise) product of two same-shaped sparse matrices."""
-    A = as_csc(A)
-    B = as_csc(B)
-    if A.shape != B.shape:
-        raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
-    # Intersect patterns column by column using sorted-row merges via np.intersect1d.
+def _entry_columns(M: CSCMatrix) -> np.ndarray:
+    """Column id of every stored entry, in storage (column-major) order."""
+    return np.repeat(np.arange(M.ncols, dtype=_INDEX_DTYPE), np.diff(M.indptr))
+
+
+def _keys_fit_int64(M: CSCMatrix) -> bool:
+    """Can ``col * nrows + row`` address every entry without overflowing int64?"""
+    return M.nrows == 0 or M.ncols <= (2**62) // max(M.nrows, 1)
+
+
+def _indptr_from_entry_columns(ncols: int, cols: np.ndarray) -> np.ndarray:
+    indptr = np.zeros(ncols + 1, dtype=_INDEX_DTYPE)
+    indptr[1:] = np.cumsum(np.bincount(cols, minlength=ncols))
+    return indptr
+
+
+def _elementwise_multiply_python(A: CSCMatrix, B: CSCMatrix) -> CSCMatrix:
+    """Per-column reference: sorted-row intersection via np.intersect1d."""
     rows_out = []
     cols_out = []
     vals_out = []
@@ -94,18 +106,39 @@ def elementwise_multiply(A, B) -> CSCMatrix:
     )
 
 
-def elementwise_mask(A, mask, *, complement: bool = False) -> CSCMatrix:
-    """Keep entries of ``A`` where ``mask`` has (or, with ``complement``, lacks) an entry.
+def elementwise_multiply(A, B) -> CSCMatrix:
+    """Hadamard (elementwise) product of two same-shaped sparse matrices.
 
-    This is the "masked" SpGEMM post-filter used by the betweenness
-    centrality forward search: newly discovered vertices are those reached by
-    the frontier expansion *and not yet visited*, i.e. masked by the
-    complement of the visited pattern.
+    The fast path intersects the two patterns in one pass over linearised
+    ``(col, row)`` keys; the per-column reference loop is kept as the
+    ``REPRO_KERNEL=python`` oracle and both produce bit-identical results
+    (same first-occurrence semantics on duplicate entries, same ordering).
     """
     A = as_csc(A)
-    mask = as_csc(mask)
-    if A.shape != mask.shape:
-        raise ValueError(f"shape mismatch: {A.shape} vs {mask.shape}")
+    B = as_csc(B)
+    if A.shape != B.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
+    if resolve_kernel_variant() == "python" or not _keys_fit_int64(A):
+        return _elementwise_multiply_python(A, B)
+    keys_a = _entry_columns(A) * A.nrows + A.indices
+    keys_b = _entry_columns(B) * B.nrows + B.indices
+    common, ai, bi = np.intersect1d(
+        keys_a, keys_b, assume_unique=False, return_indices=True
+    )
+    if common.size == 0:
+        return CSCMatrix.empty(A.nrows, A.ncols, dtype=np.result_type(A.dtype, B.dtype))
+    cols = common // A.nrows
+    return CSCMatrix(
+        nrows=A.nrows,
+        ncols=A.ncols,
+        indptr=_indptr_from_entry_columns(A.ncols, cols),
+        indices=common - cols * A.nrows,
+        data=A.data[ai] * B.data[bi],
+    )
+
+
+def _elementwise_mask_python(A: CSCMatrix, mask: CSCMatrix, complement: bool) -> CSCMatrix:
+    """Per-column reference: membership test of A's rows in the mask column."""
     rows_out = []
     cols_out = []
     vals_out = []
@@ -129,6 +162,37 @@ def elementwise_mask(A, mask, *, complement: bool = False) -> CSCMatrix:
         np.concatenate(cols_out),
         np.concatenate(vals_out),
         sum_duplicates=False,
+    )
+
+
+def elementwise_mask(A, mask, *, complement: bool = False) -> CSCMatrix:
+    """Keep entries of ``A`` where ``mask`` has (or, with ``complement``, lacks) an entry.
+
+    This is the "masked" SpGEMM post-filter used by the betweenness
+    centrality forward search: newly discovered vertices are those reached by
+    the frontier expansion *and not yet visited*, i.e. masked by the
+    complement of the visited pattern.  One global ``np.isin`` over
+    linearised keys replaces the per-column loop, which is kept as the
+    ``REPRO_KERNEL=python`` oracle.
+    """
+    A = as_csc(A)
+    mask = as_csc(mask)
+    if A.shape != mask.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {mask.shape}")
+    if resolve_kernel_variant() == "python" or not _keys_fit_int64(A):
+        return _elementwise_mask_python(A, mask, complement)
+    cols_a = _entry_columns(A)
+    keys_a = cols_a * A.nrows + A.indices
+    keys_m = _entry_columns(mask) * mask.nrows + mask.indices
+    keep = np.isin(keys_a, keys_m, invert=complement)
+    if not np.any(keep):
+        return CSCMatrix.empty(A.nrows, A.ncols, dtype=A.dtype)
+    return CSCMatrix(
+        nrows=A.nrows,
+        ncols=A.ncols,
+        indptr=_indptr_from_entry_columns(A.ncols, cols_a[keep]),
+        indices=A.indices[keep],
+        data=A.data[keep],
     )
 
 

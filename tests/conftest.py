@@ -13,7 +13,7 @@ import scipy.sparse as sp
 
 from repro.matrices import load_dataset
 from repro.matrices.cache import CACHE_DIR_ENV
-from repro.runtime import CostModel, SimulatedCluster, ZERO_COST
+from repro.runtime import SimulatedCluster, ZERO_COST
 from repro.sparse import CSCMatrix, as_csc
 
 

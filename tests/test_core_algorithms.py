@@ -18,9 +18,8 @@ from repro.core import (
 )
 from repro.distribution import block_bounds_from_sizes
 from repro.runtime import MemoryLimitExceeded, PERLMUTTER, SimulatedCluster, ZERO_COST
-from repro.sparse import as_csc, local_spgemm, to_scipy
+from repro.sparse import as_csc, to_scipy
 
-from conftest import assert_sparse_equal
 
 
 def _random(m, n, density, seed, symmetric=False):

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -18,7 +17,6 @@ from repro.partition import (
     partition_matrix,
 )
 from repro.runtime import SimulatedCluster
-from repro.sparse import as_csc
 
 
 class TestEstimator:

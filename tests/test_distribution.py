@@ -21,7 +21,7 @@ from repro.distribution import (
     valid_layer_counts,
 )
 from repro.runtime import SimulatedCluster
-from repro.sparse import CSCMatrix, as_csc
+from repro.sparse import as_csc
 
 from conftest import assert_sparse_equal
 

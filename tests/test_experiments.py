@@ -3,9 +3,6 @@ the squaring-driver regressions fixed alongside it."""
 
 from __future__ import annotations
 
-import json
-import os
-
 import numpy as np
 import pytest
 

@@ -9,7 +9,6 @@ large ratios are what these tests pin down.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.apps.amg import build_restriction, galerkin_product, left_multiplication
 from repro.apps.bc import batched_betweenness_centrality
@@ -21,14 +20,13 @@ from repro.core import (
     make_algorithm,
 )
 from repro.matrices import load_dataset
-from repro.matrices.generators import banded
 from repro.partition import (
     apply_ordering,
     ordering_from_partition,
     partition_matrix,
 )
-from repro.runtime import PERLMUTTER, SimulatedCluster
-from repro.sparse import local_spgemm, to_scipy
+from repro.runtime import SimulatedCluster
+from repro.sparse import local_spgemm
 
 
 class TestSquaringClaims:

@@ -35,7 +35,6 @@ from repro.partition import (
 )
 from repro.sparse import as_csc
 
-from conftest import assert_sparse_equal
 
 
 def _sym_random(n, density, seed):

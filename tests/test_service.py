@@ -243,8 +243,10 @@ class TestConcurrentJobs:
 
         t_a = threading.Thread(target=submit, args=("a", [4, 16, 64]))
         t_b = threading.Thread(target=submit, args=("b", [16, 64, 128]))
-        t_a.start(); t_b.start()
-        t_a.join(timeout=120); t_b.join(timeout=120)
+        t_a.start()
+        t_b.start()
+        t_a.join(timeout=120)
+        t_b.join(timeout=120)
 
         assert results["a"]["ok"] and results["b"]["ok"]
         assert len(results["a"]["records"]) == 3
