@@ -1,0 +1,286 @@
+"""Cold vs resident multi-driver sweep throughput (the operand plane).
+
+Times the same multi-driver grid three ways and writes a JSON fragment for
+``trajectory.py --sweep-throughput`` / the CI residency gate:
+
+1. **serial** — ``run_grid(workers=0, force=True)`` into a fresh store: the
+   pre-operand-plane baseline (every driver rebuilds its operands).
+2. **pool cold** — a fresh :class:`Scheduler` with ``--workers`` persistent
+   workers runs the grid once: parallel fan-out, but every worker builds
+   its resident operands for the first time (shm transport saves only the
+   dataset loads).
+3. **resident** — the *same* scheduler runs the grid again (``force=True``):
+   affinity routing sends each config back to the worker whose
+   ``OperandCache`` already holds its ``DistributedOperand`` layout, so the
+   pass measures pure residency benefit.
+
+Each measured phase runs in its own subprocess so OS-level and in-process
+caches warmed by one phase cannot flatter another.  The parent then checks
+the byte-identity contract: the pool store must equal the serial store
+byte-for-byte, and the resident re-execution must append the exact same
+bytes again (host-side caching never changes a record)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_throughput.py \
+        --workers 2 --out sweep_throughput.json
+
+Wall seconds are machine-dependent; the *ratios* are what the gate
+compares, because every phase runs on the same host in the same job.  The
+issue's >=3x resident-vs-serial target presumes a >=4-core host, so the
+fragment records ``target_applies`` (``cpu_count >= 4``) and ``--check``
+only enforces the ratio when it is true — smaller hosts still enforce
+byte-identity and residency hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+MIN_SPEEDUP_TARGET = 3.0
+MIN_TARGET_CORES = 4
+
+
+def _configs(args):
+    from repro.experiments import RunConfig
+
+    datasets = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    algorithms = [
+        ("1d", "none"),
+        ("2d", "random"),
+        ("3d", "random"),
+    ]
+    return [
+        RunConfig(
+            dataset=dataset,
+            algorithm=algorithm,
+            strategy=strategy,
+            nprocs=args.nprocs,
+            block_split=32,
+            scale=args.scale,
+        )
+        for dataset in datasets
+        for algorithm, strategy in algorithms
+    ]
+
+
+def _phase_serial(args) -> int:
+    """Child process: time the serial cold baseline into ``--store``."""
+    from repro.experiments import run_grid
+
+    configs = _configs(args)
+    start = time.perf_counter()
+    result = run_grid(configs, workers=0, store=args.store, force=True)
+    wall = time.perf_counter() - start
+    payload = {
+        "wall_seconds": wall,
+        "records": len(result.records),
+        "all_conserved": all(r.conserved for r in result.records),
+    }
+    pathlib.Path(args.out).write_text(json.dumps(payload), encoding="utf-8")
+    return 0
+
+
+def _phase_pool(args) -> int:
+    """Child process: time cold then resident passes on one scheduler."""
+    from repro.experiments.scheduler import Scheduler
+
+    configs = _configs(args)
+    start = time.perf_counter()
+    scheduler = Scheduler(workers=args.workers, store=args.store)
+    try:
+        cold_records = scheduler.submit(configs, force=True).wait()
+        cold_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        resident_records = scheduler.submit(configs, force=True).wait()
+        resident_wall = time.perf_counter() - start
+
+        residency = scheduler.residency_stats()
+        segments = (
+            list(scheduler._transport.segment_names())
+            if scheduler._transport is not None else []
+        )
+    finally:
+        scheduler.shutdown()
+    # The transport unlinks its segments at shutdown; any that still attach
+    # afterwards would be leaked /dev/shm residue.
+    from multiprocessing import shared_memory
+
+    leaked = []
+    for name in segments:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        leaked.append(name)
+    payload = {
+        "cold_wall_seconds": cold_wall,
+        "resident_wall_seconds": resident_wall,
+        "records": len(cold_records),
+        "resident_records": len(resident_records),
+        "all_conserved": all(r.conserved for r in cold_records),
+        "residency": residency,
+        "leaked_segments": leaked,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(payload), encoding="utf-8")
+    return 0
+
+
+def _run_phase(phase: str, args, store: pathlib.Path, out: pathlib.Path) -> dict:
+    cmd = [
+        sys.executable, str(pathlib.Path(__file__).resolve()),
+        "--phase", phase,
+        "--store", str(store),
+        "--out", str(out),
+        "--datasets", args.datasets,
+        "--nprocs", str(args.nprocs),
+        "--scale", str(args.scale),
+        "--workers", str(args.workers),
+    ]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+        raise SystemExit(f"{phase} phase failed (exit {proc.returncode})")
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+def _check(path: str) -> int:
+    """Gate an existing fragment (or a trajectory embedding one)."""
+    document = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    fragment = document.get("sweep_throughput", document)
+    failures = []
+    if not fragment.get("store_identical"):
+        failures.append("pool store is not byte-identical to the serial store")
+    if fragment.get("leaked_segments"):
+        failures.append(
+            f"shm segments leaked at shutdown: {fragment['leaked_segments']}"
+        )
+    hits = fragment.get("residency", {}).get("hits", 0)
+    if hits <= 0:
+        failures.append("resident pass recorded no operand-cache hits")
+    if fragment.get("target_applies"):
+        speedup = fragment.get("speedup_resident", 0.0)
+        target = fragment.get("min_speedup_target", MIN_SPEEDUP_TARGET)
+        if speedup < target:
+            failures.append(
+                f"resident speedup {speedup}x below the {target}x target "
+                f"(cpu_count={fragment.get('cpu_count')})"
+            )
+    label = fragment.get("speedup_resident", "?")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"sweep throughput gate ok: resident speedup {label}x, "
+          f"store_identical={fragment.get('store_identical')}, "
+          f"residency hits={hits}, "
+          f"target_applies={fragment.get('target_applies')}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cold vs resident multi-driver sweep wall-clock"
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="pool workers for the cold/resident phases")
+    parser.add_argument("--datasets", default="queen,stokes,hv15r",
+                        help="comma-separated dataset analogues in the grid")
+    parser.add_argument("--nprocs", type=int, default=16,
+                        help="simulated process count per driver")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor")
+    parser.add_argument("--out", default=None,
+                        help="path of the sweep_throughput JSON fragment")
+    parser.add_argument("--check", default=None, metavar="JSON",
+                        help="gate an existing fragment (or BENCH_*.json "
+                             "embedding one) instead of measuring")
+    # internal: subprocess phase plumbing
+    parser.add_argument("--phase", choices=("serial", "pool"),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--store", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return _check(args.check)
+    if args.phase == "serial":
+        return _phase_serial(args)
+    if args.phase == "pool":
+        return _phase_pool(args)
+    if not args.out:
+        parser.error("--out is required when measuring")
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        serial_store = tmpdir / "serial.jsonl"
+        pool_store = tmpdir / "pool.jsonl"
+
+        print(f"serial baseline: {args.datasets} x 3 algorithms at "
+              f"P={args.nprocs}, scale={args.scale}...", flush=True)
+        serial = _run_phase("serial", args, serial_store,
+                            tmpdir / "serial.json")
+        print(f"  serial: {serial['wall_seconds']:.2f}s "
+              f"({serial['records']} drivers)", flush=True)
+
+        print(f"pool cold + resident with {args.workers} worker(s)...",
+              flush=True)
+        pool = _run_phase("pool", args, pool_store, tmpdir / "pool.json")
+        print(f"  cold: {pool['cold_wall_seconds']:.2f}s, "
+              f"resident: {pool['resident_wall_seconds']:.2f}s, "
+              f"residency hits={pool['residency'].get('hits', 0)}",
+              flush=True)
+
+        serial_bytes = serial_store.read_bytes()
+        pool_bytes = pool_store.read_bytes()
+        # Cold pass must reproduce the serial store byte-for-byte; the
+        # forced resident pass appends the exact same records once more.
+        store_identical = pool_bytes == serial_bytes + serial_bytes
+
+    cpu_count = multiprocessing.cpu_count()
+    target_applies = cpu_count >= MIN_TARGET_CORES
+    fragment = {
+        "workers": args.workers,
+        "cpu_count": cpu_count,
+        "datasets": args.datasets,
+        "nprocs": args.nprocs,
+        "scale": args.scale,
+        "drivers": serial["records"],
+        "serial_wall_seconds": round(serial["wall_seconds"], 3),
+        "pool_cold_wall_seconds": round(pool["cold_wall_seconds"], 3),
+        "resident_wall_seconds": round(pool["resident_wall_seconds"], 3),
+        "speedup_parallel_cold": round(
+            serial["wall_seconds"] / pool["cold_wall_seconds"], 3
+        ) if pool["cold_wall_seconds"] > 0 else None,
+        "speedup_resident": round(
+            serial["wall_seconds"] / pool["resident_wall_seconds"], 3
+        ) if pool["resident_wall_seconds"] > 0 else None,
+        "residency": pool["residency"],
+        "store_identical": store_identical,
+        "leaked_segments": pool["leaked_segments"],
+        "all_conserved": serial["all_conserved"] and pool["all_conserved"],
+        "min_speedup_target": MIN_SPEEDUP_TARGET,
+        "target_applies": target_applies,
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(fragment, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    print(f"  resident speedup {fragment['speedup_resident']}x vs serial "
+          f"(cold parallel {fragment['speedup_parallel_cold']}x), "
+          f"store_identical={store_identical}, "
+          f"target_applies={target_applies} (cpu_count={cpu_count})")
+    if not store_identical or fragment["leaked_segments"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,8 +75,10 @@ def main(argv=None) -> int:
                         help="simulated process count (REPRO_BENCH_PROCS)")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="dataset scale (REPRO_BENCH_SCALE)")
-    parser.add_argument("--runs", type=int, default=1,
-                        help="timed runs per variant (best is recorded)")
+    parser.add_argument("--runs", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_RUNS", "1")),
+                        help="timed runs per variant (best is recorded; "
+                             "defaults to REPRO_BENCH_RUNS or 1)")
     parser.add_argument("--out", required=True,
                         help="path of the kernel_walls JSON fragment")
     args = parser.parse_args(argv)

@@ -39,6 +39,10 @@ def main(argv=None) -> int:
     parser.add_argument("--kernel-walls", default=None,
                         help="kernel_walls JSON fragment (from kernel_walls.py) "
                              "to embed as the document's kernel_walls section")
+    parser.add_argument("--sweep-throughput", default=None,
+                        help="sweep_throughput JSON fragment (from "
+                             "bench_sweep_throughput.py) to embed as the "
+                             "document's sweep_throughput section")
     args = parser.parse_args(argv)
 
     store = ResultStore(args.records)
@@ -53,16 +57,20 @@ def main(argv=None) -> int:
         print(f"record store at {args.records} holds no parseable records",
               file=sys.stderr)
         return 2
-    extra = None
-    if args.kernel_walls:
+    extra = {}
+    for section, path in (("kernel_walls", args.kernel_walls),
+                          ("sweep_throughput", args.sweep_throughput)):
+        if not path:
+            continue
         try:
             fragment = json.loads(
-                pathlib.Path(args.kernel_walls).read_text(encoding="utf-8")
+                pathlib.Path(path).read_text(encoding="utf-8")
             )
         except (OSError, json.JSONDecodeError) as exc:
-            print(f"cannot load kernel walls fragment: {exc}", file=sys.stderr)
+            print(f"cannot load {section} fragment: {exc}", file=sys.stderr)
             return 2
-        extra = {"kernel_walls": fragment}
+        extra[section] = fragment
+    extra = extra or None
     label = args.label or pathlib.Path(args.out).stem
     document = write_trajectory(args.out, records, label=label, extra_sections=extra)
     workloads = ", ".join(
@@ -74,6 +82,11 @@ def main(argv=None) -> int:
         speedups = document["kernel_walls"].get("speedup_vs_python", {})
         pretty = ", ".join(f"{v}={s}x" for v, s in sorted(speedups.items()))
         print(f"kernel walls embedded ({pretty or 'no speedups'})")
+    if "sweep_throughput" in document:
+        frag = document["sweep_throughput"]
+        print(f"sweep throughput embedded "
+              f"(resident speedup {frag.get('speedup_resident', '?')}x, "
+              f"store_identical={frag.get('store_identical', '?')})")
     return 0
 
 

@@ -185,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(COST_MODELS))
     p_sweep.add_argument("--workers", type=int, default=0,
                          help="worker processes (0/1 = serial)")
+    p_sweep.add_argument("--worker-cache-mb", type=int, default=None,
+                         help="per-worker resident operand cache budget "
+                              "(MiB; default 256)")
+    p_sweep.add_argument("--no-shm-transport", action="store_true",
+                         help="disable the shared-memory dataset transport "
+                              "(workers fall back to the disk cache)")
     p_sweep.add_argument("--records", default=None,
                          help="JSONL store for records (enables caching/resume)")
     p_sweep.add_argument("--force", action="store_true",
@@ -288,6 +294,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--operand-cache-mb", type=int, default=256,
                          help="budget (MiB) of the resident operand cache "
                               "(0 disables it)")
+    p_serve.add_argument("--worker-cache-mb", type=int, default=None,
+                         help="per-pool-worker resident operand cache budget "
+                              "(MiB; defaults to --operand-cache-mb)")
 
     sub.add_parser("datasets", help="list the built-in dataset analogues")
     sub.add_parser("algorithms", help="list the available distributed algorithms")
@@ -691,6 +700,8 @@ def _cmd_sweep(args) -> int:
             progress=print,
             budget=args.budget,
             max_inflight_configs=args.max_inflight_configs,
+            worker_cache_mb=args.worker_cache_mb,
+            transport=False if args.no_shm_transport else None,
         )
     except JobRejected as exc:
         # Admission control refused the whole grid before anything executed
@@ -806,6 +817,12 @@ def _cmd_bench(args) -> int:
             "deduped": result.stats.deduped,
             "serial_lane": result.stats.serial_lane,
             "workers": result.stats.workers,
+            "residency_hits": result.stats.residency_hits,
+            "residency_misses": result.stats.residency_misses,
+            "residency_evictions": result.stats.residency_evictions,
+            "stolen": result.stats.stolen,
+            "disk_hits": result.stats.disk_hits,
+            "disk_misses": result.stats.disk_misses,
         },
     )
     print(f"trajectory written to {args.out}")
@@ -827,6 +844,7 @@ def _cmd_serve(args) -> int:
         max_inflight_jobs=args.max_jobs,
         max_inflight_configs=args.max_configs,
         operand_cache_mb=args.operand_cache_mb,
+        worker_cache_mb=args.worker_cache_mb,
     )
 
     # Announced on its own flushed line so wrappers (CI, tests) can wait for

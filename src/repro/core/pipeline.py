@@ -40,6 +40,7 @@ the paper's convention that inputs are distributed before timing starts.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 from collections import OrderedDict
@@ -149,12 +150,19 @@ class OperandCache:
 
     Thread-safe: the service's serial lane and the asyncio handlers share
     one instance.
+
+    Entries can be **pinned** (:meth:`pin` / :meth:`unpin`, or the
+    :meth:`borrowing` context manager the engine wraps around an in-flight
+    execute): a pinned entry is skipped by LRU eviction, so an operand a
+    run is actively using can never be dropped mid-execute no matter how
+    much a concurrent run inserts.
     """
 
     def __init__(self, max_bytes: int = 256 * 1024 * 1024):
         self.max_bytes = int(max_bytes)
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
+        self._pins: Dict[Tuple, int] = {}
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -183,14 +191,50 @@ class OperandCache:
             self._entries[key] = (value, size)
             self._bytes += size
             while self._bytes > self.max_bytes and len(self._entries) > 1:
-                _, (_, evicted_size) = self._entries.popitem(last=False)
+                # Oldest unpinned entry that is not the one just inserted;
+                # when everything else is borrowed by an in-flight execute
+                # the cache temporarily overshoots its budget instead of
+                # invalidating an operand somebody is using.
+                victim = next(
+                    (
+                        k for k in self._entries
+                        if k != key and not self._pins.get(k)
+                    ),
+                    None,
+                )
+                if victim is None:
+                    break
+                _, evicted_size = self._entries.pop(victim)
                 self._bytes -= evicted_size
                 self.evictions += 1
             return True
 
+    def pin(self, key: Tuple) -> None:
+        """Protect ``key`` from eviction until a matching :meth:`unpin`."""
+        with self._lock:
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: Tuple) -> None:
+        with self._lock:
+            count = self._pins.get(key, 0) - 1
+            if count <= 0:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count
+
+    @contextlib.contextmanager
+    def borrowing(self, key: Tuple):
+        """Context manager pinning ``key`` for the duration of a borrow."""
+        self.pin(key)
+        try:
+            yield
+        finally:
+            self.unpin(key)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._pins.clear()
             self._bytes = 0
 
     def __len__(self) -> int:
@@ -211,6 +255,7 @@ class OperandCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "pinned": len(self._pins),
             }
 
 

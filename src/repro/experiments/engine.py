@@ -60,7 +60,12 @@ DEFAULT_PROGRESS_INTERVAL = 10.0
 
 @dataclass
 class SweepStats:
-    """Bookkeeping for one ``run_grid`` invocation (scheduler counters)."""
+    """Bookkeeping for one ``run_grid`` invocation (scheduler counters).
+
+    The residency/disk/stolen counters describe the operand plane — host
+    work elided by worker-resident caches, the shm dataset transport and
+    affinity routing.  They are diagnostic only and never enter a record.
+    """
 
     total: int = 0
     cached: int = 0
@@ -70,6 +75,15 @@ class SweepStats:
     deduped: int = 0
     #: executions routed to the dedicated serial lane (non-pool-safe backends)
     serial_lane: int = 0
+    #: operand-cache hits/misses/evictions summed over lanes and workers
+    residency_hits: int = 0
+    residency_misses: int = 0
+    residency_evictions: int = 0
+    #: pool tasks an idle worker stole off their affinity worker's backlog
+    stolen: int = 0
+    #: dataset disk-cache (npz) hits/misses attributable to this sweep
+    disk_hits: int = 0
+    disk_misses: int = 0
     #: measured wall-clock of the whole sweep (reporting only — never persisted)
     wall_seconds: float = 0.0
 
@@ -79,6 +93,16 @@ class SweepStats:
             parts.append(f"{self.deduped} deduped")
         if self.serial_lane:
             parts.append(f"{self.serial_lane} serial-lane")
+        if self.residency_hits or self.residency_misses:
+            parts.append(
+                f"residency {self.residency_hits}h/{self.residency_misses}m"
+            )
+        if self.residency_evictions:
+            parts.append(f"{self.residency_evictions} evicted")
+        if self.stolen:
+            parts.append(f"{self.stolen} stolen")
+        if self.disk_hits or self.disk_misses:
+            parts.append(f"disk {self.disk_hits}h/{self.disk_misses}m")
         return (
             f"{self.total} configs: {', '.join(parts)} "
             f"({self.workers} worker{'s' if self.workers != 1 else ''}, "
@@ -111,10 +135,14 @@ class SweepResult:
 def _load_input(config: RunConfig) -> CSCMatrix:
     if config.matrix:
         return read_matrix_market(config.matrix)
-    # When a process-wide operand cache is installed (the service does),
-    # repeated loads of the same dataset are served resident — the cache
-    # only ever elides host work, never a modelled charge.
+    # When a process-wide operand cache is installed (the service and every
+    # pool worker do), repeated loads of the same dataset are served
+    # resident — the cache only ever elides host work, never a modelled
+    # charge.  On a cache miss a dataset published over the shm transport
+    # (scheduler prewarm) rehydrates zero-copy before the disk cache is
+    # even consulted.
     from ..core.pipeline import operand_cache, tag_operand_source
+    from ..matrices.transport import shared_dataset
 
     key = ("dataset", config.dataset, float(config.scale))
     cache = operand_cache()
@@ -122,7 +150,11 @@ def _load_input(config: RunConfig) -> CSCMatrix:
         hit = cache.get(key)
         if hit is not None:
             return hit
-    A = load_dataset(config.dataset, scale=config.scale)
+    ref = shared_dataset((config.dataset, float(config.scale)))
+    if ref is not None:
+        A = ref.materialise()
+    else:
+        A = load_dataset(config.dataset, scale=config.scale)
     tag_operand_source(A, key)
     if cache is not None:
         cache.put(key, A)
@@ -159,13 +191,22 @@ def execute_config(
     never be mistaken for a cache hit if a caller appends it to a store.
     """
     from .workloads import execute_workload  # deferred: keeps worker imports light
+    from ..core.pipeline import operand_cache, operand_source_tag
 
     A = matrix if matrix is not None else _load_input(config)
     model = cost_model if cost_model is not None else resolve_cost_model(config.cost_model)
     if config.threads is not None:
         model = model.with_threads(config.threads)
 
-    record = execute_workload(config, A, model)
+    # Pin the input's cache entry while executing: LRU pressure from a
+    # concurrent run can then never drop an operand this run is borrowing.
+    cache = operand_cache()
+    tag = operand_source_tag(A)
+    if cache is not None and tag is not None:
+        with cache.borrowing(tag):
+            record = execute_workload(config, A, model)
+    else:
+        record = execute_workload(config, A, model)
     overridden = matrix is not None or cost_model is not None
     record.config_hash = "" if overridden else config.config_hash()
     return record
@@ -190,10 +231,14 @@ def _progress_line(handle, t0: float) -> str:
     """One helianthus-scan-planner-style status line for a running sweep."""
     c = handle.counters.snapshot()
     finished = c["cached"] + c["done"]
+    residency = handle._scheduler.residency_stats()
     return (
         f"progress: {finished}/{c['unique']} unique configs done · "
         f"executed {c['done']}/{c['executed']} · cached {c['cached']} · "
         f"deduped {c['deduped']} · serial-lane {c['serial_lane']} · "
+        f"residency {residency['hits']}h/{residency['misses']}m · "
+        f"disk {residency['disk_hits']}h/{residency['disk_misses']}m · "
+        f"stolen {residency['stolen']} · "
         f"running {c['running']} · {time.perf_counter() - t0:.1f}s elapsed"
     )
 
@@ -208,6 +253,8 @@ def run_grid(
     priority: int = 0,
     budget: Optional[int] = None,
     max_inflight_configs: Optional[int] = None,
+    worker_cache_mb: Optional[int] = None,
+    transport: Optional[bool] = None,
 ) -> SweepResult:
     """Execute every config of ``grid``, reusing cached records.
 
@@ -237,15 +284,25 @@ def run_grid(
         Admission control forwarded to the scheduler; when the job is
         rejected, :class:`JobRejected` is raised (with the reason) before
         anything executes.
+    worker_cache_mb / transport:
+        Operand-plane knobs forwarded to the scheduler: the per-worker
+        resident-operand budget and the shm dataset transport toggle
+        (``None`` defers to ``REPRO_SHM_TRANSPORT``).  Host-side only —
+        records and stores are byte-identical whatever these are set to.
     """
     t0 = time.perf_counter()
     configs = grid.expand() if isinstance(grid, ExperimentGrid) else list(grid)
     say = progress if progress is not None else (lambda _msg: None)
 
+    scheduler_kwargs = {}
+    if worker_cache_mb is not None:
+        scheduler_kwargs["worker_cache_mb"] = worker_cache_mb
     scheduler = Scheduler(
         workers=workers,
         store=store,
         max_inflight_configs=max_inflight_configs,
+        transport=transport,
+        **scheduler_kwargs,
     )
     try:
         handle = scheduler.submit(
@@ -278,6 +335,7 @@ def run_grid(
                 f"persisted {scheduler.persisted} new records to "
                 f"{scheduler.store.path}"
             )
+        residency = scheduler.residency_stats()
     finally:
         scheduler.shutdown()
 
@@ -288,6 +346,12 @@ def run_grid(
         workers=max(1, workers),
         deduped=counters.deduped,
         serial_lane=counters.serial_lane,
+        residency_hits=residency["hits"],
+        residency_misses=residency["misses"],
+        residency_evictions=residency["evictions"],
+        stolen=residency["stolen"],
+        disk_hits=residency["disk_hits"],
+        disk_misses=residency["disk_misses"],
         wall_seconds=time.perf_counter() - t0,
     )
     return SweepResult(records=records, stats=stats)

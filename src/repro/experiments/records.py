@@ -13,6 +13,14 @@ indistinguishable from a fresh run.  Measured fields are machine-local and
 excluded from cross-PR comparison (see ``benchmarks/compare_trajectories``
 and ``docs/accounting.md``).
 
+The operand plane (shared-memory dataset transport, per-worker resident
+operand caches, affinity routing — see ``experiments/scheduler``) is
+host-side machinery only: residency hit/miss/eviction/steal counters live
+in :class:`~repro.experiments.engine.SweepStats` and scheduler ``stats()``
+snapshots, never inside a record.  Whether an operand was rehydrated from
+shm, served from a worker's resident cache, or rebuilt from disk must not
+— and does not — change a single byte of the persisted JSONL.
+
 Non-squaring workloads attach their own result structures: the AMG
 restriction workload records per-phase (RᵀA vs (RᵀA)·R) times/volumes and
 the coarsening statistics of the MIS-2 restriction operator

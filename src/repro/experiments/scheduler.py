@@ -44,9 +44,12 @@ each executed record exactly once.
 from __future__ import annotations
 
 import itertools
+import os
+import pickle
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -63,6 +66,19 @@ __all__ = [
     "JobRejected",
     "Scheduler",
 ]
+
+#: per-worker operand cache budget (MiB) unless the caller overrides it
+DEFAULT_WORKER_CACHE_MB = 256
+
+#: set to ``0``/``false``/``off`` to disable the shared-memory dataset
+#: transport (workers fall back to the disk cache / regeneration)
+TRANSPORT_ENV = "REPRO_SHM_TRANSPORT"
+
+
+def _transport_env_enabled() -> bool:
+    return os.environ.get(TRANSPORT_ENV, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
 
 
 class JobRejected(RuntimeError):
@@ -160,6 +176,111 @@ def _execute_task(config: RunConfig) -> RunRecord:
     from .engine import execute_config
 
     return execute_config(config)
+
+
+class _RemoteTaskError(RuntimeError):
+    """Stand-in for a worker exception that could not itself be pickled."""
+
+
+def _worker_residency_snapshot() -> Dict[str, int]:
+    """This worker's resident-state counters, piggybacked on every result."""
+    from ..core.pipeline import operand_cache
+    from ..matrices import transport as dataset_transport
+    from ..matrices.cache import dataset_cache_stats
+
+    snapshot: Dict[str, int] = {}
+    cache = operand_cache()
+    if cache is not None:
+        snapshot.update(cache.stats())
+    snapshot.update(dataset_cache_stats())
+    snapshot.update(dataset_transport.worker_transport_stats())
+    return snapshot
+
+
+def _pool_worker_main(worker_index, task_queue, result_queue, cache_bytes, env):
+    """Persistent pool-worker loop (fork target; module-level by necessity).
+
+    Each worker owns a process-wide :class:`~repro.core.pipeline.OperandCache`
+    installed at startup, so the datasets and `DistributedOperand` layouts a
+    task materialises stay resident for the next task the affinity router
+    sends here.  ``env`` explicitly propagates the dataset disk-cache
+    environment (``REPRO_DATASET_CACHE``/``_DIR``) captured at pool creation
+    — the worker's cache policy follows the scheduler's, not whatever the
+    parent's environment happened to be at fork time.
+
+    Task messages are ``(seq, config, shared_ref_or_None)``; the ref (a
+    :class:`~repro.matrices.transport.SharedMatrixRef`) is registered
+    process-wide before executing, so the engine's input loader rehydrates
+    the dataset zero-copy from shm instead of touching the disk cache.
+    Results are ``(worker_index, (kind, seq, payload), residency_snapshot)``.
+    """
+    for key, value in env.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    from ..core.pipeline import OperandCache, install_operand_cache
+    from ..matrices import transport as dataset_transport
+
+    install_operand_cache(OperandCache(max_bytes=cache_bytes))
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        seq, config, shared_ref = item
+        if shared_ref is not None:
+            dataset_transport.offer_shared_dataset(
+                (config.dataset, float(config.scale)), shared_ref
+            )
+        try:
+            # Late import, like the serial lane: fork children resolve the
+            # engine module's *current* attributes, so monkeypatches applied
+            # before pool creation keep working.
+            from .engine import _execute_worker
+
+            payload = ("done", seq, _execute_worker(config))
+        except BaseException as exc:
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = _RemoteTaskError(f"{type(exc).__name__}: {exc}")
+            payload = ("error", seq, exc)
+        snapshot = _worker_residency_snapshot()
+        try:
+            result_queue.put((worker_index, payload, snapshot))
+        except Exception:
+            fallback = _RemoteTaskError("worker result could not be pickled")
+            result_queue.put((worker_index, ("error", seq, fallback), snapshot))
+
+
+class _PoolWorker:
+    """Parent-side view of one persistent worker process."""
+
+    __slots__ = ("index", "process", "task_queue", "busy", "backlog")
+
+    def __init__(self, index, process, task_queue):
+        self.index = index
+        self.process = process
+        self.task_queue = task_queue
+        #: the task currently executing on the worker (one at a time)
+        self.busy: Optional[_Task] = None
+        #: affinity-routed tasks waiting for this worker
+        self.backlog: "deque[_Task]" = deque()
+
+    @property
+    def load(self) -> int:
+        return len(self.backlog) + (1 if self.busy is not None else 0)
+
+
+def _affinity_key(config: RunConfig) -> Tuple:
+    """What makes two configs share worker-resident state.
+
+    Tasks agreeing on ``(input, scale, nprocs)`` reuse each other's
+    resident dataset *and* (layout permitting) distributions, so the
+    router sticks them to one worker.
+    """
+    return (config.matrix or config.dataset, float(config.scale),
+            int(config.nprocs))
 
 
 class JobHandle:
@@ -287,6 +408,8 @@ class Scheduler:
         max_inflight_jobs: Optional[int] = None,
         max_inflight_configs: Optional[int] = None,
         prewarm: bool = True,
+        worker_cache_mb: int = DEFAULT_WORKER_CACHE_MB,
+        transport: Optional[bool] = None,
     ):
         self.workers = max(0, int(workers))
         if store is not None and not isinstance(store, ResultStore):
@@ -295,6 +418,11 @@ class Scheduler:
         self.max_inflight_jobs = max_inflight_jobs
         self.max_inflight_configs = max_inflight_configs
         self.prewarm = prewarm
+        self.worker_cache_mb = max(0, int(worker_cache_mb))
+        #: shm dataset transport: ``None`` defers to ``REPRO_SHM_TRANSPORT``
+        self._transport_enabled = (
+            _transport_env_enabled() if transport is None else bool(transport)
+        )
 
         self._lock = threading.RLock()
         self._tasks: Dict[str, _Task] = {}          # hash -> in-flight task
@@ -306,9 +434,23 @@ class Scheduler:
 
         self._serial_queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._serial_thread: Optional[threading.Thread] = None
-        self._pool = None
+        self._pool_workers: List[_PoolWorker] = []
         self._pool_queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._pool_thread: Optional[threading.Thread] = None
+        self._result_queue = None
+        self._result_thread: Optional[threading.Thread] = None
+        #: affinity key -> worker index (sticky routing)
+        self._affinity: Dict[Tuple, int] = {}
+        #: latest residency snapshot per worker index
+        self._worker_residency: Dict[int, Dict[str, int]] = {}
+        #: pool tasks dispatched off their affinity worker (idle stealing)
+        self.stolen = 0
+        self._transport = None
+        # Parent-side disk-cache counters are process-global; snapshot them
+        # so residency_stats reports this scheduler's share only.
+        from ..matrices.cache import dataset_cache_stats
+
+        self._disk_stats_origin = dataset_cache_stats()
         self._collectors: List[threading.Thread] = []
         #: executed records appended to the store by this scheduler
         self.persisted = 0
@@ -483,7 +625,7 @@ class Scheduler:
         """Scheduler-wide counters (the service's ``stats`` op)."""
         with self._lock:
             jobs = list(self._jobs.values())
-            return {
+            out = {
                 "workers": self.workers,
                 "jobs_submitted": len(jobs),
                 "jobs_active": sum(1 for j in jobs if not j.is_finished),
@@ -493,6 +635,59 @@ class Scheduler:
                 "max_inflight_jobs": self.max_inflight_jobs,
                 "max_inflight_configs": self.max_inflight_configs,
             }
+        out["residency"] = self.residency_stats()
+        return out
+
+    def residency_stats(self) -> Dict[str, int]:
+        """Operand-plane counters, aggregated across lanes.
+
+        Worker-resident operand-cache hits/misses/evictions (summed over
+        the latest snapshot each pool worker piggybacked on its results)
+        plus the parent's own installed cache (the serial lane), the
+        dataset disk-cache hit/miss delta attributable to this scheduler,
+        the affinity router's ``stolen`` count and the shm transport's
+        publication totals.  Purely diagnostic — nothing here ever enters
+        a record or a store.
+        """
+        from ..core.pipeline import operand_cache
+        from ..matrices.cache import dataset_cache_stats
+
+        aggregate = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+            "resident_bytes": 0,
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "attached_segments": 0,
+            "materialised": 0,
+        }
+        with self._lock:
+            snapshots = list(self._worker_residency.values())
+            stolen = self.stolen
+            workers_reporting = len(self._worker_residency)
+            transport = self._transport
+        for snapshot in snapshots:
+            for key in aggregate:
+                aggregate[key] += int(snapshot.get(key, 0))
+        cache = operand_cache()
+        if cache is not None:
+            parent = cache.stats()
+            for key in ("hits", "misses", "evictions", "entries",
+                        "resident_bytes"):
+                aggregate[key] += parent[key]
+        disk_now = dataset_cache_stats()
+        for key in ("disk_hits", "disk_misses"):
+            aggregate[key] += disk_now[key] - self._disk_stats_origin[key]
+        aggregate["stolen"] = stolen
+        aggregate["workers_reporting"] = workers_reporting
+        transport_stats = (
+            transport.stats() if transport is not None
+            else {"datasets_published": 0, "shm_bytes": 0}
+        )
+        aggregate.update(transport_stats)
+        return aggregate
 
     def job(self, job_id: str) -> Optional[JobHandle]:
         with self._lock:
@@ -522,10 +717,25 @@ class Scheduler:
         if self._pool_thread is not None:
             self._pool_queue.put((float("inf"), -1, None))     # sentinel
             self._pool_thread.join(timeout=5.0)
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        if self._result_thread is not None:
+            self._result_queue.put(None)                       # sentinel
+            self._result_thread.join(timeout=5.0)
+        for worker in self._pool_workers:
+            try:
+                worker.task_queue.put(None)                    # sentinel
+            except Exception:
+                pass
+        for worker in self._pool_workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+        self._pool_workers = []
+        if self._transport is not None:
+            # Parent-owned segment lifecycle: every published segment is
+            # unlinked here, after the workers holding attachments exited.
+            self._transport.close()
+            self._transport = None
 
     def __enter__(self) -> "Scheduler":
         return self
@@ -547,15 +757,67 @@ class Scheduler:
 
     def _ensure_pool(self) -> None:
         with self._lock:
-            if self._pool is None:
-                import multiprocessing
+            if self._pool_workers:
+                return
+            from multiprocessing import get_context, resource_tracker
 
-                self._pool = multiprocessing.Pool(processes=self.workers)
-                self._pool_thread = threading.Thread(
-                    target=self._pool_loop, name="repro-sched-pool",
+            from ..matrices.cache import CACHE_DIR_ENV, CACHE_ENV
+
+            # Start the resource tracker *before* forking: workers then
+            # inherit the parent's tracker daemon, so their attach-time shm
+            # registrations are idempotent set-adds on the daemon that the
+            # parent's unlink later clears.  Forking first would hand each
+            # worker its own tracker, which unlinks the parent's still-live
+            # segments when the worker exits.
+            resource_tracker.ensure_running()
+            ctx = get_context("fork")
+            self._result_queue = ctx.Queue()
+            # Satellite: the worker's disk-cache policy is propagated
+            # explicitly, not inherited by fork-time accident.
+            env = {
+                CACHE_ENV: os.environ.get(CACHE_ENV),
+                CACHE_DIR_ENV: os.environ.get(CACHE_DIR_ENV),
+            }
+            cache_bytes = self.worker_cache_mb * 1024 * 1024
+            for index in range(self.workers):
+                task_queue = ctx.SimpleQueue()
+                process = ctx.Process(
+                    target=_pool_worker_main,
+                    args=(index, task_queue, self._result_queue,
+                          cache_bytes, env),
                     daemon=True,
+                    name=f"repro-pool-{index}",
                 )
-                self._pool_thread.start()
+                process.start()
+                self._pool_workers.append(
+                    _PoolWorker(index, process, task_queue)
+                )
+            self._pool_thread = threading.Thread(
+                target=self._pool_loop, name="repro-sched-pool",
+                daemon=True,
+            )
+            self._pool_thread.start()
+            self._result_thread = threading.Thread(
+                target=self._result_loop, name="repro-sched-results",
+                daemon=True,
+            )
+            self._result_thread.start()
+
+    def _ensure_transport(self):
+        """The shm dataset transport (created lazily; None when disabled)."""
+        with self._lock:
+            if not self._transport_enabled:
+                return None
+            if self._transport is None:
+                from ..matrices.transport import DatasetTransport
+
+                try:
+                    self._transport = DatasetTransport()
+                except Exception:
+                    # No usable /dev/shm: degrade to the disk-cache path.
+                    self._transport_enabled = False
+                    return None
+            return self._transport
 
     def _serial_loop(self) -> None:
         while True:
@@ -564,9 +826,13 @@ class Scheduler:
                 return
             self._run_inline(task)
 
+    # The pool lane is an affinity router over persistent workers: the
+    # dispatcher thread below assigns each task to the worker already
+    # holding its operands resident (sticky by ``_affinity_key``), the
+    # result thread feeds a worker its next backlog task as each result
+    # arrives, and an idle worker steals from the longest backlog so
+    # affinity never serialises a sweep.
     def _pool_loop(self) -> None:
-        from .engine import _execute_worker
-
         while True:
             _, _, task = self._pool_queue.get()
             if task is None:
@@ -575,33 +841,143 @@ class Scheduler:
                 if task.cancelled:
                     self._resolve(task, state="cancelled")
                     continue
-                task.state = "running"
-                self._note_running(task)
-            try:
-                self._pool.apply_async(
-                    _execute_worker,
-                    (task.config,),
-                    callback=self._pool_callback(task),
-                    error_callback=self._pool_errback(task),
+                worker = self._route_locked(task)
+                worker.backlog.append(task)
+                self._feed_locked(worker)
+                # A task routed onto a busy worker's backlog is stealable:
+                # wake idle workers now, or a single-dataset sweep would
+                # serialise on its affinity worker while the rest starve
+                # (idle workers are otherwise only fed on task completion).
+                if worker.backlog:
+                    for other in self._pool_workers:
+                        if other is not worker and other.busy is None:
+                            self._feed_locked(other)
+
+    def _route_locked(self, task: _Task) -> _PoolWorker:
+        key = _affinity_key(task.config)
+        index = self._affinity.get(key)
+        if index is None:
+            worker = min(self._pool_workers, key=lambda w: (w.load, w.index))
+            self._affinity[key] = worker.index
+            return worker
+        return self._pool_workers[index]
+
+    def _feed_locked(self, worker: _PoolWorker) -> None:
+        """Dispatch the next task to an idle worker (caller holds the lock).
+
+        Prefers the worker's own (affinity-routed) backlog; an idle worker
+        with nothing queued steals the *newest* task from the longest other
+        backlog — newest because it is the one whose operands are least
+        likely to already be resident over there.
+        """
+        if worker.busy is not None:
+            return
+        while True:
+            stolen = False
+            if worker.backlog:
+                task = worker.backlog.popleft()
+            else:
+                victim = max(
+                    (w for w in self._pool_workers
+                     if w is not worker and w.backlog),
+                    key=lambda w: len(w.backlog),
+                    default=None,
                 )
-            except Exception as exc:     # pool already terminated
-                with self._lock:
-                    task.error = exc
-                    self._resolve(task, state="failed")
-
-    def _pool_callback(self, task: _Task):
-        def on_done(record: RunRecord) -> None:
-            with self._lock:
-                task.record = record
-                self._resolve(task, state="done")
-        return on_done
-
-    def _pool_errback(self, task: _Task):
-        def on_error(exc: BaseException) -> None:
-            with self._lock:
+                if victim is None:
+                    return
+                task = victim.backlog.pop()
+                stolen = True
+            if task.cancelled:
+                self._resolve(task, state="cancelled")
+                continue
+            shared_ref = None
+            if not task.config.matrix:
+                transport = self._transport
+                if transport is not None:
+                    shared_ref = transport.ref(
+                        (task.config.dataset, float(task.config.scale))
+                    )
+            if stolen:
+                self.stolen += 1
+            task.state = "running"
+            self._note_running(task)
+            worker.busy = task
+            try:
+                worker.task_queue.put((task.seq, task.config, shared_ref))
+            except Exception as exc:      # worker pipe gone
+                worker.busy = None
                 task.error = exc
                 self._resolve(task, state="failed")
-        return on_error
+                continue
+            return
+
+    def _result_loop(self) -> None:
+        while True:
+            try:
+                item = self._result_queue.get(timeout=1.0)
+            except queue.Empty:
+                self._reap_dead_workers()
+                continue
+            if item is None:
+                return
+            worker_index, (kind, seq, payload), snapshot = item
+            with self._lock:
+                worker = self._pool_workers[worker_index]
+                self._worker_residency[worker_index] = snapshot
+                task = worker.busy
+                worker.busy = None
+                if task is None or task.seq != seq:  # pragma: no cover
+                    task = next(
+                        (t for t in self._tasks.values() if t.seq == seq),
+                        task,
+                    )
+                if task is not None:
+                    if kind == "done":
+                        task.record = payload
+                        self._resolve(task, state="done")
+                    else:
+                        task.error = payload
+                        self._resolve(task, state="failed")
+                self._feed_locked(worker)
+
+    def _reap_dead_workers(self) -> None:
+        """Fail the task of (and respawn) any worker that died mid-task."""
+        with self._lock:
+            if self._closed:
+                return
+            for worker in self._pool_workers:
+                task = worker.busy
+                if task is None or worker.process.is_alive():
+                    continue
+                worker.busy = None
+                task.error = RuntimeError(
+                    f"pool worker {worker.index} died executing "
+                    f"{task.hash[:12]} (exit code "
+                    f"{worker.process.exitcode})"
+                )
+                self._resolve(task, state="failed")
+                self._respawn_locked(worker)
+                self._feed_locked(worker)
+
+    def _respawn_locked(self, worker: _PoolWorker) -> None:
+        from multiprocessing import get_context
+
+        from ..matrices.cache import CACHE_DIR_ENV, CACHE_ENV
+
+        ctx = get_context("fork")
+        worker.task_queue = ctx.SimpleQueue()
+        env = {
+            CACHE_ENV: os.environ.get(CACHE_ENV),
+            CACHE_DIR_ENV: os.environ.get(CACHE_DIR_ENV),
+        }
+        worker.process = ctx.Process(
+            target=_pool_worker_main,
+            args=(worker.index, worker.task_queue, self._result_queue,
+                  self.worker_cache_mb * 1024 * 1024, env),
+            daemon=True,
+            name=f"repro-pool-{worker.index}",
+        )
+        worker.process.start()
 
     def _run_inline(self, task: _Task) -> None:
         with self._lock:
@@ -713,17 +1089,29 @@ class Scheduler:
     # Internal: prewarm
     # ------------------------------------------------------------------
     def _prewarm(self, configs: Sequence[RunConfig]) -> None:
-        """Generate each unique dataset once in the parent before fan-out.
+        """Load each unique dataset once in the parent and publish it.
 
         Without this, a cold parallel job has every pool worker miss the
         disk cache simultaneously and regenerate the same synthetic matrix.
+        With the shm transport enabled the loaded matrix is additionally
+        published into a shared segment, so workers rehydrate it zero-copy
+        instead of re-reading (or regenerating) it per task.
         """
         from ..matrices import load_dataset
         from ..matrices.cache import dataset_cache_enabled
 
-        if not dataset_cache_enabled():
+        transport = self._ensure_transport()
+        if transport is None and not dataset_cache_enabled():
             return
         for dataset, scale in sorted({
             (c.dataset, c.scale) for c in configs if not c.matrix
         }):
-            load_dataset(dataset, scale=scale)
+            matrix = load_dataset(dataset, scale=scale)
+            if transport is not None:
+                try:
+                    transport.publish((dataset, float(scale)), matrix)
+                except Exception:
+                    # Out of shm space mid-sweep: later tasks fall back to
+                    # the disk cache; never fail the job over an optimisation.
+                    with self._lock:
+                        self._transport_enabled = False

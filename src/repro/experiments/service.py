@@ -108,12 +108,19 @@ class ExperimentService:
         max_inflight_jobs: Optional[int] = None,
         max_inflight_configs: Optional[int] = None,
         operand_cache_mb: int = DEFAULT_OPERAND_CACHE_MB,
+        worker_cache_mb: Optional[int] = None,
     ):
+        # The serial lane shares the service's process-wide operand cache;
+        # pool workers each hold their own resident cache, budgeted by
+        # ``worker_cache_mb`` (defaults to the service cache budget).
         self.scheduler = Scheduler(
             workers=workers,
             store=store,
             max_inflight_jobs=max_inflight_jobs,
             max_inflight_configs=max_inflight_configs,
+            worker_cache_mb=(
+                operand_cache_mb if worker_cache_mb is None else worker_cache_mb
+            ),
         )
         self.operand_cache = (
             OperandCache(max_bytes=operand_cache_mb * 1024 * 1024)
@@ -388,7 +395,12 @@ class ExperimentService:
         return {"ok": True, "job_id": handle.job_id, "state": handle.state}
 
     def _op_stats(self) -> Dict[str, object]:
-        stats: Dict[str, object] = {"ok": True, "scheduler": self.scheduler.stats()}
+        scheduler_stats = self.scheduler.stats()
+        stats: Dict[str, object] = {"ok": True, "scheduler": scheduler_stats}
+        # Operand-plane counters, surfaced top-level for dashboards: worker
+        # residency hits/misses/evictions, affinity steals, disk-cache
+        # hits/misses and shm-transport publication totals.
+        stats["residency"] = scheduler_stats.get("residency", {})
         if self.operand_cache is not None:
             stats["operand_cache"] = self.operand_cache.stats()
         if self.scheduler.store is not None:

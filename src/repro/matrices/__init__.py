@@ -5,12 +5,14 @@ from .cache import (
     dataset_cache_dir,
     dataset_cache_enabled,
     dataset_cache_path,
+    dataset_cache_stats,
 )
 from .io import read_matrix_market, read_npz, write_matrix_market, write_npz
 from .stats import MatrixStats, bandwidth_profile, matrix_stats, spy_histogram
 from .suite import (
     DATASETS,
     DatasetSpec,
+    dataset_cache_status,
     dataset_names,
     eukarya_like,
     hv15r_like,
@@ -19,12 +21,15 @@ from .suite import (
     queen_like,
     stokes_like,
 )
+from .transport import DatasetTransport, SharedMatrixRef
 
 __all__ = [
     "generators",
     "dataset_cache_dir",
     "dataset_cache_enabled",
     "dataset_cache_path",
+    "dataset_cache_stats",
+    "dataset_cache_status",
     "read_matrix_market",
     "write_matrix_market",
     "read_npz",
@@ -35,6 +40,8 @@ __all__ = [
     "bandwidth_profile",
     "DATASETS",
     "DatasetSpec",
+    "DatasetTransport",
+    "SharedMatrixRef",
     "dataset_names",
     "load_dataset",
     "queen_like",

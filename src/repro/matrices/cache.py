@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 from ..sparse import CSCMatrix
 from .io import read_npz, write_npz
@@ -34,7 +35,10 @@ __all__ = [
     "dataset_cache_enabled",
     "dataset_cache_dir",
     "dataset_cache_path",
+    "dataset_cache_stats",
     "load_cached_dataset",
+    "note_dataset_cache",
+    "reset_dataset_cache_stats",
     "store_cached_dataset",
 ]
 
@@ -48,6 +52,34 @@ CACHE_DIR_ENV = "REPRO_DATASET_CACHE_DIR"
 GENERATOR_VERSION = 1
 
 _DISABLED_VALUES = {"0", "false", "off", "no"}
+
+# ----------------------------------------------------------------------
+# Hit/miss accounting — the cache used to be silent, which made a sweep
+# that was quietly regenerating every dataset indistinguishable from one
+# riding the cache.  Counters are process-wide and monotonic; sweep
+# reporting (the scheduler's residency stats) snapshots deltas.
+# ----------------------------------------------------------------------
+_STATS_LOCK = threading.Lock()
+_STATS: Dict[str, int] = {"disk_hits": 0, "disk_misses": 0}
+
+
+def note_dataset_cache(hit: bool) -> None:
+    """Record one disk-cache lookup outcome (called by ``load_dataset``)."""
+    with _STATS_LOCK:
+        _STATS["disk_hits" if hit else "disk_misses"] += 1
+
+
+def dataset_cache_stats() -> Dict[str, int]:
+    """This process's cumulative disk-cache hit/miss counters."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_dataset_cache_stats() -> None:
+    """Zero the counters (test isolation only)."""
+    with _STATS_LOCK:
+        _STATS["disk_hits"] = 0
+        _STATS["disk_misses"] = 0
 
 
 def dataset_cache_enabled() -> bool:

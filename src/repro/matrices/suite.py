@@ -47,8 +47,26 @@ __all__ = [
     "nlpkkt_like",
     "DATASETS",
     "load_dataset",
+    "dataset_cache_status",
     "dataset_names",
 ]
+
+#: attribute stamped on every ``load_dataset`` handle: how the load was
+#: served — ``"hit"`` (disk cache), ``"miss"`` (generated then cached) or
+#: ``"off"`` (cache disabled, generated)
+_CACHE_STATUS_ATTR = "_repro_dataset_cache_status"
+
+
+def _tag_cache_status(matrix: CSCMatrix, status: str) -> None:
+    try:
+        setattr(matrix, _CACHE_STATUS_ATTR, status)
+    except (AttributeError, TypeError):  # pragma: no cover - slotted input
+        pass
+
+
+def dataset_cache_status(matrix) -> Optional[str]:
+    """How a ``load_dataset`` handle was served (``hit``/``miss``/``off``)."""
+    return getattr(matrix, _CACHE_STATUS_ATTR, None)
 
 
 @dataclass(frozen=True)
@@ -192,12 +210,19 @@ def load_dataset(
     """
     if name not in DATASETS:
         raise ValueError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
-    from .cache import dataset_cache_enabled, load_cached_dataset, store_cached_dataset
+    from .cache import (
+        dataset_cache_enabled,
+        load_cached_dataset,
+        note_dataset_cache,
+        store_cached_dataset,
+    )
 
     cache_on = dataset_cache_enabled() if use_cache is None else use_cache
     if cache_on:
         cached = load_cached_dataset(name, scale, seed)
         if cached is not None:
+            note_dataset_cache(hit=True)
+            _tag_cache_status(cached, "hit")
             return cached
     spec = DATASETS[name]
     kwargs = {"scale": scale}
@@ -205,5 +230,7 @@ def load_dataset(
         kwargs["seed"] = seed
     matrix = spec.generator(**kwargs)
     if cache_on:
+        note_dataset_cache(hit=False)
         store_cached_dataset(name, scale, seed, matrix)
+    _tag_cache_status(matrix, "miss" if cache_on else "off")
     return matrix

@@ -1,0 +1,263 @@
+"""Zero-copy shared-memory dataset transport for pool workers.
+
+A wide sweep loads the *same* input matrix once per task, per worker
+process: before this module every pool task either regenerated the
+synthetic dataset or re-read (and re-validated, and re-copied) the npz
+disk cache.  The transport publishes each loaded
+:class:`~repro.sparse.CSCMatrix` into one POSIX shared-memory segment —
+its ``indptr``/``indices``/``data`` arrays packed back to back — exactly
+once per scheduler lifetime, and hands workers a tiny
+:class:`SharedMatrixRef` that **pickles by reference** (segment name +
+shapes/dtypes, a few hundred bytes).  Rehydration in the worker maps the
+segment and wraps zero-copy, read-only numpy views around it: no bytes of
+matrix payload ever cross the task pipe and no worker holds a private
+copy of an input.
+
+Lifecycle mirrors :class:`repro.runtime.shm.ShmTransport`, whose segment
+machinery this module reuses:
+
+* the **parent** (scheduler) creates the segments and owns close+unlink,
+  via an idempotent ``weakref.finalize`` finalizer — a dropped transport
+  never leaks ``/dev/shm`` entries;
+* **workers** attach on first use and keep the mapping open for the
+  process lifetime (a process-wide registry below): under the ``fork``
+  start method the attach-time resource-tracker registration is an
+  idempotent set-add that must not be undone from the child (see
+  :func:`repro.runtime.shm.attach_segment`).
+
+Like every operand-plane layer this is host-side only: a matrix
+materialised from shm is value-identical to one loaded from disk, so no
+modelled counter and no persisted record can observe the transport.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.shm import attach_segment
+from ..sparse import CSCMatrix
+from ..sparse.csc import build_csc_unchecked
+
+__all__ = [
+    "DatasetTransport",
+    "SharedMatrixRef",
+    "offer_shared_dataset",
+    "shared_dataset",
+    "worker_transport_stats",
+    "reset_worker_state",
+]
+
+#: how the engine addresses a published dataset: ``(name, scale)``
+DatasetKey = Tuple[str, float]
+
+_INDEX_DTYPE = np.dtype(np.int64)
+
+
+@dataclass(frozen=True)
+class SharedMatrixRef:
+    """Pickle-by-reference handle to a matrix resident in one shm segment.
+
+    The segment layout is ``indptr | indices | data``, all C-contiguous;
+    every field below is plain metadata, so pickling a ref ships a few
+    hundred bytes regardless of the matrix size.
+    """
+
+    segment: str
+    nrows: int
+    ncols: int
+    nnz: int
+    data_dtype: str
+
+    @property
+    def indptr_nbytes(self) -> int:
+        return (self.ncols + 1) * _INDEX_DTYPE.itemsize
+
+    @property
+    def indices_nbytes(self) -> int:
+        return self.nnz * _INDEX_DTYPE.itemsize
+
+    @property
+    def payload_nbytes(self) -> int:
+        return (
+            self.indptr_nbytes
+            + self.indices_nbytes
+            + self.nnz * np.dtype(self.data_dtype).itemsize
+        )
+
+    def materialise(self) -> CSCMatrix:
+        """Rehydrate the matrix as zero-copy, read-only views over the segment.
+
+        Uses the unchecked constructor: the arrays were validated when the
+        parent loaded the matrix, and re-validation would fault on writing
+        normalised fields back into the read-only views.
+        """
+        segment = _attach_for_worker(self.segment)
+        buf = segment.buf
+        indptr = np.ndarray(
+            (self.ncols + 1,), dtype=_INDEX_DTYPE, buffer=buf, offset=0
+        )
+        indices = np.ndarray(
+            (self.nnz,), dtype=_INDEX_DTYPE, buffer=buf,
+            offset=self.indptr_nbytes,
+        )
+        data = np.ndarray(
+            (self.nnz,), dtype=np.dtype(self.data_dtype), buffer=buf,
+            offset=self.indptr_nbytes + self.indices_nbytes,
+        )
+        for view in (indptr, indices, data):
+            view.flags.writeable = False
+        with _WORKER_LOCK:
+            _WORKER_STATS["materialised"] += 1
+        return build_csc_unchecked(self.nrows, self.ncols, indptr, indices, data)
+
+
+def _release_segments(state: Dict[str, object]) -> None:
+    """Finalizer: close + unlink every published segment (idempotent)."""
+    if state.get("closed"):
+        return
+    state["closed"] = True
+    for segment in state.get("segments", {}).values():  # type: ignore[union-attr]
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:
+            pass
+
+
+class DatasetTransport:
+    """Parent-side publisher: one shm segment per unique ``(dataset, scale)``.
+
+    ``publish`` is idempotent per key, so the scheduler can publish from
+    every job's prewarm without re-copying.  The parent owns the whole
+    segment lifecycle — :meth:`close` (or garbage collection, via the
+    finalizer) unlinks everything; workers only ever attach.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._refs: Dict[DatasetKey, SharedMatrixRef] = {}
+        self._state: Dict[str, object] = {"segments": {}, "closed": False}
+        self._finalizer = weakref.finalize(self, _release_segments, self._state)
+
+    def publish(self, key: DatasetKey, matrix: CSCMatrix) -> SharedMatrixRef:
+        """Copy ``matrix`` into a fresh segment (once); return its ref."""
+        with self._lock:
+            if self._state["closed"]:
+                raise RuntimeError("dataset transport is closed")
+            ref = self._refs.get(key)
+            if ref is not None:
+                return ref
+            indptr = np.ascontiguousarray(matrix.indptr, dtype=_INDEX_DTYPE)
+            indices = np.ascontiguousarray(matrix.indices, dtype=_INDEX_DTYPE)
+            data = np.ascontiguousarray(matrix.data)
+            total = indptr.nbytes + indices.nbytes + data.nbytes
+            segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+            offset = 0
+            for array in (indptr, indices, data):
+                target = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf,
+                    offset=offset,
+                )
+                target[...] = array
+                offset += array.nbytes
+            ref = SharedMatrixRef(
+                segment=segment.name,
+                nrows=matrix.nrows,
+                ncols=matrix.ncols,
+                nnz=int(indices.shape[0]),
+                data_dtype=data.dtype.str,
+            )
+            self._state["segments"][key] = segment  # type: ignore[index]
+            self._refs[key] = ref
+            return ref
+
+    def ref(self, key: DatasetKey) -> Optional[SharedMatrixRef]:
+        with self._lock:
+            return self._refs.get(key)
+
+    def segment_names(self) -> List[str]:
+        """Names of the live segments (tests assert these vanish on close)."""
+        with self._lock:
+            return [ref.segment for ref in self._refs.values()]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "datasets_published": len(self._refs),
+                "shm_bytes": sum(r.payload_nbytes for r in self._refs.values()),
+            }
+
+    @property
+    def closed(self) -> bool:
+        return bool(self._state["closed"])
+
+    def close(self) -> None:
+        self._finalizer()
+
+    def __enter__(self) -> "DatasetTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker-side state (process-wide, reset only by tests)
+# ----------------------------------------------------------------------
+
+_WORKER_LOCK = threading.Lock()
+#: refs offered to this process (task messages carry them), keyed by dataset
+_WORKER_REFS: Dict[DatasetKey, SharedMatrixRef] = {}
+#: segments this process attached — kept open for the process lifetime so
+#: the zero-copy views handed out by ``materialise`` stay valid (the parent
+#: owns unlink; closing here would invalidate live views)
+_WORKER_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_WORKER_STATS: Dict[str, int] = {"attached_segments": 0, "materialised": 0}
+
+
+def _attach_for_worker(name: str) -> shared_memory.SharedMemory:
+    with _WORKER_LOCK:
+        segment = _WORKER_SEGMENTS.get(name)
+        if segment is None:
+            segment = attach_segment(name)
+            _WORKER_SEGMENTS[name] = segment
+            _WORKER_STATS["attached_segments"] += 1
+        return segment
+
+
+def offer_shared_dataset(key: DatasetKey, ref: SharedMatrixRef) -> None:
+    """Register a ref in this process (the scheduler ships one per task)."""
+    with _WORKER_LOCK:
+        _WORKER_REFS[key] = ref
+
+
+def shared_dataset(key: DatasetKey) -> Optional[SharedMatrixRef]:
+    """The ref offered for ``key`` in this process, if any."""
+    with _WORKER_LOCK:
+        return _WORKER_REFS.get(key)
+
+
+def worker_transport_stats() -> Dict[str, int]:
+    """This process's attach/materialise counters (residency reporting)."""
+    with _WORKER_LOCK:
+        return dict(_WORKER_STATS)
+
+
+def reset_worker_state() -> None:
+    """Drop offered refs and attached segments (test isolation only)."""
+    with _WORKER_LOCK:
+        _WORKER_REFS.clear()
+        for segment in _WORKER_SEGMENTS.values():
+            try:
+                segment.close()
+            except Exception:
+                pass
+        _WORKER_SEGMENTS.clear()
+        _WORKER_STATS["attached_segments"] = 0
+        _WORKER_STATS["materialised"] = 0

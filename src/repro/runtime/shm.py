@@ -60,6 +60,7 @@ __all__ = [
     "ShmCommunicator",
     "ShmRdmaWindow",
     "ShmCluster",
+    "attach_segment",
 ]
 
 _INITIAL_CAPACITY = 1 << 20  # 1 MiB; segments grow on demand
@@ -205,16 +206,24 @@ class MeasuredLedger:
 # ----------------------------------------------------------------------
 # Transport
 # ----------------------------------------------------------------------
-def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Attach an existing segment in the peer process.
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment in a peer/worker process.
 
     Under the ``fork`` start method the child shares the parent's resource
     tracker, so the attach-time ``register`` call is an idempotent set-add and
     must NOT be undone here — unregistering from the child would strip the
     parent's own registration and make the parent's later ``unlink`` trip the
     tracker.  The parent owns the whole segment lifecycle.
+
+    Shared with the dataset transport (:mod:`repro.matrices.transport`),
+    which attaches published operand segments from pool workers under the
+    same contract.
     """
     return shared_memory.SharedMemory(name=name)
+
+
+#: backwards-compatible private alias (pre-operand-plane name)
+_attach_segment = attach_segment
 
 
 def _serve(conn, outbox_name: str, inbox_name: str) -> None:
@@ -226,8 +235,8 @@ def _serve(conn, outbox_name: str, inbox_name: str) -> None:
     to read.  Module-level so the fork (and any future spawn) start method
     can locate it.
     """
-    outbox = _attach_segment(outbox_name)
-    inbox = _attach_segment(inbox_name)
+    outbox = attach_segment(outbox_name)
+    inbox = attach_segment(inbox_name)
     try:
         while True:
             msg = conn.recv()
@@ -240,8 +249,8 @@ def _serve(conn, outbox_name: str, inbox_name: str) -> None:
             elif op == "reattach":
                 outbox.close()
                 inbox.close()
-                outbox = _attach_segment(msg[1])
-                inbox = _attach_segment(msg[2])
+                outbox = attach_segment(msg[1])
+                inbox = attach_segment(msg[2])
                 conn.send(("ok", 0))
             elif op == "quit":
                 conn.send(("bye", 0))

@@ -1,0 +1,169 @@
+"""OperandCache budget/eviction semantics (the per-worker resident cache).
+
+Pins the operand plane's cache contract:
+
+* LRU eviction order under a byte budget — the least-recently-*used*
+  entry goes first, and a ``get`` refreshes recency;
+* a pinned (borrowed) entry is never evicted while an execute is using
+  it, even if that means the cache temporarily overshoots its budget;
+* the byte estimate driving eviction matches the actual array footprint
+  for the container types the engine caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import as_operand
+from repro.core.pipeline import OperandCache, estimate_operand_nbytes
+from repro.distribution import DistributedColumns1D
+
+
+class _Blob:
+    """A cache value reporting an exact resident size."""
+
+    def __init__(self, nbytes: int):
+        self._nbytes = nbytes
+
+    def memory_bytes(self) -> int:
+        return self._nbytes
+
+
+class TestLRUEviction:
+    def test_oldest_entry_evicted_first(self):
+        cache = OperandCache(max_bytes=300)
+        cache.put(("a",), _Blob(100))
+        cache.put(("b",), _Blob(100))
+        cache.put(("c",), _Blob(100))
+        assert len(cache) == 3
+        cache.put(("d",), _Blob(100))
+        assert cache.get(("a",)) is None  # oldest went first
+        assert cache.get(("b",)) is not None
+        assert cache.get(("d",)) is not None
+        assert cache.evictions == 1
+        assert cache.resident_bytes <= cache.max_bytes
+
+    def test_get_refreshes_recency(self):
+        cache = OperandCache(max_bytes=300)
+        cache.put(("a",), _Blob(100))
+        cache.put(("b",), _Blob(100))
+        cache.put(("c",), _Blob(100))
+        assert cache.get(("a",)) is not None  # a is now most recent
+        cache.put(("d",), _Blob(100))
+        assert cache.get(("b",)) is None  # b became the LRU victim
+        assert cache.get(("a",)) is not None
+
+    def test_put_refreshes_recency_and_rebalances_bytes(self):
+        cache = OperandCache(max_bytes=300)
+        cache.put(("a",), _Blob(100))
+        cache.put(("b",), _Blob(100))
+        cache.put(("a",), _Blob(150))  # replace: a is recent and larger
+        assert cache.resident_bytes == 250
+        cache.put(("c",), _Blob(100))
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.resident_bytes == 250
+
+    def test_oversized_value_is_rejected_not_cached(self):
+        cache = OperandCache(max_bytes=100)
+        assert cache.put(("huge",), _Blob(101)) is False
+        assert len(cache) == 0
+        assert cache.resident_bytes == 0
+
+    def test_eviction_cascades_until_within_budget(self):
+        cache = OperandCache(max_bytes=300)
+        for name in "abc":
+            cache.put((name,), _Blob(100))
+        cache.put(("d",), _Blob(150))  # needs two victims
+        assert cache.get(("a",)) is None
+        assert cache.get(("b",)) is None
+        assert cache.get(("c",)) is not None
+        assert cache.evictions == 2
+        assert cache.resident_bytes <= cache.max_bytes
+
+
+class TestPinning:
+    def test_borrowed_entry_survives_eviction_pressure(self):
+        cache = OperandCache(max_bytes=300)
+        cache.put(("borrowed",), _Blob(100))
+        cache.put(("idle",), _Blob(100))
+        with cache.borrowing(("borrowed",)):
+            # Inserting past the budget must evict around the pin: the
+            # borrowed entry is older than "idle" but stays resident.
+            cache.put(("new1",), _Blob(100))
+            cache.put(("new2",), _Blob(100))
+            assert cache.get(("borrowed",)) is not None
+            assert cache.get(("idle",)) is None
+        # Once released the entry is ordinary LRU fodder again.
+        cache.get(("new1",))
+        cache.get(("new2",))
+        cache.put(("new3",), _Blob(100))
+        assert cache.get(("borrowed",)) is None
+
+    def test_cache_overshoots_rather_than_dropping_pins(self):
+        cache = OperandCache(max_bytes=200)
+        cache.put(("a",), _Blob(100))
+        cache.put(("b",), _Blob(100))
+        with cache.borrowing(("a",)), cache.borrowing(("b",)):
+            assert cache.put(("c",), _Blob(100)) is True
+            # Every other entry is pinned: nothing to evict, budget
+            # overshoots until a borrow ends.
+            assert cache.resident_bytes == 300
+            assert cache.get(("a",)) is not None
+            assert cache.get(("b",)) is not None
+        assert cache.stats()["pinned"] == 0
+
+    def test_pin_counts_nest(self):
+        cache = OperandCache(max_bytes=1000)
+        cache.put(("a",), _Blob(10))
+        cache.pin(("a",))
+        cache.pin(("a",))
+        cache.unpin(("a",))
+        assert cache.stats()["pinned"] == 1  # still one borrow outstanding
+        cache.unpin(("a",))
+        assert cache.stats()["pinned"] == 0
+
+    def test_clear_drops_pins(self):
+        cache = OperandCache(max_bytes=1000)
+        cache.put(("a",), _Blob(10))
+        cache.pin(("a",))
+        cache.clear()
+        assert cache.stats()["pinned"] == 0
+        assert len(cache) == 0
+
+
+class TestByteEstimate:
+    def test_matrix_estimate_matches_array_nbytes(self, small_square):
+        expected = (
+            small_square.indptr.nbytes
+            + small_square.indices.nbytes
+            + small_square.data.nbytes
+        )
+        assert estimate_operand_nbytes(small_square) == expected
+
+    def test_distribution_estimate_sums_local_pieces(self, small_square):
+        dist = DistributedColumns1D.from_global(small_square, 4)
+        operand = as_operand(dist)
+        expected = sum(m.memory_bytes() for m in dist.locals_)
+        assert estimate_operand_nbytes(dist) == expected
+        assert estimate_operand_nbytes(operand) == expected
+
+    def test_estimate_is_never_zero(self):
+        assert estimate_operand_nbytes(object()) > 0
+        assert estimate_operand_nbytes(np.zeros(0)) > 0
+
+    def test_nnz_fallback_scales_with_size(self):
+        class Sized:
+            def __init__(self, nnz):
+                self.nnz = nnz
+
+        assert estimate_operand_nbytes(Sized(1000)) == 16000
+        assert estimate_operand_nbytes(Sized(0)) == 1024  # conservative floor
+
+    def test_put_uses_estimate_when_nbytes_omitted(self, small_square):
+        size = estimate_operand_nbytes(small_square)
+        cache = OperandCache(max_bytes=size)
+        assert cache.put(("m",), small_square) is True
+        assert cache.resident_bytes == size
+        smaller = OperandCache(max_bytes=size - 1)
+        assert smaller.put(("m",), small_square) is False

@@ -1,0 +1,241 @@
+"""Operand-plane integration: shm transport, affinity residency, env plumbing.
+
+Pins the PR's tentpole guarantees end to end:
+
+* a published matrix rehydrates in another process as zero-copy,
+  read-only views that are value-identical to the original;
+* refs pickle by reference (a few hundred bytes, never the payload);
+* the parent owns segment lifecycle — ``close()`` unlinks everything;
+* a 2-worker sweep records residency hits, steals work off a hot
+  affinity worker, and still writes a store byte-identical to serial;
+* ``REPRO_DATASET_CACHE{,_DIR}`` reach pool workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments import RunConfig, run_grid
+from repro.experiments.scheduler import Scheduler
+from repro.matrices import DatasetTransport
+from repro.matrices.transport import (
+    offer_shared_dataset,
+    reset_worker_state,
+    shared_dataset,
+    worker_transport_stats,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(autouse=True)
+def _clean_worker_state():
+    reset_worker_state()
+    yield
+    reset_worker_state()
+
+
+def _grid(datasets=("queen", "stokes"), scale=0.2):
+    return [
+        RunConfig(
+            dataset=dataset,
+            algorithm=algorithm,
+            strategy=strategy,
+            nprocs=16,
+            block_split=32,
+            scale=scale,
+        )
+        for dataset in datasets
+        for algorithm, strategy in (("1d", "none"), ("2d", "random"), ("3d", "random"))
+    ]
+
+
+class TestTransport:
+    def test_materialise_is_value_identical_and_readonly(self, small_square):
+        with DatasetTransport() as transport:
+            ref = transport.publish(("m", 1.0), small_square)
+            matrix = ref.materialise()
+            assert matrix.shape == small_square.shape
+            assert np.array_equal(matrix.indptr, small_square.indptr)
+            assert np.array_equal(matrix.indices, small_square.indices)
+            assert np.array_equal(matrix.data, small_square.data)
+            # Zero-copy views over the segment, never private copies.
+            for view in (matrix.indptr, matrix.indices, matrix.data):
+                assert not view.flags.owndata
+                assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                matrix.data[0] = 99.0
+
+    def test_publish_is_idempotent_per_key(self, small_square):
+        with DatasetTransport() as transport:
+            ref1 = transport.publish(("m", 1.0), small_square)
+            ref2 = transport.publish(("m", 1.0), small_square)
+            assert ref1 is ref2
+            assert transport.stats()["datasets_published"] == 1
+            assert len(transport.segment_names()) == 1
+
+    def test_ref_pickles_by_reference(self, small_square):
+        with DatasetTransport() as transport:
+            ref = transport.publish(("m", 1.0), small_square)
+            payload = pickle.dumps(ref)
+            assert len(payload) < 1024  # metadata only, no matrix bytes
+            clone = pickle.loads(payload)
+            assert clone == ref
+            matrix = clone.materialise()
+            assert np.array_equal(matrix.data, small_square.data)
+
+    def test_close_unlinks_every_segment(self, small_square):
+        from multiprocessing import shared_memory
+
+        transport = DatasetTransport()
+        transport.publish(("a", 1.0), small_square)
+        transport.publish(("b", 1.0), small_square)
+        names = transport.segment_names()
+        assert len(names) == 2
+        # Detach this process's attachments so unlink is truly final.
+        reset_worker_state()
+        transport.close()
+        assert transport.closed
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_worker_registry_offer_and_lookup(self, small_square):
+        with DatasetTransport() as transport:
+            ref = transport.publish(("queen", 0.5), small_square)
+            assert shared_dataset(("queen", 0.5)) is None
+            offer_shared_dataset(("queen", 0.5), ref)
+            assert shared_dataset(("queen", 0.5)) == ref
+            shared_dataset(("queen", 0.5)).materialise()
+            stats = worker_transport_stats()
+            assert stats["attached_segments"] == 1
+            assert stats["materialised"] == 1
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_materialise_roundtrip_through_fork(self, small_square):
+        ctx = multiprocessing.get_context("fork")
+        with DatasetTransport() as transport:
+            ref = transport.publish(("m", 1.0), small_square)
+            queue = ctx.SimpleQueue()
+            proc = ctx.Process(
+                target=_fork_child_check,
+                args=(ref, small_square.indptr, small_square.indices,
+                      small_square.data, queue),
+            )
+            proc.start()
+            result = queue.get()
+            proc.join(timeout=30)
+            assert result == "ok", result
+
+
+def _fork_child_check(ref, indptr, indices, data, queue):
+    try:
+        matrix = ref.materialise()
+        assert np.array_equal(matrix.indptr, indptr)
+        assert np.array_equal(matrix.indices, indices)
+        assert np.array_equal(matrix.data, data)
+        assert not matrix.data.flags.writeable
+        queue.put("ok")
+    except BaseException as exc:  # pragma: no cover - diagnostic path
+        queue.put(f"{type(exc).__name__}: {exc}")
+
+
+class TestPoolResidency:
+    def test_resident_pass_hits_and_store_stays_byte_identical(self, tmp_path):
+        configs = _grid()
+        serial_store = tmp_path / "serial.jsonl"
+        pool_store = tmp_path / "pool.jsonl"
+        run_grid(configs, workers=0, store=str(serial_store), force=True)
+
+        scheduler = Scheduler(workers=2, store=str(pool_store))
+        try:
+            scheduler.submit(configs, force=True).wait()
+            scheduler.submit(configs, force=True).wait()  # resident pass
+            residency = scheduler.residency_stats()
+        finally:
+            scheduler.shutdown()
+        assert residency["hits"] > 0
+        assert residency["datasets_published"] == 2
+        assert residency["workers_reporting"] == 2
+        serial_bytes = serial_store.read_bytes()
+        # Cold pass byte-identical to serial; the forced resident pass
+        # appends the exact same records once more.
+        assert pool_store.read_bytes() == serial_bytes + serial_bytes
+
+    def test_shutdown_unlinks_transport_segments(self, tmp_path):
+        from multiprocessing import shared_memory
+
+        scheduler = Scheduler(workers=2, store=str(tmp_path / "s.jsonl"))
+        try:
+            scheduler.submit(_grid(datasets=("queen",)), force=True).wait()
+            names = (
+                scheduler._transport.segment_names()
+                if scheduler._transport is not None else []
+            )
+        finally:
+            scheduler.shutdown()
+        assert names  # the transport actually published something
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_idle_worker_steals_from_hot_affinity_worker(self):
+        # Every config shares one (dataset, scale, nprocs) affinity key,
+        # so without stealing one worker would serialise the whole grid.
+        scheduler = Scheduler(workers=2)
+        try:
+            records = scheduler.submit(_grid(datasets=("queen",)), force=True).wait()
+            stolen = scheduler.residency_stats()["stolen"]
+            reporting = scheduler.residency_stats()["workers_reporting"]
+        finally:
+            scheduler.shutdown()
+        assert len(records) == 3
+        assert stolen >= 1
+        assert reporting == 2
+
+    def test_transport_disabled_still_byte_identical(self, tmp_path):
+        configs = _grid(datasets=("queen",))
+        serial_store = tmp_path / "serial.jsonl"
+        pool_store = tmp_path / "pool.jsonl"
+        run_grid(configs, workers=0, store=str(serial_store), force=True)
+        scheduler = Scheduler(workers=2, store=str(pool_store), transport=False)
+        try:
+            scheduler.submit(configs, force=True).wait()
+            residency = scheduler.residency_stats()
+        finally:
+            scheduler.shutdown()
+        assert residency["datasets_published"] == 0
+        assert pool_store.read_bytes() == serial_store.read_bytes()
+
+    def test_run_grid_surfaces_residency_counters(self, tmp_path):
+        result = run_grid(
+            _grid(datasets=("queen",)),
+            workers=2,
+            store=str(tmp_path / "s.jsonl"),
+            force=True,
+        )
+        stats = result.stats
+        assert stats.residency_hits + stats.residency_misses > 0
+        summary = result.summary()
+        assert "residency" in summary
+
+
+class TestEnvPropagation:
+    def test_dataset_cache_env_reaches_pool_workers(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "npz-cache"
+        monkeypatch.setenv("REPRO_DATASET_CACHE", "1")
+        monkeypatch.setenv("REPRO_DATASET_CACHE_DIR", str(cache_dir))
+        # Transport off: workers must fall back to load_dataset and find
+        # the npz cache the parent's prewarm populated.
+        scheduler = Scheduler(workers=2, transport=False)
+        try:
+            scheduler.submit(_grid(datasets=("queen",)), force=True).wait()
+            residency = scheduler.residency_stats()
+        finally:
+            scheduler.shutdown()
+        assert list(cache_dir.glob("*.npz"))
+        assert residency["disk_hits"] > 0
