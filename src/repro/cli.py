@@ -297,6 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--worker-cache-mb", type=int, default=None,
                          help="per-pool-worker resident operand cache budget "
                               "(MiB; defaults to --operand-cache-mb)")
+    p_serve.add_argument("--journal", default=None, metavar="DIR",
+                         help="crash-safe mode: write-ahead job journal in "
+                              "DIR; on restart, interrupted jobs are "
+                              "re-adopted and resumed")
+    p_serve.add_argument("--task-timeout", type=float, default=None,
+                         help="kill + retry a pool task running longer than "
+                              "this many seconds (default: REPRO_TASK_TIMEOUT "
+                              "or no timeout)")
+    p_serve.add_argument("--max-retries", type=int, default=None,
+                         help="extra attempts for a task lost to a dead/hung "
+                              "worker (default: REPRO_MAX_RETRIES or 1)")
 
     sub.add_parser("datasets", help="list the built-in dataset analogues")
     sub.add_parser("algorithms", help="list the available distributed algorithms")
@@ -845,6 +856,9 @@ def _cmd_serve(args) -> int:
         max_inflight_configs=args.max_configs,
         operand_cache_mb=args.operand_cache_mb,
         worker_cache_mb=args.worker_cache_mb,
+        journal=args.journal,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
     )
 
     # Announced on its own flushed line so wrappers (CI, tests) can wait for

@@ -16,6 +16,8 @@ clustering); see :mod:`repro.experiments.workloads`.
 
 from .config import COST_MODELS, ExperimentGrid, RunConfig, resolve_cost_model
 from .engine import SweepResult, SweepStats, execute_config, run_grid
+from .faults import FaultInjected, FaultPlan, FaultSpec, install_fault_plan
+from .journal import Journal, JournalCorrupt, JournalJob
 from .scheduler import Job, JobCounters, JobHandle, JobRejected, Scheduler
 from .service import ExperimentService, ServiceClient
 from .records import (
@@ -54,6 +56,13 @@ __all__ = [
     "ResultStore",
     "SweepResult",
     "SweepStats",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "install_fault_plan",
+    "Journal",
+    "JournalCorrupt",
+    "JournalJob",
     "Job",
     "JobCounters",
     "JobHandle",

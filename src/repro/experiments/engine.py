@@ -41,6 +41,8 @@ from ..matrices import load_dataset, read_matrix_market
 from ..runtime import CostModel
 from ..sparse import CSCMatrix
 from .config import ExperimentGrid, RunConfig, resolve_cost_model
+from .faults import hang_point
+from .journal import Journal
 from .records import RunRecord
 from .scheduler import JobRejected, Scheduler
 from .store import ResultStore
@@ -84,6 +86,12 @@ class SweepStats:
     #: dataset disk-cache (npz) hits/misses attributable to this sweep
     disk_hits: int = 0
     disk_misses: int = 0
+    #: worker fault policy: lost attempts re-run / in-flight tasks moved
+    #: off a reaped worker / hung workers killed / workers restarted
+    retries: int = 0
+    reassigned: int = 0
+    timeouts: int = 0
+    respawns: int = 0
     #: measured wall-clock of the whole sweep (reporting only — never persisted)
     wall_seconds: float = 0.0
 
@@ -103,6 +111,10 @@ class SweepStats:
             parts.append(f"{self.stolen} stolen")
         if self.disk_hits or self.disk_misses:
             parts.append(f"disk {self.disk_hits}h/{self.disk_misses}m")
+        if self.retries or self.timeouts or self.respawns:
+            parts.append(
+                f"faults {self.retries}r/{self.timeouts}t/{self.respawns}w"
+            )
         return (
             f"{self.total} configs: {', '.join(parts)} "
             f"({self.workers} worker{'s' if self.workers != 1 else ''}, "
@@ -193,6 +205,9 @@ def execute_config(
     from .workloads import execute_workload  # deferred: keeps worker imports light
     from ..core.pipeline import operand_cache, operand_source_tag
 
+    # Fault-injection site: a worker sleeping here stands in for a hung
+    # local kernel (exercises the scheduler's timeout/retry policy).
+    hang_point("hang-in-kernel")
     A = matrix if matrix is not None else _load_input(config)
     model = cost_model if cost_model is not None else resolve_cost_model(config.cost_model)
     if config.threads is not None:
@@ -232,13 +247,19 @@ def _progress_line(handle, t0: float) -> str:
     c = handle.counters.snapshot()
     finished = c["cached"] + c["done"]
     residency = handle._scheduler.residency_stats()
+    faults = residency.get("faults") or {}
+    fault_bit = (
+        f"faults {faults.get('retries', 0)}r/{faults.get('timeouts', 0)}t/"
+        f"{faults.get('respawns', 0)}w · "
+        if any(faults.values()) else ""
+    )
     return (
         f"progress: {finished}/{c['unique']} unique configs done · "
         f"executed {c['done']}/{c['executed']} · cached {c['cached']} · "
         f"deduped {c['deduped']} · serial-lane {c['serial_lane']} · "
         f"residency {residency['hits']}h/{residency['misses']}m · "
         f"disk {residency['disk_hits']}h/{residency['disk_misses']}m · "
-        f"stolen {residency['stolen']} · "
+        f"stolen {residency['stolen']} · " + fault_bit +
         f"running {c['running']} · {time.perf_counter() - t0:.1f}s elapsed"
     )
 
@@ -255,6 +276,7 @@ def run_grid(
     max_inflight_configs: Optional[int] = None,
     worker_cache_mb: Optional[int] = None,
     transport: Optional[bool] = None,
+    journal: Optional[Union[Journal, str]] = None,
 ) -> SweepResult:
     """Execute every config of ``grid``, reusing cached records.
 
@@ -289,6 +311,10 @@ def run_grid(
         resident-operand budget and the shm dataset transport toggle
         (``None`` defers to ``REPRO_SHM_TRANSPORT``).  Host-side only —
         records and stores are byte-identical whatever these are set to.
+    journal:
+        Optional :class:`Journal` (or directory) write-ahead logging the
+        sweep — useful when a one-shot ``run_grid`` should be adoptable
+        by a ``repro serve --journal`` service after a crash.
     """
     t0 = time.perf_counter()
     configs = grid.expand() if isinstance(grid, ExperimentGrid) else list(grid)
@@ -302,6 +328,7 @@ def run_grid(
         store=store,
         max_inflight_configs=max_inflight_configs,
         transport=transport,
+        journal=journal,
         **scheduler_kwargs,
     )
     try:
@@ -336,6 +363,7 @@ def run_grid(
                 f"{scheduler.store.path}"
             )
         residency = scheduler.residency_stats()
+        faults = scheduler.fault_stats()
     finally:
         scheduler.shutdown()
 
@@ -352,6 +380,10 @@ def run_grid(
         stolen=residency["stolen"],
         disk_hits=residency["disk_hits"],
         disk_misses=residency["disk_misses"],
+        retries=faults["retries"],
+        reassigned=faults["reassigned"],
+        timeouts=faults["timeouts"],
+        respawns=faults["respawns"],
         wall_seconds=time.perf_counter() - t0,
     )
     return SweepResult(records=records, stats=stats)

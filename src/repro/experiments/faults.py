@@ -1,0 +1,310 @@
+"""Deterministic fault injection for the crash-safety harness.
+
+Crash recovery is only testable if crashes happen at *chosen, repeatable*
+points.  This module defines a small set of **named fault points** wired
+into the scheduler, the pool workers, the job journal and the shm dataset
+transport — harness code, not test-only: the CI chaos job, the recovery
+test suite and the chaos bench all drive the same machinery.
+
+A :class:`FaultPlan` maps fault points to the hit number(s) on which they
+fire.  Plans come from the ``REPRO_FAULT_PLAN`` environment variable
+(comma-separated ``point:N`` terms, see :meth:`FaultPlan.from_string`) or
+are installed programmatically with :func:`install_fault_plan`.  Hit
+counting is per-process by default; pointing ``REPRO_FAULT_STATE`` at a
+file makes the counters **shared and persistent** — forked pool workers
+and restarted services then agree on the global hit sequence, so a fault
+that fired before a crash does not fire again during recovery.  That
+persistence is what makes "crash exactly once, then recover" expressible.
+
+Fault points and their actions:
+
+``kill-before-dispatch``
+    ``os._exit`` the scheduler process just before a task is handed to a
+    lane (the closest in-process analogue of ``kill -9``: no ``atexit``
+    handlers, no finalizers, no flushes).
+``kill-after-execute-before-persist``
+    ``os._exit`` the scheduler process after a task executed but before
+    its record is appended to the store.
+``hang-in-kernel``
+    Sleep for the spec's ``seconds`` at the top of config execution,
+    standing in for a hung local kernel (drives the worker timeout/retry
+    policy).
+``torn-journal-write``
+    Truncate a journal append to half its bytes, then ``os._exit`` — a
+    crash mid-``write(2)``.  Exercises the journal's truncate-and-replay.
+``publish-failure``
+    Raise :class:`FaultInjected` inside the shm dataset transport's
+    ``publish`` (the scheduler must degrade to the disk-cache path).
+
+Every helper below is a no-op (one dict lookup) when no plan is active,
+so production paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_STATE_ENV",
+    "FAULT_POINTS",
+    "CRASH_EXIT_CODE",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "active_fault_plan",
+    "install_fault_plan",
+    "reset_fault_plan",
+    "fault_point",
+    "crash_point",
+    "hang_point",
+    "raise_point",
+    "torn_write_point",
+]
+
+#: comma-separated fault terms, e.g. ``kill-before-dispatch:2,hang-in-kernel:1@5``
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+#: optional JSON file sharing hit counters across processes and restarts
+FAULT_STATE_ENV = "REPRO_FAULT_STATE"
+
+#: the named fault points and the action each one implies
+FAULT_POINTS: Dict[str, str] = {
+    "kill-before-dispatch": "crash",
+    "kill-after-execute-before-persist": "crash",
+    "hang-in-kernel": "hang",
+    "torn-journal-write": "torn-write",
+    "publish-failure": "raise",
+}
+
+#: exit code of an injected crash (distinguishable from real failures)
+CRASH_EXIT_CODE = 70
+
+#: hang duration when a spec does not name one (long enough that any
+#: sensible task timeout trips first)
+DEFAULT_HANG_SECONDS = 30.0
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired at ``point`` (the ``raise`` action)."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault term: fire at ``point`` on hits ``first..last`` inclusive."""
+
+    point: str
+    first: int = 1
+    last: int = 1
+    #: hang duration (``hang`` action only)
+    seconds: float = DEFAULT_HANG_SECONDS
+
+    def covers(self, hit: int) -> bool:
+        return self.first <= hit <= self.last
+
+    @classmethod
+    def parse(cls, term: str) -> "FaultSpec":
+        """Parse one term: ``point``, ``point:N``, ``point:N-M``, with an
+        optional ``@SECONDS`` suffix (hang duration)."""
+        term = term.strip()
+        seconds = DEFAULT_HANG_SECONDS
+        if "@" in term:
+            term, _, raw = term.partition("@")
+            seconds = float(raw)
+        point, _, hits = term.partition(":")
+        point = point.strip()
+        if point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; valid points: "
+                f"{', '.join(sorted(FAULT_POINTS))}"
+            )
+        first = last = 1
+        hits = hits.strip()
+        if hits:
+            if "-" in hits:
+                lo, _, hi = hits.partition("-")
+                first, last = int(lo), int(hi)
+            else:
+                first = last = int(hits)
+        if first < 1 or last < first:
+            raise ValueError(f"bad hit range {hits!r} in fault term {term!r}")
+        return cls(point=point, first=first, last=last, seconds=seconds)
+
+
+class FaultPlan:
+    """A set of :class:`FaultSpec` terms plus deterministic hit counters.
+
+    ``state_file`` (or ``REPRO_FAULT_STATE``) makes the counters shared:
+    every increment is a read-modify-write under an ``fcntl`` lock on the
+    file, so forked workers and restarted processes observe one global
+    hit sequence.  Without it, counters are private to the process.
+    """
+
+    def __init__(self, specs, state_file: Optional[Union[str, Path]] = None):
+        self._specs: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.point in self._specs:
+                raise ValueError(f"duplicate fault term for {spec.point!r}")
+            self._specs[spec.point] = spec
+        self.state_file = Path(state_file) if state_file is not None else None
+        self._lock = threading.Lock()
+        self._local_counts: Dict[str, int] = {}
+
+    @classmethod
+    def from_string(
+        cls, text: str, state_file: Optional[Union[str, Path]] = None
+    ) -> "FaultPlan":
+        terms = [t for t in text.split(",") if t.strip()]
+        return cls([FaultSpec.parse(t) for t in terms], state_file=state_file)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        text = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        if not text:
+            return None
+        return cls.from_string(text, state_file=os.environ.get(FAULT_STATE_ENV) or None)
+
+    def spec(self, point: str) -> Optional[FaultSpec]:
+        return self._specs.get(point)
+
+    def hit(self, point: str) -> Optional[FaultSpec]:
+        """Record one hit of ``point``; return the spec iff it fires now."""
+        spec = self._specs.get(point)
+        if spec is None:
+            return None
+        count = self._increment(point)
+        return spec if spec.covers(count) else None
+
+    def counts(self) -> Dict[str, int]:
+        """Current hit counters (shared ones read from the state file)."""
+        if self.state_file is not None:
+            return self._read_state()
+        with self._lock:
+            return dict(self._local_counts)
+
+    # ------------------------------------------------------------------
+    def _increment(self, point: str) -> int:
+        if self.state_file is None:
+            with self._lock:
+                self._local_counts[point] = self._local_counts.get(point, 0) + 1
+                return self._local_counts[point]
+        return self._increment_shared(point)
+
+    def _increment_shared(self, point: str) -> int:
+        import fcntl
+
+        self.state_file.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self.state_file), os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            raw = os.read(fd, 1 << 20)
+            try:
+                counts = json.loads(raw) if raw.strip() else {}
+            except ValueError:
+                counts = {}
+            counts[point] = int(counts.get(point, 0)) + 1
+            payload = json.dumps(counts, sort_keys=True).encode("utf-8")
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.truncate(fd, 0)
+            os.write(fd, payload)
+            os.fsync(fd)
+            return counts[point]
+        finally:
+            os.close(fd)        # releases the flock
+
+    def _read_state(self) -> Dict[str, int]:
+        try:
+            raw = self.state_file.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        try:
+            return {k: int(v) for k, v in json.loads(raw).items()}
+        except ValueError:
+            return {}
+
+
+# ----------------------------------------------------------------------
+# Process-wide active plan
+# ----------------------------------------------------------------------
+
+_UNRESOLVED = object()
+_active_plan = _UNRESOLVED
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The installed plan, resolved lazily from the environment once.
+
+    Fork workers inherit the parent's resolved plan (and, with a state
+    file, its shared counters) by memory copy.
+    """
+    global _active_plan
+    if _active_plan is _UNRESOLVED:
+        _active_plan = FaultPlan.from_env()
+    return _active_plan
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` process-wide; returns the previously active plan."""
+    global _active_plan
+    previous = _active_plan
+    _active_plan = plan
+    return None if previous is _UNRESOLVED else previous
+
+
+def reset_fault_plan() -> None:
+    """Forget the resolved plan so the next use re-reads the environment."""
+    global _active_plan
+    _active_plan = _UNRESOLVED
+
+
+# ----------------------------------------------------------------------
+# Site helpers (all no-ops without an active plan)
+# ----------------------------------------------------------------------
+
+def fault_point(name: str) -> Optional[FaultSpec]:
+    """Record a hit of fault point ``name``; the fired spec, or ``None``."""
+    plan = active_fault_plan()
+    if plan is None:
+        return None
+    return plan.hit(name)
+
+
+def _crash() -> None:  # monkeypatch seam for in-process tests
+    os._exit(CRASH_EXIT_CODE)
+
+
+def crash_point(name: str) -> None:
+    """``os._exit`` the process if ``name`` fires (simulated ``kill -9``)."""
+    if fault_point(name) is not None:
+        _crash()
+
+
+def hang_point(name: str) -> None:
+    """Sleep for the spec's duration if ``name`` fires (simulated hang)."""
+    spec = fault_point(name)
+    if spec is not None:
+        time.sleep(spec.seconds)
+
+
+def raise_point(name: str) -> None:
+    """Raise :class:`FaultInjected` if ``name`` fires."""
+    if fault_point(name) is not None:
+        raise FaultInjected(name)
+
+
+def torn_write_point(name: str, payload: bytes) -> Tuple[bytes, bool]:
+    """Return ``(payload, fired)``; when fired, the payload is truncated to
+    half its bytes and the caller must crash after writing it (a torn
+    write only exists because the writer died mid-append)."""
+    if fault_point(name) is None:
+        return payload, False
+    return payload[: max(1, len(payload) // 2)], True

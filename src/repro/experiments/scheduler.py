@@ -56,6 +56,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..runtime.backend import resolve_backend
 from .config import ExperimentGrid, RunConfig
+from .faults import crash_point
+from .journal import Journal
 from .records import RunRecord
 from .store import ResultStore
 
@@ -74,11 +76,33 @@ DEFAULT_WORKER_CACHE_MB = 256
 #: transport (workers fall back to the disk cache / regeneration)
 TRANSPORT_ENV = "REPRO_SHM_TRANSPORT"
 
+#: default per-task wall-clock timeout (seconds) for pool tasks; unset =
+#: no timeout (a hung worker is only reaped when its process dies)
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+#: default retry budget for pool tasks lost to a dead/hung worker
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+DEFAULT_MAX_RETRIES = 1
+
+#: base backoff (seconds) before re-dispatching a retried task; the delay
+#: scales linearly with the attempt number
+DEFAULT_RETRY_BACKOFF = 0.1
+
 
 def _transport_env_enabled() -> bool:
     return os.environ.get(TRANSPORT_ENV, "1").strip().lower() not in (
         "0", "false", "off", "no",
     )
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
 
 
 class JobRejected(RuntimeError):
@@ -149,6 +173,7 @@ class _Task:
     __slots__ = (
         "config", "hash", "lane", "owner", "priority", "seq",
         "state", "record", "error", "cancelled", "done",
+        "attempts", "started_at",
     )
 
     def __init__(self, config: RunConfig, hash_: str, lane: str, owner: str,
@@ -164,6 +189,10 @@ class _Task:
         self.error: Optional[BaseException] = None
         self.cancelled = False
         self.done = threading.Event()
+        #: dispatch attempts so far (retry accounting)
+        self.attempts = 0
+        #: ``time.monotonic()`` of the current dispatch (timeout detection)
+        self.started_at = 0.0
 
 
 def _execute_task(config: RunConfig) -> RunRecord:
@@ -213,7 +242,23 @@ def _pool_worker_main(worker_index, task_queue, result_queue, cache_bytes, env):
     process-wide before executing, so the engine's input loader rehydrates
     the dataset zero-copy from shm instead of touching the disk cache.
     Results are ``(worker_index, (kind, seq, payload), residency_snapshot)``.
+
+    Workers arm ``PR_SET_PDEATHSIG`` so a scheduler killed with ``kill -9``
+    (or an injected ``os._exit`` crash point, which skips every atexit
+    handler) takes its pool down with it — a crashed service must not
+    orphan worker processes that would otherwise sit on their task pipes
+    forever and pin inherited file descriptors open.
     """
+    try:
+        import ctypes
+        import signal
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, signal.SIGKILL, 0, 0, 0)      # PR_SET_PDEATHSIG
+        if os.getppid() == 1:       # parent died before the prctl landed
+            os._exit(0)
+    except Exception:               # pragma: no cover - non-Linux
+        pass
     for key, value in env.items():
         if value is None:
             os.environ.pop(key, None)
@@ -398,6 +443,16 @@ class Scheduler:
     prewarm:
         Generate each unique dataset once in the parent before pool
         fan-out (the engine's historic cold-cache optimisation).
+    journal:
+        Optional :class:`Journal` (or directory).  When set, every
+        accepted job is write-ahead logged before dispatch and
+        :meth:`adopt` can re-admit interrupted jobs after a crash.
+    task_timeout / max_retries / retry_backoff:
+        Worker fault policy.  A pool task running longer than
+        ``task_timeout`` seconds has its worker killed and is retried
+        (likewise a task whose worker died), up to ``max_retries`` extra
+        attempts with ``retry_backoff * attempt`` seconds of delay.
+        Defaults come from ``REPRO_TASK_TIMEOUT`` / ``REPRO_MAX_RETRIES``.
     """
 
     def __init__(
@@ -410,15 +465,47 @@ class Scheduler:
         prewarm: bool = True,
         worker_cache_mb: int = DEFAULT_WORKER_CACHE_MB,
         transport: Optional[bool] = None,
+        journal: Optional[Union[Journal, str, Path]] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
     ):
         self.workers = max(0, int(workers))
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
+        if journal is not None and not isinstance(journal, Journal):
+            journal = Journal(journal)
+        self.journal = journal
         self.max_inflight_jobs = max_inflight_jobs
         self.max_inflight_configs = max_inflight_configs
         self.prewarm = prewarm
         self.worker_cache_mb = max(0, int(worker_cache_mb))
+        if task_timeout is None:
+            task_timeout = _env_float(TASK_TIMEOUT_ENV)
+        self.task_timeout = (
+            float(task_timeout) if task_timeout and task_timeout > 0 else None
+        )
+        if max_retries is None:
+            env_retries = _env_float(MAX_RETRIES_ENV)
+            max_retries = (
+                DEFAULT_MAX_RETRIES if env_retries is None else int(env_retries)
+            )
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = (
+            DEFAULT_RETRY_BACKOFF if retry_backoff is None
+            else max(0.0, float(retry_backoff))
+        )
+        #: worker fault policy counters (the ``faults`` block in stats)
+        self.faults: Dict[str, int] = {
+            "retries": 0, "reassigned": 0, "timeouts": 0, "respawns": 0,
+        }
+        # Hung-task detection happens on the result loop's poll; it must
+        # wake noticeably faster than the timeout it enforces.
+        self._poll_interval = (
+            1.0 if self.task_timeout is None
+            else max(0.05, min(1.0, self.task_timeout / 4.0))
+        )
         #: shm dataset transport: ``None`` defers to ``REPRO_SHM_TRANSPORT``
         self._transport_enabled = (
             _transport_env_enabled() if transport is None else bool(transport)
@@ -466,12 +553,16 @@ class Scheduler:
         budget: Optional[int] = None,
         force: bool = False,
         job_id: Optional[str] = None,
+        _adopted: bool = False,
     ) -> JobHandle:
         """Plan and dispatch a job; raises :class:`JobRejected` when saturated.
 
         Planning is synchronous (cache lookup, dedup, admission, routing);
         execution is asynchronous — use the returned handle to stream
-        progress or ``wait()`` for the records.
+        progress or ``wait()`` for the records.  ``_adopted`` marks a job
+        re-admitted by :meth:`adopt`: it bypasses the inflight limits (a
+        crash must not strand jobs behind admission control) and is
+        journalled as ``job-adopted``.
         """
         config_list = (
             configs.expand() if isinstance(configs, ExperimentGrid)
@@ -482,7 +573,8 @@ class Scheduler:
                 raise JobRejected("scheduler is shut down")
             active = [j for j in self._jobs.values() if not j.is_finished]
             if (
-                self.max_inflight_jobs is not None
+                not _adopted
+                and self.max_inflight_jobs is not None
                 and len(active) >= self.max_inflight_jobs
             ):
                 raise JobRejected(
@@ -537,7 +629,8 @@ class Scheduler:
 
             inflight = len(self._tasks)
             if (
-                self.max_inflight_configs is not None
+                not _adopted
+                and self.max_inflight_configs is not None
                 and inflight + len(misses) > self.max_inflight_configs
             ):
                 raise JobRejected(
@@ -551,6 +644,12 @@ class Scheduler:
                     f"budget: job requires {len(misses)} fresh execution(s) "
                     f"but its budget allows {budget}"
                 )
+
+            # Write-ahead: the accepted job hits the journal before any
+            # task exists, so a crash anywhere past this line leaves a
+            # recoverable record ("accepted but unfinished").
+            if self.journal is not None:
+                self.journal.job_submitted(job, adopted=_adopted)
 
             # Lane routing, mirroring the legacy engine: the pool is used
             # only when it exists (workers > 1) and more than one of this
@@ -634,11 +733,20 @@ class Scheduler:
                 "records_persisted": self.persisted,
                 "max_inflight_jobs": self.max_inflight_jobs,
                 "max_inflight_configs": self.max_inflight_configs,
+                "faults": dict(self.faults),
             }
         out["residency"] = self.residency_stats()
         return out
 
-    def residency_stats(self) -> Dict[str, int]:
+    def fault_stats(self) -> Dict[str, int]:
+        """Worker fault policy counters: ``retries`` (lost attempts re-run),
+        ``reassigned`` (in-flight tasks moved off a reaped worker),
+        ``timeouts`` (hung workers killed), ``respawns`` (workers
+        restarted)."""
+        with self._lock:
+            return dict(self.faults)
+
+    def residency_stats(self) -> Dict[str, object]:
         """Operand-plane counters, aggregated across lanes.
 
         Worker-resident operand-cache hits/misses/evictions (summed over
@@ -668,6 +776,7 @@ class Scheduler:
             stolen = self.stolen
             workers_reporting = len(self._worker_residency)
             transport = self._transport
+            faults = dict(self.faults)
         for snapshot in snapshots:
             for key in aggregate:
                 aggregate[key] += int(snapshot.get(key, 0))
@@ -687,7 +796,61 @@ class Scheduler:
             else {"datasets_published": 0, "shm_bytes": 0}
         )
         aggregate.update(transport_stats)
+        aggregate["faults"] = faults
         return aggregate
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def adopt(self) -> List[JobHandle]:
+        """Re-admit jobs a crashed predecessor left unfinished.
+
+        Run once at startup, before accepting new submissions.  In order:
+        truncate any torn tail off the result store, reap shm segments
+        orphaned by the dead process, replay the journal (which likewise
+        truncates its own torn tail), and re-submit every job lacking a
+        ``job-done`` record — same ``job_id``, journalled as
+        ``job-adopted``, bypassing admission control.  Hashes the crashed
+        run already persisted come back as store cache hits, so recovery
+        only executes the remainder and the store converges on the same
+        bytes an uninterrupted run would have written.
+
+        Adopted jobs always run with ``force=False`` — an interrupted
+        ``force`` job must not re-execute (and duplicate) the rows it
+        already persisted.  Returns the adopted handles, journal order.
+        """
+        if self.store is not None:
+            self.store.recover()
+        if self.journal is None:
+            return []
+        from ..matrices.transport import cleanup_orphan_segments
+
+        cleanup_orphan_segments()
+        jobs = self.journal.recover()
+        # Fresh job ids must not collide with adopted ones.
+        max_seq = 0
+        for job_id in jobs:
+            tail = job_id.rsplit("-", 1)[-1]
+            if job_id.startswith("job-") and tail.isdigit():
+                max_seq = max(max_seq, int(tail))
+        with self._lock:
+            if max_seq:
+                self._job_seq = itertools.count(max_seq + 1)
+            known = set(self._jobs)
+        handles: List[JobHandle] = []
+        for job in jobs.values():
+            if not job.interrupted or job.job_id in known:
+                continue
+            configs = [RunConfig.from_dict(d) for d in job.configs]
+            handles.append(self.submit(
+                configs,
+                priority=job.priority,
+                budget=job.budget,
+                force=False,
+                job_id=job.job_id,
+                _adopted=True,
+            ))
+        return handles
 
     def job(self, job_id: str) -> Optional[JobHandle]:
         with self._lock:
@@ -890,6 +1053,7 @@ class Scheduler:
             if task.cancelled:
                 self._resolve(task, state="cancelled")
                 continue
+            crash_point("kill-before-dispatch")
             shared_ref = None
             if not task.config.matrix:
                 transport = self._transport
@@ -899,6 +1063,8 @@ class Scheduler:
                     )
             if stolen:
                 self.stolen += 1
+            task.attempts += 1
+            task.started_at = time.monotonic()
             task.state = "running"
             self._note_running(task)
             worker.busy = task
@@ -914,7 +1080,7 @@ class Scheduler:
     def _result_loop(self) -> None:
         while True:
             try:
-                item = self._result_queue.get(timeout=1.0)
+                item = self._result_queue.get(timeout=self._poll_interval)
             except queue.Empty:
                 self._reap_dead_workers()
                 continue
@@ -925,39 +1091,100 @@ class Scheduler:
                 worker = self._pool_workers[worker_index]
                 self._worker_residency[worker_index] = snapshot
                 task = worker.busy
+                if task is None or task.seq != seq:
+                    # Stale result: the attempt that produced it was
+                    # already reaped (a timeout kill raced the worker
+                    # finishing) and a retry owns the hash now.  Accepting
+                    # it would resolve — and persist — the task twice.
+                    self._feed_locked(worker)
+                    continue
                 worker.busy = None
-                if task is None or task.seq != seq:  # pragma: no cover
-                    task = next(
-                        (t for t in self._tasks.values() if t.seq == seq),
-                        task,
-                    )
-                if task is not None:
-                    if kind == "done":
-                        task.record = payload
-                        self._resolve(task, state="done")
-                    else:
-                        task.error = payload
-                        self._resolve(task, state="failed")
+                if kind == "done":
+                    task.record = payload
+                    self._resolve(task, state="done")
+                else:
+                    task.error = payload
+                    self._resolve(task, state="failed")
                 self._feed_locked(worker)
 
     def _reap_dead_workers(self) -> None:
-        """Fail the task of (and respawn) any worker that died mid-task."""
+        """The worker fault policy: reap dead *and* hung workers.
+
+        A worker whose process died mid-task, or whose current task has
+        run past ``task_timeout`` (the worker is killed), is respawned;
+        its in-flight task is retried within the retry budget (else
+        failed), and — satellite fix — its affinity backlog is exposed to
+        every idle worker *immediately*, instead of waiting for the
+        respawned worker to drain it alone.
+        """
         with self._lock:
             if self._closed:
                 return
+            now = time.monotonic()
+            reaped = False
             for worker in self._pool_workers:
                 task = worker.busy
-                if task is None or worker.process.is_alive():
-                    continue
-                worker.busy = None
-                task.error = RuntimeError(
-                    f"pool worker {worker.index} died executing "
-                    f"{task.hash[:12]} (exit code "
-                    f"{worker.process.exitcode})"
+                dead = not worker.process.is_alive()
+                hung = (
+                    not dead
+                    and task is not None
+                    and self.task_timeout is not None
+                    and now - task.started_at > self.task_timeout
                 )
-                self._resolve(task, state="failed")
+                if not dead and not hung:
+                    continue
+                if hung:
+                    self.faults["timeouts"] += 1
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+                exitcode = worker.process.exitcode
+                worker.busy = None
+                # Whatever the worker held resident (pinned operands,
+                # attached segments) died with its address space; drop the
+                # stale snapshot so residency stats stop counting it.
+                self._worker_residency.pop(worker.index, None)
+                self.faults["respawns"] += 1
                 self._respawn_locked(worker)
-                self._feed_locked(worker)
+                reaped = True
+                if task is not None:
+                    detail = "timed out" if hung else "died"
+                    self._task_failed_locked(task, RuntimeError(
+                        f"pool worker {worker.index} {detail} executing "
+                        f"{task.hash[:12]} (exit code {exitcode})"
+                    ))
+            if reaped:
+                # The reaped workers' backlogs are stealable *now*: feed
+                # every idle worker, not just the respawned ones.
+                for worker in self._pool_workers:
+                    if worker.busy is None:
+                        self._feed_locked(worker)
+
+    def _task_failed_locked(self, task: _Task, error: BaseException) -> None:
+        """A pool attempt was lost under ``task`` (worker death/timeout):
+        retry within budget, else fail (caller holds the lock)."""
+        if (
+            not task.cancelled
+            and not self._closed
+            and task.attempts <= self.max_retries
+        ):
+            self.faults["retries"] += 1
+            self.faults["reassigned"] += 1
+            self._note_stopped(task)
+            task.state = "queued"
+            self._requeue(task, self.retry_backoff * task.attempts)
+        else:
+            task.error = error
+            self._resolve(task, state="failed")
+
+    def _requeue(self, task: _Task, delay: float) -> None:
+        """Put a retried task back on the pool queue after ``delay``s."""
+        item = (-task.priority, task.seq, task)
+        if delay <= 0:
+            self._pool_queue.put(item)
+            return
+        timer = threading.Timer(delay, self._pool_queue.put, args=(item,))
+        timer.daemon = True
+        timer.start()
 
     def _respawn_locked(self, worker: _PoolWorker) -> None:
         from multiprocessing import get_context
@@ -984,6 +1211,9 @@ class Scheduler:
             if task.cancelled:
                 self._resolve(task, state="cancelled")
                 return
+            crash_point("kill-before-dispatch")
+            task.attempts += 1
+            task.started_at = time.monotonic()
             task.state = "running"
             self._note_running(task)
         try:
@@ -998,8 +1228,20 @@ class Scheduler:
                 self._resolve(task, state="done")
 
     def _note_running(self, task: _Task) -> None:
+        if self.journal is not None:
+            try:
+                self.journal.task_dispatched(
+                    task.owner, task.hash, task.attempts
+                )
+            except Exception:   # a diagnostic record must not kill a lane
+                pass
         for handle in self._handles_of(task):
             handle.counters.running += 1
+
+    def _note_stopped(self, task: _Task) -> None:
+        """Undo ``_note_running`` for a lost attempt about to be retried."""
+        for handle in self._handles_of(task):
+            handle.counters.running -= 1
 
     def _resolve(self, task: _Task, *, state: str) -> None:
         """Finalise a task (caller holds the lock)."""
@@ -1042,9 +1284,14 @@ class Scheduler:
                     # Exactly-once, in drain order: this is what keeps the
                     # store byte-identical to the pre-scheduler engine and
                     # resumable after an interrupt.
+                    crash_point("kill-after-execute-before-persist")
                     self.store.append([task.record])
                     with self._lock:
                         self.persisted += 1
+                    # After the store fsync, so the store is always at
+                    # least as new as the journal.
+                    if self.journal is not None:
+                        self.journal.result_persisted(handle.job_id, h)
                 handle._emit("progress")
             for h, task in handle.attached.items():
                 task.done.wait()
@@ -1061,6 +1308,7 @@ class Scheduler:
                 if any(t.state == "cancelled" for t in handle.owned.values())
                 else "done"
             )
+        self._journal_job_done(handle.job_id, handle.state)
         handle.finished.set()
         handle._emit(handle.state)
 
@@ -1068,8 +1316,17 @@ class Scheduler:
         with self._lock:
             handle.state = "failed"
             handle.error = error
+        self._journal_job_done(handle.job_id, "failed")
         handle.finished.set()
         handle._emit("failed")
+
+    def _journal_job_done(self, job_id: str, state: str) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.job_done(job_id, state)
+        except Exception:   # journalling must never mask the job outcome
+            pass
 
     def _cancel_job(self, handle: JobHandle) -> None:
         with self._lock:

@@ -54,6 +54,7 @@ from typing import Dict, Iterator, List, Optional, Union
 
 from ..core.pipeline import OperandCache, install_operand_cache
 from .config import ExperimentGrid, RunConfig
+from .journal import Journal
 from .scheduler import JobHandle, JobRejected, Scheduler
 from .store import ResultStore
 
@@ -109,10 +110,15 @@ class ExperimentService:
         max_inflight_configs: Optional[int] = None,
         operand_cache_mb: int = DEFAULT_OPERAND_CACHE_MB,
         worker_cache_mb: Optional[int] = None,
+        journal: Optional[Union[Journal, str, Path]] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ):
         # The serial lane shares the service's process-wide operand cache;
         # pool workers each hold their own resident cache, budgeted by
         # ``worker_cache_mb`` (defaults to the service cache budget).
+        # ``journal`` makes the service crash-safe: accepted jobs are
+        # write-ahead logged and re-adopted by ``start()`` after a crash.
         self.scheduler = Scheduler(
             workers=workers,
             store=store,
@@ -121,6 +127,9 @@ class ExperimentService:
             worker_cache_mb=(
                 operand_cache_mb if worker_cache_mb is None else worker_cache_mb
             ),
+            journal=journal,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
         )
         self.operand_cache = (
             OperandCache(max_bytes=operand_cache_mb * 1024 * 1024)
@@ -131,6 +140,8 @@ class ExperimentService:
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop = asyncio.Event()
         self.address: Optional[str] = None
+        #: job ids re-adopted from the journal at the last ``start()``
+        self.adopted_jobs: List[str] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -147,8 +158,15 @@ class ExperimentService:
         ``socket_path`` selects a unix socket; otherwise localhost TCP on
         ``host:port`` (``port=0`` picks a free one — read the returned
         address).
+
+        With a journal configured, interrupted jobs from a crashed
+        predecessor are re-adopted *before* the socket binds, so clients
+        that reconnect can immediately query them by their old job ids.
         """
         self._previous_cache = install_operand_cache(self.operand_cache)
+        if self.scheduler.journal is not None:
+            adopted = await asyncio.to_thread(self.scheduler.adopt)
+            self.adopted_jobs = [h.job_id for h in adopted]
         if socket_path is not None:
             path = Path(socket_path)
             if path.exists():
@@ -401,6 +419,10 @@ class ExperimentService:
         # residency hits/misses/evictions, affinity steals, disk-cache
         # hits/misses and shm-transport publication totals.
         stats["residency"] = scheduler_stats.get("residency", {})
+        # Worker fault policy counters (retries/reassigned/timeouts/
+        # respawns), plus which jobs the last start() re-adopted.
+        stats["faults"] = self.scheduler.fault_stats()
+        stats["adopted_jobs"] = list(self.adopted_jobs)
         if self.operand_cache is not None:
             stats["operand_cache"] = self.operand_cache.stats()
         if self.scheduler.store is not None:

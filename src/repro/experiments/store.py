@@ -61,6 +61,41 @@ class ResultStore:
                     out.append(record)
         return out
 
+    def recover(self) -> int:
+        """Truncate torn trailing bytes left by a crash mid-append.
+
+        A process killed inside :meth:`append` can leave a partial final
+        line (no newline, or a complete line that does not parse).  Loading
+        already skips such rows, but a later append would splice new bytes
+        onto the torn fragment and corrupt *that* record too — so the
+        crash-safe service truncates the tail on adopt.  Only the trailing
+        run of invalid data is removed; interior unparseable lines (old
+        schema rows) keep their existing skip-on-load semantics.  Returns
+        the number of bytes truncated.
+        """
+        if not self.path.is_file():
+            return 0
+        raw = self.path.read_bytes()
+        pos = 0
+        clean_end = 0               # offset just past the last valid row
+        while pos < len(raw):
+            nl = raw.find(b"\n", pos)
+            if nl == -1:
+                break               # torn tail without a newline
+            line = raw[pos:nl]
+            if not line.strip():
+                clean_end = nl + 1  # blank line: harmless, keep it
+            elif _parse_line(line.decode("utf-8", errors="replace")) is not None:
+                clean_end = nl + 1
+            pos = nl + 1
+        # ``clean_end`` sits just past the last parseable row, so interior
+        # invalid lines (followed by valid ones) are kept; only the
+        # trailing run of invalid bytes is removed.
+        removed = len(raw) - clean_end
+        if removed:
+            os.truncate(str(self.path), clean_end)
+        return removed
+
     def append(self, records: Iterable[RunRecord]) -> int:
         """Append records (one JSONL line each); returns the count written.
 

@@ -32,10 +32,13 @@ modelled counter and no persisted record can observe the transport.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -47,6 +50,8 @@ from ..sparse.csc import build_csc_unchecked
 __all__ = [
     "DatasetTransport",
     "SharedMatrixRef",
+    "SEGMENT_PREFIX",
+    "cleanup_orphan_segments",
     "offer_shared_dataset",
     "shared_dataset",
     "worker_transport_stats",
@@ -57,6 +62,52 @@ __all__ = [
 DatasetKey = Tuple[str, float]
 
 _INDEX_DTYPE = np.dtype(np.int64)
+
+#: published segments are named ``repro_ds_<owner pid>_<seq>`` so a
+#: restarted service can recognise — and reap — segments whose owning
+#: process died without unlinking them (``kill -9`` skips the finalizer)
+SEGMENT_PREFIX = "repro_ds_"
+
+#: where POSIX shm segments appear as files (Linux); orphan cleanup is a
+#: no-op on platforms without it
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def cleanup_orphan_segments(shm_dir: str = _SHM_DIR) -> List[str]:
+    """Unlink transport segments orphaned by a dead owner process.
+
+    A ``kill -9``'d scheduler never runs its finalizer; the resource
+    tracker usually mops up, but a killed process *group* takes the
+    tracker with it and leaks the segments.  Segment names embed the
+    owner's pid, so adoption scans ``/dev/shm`` for ``repro_ds_*`` entries
+    whose owner is gone and unlinks them directly (no attach, so the
+    current process's resource tracker never learns about them).  Returns
+    the names removed.
+    """
+    removed: List[str] = []
+    root = Path(shm_dir)
+    if not root.is_dir():
+        return removed
+    for entry in root.glob(SEGMENT_PREFIX + "*"):
+        pid_part = entry.name[len(SEGMENT_PREFIX):].split("_", 1)[0]
+        if pid_part.isdigit() and _pid_alive(int(pid_part)):
+            continue
+        try:
+            entry.unlink()
+        except OSError:         # raced with the resource tracker
+            continue
+        removed.append(entry.name)
+    return removed
 
 
 @dataclass(frozen=True)
@@ -144,20 +195,42 @@ class DatasetTransport:
         self._refs: Dict[DatasetKey, SharedMatrixRef] = {}
         self._state: Dict[str, object] = {"segments": {}, "closed": False}
         self._finalizer = weakref.finalize(self, _release_segments, self._state)
+        self._seq = itertools.count()
+
+    def _create_segment(self, size: int) -> shared_memory.SharedMemory:
+        """A fresh segment named ``repro_ds_<pid>_<seq>`` (see
+        :func:`cleanup_orphan_segments`), skipping names a recycled pid
+        left behind."""
+        while True:
+            name = f"{SEGMENT_PREFIX}{os.getpid()}_{next(self._seq)}"
+            try:
+                return shared_memory.SharedMemory(
+                    create=True, size=size, name=name
+                )
+            except FileExistsError:
+                continue
 
     def publish(self, key: DatasetKey, matrix: CSCMatrix) -> SharedMatrixRef:
-        """Copy ``matrix`` into a fresh segment (once); return its ref."""
+        """Copy ``matrix`` into a fresh segment (once); return its ref.
+
+        Hosts the ``publish-failure`` fault point: an injected failure
+        here must degrade the scheduler to the disk-cache path, never
+        fail the job.
+        """
+        from ..experiments.faults import raise_point
+
         with self._lock:
             if self._state["closed"]:
                 raise RuntimeError("dataset transport is closed")
             ref = self._refs.get(key)
             if ref is not None:
                 return ref
+            raise_point("publish-failure")
             indptr = np.ascontiguousarray(matrix.indptr, dtype=_INDEX_DTYPE)
             indices = np.ascontiguousarray(matrix.indices, dtype=_INDEX_DTYPE)
             data = np.ascontiguousarray(matrix.data)
             total = indptr.nbytes + indices.nbytes + data.nbytes
-            segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+            segment = self._create_segment(max(total, 1))
             offset = 0
             for array in (indptr, indices, data):
                 target = np.ndarray(

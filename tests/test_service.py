@@ -392,3 +392,134 @@ def test_unix_socket_path_is_reusable(tmp_path):
         client.shutdown()
     thread.join(timeout=30)
     assert not thread.is_alive()
+
+
+class TestCrashSafeService:
+    """Journal adoption through the service layer: a service started on
+    the debris of a crashed predecessor finishes its interrupted jobs
+    before accepting new ones."""
+
+    @staticmethod
+    def _interrupted_state(tmp_path, keep_persisted: int = 2):
+        """Build a (store, journal, baseline) triple that looks like a
+        service killed mid-sweep: a complete journalled run truncated to
+        its first ``keep_persisted`` persisted results."""
+        from repro.experiments.journal import JOURNAL_FILENAME, Journal
+
+        prior = tmp_path / "prior"
+        prior.mkdir()
+        full_store = ResultStore(prior / "records.jsonl")
+        run_grid(_configs([2, 4, 8, 16]), workers=0, store=full_store,
+                 journal=prior / "journal")
+        baseline = full_store.path.read_bytes()
+
+        journal_lines = (
+            prior / "journal" / JOURNAL_FILENAME
+        ).read_bytes().splitlines(keepends=True)
+        cut = persisted = 0
+        for i, line in enumerate(journal_lines):
+            rec = json.loads(line)["rec"]
+            if rec["type"] == "result-persisted":
+                persisted += 1
+                if persisted == keep_persisted:
+                    cut = i + 1
+                    break
+        assert cut, "journalled run had too few persisted records"
+
+        crashed = tmp_path / "crashed"
+        jdir = crashed / "journal"
+        jdir.mkdir(parents=True)
+        (jdir / JOURNAL_FILENAME).write_bytes(b"".join(journal_lines[:cut]))
+        store_path = crashed / "records.jsonl"
+        store_lines = baseline.splitlines(keepends=True)
+        store_path.write_bytes(b"".join(store_lines[:keep_persisted]))
+        assert Journal(jdir).interrupted_jobs(), "state is not interrupted"
+        return store_path, jdir, baseline
+
+    @staticmethod
+    def _serve(store_path, jdir, sock):
+        svc = ExperimentService(
+            workers=0, store=ResultStore(store_path), journal=jdir,
+            operand_cache_mb=64,
+        )
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(
+                svc.run(socket_path=sock, ready=lambda _a: ready.set())
+            ),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=30), "service did not come up"
+        return svc, thread
+
+    def test_restarted_service_adopts_and_finishes_interrupted_job(
+        self, tmp_path
+    ):
+        store_path, jdir, baseline = self._interrupted_state(tmp_path)
+        sock = tmp_path / "svc.sock"
+        svc, thread = self._serve(store_path, jdir, sock)
+        try:
+            assert svc.adopted_jobs == ["job-1"]
+            with ServiceClient(socket_path=sock) as client:
+                # The adopted job is queryable under its pre-crash id and
+                # runs to completion without a fresh submit.
+                reply = client.results("job-1", wait=True)
+                assert reply["ok"] and reply["state"] == "done"
+                assert len(reply["records"]) == 4
+                stats = client.stats()
+                assert stats["adopted_jobs"] == ["job-1"]
+                assert set(stats["faults"]) == {
+                    "retries", "reassigned", "timeouts", "respawns",
+                }
+        finally:
+            with ServiceClient(socket_path=sock) as client:
+                client.shutdown()
+            thread.join(timeout=30)
+        assert store_path.read_bytes() == baseline
+
+    def test_second_restart_adopts_nothing(self, tmp_path):
+        from repro.experiments.journal import Journal
+
+        store_path, jdir, baseline = self._interrupted_state(tmp_path)
+        sock = tmp_path / "svc.sock"
+        svc, thread = self._serve(store_path, jdir, sock)
+        try:
+            with ServiceClient(socket_path=sock) as client:
+                client.results("job-1", wait=True)
+        finally:
+            with ServiceClient(socket_path=sock) as client:
+                client.shutdown()
+            thread.join(timeout=30)
+        assert Journal(jdir).interrupted_jobs() == []
+
+        svc2, thread2 = self._serve(store_path, jdir, sock)
+        try:
+            assert svc2.adopted_jobs == []
+            with ServiceClient(socket_path=sock) as client:
+                assert client.stats()["adopted_jobs"] == []
+        finally:
+            with ServiceClient(socket_path=sock) as client:
+                client.shutdown()
+            thread2.join(timeout=30)
+        assert store_path.read_bytes() == baseline
+
+    def test_new_submits_on_adopted_service_stay_byte_identical(
+        self, tmp_path
+    ):
+        """Adoption composes with fresh submits: the final store equals a
+        clean serial run of the union grid."""
+        store_path, jdir, _baseline = self._interrupted_state(tmp_path)
+        sock = tmp_path / "svc.sock"
+        _svc, thread = self._serve(store_path, jdir, sock)
+        try:
+            with ServiceClient(socket_path=sock) as client:
+                client.results("job-1", wait=True)
+                client.submit_and_wait(grid=_grid_payload([32]))
+        finally:
+            with ServiceClient(socket_path=sock) as client:
+                client.shutdown()
+            thread.join(timeout=30)
+        reference = ResultStore(tmp_path / "reference.jsonl")
+        run_grid(_configs([2, 4, 8, 16, 32]), workers=0, store=reference)
+        assert store_path.read_bytes() == reference.path.read_bytes()
